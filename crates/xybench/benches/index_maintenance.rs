@@ -1,0 +1,42 @@
+//! Extension experiment E9: diff-driven index maintenance vs full rebuild.
+//!
+//! §2: "We are considering the possibility to use the diff to maintain such
+//! indexes." This bench quantifies the possibility: applying a small delta
+//! to a structural full-text index should beat rebuilding it from the new
+//! version by a factor that grows with document size (work ∝ change, not
+//! ∝ document).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xybench::pair_at_rate;
+use xydiff::{diff, DiffOptions};
+use xyindex::DocumentIndex;
+
+fn bench_index_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_maintenance");
+    group.sample_size(10);
+    for bytes in [20_000usize, 100_000, 400_000] {
+        // Low change rate: the regime where incremental pays.
+        let (old, sim) = pair_at_rate(bytes, 0.02, 5);
+        let r = diff(&old, &sim.new_version.doc, &DiffOptions::default());
+        let base_index = DocumentIndex::build(&old);
+
+        group.bench_with_input(BenchmarkId::new("rebuild", bytes), &bytes, |b, _| {
+            b.iter(|| DocumentIndex::build(&r.new_version));
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", bytes), &bytes, |b, _| {
+            // Clone in setup; measure only the delta application.
+            b.iter_batched(
+                || base_index.clone(),
+                |mut idx| {
+                    idx.apply_delta(&r.delta, &r.new_version);
+                    idx
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_maintenance);
+criterion_main!(benches);

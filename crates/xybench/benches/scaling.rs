@@ -1,0 +1,35 @@
+//! Criterion bench for E4: BULD vs the quadratic baselines.
+//!
+//! "Our algorithm runs in O(n log(n)) time vs. quadratic time for previous
+//! algorithms" — the Selkow-variant DP is the quadratic representative, the
+//! DiffMK token diff the list-based one. Compare how each scales across a
+//! 4× size step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xybench::pair_at_rate;
+use xybase::{diffmk_diff, selkow_distance};
+use xydiff::{diff, DiffOptions};
+
+fn bench_scaling(c: &mut Criterion) {
+    for bytes in [5_000usize, 20_000, 80_000] {
+        let (old, sim) = pair_at_rate(bytes, 0.1, 77);
+        let new_doc = sim.new_version.doc.clone();
+        let nodes = old.doc.node_count();
+
+        let mut group = c.benchmark_group(format!("scaling/{nodes}_nodes"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("buld", nodes), &nodes, |b, _| {
+            b.iter(|| diff(&old, &new_doc, &DiffOptions::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("selkow_dp", nodes), &nodes, |b, _| {
+            b.iter(|| selkow_distance(&old.doc, &new_doc));
+        });
+        group.bench_with_input(BenchmarkId::new("diffmk", nodes), &nodes, |b, _| {
+            b.iter(|| diffmk_diff(&old.doc, &new_doc));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

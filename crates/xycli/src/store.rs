@@ -1,0 +1,146 @@
+//! `xydiff store` — the Figure 1 pipeline as a directory-backed CLI store.
+//!
+//! The store is loaded from disk at the start of each invocation and saved
+//! back after mutating commands, so a shell session *is* a warehouse
+//! session:
+//!
+//! ```text
+//! xydiff store ./repo load cameras.xml crawl-monday.xml
+//! xydiff store ./repo load cameras.xml crawl-friday.xml   # runs the diff
+//! xydiff store ./repo history cameras.xml
+//! xydiff store ./repo get cameras.xml 0                   # querying the past
+//! xydiff store ./repo changes cameras.xml 0 1             # the delta
+//! ```
+
+use crate::{read_input, usage};
+use std::path::Path;
+use std::process::ExitCode;
+use xywarehouse::Repository;
+
+pub(crate) fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
+    let [dir, action, rest @ ..] = args else {
+        return Err(format!("store needs DIR and an action\n{}", usage()));
+    };
+    let dir = Path::new(dir);
+    match action.as_str() {
+        "load" => store_load(dir, rest),
+        "get" => store_get(dir, rest),
+        "history" => store_history(dir, rest),
+        "changes" => store_changes(dir, rest),
+        "keys" => store_keys(dir),
+        other => Err(format!("unknown store action {other:?}\n{}", usage())),
+    }
+}
+
+/// Open the repository at `dir` (empty when the directory is fresh).
+fn open_repo(dir: &Path) -> Result<Repository, String> {
+    if dir.join("manifest.txt").exists() {
+        Repository::load_from(dir, Default::default(), Default::default())
+            .map_err(|e| format!("opening store {}: {e}", dir.display()))
+    } else {
+        Ok(Repository::new())
+    }
+}
+
+fn save_repo(repo: &Repository, dir: &Path) -> Result<(), String> {
+    repo.save_to(dir)
+        .map_err(|e| format!("saving store {}: {e}", dir.display()))
+}
+
+fn store_load(dir: &Path, rest: &[String]) -> Result<ExitCode, String> {
+    let [key, file] = rest else {
+        return Err(format!("store load needs KEY FILE.xml\n{}", usage()));
+    };
+    let xml = read_input(file)?;
+    let repo = open_repo(dir)?;
+    let out = repo
+        .load_version(key, &xml)
+        .map_err(|e| format!("loading {file} as {key}: {e}"))?;
+    save_repo(&repo, dir)?;
+    let c = out.delta.counts();
+    eprintln!(
+        "stored {key} v{} ({} ops: {} delete, {} insert, {} update, {} move, {} attr)",
+        out.version,
+        c.total(),
+        c.deletes,
+        c.inserts,
+        c.updates,
+        c.moves,
+        c.attr_ops
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn store_get(dir: &Path, rest: &[String]) -> Result<ExitCode, String> {
+    let (key, version) = match rest {
+        [key] => (key, None),
+        [key, v] => (
+            key,
+            Some(v.parse::<usize>().map_err(|_| format!("bad version {v:?}"))?),
+        ),
+        _ => return Err(format!("store get needs KEY [VERSION]\n{}", usage())),
+    };
+    let repo = open_repo(dir)?;
+    let xml = match version {
+        None => repo.latest_xml(key),
+        Some(v) => repo.version_xml(key, v),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("{xml}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn store_history(dir: &Path, rest: &[String]) -> Result<ExitCode, String> {
+    let [key] = rest else {
+        return Err(format!("store history needs KEY\n{}", usage()));
+    };
+    let repo = open_repo(dir)?;
+    let count = repo.version_count(key);
+    if count == 0 {
+        return Err(format!("no document stored under {key:?}"));
+    }
+    println!("v0: initial version");
+    for i in 1..count {
+        let delta = repo.delta_between(key, i - 1, i).map_err(|e| e.to_string())?;
+        let c = delta.counts();
+        println!(
+            "v{i}: {} ops ({} delete, {} insert, {} update, {} move, {} attr), {} bytes",
+            c.total(),
+            c.deletes,
+            c.inserts,
+            c.updates,
+            c.moves,
+            c.attr_ops,
+            delta.size_bytes()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn store_changes(dir: &Path, rest: &[String]) -> Result<ExitCode, String> {
+    let [key, from, to] = rest else {
+        return Err(format!("store changes needs KEY FROM TO\n{}", usage()));
+    };
+    let from: usize = from.parse().map_err(|_| format!("bad version {from:?}"))?;
+    let to: usize = to.parse().map_err(|_| format!("bad version {to:?}"))?;
+    let repo = open_repo(dir)?;
+    if from > to || to >= repo.version_count(key) {
+        return Err(format!(
+            "version range {from}..{to} out of bounds for {key:?} ({} versions)",
+            repo.version_count(key)
+        ));
+    }
+    let delta = repo.delta_between(key, from, to).map_err(|e| e.to_string())?;
+    println!("{}", xydelta::xml_io::delta_to_xml_pretty(&delta));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn store_keys(dir: &Path) -> Result<ExitCode, String> {
+    let repo = open_repo(dir)?;
+    let mut keys = repo.keys();
+    keys.sort();
+    for k in &keys {
+        println!("{k} ({} versions)", repo.version_count(k));
+    }
+    Ok(if keys.is_empty() { ExitCode::from(1) } else { ExitCode::SUCCESS })
+}

@@ -1,0 +1,250 @@
+//! End-to-end tests of the `xydiff` binary: real process, real files, real
+//! exit codes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_xydiff")
+}
+
+fn tmp(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xycli-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    fs::write(&p, content).unwrap();
+    p
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).to_string()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).to_string()
+}
+
+#[test]
+fn diff_patch_revert_roundtrip_via_files() {
+    let old = tmp("rt-old.xml", "<a><p>one</p><q/></a>");
+    let new = tmp("rt-new.xml", "<a><q/><p>two</p></a>");
+    let d = run(&["diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(d.status.code(), Some(1), "differing docs exit 1");
+    let delta_path = tmp("rt-delta.xml", &stdout(&d));
+
+    // `patch` emits the new version annotated with its persistent ids.
+    let patched = run(&["patch", old.to_str().unwrap(), delta_path.to_str().unwrap()]);
+    assert_eq!(patched.status.code(), Some(0), "{}", stderr(&patched));
+    let annotated = stdout(&patched);
+    assert!(annotated.starts_with("<?xydiff-xidmap ("), "{annotated}");
+    assert!(annotated.contains("<a><q/><p>two</p></a>"));
+
+    // `--plain` strips the annotation.
+    let plain = run(&["patch", "--plain", old.to_str().unwrap(), delta_path.to_str().unwrap()]);
+    assert_eq!(stdout(&plain).trim(), "<a><q/><p>two</p></a>");
+
+    // `revert` on the annotated output restores the old version.
+    let new_annotated = tmp("rt-new-annotated.xml", &annotated);
+    let reverted = run(&["revert", "--plain", new_annotated.to_str().unwrap(), delta_path.to_str().unwrap()]);
+    assert_eq!(reverted.status.code(), Some(0), "{}", stderr(&reverted));
+    assert_eq!(stdout(&reverted).trim(), "<a><p>one</p><q/></a>");
+}
+
+#[test]
+fn revert_without_annotation_gives_actionable_error() {
+    let old = tmp("na-old.xml", "<a><p>one</p></a>");
+    let new = tmp("na-new.xml", "<a><p>two</p><r/></a>");
+    let d = run(&["diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    let delta_path = tmp("na-delta.xml", &stdout(&d));
+    // Reverting against the *plain* new document: identifiers are lost, the
+    // error must say so and point at the annotated workflow.
+    let reverted = run(&["revert", new.to_str().unwrap(), delta_path.to_str().unwrap()]);
+    assert_eq!(reverted.status.code(), Some(2));
+    assert!(stderr(&reverted).contains("xidmap"), "{}", stderr(&reverted));
+}
+
+#[test]
+fn annotated_chain_diffs_continue_across_processes() {
+    // v0 --diff--> v1 --diff--> v2, where the v1 used for the second diff is
+    // the *annotated* patch output: XIDs stay persistent across processes.
+    let v0 = tmp("ch-v0.xml", "<log><e>a</e></log>");
+    let v1 = tmp("ch-v1.xml", "<log><e>a</e><e>b</e></log>");
+    let d01 = tmp("ch-d01.xml", &stdout(&run(&["diff", v0.to_str().unwrap(), v1.to_str().unwrap()])));
+    let v1_annotated = tmp(
+        "ch-v1-annotated.xml",
+        &stdout(&run(&["patch", v0.to_str().unwrap(), d01.to_str().unwrap()])),
+    );
+    let v2 = tmp("ch-v2.xml", "<log><e>b</e></log>");
+    let d12 = run(&["diff", "--stats", v1_annotated.to_str().unwrap(), v2.to_str().unwrap()]);
+    assert_eq!(d12.status.code(), Some(1));
+    assert!(stderr(&d12).contains("1 delete"), "{}", stderr(&d12));
+}
+
+#[test]
+fn identical_documents_exit_zero_with_empty_delta() {
+    let a = tmp("same-a.xml", "<x><y>1</y></x>");
+    let b = tmp("same-b.xml", "<x><y>1</y></x>");
+    let d = run(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(d.status.code(), Some(0));
+    assert_eq!(stdout(&d).trim(), "<delta/>");
+}
+
+#[test]
+fn quiet_and_stats_flags() {
+    let a = tmp("qs-a.xml", "<x><y>1</y></x>");
+    let b = tmp("qs-b.xml", "<x><y>2</y></x>");
+    let d = run(&["diff", "--quiet", "--stats", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(d.status.code(), Some(1));
+    assert_eq!(stdout(&d), "", "--quiet suppresses the delta");
+    assert!(stderr(&d).contains("1 update"), "{}", stderr(&d));
+}
+
+#[test]
+fn pretty_output_reparses() {
+    let a = tmp("pp-a.xml", "<x><gone><g/></gone></x>");
+    let b = tmp("pp-b.xml", "<x/>");
+    let d = run(&["diff", "--pretty", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let pretty = stdout(&d);
+    assert!(pretty.contains("\n  <delete"), "{pretty}");
+    let delta_path = tmp("pp-delta.xml", &pretty);
+    let patched = run(&["patch", "--plain", a.to_str().unwrap(), delta_path.to_str().unwrap()]);
+    assert_eq!(stdout(&patched).trim(), "<x/>", "{}", stderr(&patched));
+}
+
+#[test]
+fn query_command() {
+    let doc = tmp(
+        "q.xml",
+        "<cat><item id='a'><price>$5</price></item><item id='b'><price>$9</price></item></cat>",
+    );
+    let out = run(&["query", doc.to_str().unwrap(), "//item[@id='b']/price/text()"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(stdout(&out).trim(), "$9");
+    let none = run(&["query", doc.to_str().unwrap(), "//missing"]);
+    assert_eq!(none.status.code(), Some(1), "no matches exit 1");
+}
+
+#[test]
+fn htmlize_command() {
+    let page = tmp("h.html", "<ul><li>a<li>b</ul>");
+    let out = run(&["htmlize", page.to_str().unwrap()]);
+    assert_eq!(stdout(&out).trim(), "<ul><li>a</li><li>b</li></ul>");
+}
+
+#[test]
+fn html_pages_diff_through_the_cli() {
+    // The §1 workflow end to end: htmlize both pages, then diff the XML.
+    let p1 = tmp("page1.html", "<ul><li>camera<li>phone</ul>");
+    let p2 = tmp("page2.html", "<ul><li>camera<li>tablet<li>phone</ul>");
+    let x1 = tmp("page1.xml", &stdout(&run(&["htmlize", p1.to_str().unwrap()])));
+    let x2 = tmp("page2.xml", &stdout(&run(&["htmlize", p2.to_str().unwrap()])));
+    let d = run(&["diff", "--stats", x1.to_str().unwrap(), x2.to_str().unwrap()]);
+    assert_eq!(d.status.code(), Some(1));
+    assert!(stderr(&d).contains("1 insert"), "{}", stderr(&d));
+}
+
+#[test]
+fn error_paths_exit_two() {
+    let bad = run(&["diff", "/nonexistent-a.xml", "/nonexistent-b.xml"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stderr(&bad).contains("reading"));
+
+    let malformed = tmp("bad.xml", "<a><b></a>");
+    let good = tmp("good.xml", "<a/>");
+    let out = run(&["diff", malformed.to_str().unwrap(), good.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("mismatched close tag"), "{}", stderr(&out));
+
+    let nocmd = run(&["frobnicate"]);
+    assert_eq!(nocmd.status.code(), Some(2));
+    assert!(stderr(&nocmd).contains("usage"));
+
+    let noargs = run(&[]);
+    assert_eq!(noargs.status.code(), Some(2));
+
+    let badflag = run(&["diff", "--bogus", "a", "b"]);
+    assert_eq!(badflag.status.code(), Some(2));
+    assert!(stderr(&badflag).contains("--bogus"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let h = run(&["--help"]);
+    assert_eq!(h.status.code(), Some(0));
+    assert!(stdout(&h).contains("usage"));
+}
+
+#[test]
+fn stdin_input() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let doc = tmp("stdin-doc.xml", "<a><p>x</p></a>");
+    let mut child = Command::new(bin())
+        .args(["query", "-", "//p/text()"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(fs::read(&doc).unwrap().as_slice())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "x");
+}
+
+#[test]
+fn store_workflow_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("xycli-store-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let store = dir.to_str().unwrap();
+    let v0 = tmp("st-v0.xml", "<cat><p><price>$10</price></p></cat>");
+    let v1 = tmp("st-v1.xml", "<cat><p><price>$12</price></p></cat>");
+    let v2 = tmp("st-v2.xml", "<cat><p><price>$12</price></p><q/></cat>");
+
+    for (i, f) in [&v0, &v1, &v2].iter().enumerate() {
+        let out = run(&["store", store, "load", "cameras.xml", f.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(0), "load {i}: {}", stderr(&out));
+        assert!(stderr(&out).contains(&format!("stored cameras.xml v{i}")), "{}", stderr(&out));
+    }
+
+    // Latest and past versions print exactly.
+    let latest = run(&["store", store, "get", "cameras.xml"]);
+    assert_eq!(stdout(&latest).trim(), "<cat><p><price>$12</price></p><q/></cat>");
+    let past = run(&["store", store, "get", "cameras.xml", "0"]);
+    assert_eq!(stdout(&past).trim(), "<cat><p><price>$10</price></p></cat>");
+
+    // History summarizes the deltas.
+    let hist = run(&["store", store, "history", "cameras.xml"]);
+    let h = stdout(&hist);
+    assert!(h.contains("v0: initial version"), "{h}");
+    assert!(h.contains("v1: 1 ops"), "{h}");
+    assert!(h.contains("v2: 1 ops"), "{h}");
+
+    // Aggregated changes across the whole range.
+    let ch = run(&["store", store, "changes", "cameras.xml", "0", "2"]);
+    let c = stdout(&ch);
+    assert!(c.contains("<update"), "{c}");
+    assert!(c.contains("<insert"), "{c}");
+
+    // Key listing.
+    let keys = run(&["store", store, "keys"]);
+    assert_eq!(stdout(&keys).trim(), "cameras.xml (3 versions)");
+
+    // Error paths.
+    let bad = run(&["store", store, "get", "nope.xml"]);
+    assert_eq!(bad.status.code(), Some(2));
+    let bad = run(&["store", store, "changes", "cameras.xml", "2", "9"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stderr(&bad).contains("out of bounds"));
+    let bad = run(&["store", store, "frob"]);
+    assert_eq!(bad.status.code(), Some(2));
+    let _ = fs::remove_dir_all(&dir);
+}

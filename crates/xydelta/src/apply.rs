@@ -1,0 +1,548 @@
+//! Phased delta application.
+//!
+//! A delta is a *set* of operations (§4), so application cannot depend on op
+//! order. We apply in five phases chosen so that recorded positions are
+//! meaningful at the moment they are used:
+//!
+//! 1. **Detach moves** — every moved subtree is unlinked (old positions are
+//!    thereby consumed before deletions disturb them).
+//! 2. **Deletes** — deleted subtrees are unlinked and their XIDs retired.
+//!    Nodes that moved *out* of a deleted subtree were already detached in
+//!    phase 1, so they survive.
+//! 3. **Inserts & re-inserts** — inserted subtrees and detached moved
+//!    subtrees are placed at their final positions in the new version,
+//!    ascending per parent. Because the children that stay put keep their
+//!    relative order, inserting at ascending final indexes reproduces the
+//!    exact child sequence. Targets that depend on other inserts (a move
+//!    into a freshly inserted subtree) are resolved by fixpoint iteration.
+//! 4. **Text updates** — verified against the stored old value (completed
+//!    deltas carry it precisely so that stale application fails loudly).
+//! 5. **Attribute operations** — likewise verified.
+
+use crate::delta::Delta;
+use crate::error::ApplyError;
+use crate::ops::Op;
+use crate::xid::{Xid, XidMap};
+use crate::xiddoc::XidDocument;
+use xytree::{NodeId, NodeKind, Tree};
+
+/// Apply `delta` to `doc` in place. On error the document may be left
+/// partially modified; apply to a clone when atomicity matters.
+pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
+    // Phase 1: detach moved subtrees.
+    for op in &delta.ops {
+        if let Op::Move { xid, .. } = op {
+            let node = doc
+                .node(*xid)
+                .ok_or(ApplyError::UnknownXid { xid: *xid, op: "move" })?;
+            if node == doc.doc.tree.root() {
+                // A foreign/mismatched delta can resolve to the document
+                // node; that is bad data, not a caller bug.
+                return Err(ApplyError::MalformedOp("move targets the document root"));
+            }
+            doc.doc.tree.detach(node);
+        }
+    }
+
+    // Phase 2: deletes.
+    for op in &delta.ops {
+        if let Op::Delete { xid, .. } = op {
+            let node = doc
+                .node(*xid)
+                .ok_or(ApplyError::UnknownXid { xid: *xid, op: "delete" })?;
+            if node == doc.doc.tree.root() {
+                return Err(ApplyError::MalformedOp("delete targets the document root"));
+            }
+            doc.doc.tree.detach(node);
+            let subtree: Vec<NodeId> = doc.doc.tree.post_order(node).collect();
+            for n in subtree {
+                doc.clear_xid(n);
+            }
+        }
+    }
+
+    // Phase 3: inserts and move re-attachments, by fixpoint over target
+    // parents.
+    let mut pending: Vec<Placement<'_>> = Vec::new();
+    for op in &delta.ops {
+        match op {
+            Op::Insert { xid: _, parent, pos, subtree, xid_map } => {
+                pending.push(Placement {
+                    parent: *parent,
+                    pos: *pos,
+                    what: What::Graft { subtree, xid_map },
+                });
+            }
+            Op::Move { xid, to_parent, to_pos, .. } => {
+                let node = doc
+                    .node(*xid)
+                    .ok_or(ApplyError::UnknownXid { xid: *xid, op: "move" })?;
+                pending.push(Placement { parent: *to_parent, pos: *to_pos, what: What::Reattach(node) });
+            }
+            _ => {}
+        }
+    }
+    // Placements under one parent must be applied together, in ascending
+    // final position: inserting at ascending indexes into the parent's
+    // surviving children (which keep their relative order) reproduces the
+    // exact child sequence. Applying a parent's placements piecemeal across
+    // passes could interleave wrongly when another placement attaches the
+    // parent midway through a pass, so each pass applies whole parent-groups
+    // whose parent is attached at the moment the group is reached.
+    pending.sort_by(|a, b| a.parent.cmp(&b.parent).then(a.pos.cmp(&b.pos)));
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut still_pending: Vec<Placement<'_>> = Vec::with_capacity(pending.len());
+        let mut i = 0;
+        while i < pending.len() {
+            let mut j = i + 1;
+            while j < pending.len() && pending[j].parent == pending[i].parent {
+                j += 1;
+            }
+            let ready = doc
+                .node(pending[i].parent)
+                .is_some_and(|p| doc.doc.tree.is_attached(p));
+            if ready {
+                for placement in &pending[i..j] {
+                    place(doc, placement)?;
+                }
+                progressed = true;
+            } else {
+                still_pending.extend(pending[i..j].iter().cloned());
+            }
+            i = j;
+        }
+        if !progressed && !still_pending.is_empty() {
+            return Err(ApplyError::UnresolvableTargets { remaining: still_pending.len() });
+        }
+        pending = still_pending;
+    }
+
+    // Phase 4: text updates.
+    for op in &delta.ops {
+        if let Op::Update { xid, old, new } = op {
+            let node = doc
+                .node(*xid)
+                .ok_or(ApplyError::UnknownXid { xid: *xid, op: "update" })?;
+            match doc.doc.tree.kind_mut(node) {
+                NodeKind::Text(t) => {
+                    if t != old {
+                        return Err(ApplyError::StaleUpdate {
+                            xid: *xid,
+                            expected: old.clone(),
+                            found: t.clone(),
+                        });
+                    }
+                    *t = new.clone();
+                }
+                _ => return Err(ApplyError::NotAText(*xid)),
+            }
+        }
+    }
+
+    // Phase 5: attribute operations.
+    for op in &delta.ops {
+        match op {
+            Op::AttrInsert { element, name, value } => {
+                let e = element_of(doc, *element, "attr-insert")?;
+                let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
+                if elem.has_attr(name) {
+                    return Err(ApplyError::AttrConflict {
+                        element: *element,
+                        name: name.clone(),
+                        problem: "attribute to insert already exists",
+                    });
+                }
+                elem.set_attr(name.clone(), value.clone());
+            }
+            Op::AttrDelete { element, name, old } => {
+                let e = element_of(doc, *element, "attr-delete")?;
+                let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
+                match elem.attr(name) {
+                    Some(v) if v == old => {
+                        elem.remove_attr(name);
+                    }
+                    Some(_) => {
+                        return Err(ApplyError::AttrConflict {
+                            element: *element,
+                            name: name.clone(),
+                            problem: "attribute to delete has a different value",
+                        })
+                    }
+                    None => {
+                        return Err(ApplyError::AttrConflict {
+                            element: *element,
+                            name: name.clone(),
+                            problem: "attribute to delete is missing",
+                        })
+                    }
+                }
+            }
+            Op::AttrUpdate { element, name, old, new } => {
+                let e = element_of(doc, *element, "attr-update")?;
+                let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
+                match elem.attr(name) {
+                    Some(v) if v == old => {
+                        elem.set_attr(name.clone(), new.clone());
+                    }
+                    Some(_) => {
+                        return Err(ApplyError::AttrConflict {
+                            element: *element,
+                            name: name.clone(),
+                            problem: "attribute to update has a different value",
+                        })
+                    }
+                    None => {
+                        return Err(ApplyError::AttrConflict {
+                            element: *element,
+                            name: name.clone(),
+                            problem: "attribute to update is missing",
+                        })
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[derive(Clone)]
+struct Placement<'a> {
+    parent: Xid,
+    pos: usize,
+    what: What<'a>,
+}
+
+#[derive(Clone)]
+enum What<'a> {
+    Graft { subtree: &'a Tree, xid_map: &'a XidMap },
+    Reattach(NodeId),
+}
+
+fn element_of(doc: &XidDocument, xid: Xid, op: &'static str) -> Result<NodeId, ApplyError> {
+    doc.node(xid).ok_or(ApplyError::UnknownXid { xid, op })
+}
+
+fn place(doc: &mut XidDocument, placement: &Placement<'_>) -> Result<(), ApplyError> {
+    let parent_node = doc
+        .node(placement.parent)
+        .expect("caller checked parent resolves");
+    let count = doc.doc.tree.children_count(parent_node);
+    if placement.pos > count {
+        return Err(ApplyError::PositionOutOfRange {
+            parent: placement.parent,
+            pos: placement.pos,
+            len: count,
+        });
+    }
+    match &placement.what {
+        What::Reattach(node) => {
+            doc.doc.tree.insert_child_at(parent_node, placement.pos, *node);
+        }
+        What::Graft { subtree, xid_map } => {
+            let src_root = subtree
+                .first_child(subtree.root())
+                .ok_or(ApplyError::MalformedOp("insert op with empty subtree"))?;
+            let copied = doc.doc.tree.copy_subtree_from(subtree, src_root);
+            doc.doc.tree.insert_child_at(parent_node, placement.pos, copied);
+            // Bind the op's XIDs to the grafted nodes, postfix order.
+            let nodes: Vec<NodeId> = doc.doc.tree.post_order(copied).collect();
+            if nodes.len() != xid_map.len() {
+                return Err(ApplyError::MalformedOp(
+                    "insert op XID-map length differs from subtree size",
+                ));
+            }
+            for (n, &x) in nodes.iter().zip(xid_map.xids()) {
+                doc.set_xid(*n, x);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::capture_subtree;
+    use xytree::Document;
+
+    fn xd(xml: &str) -> XidDocument {
+        XidDocument::parse_initial(xml).unwrap()
+    }
+
+    fn xid_of_label(d: &XidDocument, label: &str) -> Xid {
+        let n = d
+            .doc
+            .tree
+            .descendants(d.doc.tree.root())
+            .find(|&n| d.doc.tree.name(n) == Some(label))
+            .unwrap_or_else(|| panic!("no element <{label}>"));
+        d.xid(n).unwrap()
+    }
+
+    #[test]
+    fn update_text() {
+        let mut d = xd("<a><p>old</p></a>");
+        let p = d.doc.tree.child_at(d.doc.root_element().unwrap(), 0).unwrap();
+        let txt = d.doc.tree.first_child(p).unwrap();
+        let delta = Delta::from_ops(vec![Op::Update {
+            xid: d.xid(txt).unwrap(),
+            old: "old".into(),
+            new: "new".into(),
+        }]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), "<a><p>new</p></a>");
+    }
+
+    #[test]
+    fn stale_update_rejected() {
+        let mut d = xd("<a><p>current</p></a>");
+        let p = d.doc.tree.child_at(d.doc.root_element().unwrap(), 0).unwrap();
+        let txt = d.doc.tree.first_child(p).unwrap();
+        let delta = Delta::from_ops(vec![Op::Update {
+            xid: d.xid(txt).unwrap(),
+            old: "other".into(),
+            new: "new".into(),
+        }]);
+        let err = delta.apply_to(&mut d).unwrap_err();
+        assert!(matches!(err, ApplyError::StaleUpdate { .. }));
+    }
+
+    #[test]
+    fn delete_subtree_retires_xids() {
+        let mut d = xd("<a><b><c/></b><k/></a>");
+        let b_xid = xid_of_label(&d, "b");
+        let c_xid = xid_of_label(&d, "c");
+        let a_xid = xid_of_label(&d, "a");
+        let b_node = d.node(b_xid).unwrap();
+        let sub = capture_subtree(&d.doc.tree, b_node, &|_| false);
+        let map = d.xid_map_of(b_node);
+        let delta = Delta::from_ops(vec![Op::Delete {
+            xid: b_xid,
+            parent: a_xid,
+            pos: 0,
+            subtree: sub,
+            xid_map: map,
+        }]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), "<a><k/></a>");
+        assert_eq!(d.node(b_xid), None);
+        assert_eq!(d.node(c_xid), None);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_subtree_binds_xids() {
+        let mut d = xd("<a><k/></a>");
+        let a_xid = xid_of_label(&d, "a");
+        let ins_doc = Document::parse("<b><c/>t</b>").unwrap();
+        // Postfix order of <b><c/>t</b>: c, t, b — allocate 3 fresh xids.
+        let xids = vec![d.fresh_xid(), d.fresh_xid(), d.fresh_xid()];
+        let b_xid = xids[2];
+        let delta = Delta::from_ops(vec![Op::Insert {
+            xid: b_xid,
+            parent: a_xid,
+            pos: 0,
+            subtree: ins_doc.tree,
+            xid_map: XidMap::new(xids),
+        }]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), "<a><b><c/>t</b><k/></a>");
+        let b_node = d.node(b_xid).unwrap();
+        assert_eq!(d.doc.tree.name(b_node), Some("b"));
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn move_between_parents() {
+        let mut d = xd("<a><x><m/></x><y/></a>");
+        let m = xid_of_label(&d, "m");
+        let x = xid_of_label(&d, "x");
+        let y = xid_of_label(&d, "y");
+        let delta = Delta::from_ops(vec![Op::Move {
+            xid: m,
+            from_parent: x,
+            from_pos: 0,
+            to_parent: y,
+            to_pos: 0,
+        }]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), "<a><x/><y><m/></y></a>");
+    }
+
+    #[test]
+    fn reorder_within_parent() {
+        let mut d = xd("<a><p1/><p2/><p3/></a>");
+        let p3 = xid_of_label(&d, "p3");
+        let a = xid_of_label(&d, "a");
+        let delta = Delta::from_ops(vec![Op::Move {
+            xid: p3,
+            from_parent: a,
+            from_pos: 2,
+            to_parent: a,
+            to_pos: 0,
+        }]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), "<a><p3/><p1/><p2/></a>");
+    }
+
+    #[test]
+    fn move_into_inserted_subtree_resolves() {
+        let mut d = xd("<a><m/></a>");
+        let a = xid_of_label(&d, "a");
+        let m = xid_of_label(&d, "m");
+        let ins_doc = Document::parse("<box/>").unwrap();
+        let box_xid = d.fresh_xid();
+        let delta = Delta::from_ops(vec![
+            // Move listed before the insert it depends on: fixpoint must cope.
+            Op::Move { xid: m, from_parent: a, from_pos: 0, to_parent: box_xid, to_pos: 0 },
+            Op::Insert {
+                xid: box_xid,
+                parent: a,
+                pos: 0,
+                subtree: ins_doc.tree,
+                xid_map: XidMap::new(vec![box_xid]),
+            },
+        ]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), "<a><box><m/></box></a>");
+    }
+
+    #[test]
+    fn unresolvable_target_detected() {
+        let mut d = xd("<a><m/></a>");
+        let a = xid_of_label(&d, "a");
+        let m = xid_of_label(&d, "m");
+        let delta = Delta::from_ops(vec![Op::Move {
+            xid: m,
+            from_parent: a,
+            from_pos: 0,
+            to_parent: Xid(999),
+            to_pos: 0,
+        }]);
+        let err = delta.apply_to(&mut d).unwrap_err();
+        assert!(matches!(err, ApplyError::UnresolvableTargets { remaining: 1 }));
+    }
+
+    #[test]
+    fn move_out_of_deleted_subtree_survives() {
+        let mut d = xd("<a><dying><keep/></dying><safe/></a>");
+        let a = xid_of_label(&d, "a");
+        let dying = xid_of_label(&d, "dying");
+        let keep = xid_of_label(&d, "keep");
+        let safe = xid_of_label(&d, "safe");
+        let dying_node = d.node(dying).unwrap();
+        let keep_node = d.node(keep).unwrap();
+        let sub = capture_subtree(&d.doc.tree, dying_node, &|n| n == keep_node);
+        let delta = Delta::from_ops(vec![
+            Op::Delete {
+                xid: dying,
+                parent: a,
+                pos: 0,
+                subtree: sub,
+                xid_map: XidMap::new(vec![dying]),
+            },
+            Op::Move { xid: keep, from_parent: dying, from_pos: 0, to_parent: safe, to_pos: 0 },
+        ]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), "<a><safe><keep/></safe></a>");
+        assert!(d.node(keep).is_some(), "moved-out node keeps its XID");
+        assert_eq!(d.node(dying), None);
+    }
+
+    #[test]
+    fn multiple_inserts_same_parent_ascending_positions() {
+        let mut d = xd("<a><s1/><s2/></a>");
+        let a = xid_of_label(&d, "a");
+        let mk = |d: &mut XidDocument, label: &str| {
+            let doc = Document::parse(&format!("<{label}/>")).unwrap();
+            let x = d.fresh_xid();
+            (doc.tree, XidMap::new(vec![x]), x)
+        };
+        let (t0, m0, x0) = mk(&mut d, "i0");
+        let (t2, m2, x2) = mk(&mut d, "i2");
+        let (t4, m4, x4) = mk(&mut d, "i4");
+        // Final layout: i0 s1 i2 s2 i4 — ops given out of order.
+        let delta = Delta::from_ops(vec![
+            Op::Insert { xid: x4, parent: a, pos: 4, subtree: t4, xid_map: m4 },
+            Op::Insert { xid: x0, parent: a, pos: 0, subtree: t0, xid_map: m0 },
+            Op::Insert { xid: x2, parent: a, pos: 2, subtree: t2, xid_map: m2 },
+        ]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), "<a><i0/><s1/><i2/><s2/><i4/></a>");
+    }
+
+    #[test]
+    fn attr_ops_roundtrip() {
+        let mut d = xd("<a k=\"1\" gone=\"x\"/>");
+        let a = xid_of_label(&d, "a");
+        let delta = Delta::from_ops(vec![
+            Op::AttrUpdate { element: a, name: "k".into(), old: "1".into(), new: "2".into() },
+            Op::AttrDelete { element: a, name: "gone".into(), old: "x".into() },
+            Op::AttrInsert { element: a, name: "fresh".into(), value: "f".into() },
+        ]);
+        delta.apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.tree.attr(d.node(a).unwrap(), "k"), Some("2"));
+        assert_eq!(d.doc.tree.attr(d.node(a).unwrap(), "gone"), None);
+        assert_eq!(d.doc.tree.attr(d.node(a).unwrap(), "fresh"), Some("f"));
+    }
+
+    #[test]
+    fn attr_conflicts_detected() {
+        let mut d = xd("<a k=\"1\"/>");
+        let a = xid_of_label(&d, "a");
+        let dup = Delta::from_ops(vec![Op::AttrInsert {
+            element: a,
+            name: "k".into(),
+            value: "2".into(),
+        }]);
+        assert!(matches!(
+            dup.apply_to(&mut d.clone()).unwrap_err(),
+            ApplyError::AttrConflict { .. }
+        ));
+        let stale = Delta::from_ops(vec![Op::AttrUpdate {
+            element: a,
+            name: "k".into(),
+            old: "9".into(),
+            new: "2".into(),
+        }]);
+        assert!(matches!(
+            stale.apply_to(&mut d).unwrap_err(),
+            ApplyError::AttrConflict { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_xid_errors() {
+        let mut d = xd("<a/>");
+        let delta = Delta::from_ops(vec![Op::Update {
+            xid: Xid(777),
+            old: String::new(),
+            new: String::new(),
+        }]);
+        assert!(matches!(
+            delta.apply_to(&mut d).unwrap_err(),
+            ApplyError::UnknownXid { .. }
+        ));
+    }
+
+    #[test]
+    fn apply_then_inverse_restores_document() {
+        let mut d = xd("<a><x><m/></x><y/><p>text</p></a>");
+        let before = d.doc.to_xml();
+        let m = xid_of_label(&d, "m");
+        let x = xid_of_label(&d, "x");
+        let y = xid_of_label(&d, "y");
+        let p_node = d.node(xid_of_label(&d, "p")).unwrap();
+        let txt = d.doc.tree.first_child(p_node).unwrap();
+        let delta = Delta::from_ops(vec![
+            Op::Move { xid: m, from_parent: x, from_pos: 0, to_parent: y, to_pos: 0 },
+            Op::Update { xid: d.xid(txt).unwrap(), old: "text".into(), new: "TEXT".into() },
+        ]);
+        delta.apply_to(&mut d).unwrap();
+        assert_ne!(d.doc.to_xml(), before);
+        delta.inverted().apply_to(&mut d).unwrap();
+        assert_eq!(d.doc.to_xml(), before);
+    }
+}

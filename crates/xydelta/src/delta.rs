@@ -1,0 +1,203 @@
+//! The [`Delta`] container and its summary/accounting helpers.
+
+use crate::apply;
+use crate::error::ApplyError;
+use crate::ops::Op;
+use crate::xiddoc::XidDocument;
+
+/// A set of elementary operations describing the changes between two
+/// consecutive versions of a document (§4).
+///
+/// Operationally the delta is a *set*: [`Delta::apply_to`] is phased (moves
+/// detach, deletes, inserts/re-inserts, updates, attributes) so the order of
+/// `ops` does not affect the result.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// The operations.
+    pub ops: Vec<Op>,
+}
+
+/// Per-kind operation counts, for reporting and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Subtree deletions.
+    pub deletes: usize,
+    /// Subtree insertions.
+    pub inserts: usize,
+    /// Text updates.
+    pub updates: usize,
+    /// Subtree moves.
+    pub moves: usize,
+    /// Attribute insertions/deletions/updates.
+    pub attr_ops: usize,
+}
+
+impl OpCounts {
+    /// Total operations.
+    pub fn total(&self) -> usize {
+        self.deletes + self.inserts + self.updates + self.moves + self.attr_ops
+    }
+}
+
+impl Delta {
+    /// An empty delta (identity transformation).
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Build from operations.
+    pub fn from_ops(ops: Vec<Op>) -> Delta {
+        Delta { ops }
+    }
+
+    /// True when the delta performs no changes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Per-kind operation counts.
+    pub fn counts(&self) -> OpCounts {
+        let mut c = OpCounts::default();
+        for op in &self.ops {
+            match op {
+                Op::Delete { .. } => c.deletes += 1,
+                Op::Insert { .. } => c.inserts += 1,
+                Op::Update { .. } => c.updates += 1,
+                Op::Move { .. } => c.moves += 1,
+                Op::AttrInsert { .. } | Op::AttrDelete { .. } | Op::AttrUpdate { .. } => {
+                    c.attr_ops += 1
+                }
+            }
+        }
+        c
+    }
+
+    /// The inverse delta: applying `self` then `self.inverted()` restores the
+    /// original version (§4: completed deltas are invertible).
+    pub fn inverted(&self) -> Delta {
+        Delta { ops: self.ops.iter().map(Op::inverted).collect() }
+    }
+
+    /// Apply to a document in place. See [`crate::apply`] for the phased
+    /// semantics. On error the document may be partially modified; callers
+    /// that need atomicity should apply to a clone.
+    pub fn apply_to(&self, doc: &mut XidDocument) -> Result<(), ApplyError> {
+        apply::apply(self, doc)
+    }
+
+    /// Serialized size in bytes of the compact XML form — the quality metric
+    /// of Figures 5 and 6 ("delta's sizes are expressed in bytes").
+    pub fn size_bytes(&self) -> usize {
+        crate::xml_io::delta_to_xml(self).len()
+    }
+
+    /// Sort operations into a canonical order (kind, anchor xid, positions)
+    /// for deterministic serialization and comparison in tests.
+    pub fn canonicalize(&mut self) {
+        self.ops.sort_by(|a, b| {
+            let ka = op_rank(a);
+            let kb = op_rank(b);
+            ka.cmp(&kb).then_with(|| a.anchor().cmp(&b.anchor()))
+        });
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        for op in &self.ops {
+            s.push_str(&op.summary());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+fn op_rank(op: &Op) -> u8 {
+    match op {
+        Op::Delete { .. } => 0,
+        Op::Move { .. } => 1,
+        Op::Insert { .. } => 2,
+        Op::Update { .. } => 3,
+        Op::AttrInsert { .. } => 4,
+        Op::AttrDelete { .. } => 5,
+        Op::AttrUpdate { .. } => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xid::Xid;
+
+    #[test]
+    fn counts_and_total() {
+        let d = Delta::from_ops(vec![
+            Op::Update { xid: Xid(1), old: "a".into(), new: "b".into() },
+            Op::Move { xid: Xid(2), from_parent: Xid(3), from_pos: 0, to_parent: Xid(3), to_pos: 1 },
+            Op::AttrInsert { element: Xid(4), name: "n".into(), value: "v".into() },
+        ]);
+        let c = d.counts();
+        assert_eq!(c.updates, 1);
+        assert_eq!(c.moves, 1);
+        assert_eq!(c.attr_ops, 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn empty_delta() {
+        let d = Delta::new();
+        assert!(d.is_empty());
+        assert_eq!(d.counts().total(), 0);
+    }
+
+    #[test]
+    fn canonicalize_orders_by_kind_then_xid() {
+        let mut d = Delta::from_ops(vec![
+            Op::AttrInsert { element: Xid(1), name: "n".into(), value: "v".into() },
+            Op::Update { xid: Xid(9), old: "".into(), new: "".into() },
+            Op::Update { xid: Xid(2), old: "".into(), new: "".into() },
+        ]);
+        d.canonicalize();
+        let kinds: Vec<_> = d.ops.iter().map(|o| (o.kind_name(), o.anchor())).collect();
+        assert_eq!(
+            kinds,
+            vec![("update", Xid(2)), ("update", Xid(9)), ("attr-insert", Xid(1))]
+        );
+    }
+
+    #[test]
+    fn inverted_twice_has_same_shape() {
+        let d = Delta::from_ops(vec![Op::Update {
+            xid: Xid(1),
+            old: "x".into(),
+            new: "y".into(),
+        }]);
+        let dd = d.inverted().inverted();
+        assert_eq!(dd.len(), 1);
+        match &dd.ops[0] {
+            Op::Update { old, new, .. } => {
+                assert_eq!(old, "x");
+                assert_eq!(new, "y");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn describe_mentions_every_op() {
+        let d = Delta::from_ops(vec![
+            Op::Update { xid: Xid(1), old: "a".into(), new: "b".into() },
+            Op::AttrDelete { element: Xid(2), name: "k".into(), old: "v".into() },
+        ]);
+        let text = d.describe();
+        assert!(text.contains("update"));
+        assert!(text.contains("attr-delete"));
+    }
+}

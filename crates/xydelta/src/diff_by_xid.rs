@@ -1,0 +1,495 @@
+//! Exact delta computation between two versions whose node matching is
+//! already known through shared XIDs.
+//!
+//! Given the matching, "there are only few deltas that can describe the
+//! corresponding changes. The differences between these deltas essentially
+//! come from move operations that reorder a subsequence of child nodes for a
+//! given parent" (§4). This module materializes that canonical delta:
+//!
+//! - XIDs present only in the old version → maximal deleted subtrees;
+//! - XIDs present only in the new version → maximal inserted subtrees;
+//! - matched nodes with different parent XIDs → cross-parent moves;
+//! - matched children permuted within one parent → within-parent moves for
+//!   everything outside a heaviest order-preserving subsequence;
+//! - matched text nodes with different content → updates;
+//! - matched elements with different attribute sets → attribute operations.
+//!
+//! It is used three ways: as the back end of delta **aggregation**, as the
+//! change simulator's **perfect delta** generator (§6.1 — "the result of the
+//! change simulator is … a delta representing the exact changes that
+//! occurred"), and in tests as an oracle for the BULD diff (feeding BULD's
+//! matching through it must reproduce BULD's delta).
+
+use crate::delta::Delta;
+use crate::lis::{chunked_heaviest_increasing_by, heaviest_increasing_subsequence_by};
+use crate::ops::{capture_subtree, Op};
+use crate::xid::{Xid, XidMap};
+use crate::xiddoc::XidDocument;
+use xytree::hash::{fast_map_with_capacity, FastHashMap};
+use xytree::NodeId;
+
+/// Compute the exact delta transforming `old` into `new`, with the optimal
+/// (exact) order-preserving-subsequence computation for within-parent moves.
+///
+/// Both documents must share an XID space (matched nodes carry equal XIDs);
+/// in particular their document roots must match. Panics if they do not —
+/// that is a caller bug, not a data condition.
+pub fn diff_by_xid(old: &XidDocument, new: &XidDocument) -> Delta {
+    diff_by_xid_with(old, new, None)
+}
+
+/// Like [`diff_by_xid`], but with the paper's fixed-window heuristic for the
+/// largest order-preserving subsequence when `lis_window` is `Some(w)`
+/// (§5.2: "cutting it into smaller subsequences with a maximum length
+/// (e.g. 50)"). `None` selects the exact `O(s log s)` algorithm.
+pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option<usize>) -> Delta {
+    let o = &old.doc.tree;
+    let n = &new.doc.tree;
+    assert_eq!(
+        old.xid(o.root()),
+        new.xid(n.root()),
+        "diff_by_xid requires matching document roots"
+    );
+
+    let mut ops: Vec<Op> = Vec::new();
+
+    // --- Deletions: maximal old subtrees whose XID is absent from new. ---
+    // `matched_in_new(x)` is cheap thanks to the reverse index.
+    let in_new = |xid: Xid| new.node(xid).is_some();
+    let in_old = |xid: Xid| old.node(xid).is_some();
+
+    // A delete/insert op is emitted for every unmatched node whose parent
+    // *is* matched. The captured subtree excludes matched descendants (they
+    // are covered by move ops) — and any unmatched region nested below such
+    // a matched descendant gets its own op, because its parent is matched.
+    // The traversal therefore visits the whole tree: unmatched subtrees can
+    // alternate with matched ones at any depth (a move into an insert into a
+    // move …).
+    for node in o.descendants(o.root()) {
+        let Some(parent) = o.parent(node) else { continue };
+        let xid = old.xid(node).expect("old node without XID");
+        if in_new(xid) {
+            continue;
+        }
+        let parent_xid = old.xid(parent).expect("parent without XID");
+        if !in_new(parent_xid) {
+            continue; // covered by the ancestor's delete op
+        }
+        let (subtree, xid_map) =
+            capture_with_xids(old, node, &|d| old.xid(d).map(in_new).unwrap_or(false));
+        ops.push(Op::Delete {
+            xid,
+            parent: parent_xid,
+            pos: o.child_index(node),
+            subtree,
+            xid_map,
+        });
+    }
+
+    // --- Insertions: the exact mirror image. ---
+    for node in n.descendants(n.root()) {
+        let Some(parent) = n.parent(node) else { continue };
+        let xid = new.xid(node).expect("new node without XID");
+        if in_old(xid) {
+            continue;
+        }
+        let parent_xid = new.xid(parent).expect("parent without XID");
+        if !in_old(parent_xid) {
+            continue; // covered by the ancestor's insert op
+        }
+        let (subtree, xid_map) =
+            capture_with_xids(new, node, &|d| new.xid(d).map(in_old).unwrap_or(false));
+        ops.push(Op::Insert {
+            xid,
+            parent: parent_xid,
+            pos: n.child_index(node),
+            subtree,
+            xid_map,
+        });
+    }
+
+    // --- Matched-node comparisons: moves, updates, attributes. ---
+    // Walk matched nodes of the new document (every XID in both).
+    for new_node in n.descendants(n.root()) {
+        let xid = new.xid(new_node).expect("new node without XID");
+        let Some(old_node) = old.node(xid) else { continue };
+        // Cross-parent move?
+        if new_node != n.root() {
+            let new_parent_xid = n.parent(new_node).and_then(|p| new.xid(p));
+            let old_parent_xid = o.parent(old_node).and_then(|p| old.xid(p));
+            if let (Some(npx), Some(opx)) = (new_parent_xid, old_parent_xid) {
+                if npx != opx {
+                    ops.push(Op::Move {
+                        xid,
+                        from_parent: opx,
+                        from_pos: o.child_index(old_node),
+                        to_parent: npx,
+                        to_pos: n.child_index(new_node),
+                    });
+                }
+            }
+        }
+        // Content update?
+        match (o.kind(old_node), n.kind(new_node)) {
+            (xytree::NodeKind::Text(a), xytree::NodeKind::Text(b)) if a != b => {
+                ops.push(Op::Update { xid, old: a.clone(), new: b.clone() });
+            }
+            (xytree::NodeKind::Element(ea), xytree::NodeKind::Element(eb)) => {
+                diff_attrs(xid, ea, eb, &mut ops);
+            }
+            _ => {}
+        }
+    }
+
+    // --- Within-parent reorders. ---
+    // For every matched parent pair, the children that are matched *and*
+    // stayed under this parent form the same set on both sides; everything
+    // outside a heaviest order-preserving subsequence of their permutation
+    // becomes a same-parent move (Figure 3).
+    for new_parent in n.descendants(n.root()) {
+        let pxid = new.xid(new_parent).expect("new node without XID");
+        let Some(old_parent) = old.node(pxid) else { continue };
+        // Stable children in new order, with their position in the *new*
+        // child list and subtree weight.
+        let stable_new: Vec<(Xid, NodeId)> = n
+            .children(new_parent)
+            .filter_map(|c| {
+                let cx = new.xid(c)?;
+                let oc = old.node(cx)?;
+                // Stayed under the same parent?
+                (o.parent(oc) == Some(old_parent)).then_some((cx, c))
+            })
+            .collect();
+        if stable_new.len() < 2 {
+            continue;
+        }
+        let mut new_rank: FastHashMap<Xid, u64> = fast_map_with_capacity(stable_new.len());
+        for (rank, (cx, _)) in stable_new.iter().enumerate() {
+            new_rank.insert(*cx, rank as u64);
+        }
+        // Same set in old order.
+        let stable_old: Vec<(Xid, NodeId)> = o
+            .children(old_parent)
+            .filter_map(|c| {
+                let cx = old.xid(c)?;
+                new_rank.contains_key(&cx).then_some((cx, c))
+            })
+            .collect();
+        debug_assert_eq!(stable_old.len(), stable_new.len());
+        let perm: Vec<u64> = stable_old.iter().map(|(cx, _)| new_rank[cx]).collect();
+        if perm.windows(2).all(|w| w[0] < w[1]) {
+            continue; // already in order
+        }
+        let weights: Vec<u64> = stable_old
+            .iter()
+            .map(|&(_, oc)| o.subtree_size(oc) as u64)
+            .collect();
+        let kept = match lis_window {
+            Some(w) => chunked_heaviest_increasing_by(&perm, w, |i| weights[i]),
+            None => heaviest_increasing_subsequence_by(&perm, |i| weights[i]),
+        };
+        let kept_set: std::collections::HashSet<usize> = kept.into_iter().collect();
+        for (i, &(cx, oc)) in stable_old.iter().enumerate() {
+            if kept_set.contains(&i) {
+                continue;
+            }
+            let nc = new.node(cx).expect("stable child must exist in new");
+            ops.push(Op::Move {
+                xid: cx,
+                from_parent: pxid,
+                from_pos: o.child_index(oc),
+                to_parent: pxid,
+                to_pos: n.child_index(nc),
+            });
+        }
+    }
+
+    let mut delta = Delta::from_ops(ops);
+    delta.canonicalize();
+    delta
+}
+
+/// Capture the subtree at `node` excluding descendants for which `matched`
+/// holds (those exist in the other version and are handled by moves), and
+/// collect the postfix XID-map of exactly the captured nodes.
+fn capture_with_xids(
+    doc: &XidDocument,
+    node: NodeId,
+    matched: &dyn Fn(NodeId) -> bool,
+) -> (xytree::Tree, XidMap) {
+    let subtree = capture_subtree(&doc.doc.tree, node, matched);
+    let mut xids = Vec::new();
+    collect_xids_postfix(doc, node, matched, &mut xids);
+    (subtree, XidMap::new(xids))
+}
+
+fn collect_xids_postfix(
+    doc: &XidDocument,
+    node: NodeId,
+    excluded: &dyn Fn(NodeId) -> bool,
+    out: &mut Vec<Xid>,
+) {
+    for c in doc.doc.tree.children(node) {
+        if excluded(c) {
+            continue;
+        }
+        collect_xids_postfix(doc, c, excluded, out);
+    }
+    out.push(doc.xid(node).expect("captured node without XID"));
+}
+
+fn diff_attrs(xid: Xid, old: &xytree::Element, new: &xytree::Element, ops: &mut Vec<Op>) {
+    for a in &old.attrs {
+        match new.attr(&a.name) {
+            None => ops.push(Op::AttrDelete {
+                element: xid,
+                name: a.name.clone(),
+                old: a.value.clone(),
+            }),
+            Some(v) if v != a.value => ops.push(Op::AttrUpdate {
+                element: xid,
+                name: a.name.clone(),
+                old: a.value.clone(),
+                new: v.to_string(),
+            }),
+            Some(_) => {}
+        }
+    }
+    for a in &new.attrs {
+        if old.attr(&a.name).is_none() {
+            ops.push(Op::AttrInsert {
+                element: xid,
+                name: a.name.clone(),
+                value: a.value.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build old/new pairs by applying tree edits to a clone while keeping
+    /// XIDs, then check that diff_by_xid's delta (a) has the expected shape
+    /// and (b) transforms old into new.
+    fn check_roundtrip(old: &XidDocument, new: &XidDocument) -> Delta {
+        let delta = diff_by_xid(old, new);
+        let mut replay = old.clone();
+        delta.apply_to(&mut replay).expect("delta must apply");
+        assert_eq!(
+            replay.doc.to_xml(),
+            new.doc.to_xml(),
+            "applying the delta must reproduce the new version"
+        );
+        // And the inverse must restore the old version.
+        let mut back = replay;
+        delta.inverted().apply_to(&mut back).expect("inverse must apply");
+        assert_eq!(back.doc.to_xml(), old.doc.to_xml());
+        delta
+    }
+
+    fn node_by_label(d: &XidDocument, label: &str) -> NodeId {
+        d.doc
+            .tree
+            .descendants(d.doc.tree.root())
+            .find(|&n| d.doc.tree.name(n) == Some(label))
+            .unwrap_or_else(|| panic!("no <{label}>"))
+    }
+
+    #[test]
+    fn identical_documents_empty_delta() {
+        let old = XidDocument::parse_initial("<a><b/>text</a>").unwrap();
+        let new = old.clone();
+        let delta = check_roundtrip(&old, &new);
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn pure_deletion() {
+        let old = XidDocument::parse_initial("<a><b><c/></b><k/></a>").unwrap();
+        let mut new = old.clone();
+        let b = node_by_label(&new, "b");
+        new.doc.tree.detach(b);
+        for n in new.doc.tree.post_order(b).collect::<Vec<_>>() {
+            new.clear_xid(n);
+        }
+        let delta = check_roundtrip(&old, &new);
+        let c = delta.counts();
+        assert_eq!((c.deletes, c.inserts, c.moves, c.updates), (1, 0, 0, 0));
+        // The delete is maximal: one op covering b and c.
+        match &delta.ops[0] {
+            Op::Delete { xid_map, .. } => assert_eq!(xid_map.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let old = XidDocument::parse_initial("<a><k/></a>").unwrap();
+        let mut new = old.clone();
+        let a = node_by_label(&new, "a");
+        let b = new.doc.tree.new_element("b");
+        let t = new.doc.tree.new_text("hi");
+        new.doc.tree.append_child(b, t);
+        new.doc.tree.append_child(a, b);
+        new.assign_fresh_subtree(b);
+        let delta = check_roundtrip(&old, &new);
+        let c = delta.counts();
+        assert_eq!((c.deletes, c.inserts, c.moves, c.updates), (0, 1, 0, 0));
+    }
+
+    #[test]
+    fn text_update() {
+        let old = XidDocument::parse_initial("<a><p>old</p></a>").unwrap();
+        let mut new = old.clone();
+        let p = node_by_label(&new, "p");
+        let t = new.doc.tree.first_child(p).unwrap();
+        if let xytree::NodeKind::Text(s) = new.doc.tree.kind_mut(t) {
+            *s = "new".into();
+        }
+        let delta = check_roundtrip(&old, &new);
+        assert_eq!(delta.counts().updates, 1);
+    }
+
+    #[test]
+    fn cross_parent_move() {
+        let old = XidDocument::parse_initial("<a><x><m>v</m></x><y/></a>").unwrap();
+        let mut new = old.clone();
+        let m = node_by_label(&new, "m");
+        let y = node_by_label(&new, "y");
+        new.doc.tree.detach(m);
+        new.doc.tree.append_child(y, m);
+        let delta = check_roundtrip(&old, &new);
+        let c = delta.counts();
+        assert_eq!((c.deletes, c.inserts, c.moves, c.updates), (0, 0, 1, 0));
+    }
+
+    #[test]
+    fn within_parent_permutation_minimal_moves() {
+        let old = XidDocument::parse_initial("<a><c1/><c2/><c3/><c4/><c5/></a>").unwrap();
+        let mut new = old.clone();
+        // Move c1 to the end: new order c2 c3 c4 c5 c1 — one move suffices.
+        let c1 = node_by_label(&new, "c1");
+        let a = node_by_label(&new, "a");
+        new.doc.tree.detach(c1);
+        new.doc.tree.append_child(a, c1);
+        let delta = check_roundtrip(&old, &new);
+        assert_eq!(delta.counts().moves, 1, "LIS must yield a single move");
+    }
+
+    #[test]
+    fn swap_needs_one_move() {
+        let old = XidDocument::parse_initial("<a><l><x/></l><r/></a>").unwrap();
+        let mut new = old.clone();
+        let l = node_by_label(&new, "l");
+        let r = node_by_label(&new, "r");
+        new.doc.tree.detach(r);
+        new.doc.tree.insert_child_at(node_by_label(&new, "a"), 0, r);
+        let _ = (l, );
+        let delta = check_roundtrip(&old, &new);
+        assert_eq!(delta.counts().moves, 1);
+    }
+
+    #[test]
+    fn weighted_lis_moves_the_light_node() {
+        // Old: big(5 nodes) then small(1 node). New: small then big.
+        // The optimal set of moves relocates the *small* node.
+        let old = XidDocument::parse_initial(
+            "<a><big><b1/><b2/><b3/><b4/></big><small/></a>",
+        )
+        .unwrap();
+        let mut new = old.clone();
+        let small = node_by_label(&new, "small");
+        let a = node_by_label(&new, "a");
+        new.doc.tree.detach(small);
+        new.doc.tree.insert_child_at(a, 0, small);
+        let delta = check_roundtrip(&old, &new);
+        assert_eq!(delta.counts().moves, 1);
+        match &delta.ops.iter().find(|o| matches!(o, Op::Move { .. })).unwrap() {
+            Op::Move { xid, .. } => {
+                assert_eq!(*xid, new.xid(node_by_label(&new, "small")).unwrap());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn move_out_of_deleted_subtree() {
+        let old = XidDocument::parse_initial("<a><dying><keep/><junk/></dying><safe/></a>")
+            .unwrap();
+        let mut new = old.clone();
+        let dying = node_by_label(&new, "dying");
+        let keep = node_by_label(&new, "keep");
+        let safe = node_by_label(&new, "safe");
+        new.doc.tree.detach(keep);
+        new.doc.tree.append_child(safe, keep);
+        new.doc.tree.detach(dying);
+        for n in new.doc.tree.post_order(dying).collect::<Vec<_>>() {
+            new.clear_xid(n);
+        }
+        let delta = check_roundtrip(&old, &new);
+        let c = delta.counts();
+        assert_eq!((c.deletes, c.moves), (1, 1));
+        // The delete op must not carry the moved-out <keep>.
+        match delta.ops.iter().find(|o| matches!(o, Op::Delete { .. })).unwrap() {
+            Op::Delete { xid_map, subtree, .. } => {
+                assert_eq!(xid_map.len(), 2); // dying + junk
+                let root = subtree.first_child(subtree.root()).unwrap();
+                let labels: Vec<_> = subtree
+                    .descendants(root)
+                    .filter_map(|x| subtree.name(x))
+                    .collect();
+                assert_eq!(labels, ["dying", "junk"]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn attribute_changes() {
+        let old = XidDocument::parse_initial("<a k=\"1\" gone=\"g\"/>").unwrap();
+        let mut new = old.clone();
+        let a = node_by_label(&new, "a");
+        let e = new.doc.tree.element_mut(a).unwrap();
+        e.set_attr("k", "2");
+        e.remove_attr("gone");
+        e.set_attr("fresh", "f");
+        let delta = check_roundtrip(&old, &new);
+        assert_eq!(delta.counts().attr_ops, 3);
+    }
+
+    #[test]
+    fn combined_change_set_roundtrips() {
+        let old = XidDocument::parse_initial(
+            "<cat><sec><p1>a</p1><p2>b</p2></sec><sec2><p3>c</p3></sec2></cat>",
+        )
+        .unwrap();
+        let mut new = old.clone();
+        // update p1's text
+        let p1 = node_by_label(&new, "p1");
+        let t1 = new.doc.tree.first_child(p1).unwrap();
+        if let xytree::NodeKind::Text(s) = new.doc.tree.kind_mut(t1) {
+            *s = "A!".into();
+        }
+        // move p3 under sec
+        let p3 = node_by_label(&new, "p3");
+        let sec = node_by_label(&new, "sec");
+        new.doc.tree.detach(p3);
+        new.doc.tree.insert_child_at(sec, 0, p3);
+        // delete p2
+        let p2 = node_by_label(&new, "p2");
+        new.doc.tree.detach(p2);
+        for n in new.doc.tree.post_order(p2).collect::<Vec<_>>() {
+            new.clear_xid(n);
+        }
+        // insert p4 under sec2
+        let sec2 = node_by_label(&new, "sec2");
+        let p4 = new.doc.tree.new_element("p4");
+        new.doc.tree.append_child(sec2, p4);
+        new.assign_fresh_subtree(p4);
+        let delta = check_roundtrip(&old, &new);
+        let c = delta.counts();
+        assert_eq!((c.deletes, c.inserts, c.moves, c.updates), (1, 1, 1, 1));
+    }
+}

@@ -1,0 +1,133 @@
+//! Errors produced by delta application and delta parsing.
+
+use crate::xid::Xid;
+use std::fmt;
+
+/// Failure while applying a [`crate::Delta`] to an [`crate::XidDocument`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// An operation referenced an XID absent from the document.
+    UnknownXid {
+        /// The missing identifier.
+        xid: Xid,
+        /// Operation kind that referenced it.
+        op: &'static str,
+    },
+    /// An update's stored old value disagreed with the document (completed
+    /// deltas are verified on application).
+    StaleUpdate {
+        /// The node being updated.
+        xid: Xid,
+        /// Value recorded in the delta.
+        expected: String,
+        /// Value actually found.
+        found: String,
+    },
+    /// Update targeted a node that is not a text node.
+    NotAText(Xid),
+    /// Attribute operation targeted a node that is not an element.
+    NotAnElement(Xid),
+    /// Attribute to delete/update was missing, or attribute to insert
+    /// already present.
+    AttrConflict {
+        /// The owning element.
+        element: Xid,
+        /// Attribute name.
+        name: String,
+        /// Description of the conflict.
+        problem: &'static str,
+    },
+    /// Insert/move targets form a cycle or reference parents that never
+    /// materialize.
+    UnresolvableTargets {
+        /// Number of operations that could not be placed.
+        remaining: usize,
+    },
+    /// An insert op's XID-map length does not match its subtree size.
+    MalformedOp(&'static str),
+    /// A position was beyond the end of the target child list.
+    PositionOutOfRange {
+        /// The parent element.
+        parent: Xid,
+        /// Requested 0-based position.
+        pos: usize,
+        /// Current child count.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::UnknownXid { xid, op } => {
+                write!(f, "{op} references unknown XID {xid}")
+            }
+            ApplyError::StaleUpdate { xid, expected, found } => write!(
+                f,
+                "update of XID {xid}: document has {found:?}, delta expected {expected:?}"
+            ),
+            ApplyError::NotAText(x) => write!(f, "update target XID {x} is not a text node"),
+            ApplyError::NotAnElement(x) => {
+                write!(f, "attribute operation target XID {x} is not an element")
+            }
+            ApplyError::AttrConflict { element, name, problem } => {
+                write!(f, "attribute {name:?} on XID {element}: {problem}")
+            }
+            ApplyError::UnresolvableTargets { remaining } => write!(
+                f,
+                "{remaining} insert/move operations have unresolvable target parents"
+            ),
+            ApplyError::MalformedOp(msg) => write!(f, "malformed operation: {msg}"),
+            ApplyError::PositionOutOfRange { parent, pos, len } => write!(
+                f,
+                "position {pos} out of range under XID {parent} (child count {len})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Failure while reading a delta back from its XML form.
+#[derive(Debug, Clone)]
+pub enum DeltaParseError {
+    /// The XML itself does not parse.
+    Xml(xytree::ParseError),
+    /// The XML parses but is not a well-formed delta document.
+    Structure(String),
+}
+
+impl fmt::Display for DeltaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaParseError::Xml(e) => write!(f, "delta XML: {e}"),
+            DeltaParseError::Structure(msg) => write!(f, "delta structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaParseError {}
+
+impl From<xytree::ParseError> for DeltaParseError {
+    fn from(e: xytree::ParseError) -> Self {
+        DeltaParseError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ApplyError::UnknownXid { xid: Xid(9), op: "move" };
+        assert!(e.to_string().contains("move"));
+        assert!(e.to_string().contains('9'));
+        let e = ApplyError::StaleUpdate {
+            xid: Xid(1),
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert!(e.to_string().contains("\"a\""));
+    }
+}

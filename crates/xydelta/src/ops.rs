@@ -1,0 +1,339 @@
+//! The elementary operations of a delta (§4 of the paper).
+//!
+//! "The delta is a set of the following elementary operations: (i) the
+//! deletion of subtrees; (ii) the insertion of subtrees; (iii) an update of
+//! the value of a text node or an attribute; and (iv) a move of a node or a
+//! part of a subtree."
+//!
+//! All operations are **completed**: a delete stores the deleted subtree, an
+//! update stores the old *and* the new value, a move stores both endpoints —
+//! so every operation can be inverted without consulting either version.
+//!
+//! Positions are 0-based child indexes here (the paper's examples print them
+//! 1-based; the XML serialization in [`crate::xml_io`] follows the paper).
+//! Delete/move-source positions refer to the **old** document, insert/
+//! move-target positions to the **new** document.
+
+use crate::xid::{Xid, XidMap};
+use xytree::{NodeKind, Tree};
+
+/// An elementary change operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Deletion of the subtree rooted at `xid`.
+    Delete {
+        /// Root of the deleted subtree.
+        xid: Xid,
+        /// Parent it is deleted from.
+        parent: Xid,
+        /// 0-based position among the parent's children in the old document.
+        pos: usize,
+        /// The deleted content: a standalone tree whose document root has the
+        /// deleted node as its single child. Nodes that *moved out* of the
+        /// subtree are not part of it.
+        subtree: Tree,
+        /// Postfix-ordered XIDs of `subtree`'s nodes.
+        xid_map: XidMap,
+    },
+    /// Insertion of a subtree rooted at `xid`.
+    Insert {
+        /// Root of the inserted subtree.
+        xid: Xid,
+        /// Parent it is inserted under.
+        parent: Xid,
+        /// 0-based final position among the parent's children in the new
+        /// document.
+        pos: usize,
+        /// The inserted content (same representation as `Delete::subtree`).
+        subtree: Tree,
+        /// Postfix-ordered XIDs assigned to `subtree`'s nodes.
+        xid_map: XidMap,
+    },
+    /// Update of a text node's content.
+    Update {
+        /// The text node.
+        xid: Xid,
+        /// Content in the old version.
+        old: String,
+        /// Content in the new version.
+        new: String,
+    },
+    /// Move of a subtree, possibly within the same parent (the paper's
+    /// `move(m, n, o, p, q)`: node `o` moves from being the `n`-th child of
+    /// `m` to being the `q`-th child of `p`).
+    Move {
+        /// The moved node.
+        xid: Xid,
+        /// Parent in the old document.
+        from_parent: Xid,
+        /// 0-based position in the old document.
+        from_pos: usize,
+        /// Parent in the new document.
+        to_parent: Xid,
+        /// 0-based final position in the new document.
+        to_pos: usize,
+    },
+    /// A new attribute on an existing element (§5.2: attributes get
+    /// dedicated update operations instead of XIDs).
+    AttrInsert {
+        /// The owning element.
+        element: Xid,
+        /// Attribute name.
+        name: String,
+        /// Attribute value in the new version.
+        value: String,
+    },
+    /// Removal of an attribute from an existing element.
+    AttrDelete {
+        /// The owning element.
+        element: Xid,
+        /// Attribute name.
+        name: String,
+        /// Value it had in the old version (for inversion).
+        old: String,
+    },
+    /// Change of an attribute's value.
+    AttrUpdate {
+        /// The owning element.
+        element: Xid,
+        /// Attribute name.
+        name: String,
+        /// Old value.
+        old: String,
+        /// New value.
+        new: String,
+    },
+}
+
+impl Op {
+    /// The XID the operation is anchored at (the node for tree ops, the
+    /// owning element for attribute ops).
+    pub fn anchor(&self) -> Xid {
+        match *self {
+            Op::Delete { xid, .. }
+            | Op::Insert { xid, .. }
+            | Op::Update { xid, .. }
+            | Op::Move { xid, .. } => xid,
+            Op::AttrInsert { element, .. }
+            | Op::AttrDelete { element, .. }
+            | Op::AttrUpdate { element, .. } => element,
+        }
+    }
+
+    /// A short operation-kind name (used for subscription filters and
+    /// reporting).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Delete { .. } => "delete",
+            Op::Insert { .. } => "insert",
+            Op::Update { .. } => "update",
+            Op::Move { .. } => "move",
+            Op::AttrInsert { .. } => "attr-insert",
+            Op::AttrDelete { .. } => "attr-delete",
+            Op::AttrUpdate { .. } => "attr-update",
+        }
+    }
+
+    /// The inverse operation (delta algebra, §4: "a delta specifies both the
+    /// transformation from the old to the new version, but the inverse
+    /// transformation as well").
+    pub fn inverted(&self) -> Op {
+        match self.clone() {
+            Op::Delete { xid, parent, pos, subtree, xid_map } => {
+                Op::Insert { xid, parent, pos, subtree, xid_map }
+            }
+            Op::Insert { xid, parent, pos, subtree, xid_map } => {
+                Op::Delete { xid, parent, pos, subtree, xid_map }
+            }
+            Op::Update { xid, old, new } => Op::Update { xid, old: new, new: old },
+            Op::Move { xid, from_parent, from_pos, to_parent, to_pos } => Op::Move {
+                xid,
+                from_parent: to_parent,
+                from_pos: to_pos,
+                to_parent: from_parent,
+                to_pos: from_pos,
+            },
+            Op::AttrInsert { element, name, value } => {
+                Op::AttrDelete { element, name, old: value }
+            }
+            Op::AttrDelete { element, name, old } => {
+                Op::AttrInsert { element, name, value: old }
+            }
+            Op::AttrUpdate { element, name, old, new } => {
+                Op::AttrUpdate { element, name, old: new, new: old }
+            }
+        }
+    }
+
+    /// Number of nodes carried by the operation's stored subtree (0 for ops
+    /// without one). Used in delta-size accounting.
+    pub fn carried_nodes(&self) -> usize {
+        match self {
+            Op::Delete { subtree, .. } | Op::Insert { subtree, .. } => {
+                subtree.subtree_size(subtree.root()).saturating_sub(1)
+            }
+            _ => 0,
+        }
+    }
+
+    /// The root node label of a stored subtree, or the update's node, for
+    /// human-readable summaries.
+    pub fn summary(&self) -> String {
+        match self {
+            Op::Delete { subtree, xid, .. } => {
+                let label = subtree
+                    .first_child(subtree.root())
+                    .map(|c| subtree.kind(c).to_string())
+                    .unwrap_or_else(|| "?".into());
+                format!("delete {label} (xid {xid})")
+            }
+            Op::Insert { subtree, xid, .. } => {
+                let label = subtree
+                    .first_child(subtree.root())
+                    .map(|c| subtree.kind(c).to_string())
+                    .unwrap_or_else(|| "?".into());
+                format!("insert {label} (xid {xid})")
+            }
+            Op::Update { xid, old, new } => {
+                format!("update xid {xid}: {old:?} -> {new:?}")
+            }
+            Op::Move { xid, from_parent, to_parent, .. } => {
+                format!("move xid {xid}: parent {from_parent} -> {to_parent}")
+            }
+            Op::AttrInsert { element, name, value } => {
+                format!("attr-insert {name}={value:?} on xid {element}")
+            }
+            Op::AttrDelete { element, name, .. } => {
+                format!("attr-delete {name} on xid {element}")
+            }
+            Op::AttrUpdate { element, name, old, new } => {
+                format!("attr-update {name} on xid {element}: {old:?} -> {new:?}")
+            }
+        }
+    }
+}
+
+/// Build the standalone-subtree representation used by delete/insert ops:
+/// a fresh tree whose document root has a copy of `node` as its single
+/// child, **excluding** descendants for which `exclude` returns true (those
+/// are nodes that moved out of the subtree and are covered by move ops).
+pub fn capture_subtree(
+    src: &Tree,
+    node: xytree::NodeId,
+    exclude: &dyn Fn(xytree::NodeId) -> bool,
+) -> Tree {
+    let mut t = Tree::new();
+    let copied = capture_rec(src, node, exclude, &mut t);
+    let root = t.root();
+    t.append_child(root, copied);
+    t
+}
+
+fn capture_rec(
+    src: &Tree,
+    node: xytree::NodeId,
+    exclude: &dyn Fn(xytree::NodeId) -> bool,
+    dst: &mut Tree,
+) -> xytree::NodeId {
+    let kind = match src.kind(node) {
+        NodeKind::Document => NodeKind::Element(xytree::Element::new("#document")),
+        k => k.clone(),
+    };
+    let copy = dst.new_node(kind);
+    let kids: Vec<_> = src.children(node).collect();
+    for k in kids {
+        if exclude(k) {
+            continue;
+        }
+        let child_copy = capture_rec(src, k, exclude, dst);
+        dst.append_child(copy, child_copy);
+    }
+    copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xytree::Document;
+
+    #[test]
+    fn inversion_is_an_involution() {
+        let doc = Document::parse("<x/>").unwrap();
+        let ops = vec![
+            Op::Delete {
+                xid: Xid(1),
+                parent: Xid(2),
+                pos: 0,
+                subtree: doc.tree.clone(),
+                xid_map: XidMap::new(vec![Xid(1)]),
+            },
+            Op::Update { xid: Xid(3), old: "a".into(), new: "b".into() },
+            Op::Move { xid: Xid(4), from_parent: Xid(5), from_pos: 1, to_parent: Xid(6), to_pos: 2 },
+            Op::AttrInsert { element: Xid(7), name: "n".into(), value: "v".into() },
+            Op::AttrUpdate { element: Xid(8), name: "n".into(), old: "o".into(), new: "w".into() },
+        ];
+        for op in ops {
+            let back = op.inverted().inverted();
+            assert_eq!(back.kind_name(), op.kind_name());
+            assert_eq!(back.anchor(), op.anchor());
+        }
+    }
+
+    #[test]
+    fn delete_inverts_to_insert() {
+        let doc = Document::parse("<x/>").unwrap();
+        let d = Op::Delete {
+            xid: Xid(1),
+            parent: Xid(2),
+            pos: 3,
+            subtree: doc.tree,
+            xid_map: XidMap::new(vec![Xid(1)]),
+        };
+        match d.inverted() {
+            Op::Insert { xid, parent, pos, .. } => {
+                assert_eq!((xid, parent, pos), (Xid(1), Xid(2), 3));
+            }
+            other => panic!("expected insert, got {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn move_inverts_endpoints() {
+        let m = Op::Move { xid: Xid(1), from_parent: Xid(2), from_pos: 3, to_parent: Xid(4), to_pos: 5 };
+        match m.inverted() {
+            Op::Move { from_parent, from_pos, to_parent, to_pos, .. } => {
+                assert_eq!((from_parent, from_pos, to_parent, to_pos), (Xid(4), 5, Xid(2), 3));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn capture_subtree_excludes_moved_out_nodes() {
+        let doc = Document::parse("<a><keep/><gone/><keep2/></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let gone = doc.tree.child_at(a, 1).unwrap();
+        let captured = capture_subtree(&doc.tree, a, &|n| n == gone);
+        let root_elem = captured.first_child(captured.root()).unwrap();
+        let names: Vec<_> = captured
+            .children(root_elem)
+            .map(|c| captured.name(c).unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["keep", "keep2"]);
+    }
+
+    #[test]
+    fn carried_nodes_counts_subtree() {
+        let doc = Document::parse("<a><b/><c>t</c></a>").unwrap();
+        let op = Op::Insert {
+            xid: Xid(1),
+            parent: Xid(2),
+            pos: 0,
+            subtree: doc.tree,
+            xid_map: XidMap::default(),
+        };
+        assert_eq!(op.carried_nodes(), 4); // a, b, c, t
+        let up = Op::Update { xid: Xid(1), old: String::new(), new: String::new() };
+        assert_eq!(up.carried_nodes(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Version chains: the storage policy of the Xyleme-Change architecture.
+//!
+//! "When a new version of a document V(n) is received … the diff module
+//! computes a delta … appended to the existing sequence of deltas for this
+//! document. The old version is then possibly removed from the repository."
+//! (§2, Figure 1). A [`VersionChain`] keeps exactly that: the **latest**
+//! version plus the forward delta sequence, and reconstructs any past
+//! version on demand by applying inverted deltas backwards — possible
+//! because completed deltas are invertible (§4).
+
+use crate::aggregate::aggregate_chain;
+use crate::delta::Delta;
+use crate::error::ApplyError;
+use crate::xiddoc::XidDocument;
+
+/// A document's version history: latest snapshot + forward deltas.
+#[derive(Debug, Clone)]
+pub struct VersionChain {
+    /// `deltas[i]` transforms version `i` into version `i + 1`.
+    deltas: Vec<Delta>,
+    /// The newest version, `version(deltas.len())`.
+    latest: XidDocument,
+}
+
+impl VersionChain {
+    /// Start a chain at version 0.
+    pub fn new(initial: XidDocument) -> VersionChain {
+        VersionChain { deltas: Vec::new(), latest: initial }
+    }
+
+    /// Index of the latest version (0 for a fresh chain).
+    pub fn latest_index(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Number of stored versions (latest index + 1).
+    pub fn version_count(&self) -> usize {
+        self.deltas.len() + 1
+    }
+
+    /// Borrow the latest version.
+    pub fn latest(&self) -> &XidDocument {
+        &self.latest
+    }
+
+    /// The delta transforming version `i` into `i + 1`.
+    pub fn delta(&self, i: usize) -> Option<&Delta> {
+        self.deltas.get(i)
+    }
+
+    /// Append a new version by applying `delta` to the current latest.
+    pub fn push_delta(&mut self, delta: Delta) -> Result<(), ApplyError> {
+        let mut next = self.latest.clone();
+        delta.apply_to(&mut next)?;
+        self.latest = next;
+        self.deltas.push(delta);
+        Ok(())
+    }
+
+    /// Append a new version produced elsewhere (e.g. by the diff, which
+    /// returns both the delta and the XID-carrying new version). In debug
+    /// builds the delta is verified against the stored latest.
+    pub fn push_version(&mut self, new_version: XidDocument, delta: Delta) {
+        debug_assert!(
+            {
+                let mut check = self.latest.clone();
+                delta.apply_to(&mut check).is_ok()
+                    && check.doc.to_xml() == new_version.doc.to_xml()
+            },
+            "pushed delta does not transform the stored latest into the pushed version"
+        );
+        self.deltas.push(delta);
+        self.latest = new_version;
+    }
+
+    /// Reconstruct version `i` ("querying the past", §2) by applying the
+    /// inverted deltas `latest-1, …, i` to a copy of the latest version.
+    pub fn version(&self, i: usize) -> Result<XidDocument, ApplyError> {
+        assert!(i <= self.latest_index(), "version {i} does not exist");
+        let mut doc = self.latest.clone();
+        for d in self.deltas[i..].iter().rev() {
+            d.inverted().apply_to(&mut doc)?;
+        }
+        Ok(doc)
+    }
+
+    /// The aggregated delta transforming version `i` into version `j`
+    /// (`i <= j`) — "constructing the changes between some versions n and
+    /// n′" (§2).
+    pub fn delta_between(&self, i: usize, j: usize) -> Result<Delta, ApplyError> {
+        assert!(i <= j && j <= self.latest_index(), "bad version range {i}..{j}");
+        let base = self.version(i)?;
+        aggregate_chain(&base, &self.deltas[i..j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+    use crate::xid::Xid;
+
+    fn text_xid(d: &XidDocument) -> Xid {
+        let n = d
+            .doc
+            .tree
+            .descendants(d.doc.tree.root())
+            .find(|&n| d.doc.tree.kind(n).is_text())
+            .unwrap();
+        d.xid(n).unwrap()
+    }
+
+    fn update(xid: Xid, old: &str, new: &str) -> Delta {
+        Delta::from_ops(vec![Op::Update { xid, old: old.into(), new: new.into() }])
+    }
+
+    fn chain() -> (VersionChain, Xid) {
+        let v0 = XidDocument::parse_initial("<doc><p>v0</p></doc>").unwrap();
+        let t = text_xid(&v0);
+        let mut chain = VersionChain::new(v0);
+        chain.push_delta(update(t, "v0", "v1")).unwrap();
+        chain.push_delta(update(t, "v1", "v2")).unwrap();
+        chain.push_delta(update(t, "v2", "v3")).unwrap();
+        (chain, t)
+    }
+
+    #[test]
+    fn latest_reflects_all_deltas() {
+        let (chain, _) = chain();
+        assert_eq!(chain.latest_index(), 3);
+        assert_eq!(chain.version_count(), 4);
+        assert_eq!(chain.latest().doc.to_xml(), "<doc><p>v3</p></doc>");
+    }
+
+    #[test]
+    fn any_past_version_reconstructs() {
+        let (chain, _) = chain();
+        for i in 0..4 {
+            let v = chain.version(i).unwrap();
+            assert_eq!(v.doc.to_xml(), format!("<doc><p>v{i}</p></doc>"));
+        }
+    }
+
+    #[test]
+    fn delta_between_aggregates() {
+        let (chain, _) = chain();
+        let d = chain.delta_between(0, 3).unwrap();
+        assert_eq!(d.len(), 1, "three updates must aggregate to one");
+        let d = chain.delta_between(1, 1).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn push_version_from_external_diff() {
+        let v0 = XidDocument::parse_initial("<doc><p>a</p></doc>").unwrap();
+        let t = text_xid(&v0);
+        let mut v1 = v0.clone();
+        let d = update(t, "a", "b");
+        d.apply_to(&mut v1).unwrap();
+        let mut chain = VersionChain::new(v0);
+        chain.push_version(v1, d);
+        assert_eq!(chain.latest().doc.to_xml(), "<doc><p>b</p></doc>");
+        assert_eq!(chain.version(0).unwrap().doc.to_xml(), "<doc><p>a</p></doc>");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn out_of_range_version_panics() {
+        let (chain, _) = chain();
+        let _ = chain.version(9);
+    }
+}

@@ -1,0 +1,381 @@
+//! A document together with its persistent-identifier assignment.
+
+use crate::xid::{Xid, XidMap};
+use xytree::hash::{fast_map_with_capacity, FastHashMap};
+use xytree::{Document, NodeId};
+
+/// The processing-instruction target used to embed XID maps in serialized
+/// documents.
+pub const XIDMAP_PI_TARGET: &str = "xydiff-xidmap";
+
+/// Error from [`XidDocument::parse_annotated`].
+#[derive(Debug)]
+pub enum AnnotatedParseError {
+    /// The XML itself does not parse.
+    Xml(xytree::ParseError),
+    /// The annotation is present but inconsistent with the document.
+    Map(String),
+}
+
+impl std::fmt::Display for AnnotatedParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnotatedParseError::Xml(e) => write!(f, "{e}"),
+            AnnotatedParseError::Map(m) => write!(f, "bad xidmap annotation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnnotatedParseError {}
+
+fn parse_for_annotation(xml: &str) -> Result<Document, AnnotatedParseError> {
+    Document::parse(xml).map_err(AnnotatedParseError::Xml)
+}
+
+/// A [`Document`] whose nodes carry persistent identifiers (XIDs).
+///
+/// The initial version of a document gets XIDs `1..=n` in postfix order
+/// (§4). Later versions are produced by the diff (matched nodes inherit the
+/// old version's XIDs, new nodes get fresh ones) or by applying a delta.
+///
+/// Attributes do **not** get XIDs — per §5.2 "we do not provide persistent
+/// identifiers to attributes"; an attribute is addressed by its element's XID
+/// plus its label.
+#[derive(Debug, Clone)]
+pub struct XidDocument {
+    /// The underlying document.
+    pub doc: Document,
+    /// XID of each arena slot (`None` for unassigned/detached slots).
+    xid_of: Vec<Option<Xid>>,
+    /// Reverse index.
+    by_xid: FastHashMap<Xid, NodeId>,
+    /// Next fresh XID value.
+    next: u64,
+}
+
+impl XidDocument {
+    /// Assign initial XIDs (postfix positions, starting at 1) to every node
+    /// of `doc`, including the document node itself (which therefore always
+    /// has the largest XID).
+    pub fn assign_initial(doc: Document) -> XidDocument {
+        let n = doc.tree.arena_len();
+        let mut xid_of = vec![None; n];
+        let mut by_xid = fast_map_with_capacity(n);
+        let mut next = 1u64;
+        for node in doc.tree.post_order(doc.tree.root()) {
+            let xid = Xid(next);
+            next += 1;
+            xid_of[node.index()] = Some(xid);
+            by_xid.insert(xid, node);
+        }
+        XidDocument { doc, xid_of, by_xid, next }
+    }
+
+    /// Wrap a document with an explicit XID assignment (used by the diff when
+    /// propagating identifiers to a new version). `next` must be larger than
+    /// every assigned XID.
+    pub fn with_assignment(
+        doc: Document,
+        assignment: impl IntoIterator<Item = (NodeId, Xid)>,
+        next: u64,
+    ) -> XidDocument {
+        let n = doc.tree.arena_len();
+        let mut xid_of = vec![None; n];
+        let mut by_xid = fast_map_with_capacity(n);
+        for (node, xid) in assignment {
+            debug_assert!(xid.0 < next, "assigned XID {xid} not below next={next}");
+            xid_of[node.index()] = Some(xid);
+            by_xid.insert(xid, node);
+        }
+        XidDocument { doc, xid_of, by_xid, next }
+    }
+
+    /// Parse XML and assign initial XIDs.
+    pub fn parse_initial(xml: &str) -> Result<XidDocument, xytree::ParseError> {
+        Ok(Self::assign_initial(Document::parse(xml)?))
+    }
+
+    /// The XID of `node`, if assigned.
+    #[inline]
+    pub fn xid(&self, node: NodeId) -> Option<Xid> {
+        self.xid_of.get(node.index()).copied().flatten()
+    }
+
+    /// The node currently carrying `xid`, if any.
+    #[inline]
+    pub fn node(&self, xid: Xid) -> Option<NodeId> {
+        self.by_xid.get(&xid).copied()
+    }
+
+    /// Number of XID-bearing nodes.
+    pub fn assigned_count(&self) -> usize {
+        self.by_xid.len()
+    }
+
+    /// The next fresh XID value (not yet assigned).
+    pub fn next_xid_value(&self) -> u64 {
+        self.next
+    }
+
+    /// Allocate a fresh XID (monotonically increasing).
+    pub fn fresh_xid(&mut self) -> Xid {
+        let x = Xid(self.next);
+        self.next += 1;
+        x
+    }
+
+    /// Assign `xid` to `node`, replacing any previous assignment of either.
+    pub fn set_xid(&mut self, node: NodeId, xid: Xid) {
+        if node.index() >= self.xid_of.len() {
+            self.xid_of.resize(node.index() + 1, None);
+        }
+        if let Some(old) = self.xid_of[node.index()] {
+            self.by_xid.remove(&old);
+        }
+        if let Some(&old_node) = self.by_xid.get(&xid) {
+            self.xid_of[old_node.index()] = None;
+        }
+        self.xid_of[node.index()] = Some(xid);
+        self.by_xid.insert(xid, node);
+        self.next = self.next.max(xid.0 + 1);
+    }
+
+    /// Remove the XID of `node` (e.g. after its subtree is deleted).
+    pub fn clear_xid(&mut self, node: NodeId) {
+        if let Some(x) = self.xid_of.get(node.index()).copied().flatten() {
+            self.by_xid.remove(&x);
+            self.xid_of[node.index()] = None;
+        }
+    }
+
+    /// Assign fresh XIDs to every node of the subtree rooted at `node` that
+    /// does not have one yet, in postfix order.
+    pub fn assign_fresh_subtree(&mut self, node: NodeId) {
+        let nodes: Vec<NodeId> = self.doc.tree.post_order(node).collect();
+        for n in nodes {
+            if self.xid(n).is_none() {
+                let x = self.fresh_xid();
+                self.set_xid(n, x);
+            }
+        }
+    }
+
+    /// The [`XidMap`] (postfix-ordered XIDs) of the subtree rooted at `node`.
+    ///
+    /// Panics in debug builds if any node of the subtree lacks an XID.
+    pub fn xid_map_of(&self, node: NodeId) -> XidMap {
+        let xids: Vec<Xid> = self
+            .doc
+            .tree
+            .post_order(node)
+            .map(|n| {
+                self.xid(n)
+                    .expect("every node in an XID-mapped subtree must carry an XID")
+            })
+            .collect();
+        XidMap::new(xids)
+    }
+
+    /// Iterate `(node, xid)` for all assigned nodes, in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Xid)> + '_ {
+        self.by_xid.iter().map(|(&x, &n)| (n, x))
+    }
+
+    /// Serialize with the persistent identifiers embedded: a processing
+    /// instruction `<?xydiff-xidmap (…)?>` precedes the root element,
+    /// carrying the postfix-ordered XID map of the whole document (§4
+    /// discusses "the definition and storage of our persistent
+    /// identifiers"). [`XidDocument::parse_annotated`] restores the exact
+    /// assignment, so annotated files can flow through external storage
+    /// without losing node identity.
+    pub fn to_annotated_xml(&self) -> String {
+        let map = self.xid_map_of(self.doc.tree.root());
+        format!(
+            "<?{} {}?>{}",
+            XIDMAP_PI_TARGET,
+            map.to_compact_string(),
+            self.doc.to_xml()
+        )
+    }
+
+    /// Parse a document written by [`XidDocument::to_annotated_xml`]. When
+    /// the annotation is absent, returns `Ok(None)` so callers can fall back
+    /// to [`XidDocument::assign_initial`].
+    pub fn parse_annotated(xml: &str) -> Result<Option<XidDocument>, AnnotatedParseError> {
+        let mut doc = crate::xiddoc::parse_for_annotation(xml)?;
+        // The annotation is a top-level PI (a child of the document node).
+        let root = doc.tree.root();
+        let pi = doc.tree.children(root).find(|&c| {
+            matches!(doc.tree.kind(c), xytree::NodeKind::Pi { target, .. }
+                if target == XIDMAP_PI_TARGET)
+        });
+        let Some(pi_node) = pi else { return Ok(None) };
+        let data = match doc.tree.kind(pi_node) {
+            xytree::NodeKind::Pi { data, .. } => data.clone(),
+            _ => unreachable!(),
+        };
+        let map: XidMap = data
+            .trim()
+            .parse()
+            .map_err(|e| AnnotatedParseError::Map(format!("{e}")))?;
+        doc.tree.detach(pi_node);
+        let nodes: Vec<NodeId> = doc.tree.post_order(doc.tree.root()).collect();
+        if nodes.len() != map.len() {
+            return Err(AnnotatedParseError::Map(format!(
+                "xidmap covers {} nodes but the document has {}",
+                map.len(),
+                nodes.len()
+            )));
+        }
+        let next = map.xids().iter().map(|x| x.0).max().unwrap_or(0) + 1;
+        Ok(Some(XidDocument::with_assignment(
+            doc,
+            nodes.into_iter().zip(map.xids().iter().copied()),
+            next,
+        )))
+    }
+
+    /// Check that the forward and reverse indexes agree and that every
+    /// attached node has an XID. For tests.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, &x) in self.xid_of.iter().enumerate() {
+            if let Some(x) = x {
+                let node = NodeId::from_index(i);
+                if self.by_xid.get(&x) != Some(&node) {
+                    return Err(format!("xid {x} reverse index mismatch at slot {i}"));
+                }
+                if x.0 >= self.next {
+                    return Err(format!("xid {x} >= next {}", self.next));
+                }
+            }
+        }
+        for (&x, &n) in &self.by_xid {
+            if self.xid_of.get(n.index()).copied().flatten() != Some(x) {
+                return Err(format!("forward index mismatch for xid {x}"));
+            }
+        }
+        for n in self.doc.tree.descendants(self.doc.tree.root()) {
+            if self.xid(n).is_none() {
+                return Err(format!("attached node {:?} has no XID", n));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_assignment_is_postfix() {
+        // <a><b/><c>t</c></a>: postfix order is b, t, c, a, #document.
+        let xd = XidDocument::parse_initial("<a><b/><c>t</c></a>").unwrap();
+        let a = xd.doc.root_element().unwrap();
+        let b = xd.doc.tree.child_at(a, 0).unwrap();
+        let c = xd.doc.tree.child_at(a, 1).unwrap();
+        let t = xd.doc.tree.first_child(c).unwrap();
+        assert_eq!(xd.xid(b), Some(Xid(1)));
+        assert_eq!(xd.xid(t), Some(Xid(2)));
+        assert_eq!(xd.xid(c), Some(Xid(3)));
+        assert_eq!(xd.xid(a), Some(Xid(4)));
+        assert_eq!(xd.xid(xd.doc.tree.root()), Some(Xid(5)));
+        assert_eq!(xd.next_xid_value(), 6);
+        xd.validate().unwrap();
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let xd = XidDocument::parse_initial("<a><b/></a>").unwrap();
+        let a = xd.doc.root_element().unwrap();
+        assert_eq!(xd.node(Xid(2)), Some(a));
+        assert_eq!(xd.node(Xid(99)), None);
+    }
+
+    #[test]
+    fn fresh_xids_are_monotone() {
+        let mut xd = XidDocument::parse_initial("<a/>").unwrap();
+        let x1 = xd.fresh_xid();
+        let x2 = xd.fresh_xid();
+        assert!(x2 > x1);
+        assert!(x1.0 >= 3); // a + document = 2 initial xids
+    }
+
+    #[test]
+    fn set_xid_replaces_both_directions() {
+        let mut xd = XidDocument::parse_initial("<a><b/></a>").unwrap();
+        let a = xd.doc.root_element().unwrap();
+        let b = xd.doc.tree.first_child(a).unwrap();
+        // Steal a's XID for b.
+        let xa = xd.xid(a).unwrap();
+        xd.set_xid(b, xa);
+        assert_eq!(xd.node(xa), Some(b));
+        assert_eq!(xd.xid(a), None);
+        xd.clear_xid(b);
+        assert_eq!(xd.node(xa), None);
+    }
+
+    #[test]
+    fn xid_map_of_subtree() {
+        let xd = XidDocument::parse_initial("<a><b><c/><d/></b></a>").unwrap();
+        let a = xd.doc.root_element().unwrap();
+        let b = xd.doc.tree.first_child(a).unwrap();
+        // postfix: c=1, d=2, b=3, a=4, doc=5; subtree at b -> (1-3)
+        assert_eq!(xd.xid_map_of(b).to_compact_string(), "(1-3)");
+    }
+
+    #[test]
+    fn assign_fresh_subtree_fills_gaps() {
+        let mut xd = XidDocument::parse_initial("<a/>").unwrap();
+        let a = xd.doc.root_element().unwrap();
+        let b = xd.doc.tree.new_element("b");
+        let c = xd.doc.tree.new_text("t");
+        xd.doc.tree.append_child(b, c);
+        xd.doc.tree.append_child(a, b);
+        xd.assign_fresh_subtree(b);
+        assert!(xd.xid(b).is_some());
+        assert!(xd.xid(c).is_some());
+        // Postfix: text before element.
+        assert!(xd.xid(c).unwrap() < xd.xid(b).unwrap());
+        xd.validate().unwrap();
+    }
+
+    #[test]
+    fn annotated_roundtrip_preserves_assignment() {
+        let mut xd = XidDocument::parse_initial("<a><b>t</b><c/></a>").unwrap();
+        // Perturb the assignment so it is NOT the initial postfix numbering.
+        let c = xd.doc.tree.child_at(xd.doc.root_element().unwrap(), 1).unwrap();
+        xd.set_xid(c, Xid(77));
+        let xml = xd.to_annotated_xml();
+        assert!(xml.starts_with("<?xydiff-xidmap ("), "{xml}");
+        let back = XidDocument::parse_annotated(&xml).unwrap().expect("annotated");
+        back.validate().unwrap();
+        assert_eq!(back.doc.to_xml(), xd.doc.to_xml(), "the PI must not remain in the tree");
+        let c2 = back.doc.tree.child_at(back.doc.root_element().unwrap(), 1).unwrap();
+        assert_eq!(back.xid(c2), Some(Xid(77)));
+        assert_eq!(back.next_xid_value(), 78);
+    }
+
+    #[test]
+    fn unannotated_input_returns_none() {
+        assert!(XidDocument::parse_annotated("<a/>").unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_annotation_is_rejected() {
+        // Map length disagrees with the node count.
+        let r = XidDocument::parse_annotated("<?xydiff-xidmap (1-9)?><a/>");
+        assert!(matches!(r, Err(AnnotatedParseError::Map(_))));
+        let r = XidDocument::parse_annotated("<?xydiff-xidmap garbage?><a/>");
+        assert!(matches!(r, Err(AnnotatedParseError::Map(_))));
+    }
+
+    #[test]
+    fn validate_catches_missing_xid_on_attached_node() {
+        let mut xd = XidDocument::parse_initial("<a/>").unwrap();
+        let a = xd.doc.root_element().unwrap();
+        let b = xd.doc.tree.new_element("b");
+        xd.doc.tree.append_child(a, b);
+        assert!(xd.validate().is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Failure injection for delta application: completed deltas must fail
+//! loudly (never corrupt silently) when applied to the wrong document state.
+
+use xydelta::{ApplyError, Delta, Op, Xid, XidDocument, XidMap};
+use xytree::Document;
+
+fn xd(xml: &str) -> XidDocument {
+    XidDocument::parse_initial(xml).unwrap()
+}
+
+fn xid_of(d: &XidDocument, label: &str) -> Xid {
+    let n = d
+        .doc
+        .tree
+        .descendants(d.doc.tree.root())
+        .find(|&n| d.doc.tree.name(n) == Some(label))
+        .unwrap();
+    d.xid(n).unwrap()
+}
+
+#[test]
+fn insert_with_wrong_xid_map_length() {
+    let mut d = xd("<a/>");
+    let a = xid_of(&d, "a");
+    let stored = Document::parse("<b><c/></b>").unwrap(); // 2 nodes
+    let delta = Delta::from_ops(vec![Op::Insert {
+        xid: Xid(100),
+        parent: a,
+        pos: 0,
+        subtree: stored.tree,
+        xid_map: XidMap::new(vec![Xid(100)]), // but only 1 XID
+    }]);
+    assert!(matches!(
+        delta.apply_to(&mut d).unwrap_err(),
+        ApplyError::MalformedOp(_)
+    ));
+}
+
+#[test]
+fn insert_with_empty_subtree() {
+    let mut d = xd("<a/>");
+    let a = xid_of(&d, "a");
+    let delta = Delta::from_ops(vec![Op::Insert {
+        xid: Xid(100),
+        parent: a,
+        pos: 0,
+        subtree: xytree::Tree::new(), // no content under the doc root
+        xid_map: XidMap::new(vec![]),
+    }]);
+    assert!(matches!(
+        delta.apply_to(&mut d).unwrap_err(),
+        ApplyError::MalformedOp(_)
+    ));
+}
+
+#[test]
+fn insert_position_beyond_children() {
+    let mut d = xd("<a><k/></a>");
+    let a = xid_of(&d, "a");
+    let stored = Document::parse("<b/>").unwrap();
+    let delta = Delta::from_ops(vec![Op::Insert {
+        xid: Xid(100),
+        parent: a,
+        pos: 5, // only 1 child exists
+        subtree: stored.tree,
+        xid_map: XidMap::new(vec![Xid(100)]),
+    }]);
+    assert!(matches!(
+        delta.apply_to(&mut d).unwrap_err(),
+        ApplyError::PositionOutOfRange { pos: 5, .. }
+    ));
+}
+
+#[test]
+fn mutual_moves_between_two_subtrees_resolve() {
+    // a{x{m1} y{m2}} -> swap m1 and m2: both moves resolvable (targets are
+    // stable parents), must succeed.
+    let mut d = xd("<a><x><m1/></x><y><m2/></y></a>");
+    let (m1, m2, x, y) = (xid_of(&d, "m1"), xid_of(&d, "m2"), xid_of(&d, "x"), xid_of(&d, "y"));
+    let delta = Delta::from_ops(vec![
+        Op::Move { xid: m1, from_parent: x, from_pos: 0, to_parent: y, to_pos: 0 },
+        Op::Move { xid: m2, from_parent: y, from_pos: 0, to_parent: x, to_pos: 0 },
+    ]);
+    delta.apply_to(&mut d).unwrap();
+    assert_eq!(d.doc.to_xml(), "<a><x><m2/></x><y><m1/></y></a>");
+}
+
+#[test]
+fn parent_child_inversion_resolves() {
+    // old: a{p{q}}; new: a{q{p}} — both matched, mutually nested moves.
+    let mut d = xd("<a><p><q/></p></a>");
+    let (a, p, q) = (xid_of(&d, "a"), xid_of(&d, "p"), xid_of(&d, "q"));
+    let delta = Delta::from_ops(vec![
+        Op::Move { xid: q, from_parent: p, from_pos: 0, to_parent: a, to_pos: 0 },
+        Op::Move { xid: p, from_parent: a, from_pos: 0, to_parent: q, to_pos: 0 },
+    ]);
+    delta.apply_to(&mut d).unwrap();
+    assert_eq!(d.doc.to_xml(), "<a><q><p/></q></a>");
+}
+
+#[test]
+fn true_cycle_is_detected() {
+    // p moves under q AND q moves under p: no tree satisfies this.
+    let mut d = xd("<a><p/><q/></a>");
+    let (a, p, q) = (xid_of(&d, "a"), xid_of(&d, "p"), xid_of(&d, "q"));
+    let _ = a;
+    let delta = Delta::from_ops(vec![
+        Op::Move { xid: p, from_parent: a, from_pos: 0, to_parent: q, to_pos: 0 },
+        Op::Move { xid: q, from_parent: a, from_pos: 1, to_parent: p, to_pos: 0 },
+    ]);
+    assert!(matches!(
+        delta.apply_to(&mut d).unwrap_err(),
+        ApplyError::UnresolvableTargets { remaining: 2 }
+    ));
+}
+
+#[test]
+fn delete_of_unknown_xid() {
+    let mut d = xd("<a/>");
+    let a = xid_of(&d, "a");
+    let stored = Document::parse("<b/>").unwrap();
+    let delta = Delta::from_ops(vec![Op::Delete {
+        xid: Xid(999),
+        parent: a,
+        pos: 0,
+        subtree: stored.tree,
+        xid_map: XidMap::new(vec![Xid(999)]),
+    }]);
+    assert!(matches!(
+        delta.apply_to(&mut d).unwrap_err(),
+        ApplyError::UnknownXid { op: "delete", .. }
+    ));
+}
+
+#[test]
+fn update_on_element_rejected() {
+    let mut d = xd("<a><b/></a>");
+    let b = xid_of(&d, "b");
+    let delta = Delta::from_ops(vec![Op::Update {
+        xid: b,
+        old: "x".into(),
+        new: "y".into(),
+    }]);
+    assert!(matches!(delta.apply_to(&mut d).unwrap_err(), ApplyError::NotAText(_)));
+}
+
+#[test]
+fn double_application_of_a_delta_fails_cleanly() {
+    // Applying the same delta twice must fail (the delete target is gone),
+    // not corrupt the document.
+    let mut d = xd("<a><gone/><p>t</p></a>");
+    let gone = xid_of(&d, "gone");
+    let a = xid_of(&d, "a");
+    let gone_node = d.node(gone).unwrap();
+    let stored = xydelta::ops::capture_subtree(&d.doc.tree, gone_node, &|_| false);
+    let delta = Delta::from_ops(vec![Op::Delete {
+        xid: gone,
+        parent: a,
+        pos: 0,
+        subtree: stored,
+        xid_map: XidMap::new(vec![gone]),
+    }]);
+    delta.apply_to(&mut d).unwrap();
+    let snapshot = d.doc.to_xml();
+    assert!(matches!(
+        delta.apply_to(&mut d).unwrap_err(),
+        ApplyError::UnknownXid { .. }
+    ));
+    assert_eq!(d.doc.to_xml(), snapshot, "failed apply must not mutate before failing");
+}
+
+#[test]
+fn attr_ops_on_text_node_rejected() {
+    let mut d = xd("<a>text</a>");
+    let a_node = d.doc.root_element().unwrap();
+    let text = d.doc.tree.first_child(a_node).unwrap();
+    let text_xid = d.xid(text).unwrap();
+    let delta = Delta::from_ops(vec![Op::AttrInsert {
+        element: text_xid,
+        name: "k".into(),
+        value: "v".into(),
+    }]);
+    assert!(matches!(
+        delta.apply_to(&mut d).unwrap_err(),
+        ApplyError::NotAnElement(_)
+    ));
+}

@@ -1,0 +1,468 @@
+//! Phase 3: the BULD matching loop.
+//!
+//! "We remove the heaviest subtree of the queue … and construct a list of
+//! candidates, e.g. nodes in the old document that have the same signature.
+//! From these, we get the best candidate …, and match both nodes. If there
+//! is no matching and the node is an element, its children are added to the
+//! queue. If there are many candidates, the best candidate is one whose
+//! parent matches the reference node's parent, if any. If no candidate is
+//! accepted, we look one level higher. The number of levels we accept to
+//! consider depends on the node weight. When a candidate is accepted, we
+//! match the pair of subtrees and their ancestors as long as they have the
+//! same label. The number of ancestors that we match depends on the node
+//! weight." (§5.2)
+//!
+//! Two details keep the loop `O(n log n)` (§5.3):
+//!
+//! - Every candidate list keeps a **cursor** past candidates that are
+//!   permanently consumed (matched/forbidden), so repeated pops over a
+//!   signature with thousands of occurrences stay amortized linear.
+//! - A **secondary index keyed by (signature, old parent)** finds "the first
+//!   candidate with a matching parent in constant time" when the candidate
+//!   list is long — the paper's device for the `d → 0` regime (e.g. the
+//!   repeated manufacturer name in a product catalog).
+
+use crate::config::DiffOptions;
+use crate::info::TreeInfo;
+use crate::matching::Matching;
+use crate::propagate::match_unique_children;
+use crate::report::DiffStats;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use xytree::hash::{fast_map_with_capacity, FastHashMap};
+use xytree::{NodeId, Tree};
+
+/// Run the phase-3 matching loop, extending `matching` in place.
+pub fn run(
+    old: &Tree,
+    new: &Tree,
+    old_info: &TreeInfo,
+    new_info: &TreeInfo,
+    matching: &mut Matching,
+    opts: &DiffOptions,
+    stats: &mut DiffStats,
+) {
+    let mut index = CandidateIndex::build(old, old_info);
+    let n_total = old_info.node_count + new_info.node_count;
+    let w0 = new_info.total_weight;
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(64);
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Entry>, seq: &mut u64, node: NodeId| {
+        heap.push(Entry { weight: new_info.weight(node), seq: *seq, node });
+        *seq += 1;
+    };
+    // "To start, the queue only contains the root of the entire new
+    // document."
+    push(&mut heap, &mut seq, new.root());
+
+    while let Some(Entry { node: v, .. }) = heap.pop() {
+        let enqueue_children = |heap: &mut BinaryHeap<Entry>, seq: &mut u64| {
+            for c in new.children(v) {
+                push(heap, seq, c);
+            }
+        };
+        if !matching.available_new(v) {
+            // Already matched (pre-matched root, ID match, or a propagation
+            // that ran ahead of the queue) or forbidden: the node itself is
+            // settled, but its children may still need signature matching —
+            // e.g. the content below an ID-matched element, which can have
+            // changed arbitrarily. Every node enters the queue at most once,
+            // so this keeps the O(n log n) bound.
+            enqueue_children(&mut heap, &mut seq);
+            continue;
+        }
+        let sig = new_info.signature(v);
+        let chosen = index.select(old, new, v, sig, matching, new_info, opts, n_total, w0);
+        match chosen {
+            Some(c) => {
+                let matched = match_subtrees(old, new, c, v, matching);
+                stats.signature_matches += matched;
+                propagate_up(old, new, c, v, matching, new_info, opts, n_total, w0, stats);
+            }
+            None => enqueue_children(&mut heap, &mut seq),
+        }
+    }
+}
+
+/// Priority-queue entry: heavier first, FIFO among equal weights ("when
+/// several nodes have the same weight, the first subtree inserted in the
+/// queue is chosen").
+struct Entry {
+    weight: f64,
+    seq: u64,
+    node: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.weight
+            .total_cmp(&other.weight)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Candidate lists per signature, with consumed-prefix cursors, plus the
+/// parent-keyed secondary index.
+struct CandidateIndex {
+    by_sig: FastHashMap<u64, usize>,
+    lists: Vec<CandidateList>,
+    by_sig_parent: FastHashMap<(u64, NodeId), Vec<NodeId>>,
+}
+
+struct CandidateList {
+    nodes: Vec<NodeId>,
+    cursor: usize,
+}
+
+impl CandidateIndex {
+    fn build(old: &Tree, old_info: &TreeInfo) -> CandidateIndex {
+        let cap = old_info.node_count;
+        let mut by_sig: FastHashMap<u64, usize> = fast_map_with_capacity(cap);
+        let mut lists: Vec<CandidateList> = Vec::new();
+        let mut by_sig_parent: FastHashMap<(u64, NodeId), Vec<NodeId>> =
+            fast_map_with_capacity(cap);
+        // Document order, so "first candidate" ties break deterministically.
+        for o in old.descendants(old.root()) {
+            if o == old.root() {
+                continue;
+            }
+            let sig = old_info.signature(o);
+            let slot = *by_sig.entry(sig).or_insert_with(|| {
+                lists.push(CandidateList { nodes: Vec::new(), cursor: 0 });
+                lists.len() - 1
+            });
+            lists[slot].nodes.push(o);
+            if let Some(p) = old.parent(o) {
+                by_sig_parent.entry((sig, p)).or_default().push(o);
+            }
+        }
+        CandidateIndex { by_sig, lists, by_sig_parent }
+    }
+
+    /// Choose the best old-document candidate for new node `v`, or `None`.
+    #[allow(clippy::too_many_arguments)]
+    fn select(
+        &mut self,
+        old: &Tree,
+        new: &Tree,
+        v: NodeId,
+        sig: u64,
+        matching: &Matching,
+        new_info: &TreeInfo,
+        opts: &DiffOptions,
+        n_total: usize,
+        w0: f64,
+    ) -> Option<NodeId> {
+        let slot = *self.by_sig.get(&sig)?;
+        // Advance the cursor past permanently consumed candidates.
+        {
+            let list = &mut self.lists[slot];
+            while list.cursor < list.nodes.len()
+                && !matching.available_old(list.nodes[list.cursor])
+            {
+                list.cursor += 1;
+            }
+            if list.cursor >= list.nodes.len() {
+                return None;
+            }
+        }
+        let list = &self.lists[slot];
+        let live = &list.nodes[list.cursor..];
+        let accepts = |c: NodeId| matching.available_old(c) && old.subtree_eq(c, new, v);
+
+        // Single candidate: "the first matchings are clear".
+        if live.len() == 1 {
+            return accepts(live[0]).then_some(live[0]);
+        }
+
+        let d = opts.lookup_depth(n_total, new_info.weight(v), w0);
+
+        // Level-by-level ancestor guidance.
+        let mut anc_new = v;
+        for level in 1..=d {
+            let Some(p) = new.parent(anc_new) else { break };
+            anc_new = p;
+            let Some(target) = matching.old_of_new(anc_new) else { continue };
+            if level == 1 && live.len() > opts.max_candidates_scan {
+                // Constant-time path via the parent index.
+                if let Some(group) = self.by_sig_parent.get(&(sig, target)) {
+                    if let Some(&c) = group.iter().find(|&&c| accepts(c)) {
+                        return Some(c);
+                    }
+                }
+            } else {
+                // Bounded prefix scan (the cursor guarantees the prefix is
+                // not full of consumed candidates).
+                for &c in live.iter().take(opts.max_candidates_scan.max(64)) {
+                    if ancestor_at(old, c, level) == Some(target) && accepts(c) {
+                        return Some(c);
+                    }
+                }
+            }
+        }
+        // No ancestor evidence: fall back to the first acceptable candidate
+        // (document order).
+        live.iter().copied().find(|&c| accepts(c))
+    }
+}
+
+fn ancestor_at(tree: &Tree, node: NodeId, level: usize) -> Option<NodeId> {
+    let mut cur = node;
+    for _ in 0..level {
+        cur = tree.parent(cur)?;
+    }
+    Some(cur)
+}
+
+/// Match every corresponding node of two content-identical subtrees.
+/// Descendant pairs already matched or forbidden (e.g. via IDs) are skipped.
+fn match_subtrees(
+    old: &Tree,
+    new: &Tree,
+    o: NodeId,
+    v: NodeId,
+    matching: &mut Matching,
+) -> usize {
+    let mut count = 0;
+    for (oc, nc) in old.descendants(o).zip(new.descendants(v)) {
+        if matching.can_match(oc, nc) {
+            matching.add(oc, nc);
+            count += 1;
+        }
+    }
+    count
+}
+
+/// "Match their ancestors as long as they have the same label", up to the
+/// weight-bounded depth, matching unique-label children of each newly
+/// matched ancestor pair on the way (the immediate part of lazy-down).
+#[allow(clippy::too_many_arguments)]
+fn propagate_up(
+    old: &Tree,
+    new: &Tree,
+    o: NodeId,
+    v: NodeId,
+    matching: &mut Matching,
+    new_info: &TreeInfo,
+    opts: &DiffOptions,
+    n_total: usize,
+    w0: f64,
+    stats: &mut DiffStats,
+) {
+    let levels = opts.lookup_depth(n_total, new_info.weight(v), w0);
+    let mut po = old.parent(o);
+    let mut pn = new.parent(v);
+    for _ in 0..levels {
+        let (Some(co), Some(cn)) = (po, pn) else { break };
+        if !matching.can_match(co, cn) {
+            break;
+        }
+        // Same label (elements) or same kind (the document pair is
+        // pre-matched, so this is effectively elements only).
+        let compatible = match (old.kind(co), new.kind(cn)) {
+            (xytree::NodeKind::Element(a), xytree::NodeKind::Element(b)) => a.name == b.name,
+            _ => false,
+        };
+        if !compatible {
+            break;
+        }
+        matching.add(co, cn);
+        stats.propagation_matches += 1;
+        if opts.enable_unique_child_propagation {
+            // match_unique_children updates the counter itself.
+            match_unique_children(old, new, matching, co, cn, stats);
+        }
+        po = old.parent(co);
+        pn = new.parent(cn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::analyze;
+    use xytree::Document;
+
+    fn run_buld(old_xml: &str, new_xml: &str, opts: &DiffOptions) -> (Document, Document, Matching, DiffStats) {
+        let old = Document::parse(old_xml).unwrap();
+        let new = Document::parse(new_xml).unwrap();
+        let old_info = analyze(&old.tree);
+        let new_info = analyze(&new.tree);
+        let mut matching = Matching::new(old.tree.arena_len(), new.tree.arena_len());
+        matching.add(old.tree.root(), new.tree.root());
+        let mut stats = DiffStats::default();
+        run(&old.tree, &new.tree, &old_info, &new_info, &mut matching, opts, &mut stats);
+        (old, new, matching, stats)
+    }
+
+    fn by_label(d: &Document, l: &str) -> NodeId {
+        d.tree.descendants(d.tree.root()).find(|&n| d.tree.name(n) == Some(l)).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_fully_match() {
+        let xml = "<a><b>t1</b><c><d/>t2</c></a>";
+        let (old, _new, m, s) = run_buld(xml, xml, &DiffOptions::default());
+        let total = old.tree.subtree_size(old.tree.root());
+        assert_eq!(m.matched_count(), total);
+        assert_eq!(s.signature_matches, total - 1); // all but the pre-matched root
+    }
+
+    #[test]
+    fn moved_subtree_matches_by_signature() {
+        let (old, new, m, _s) = run_buld(
+            "<a><x><sub><k1/><k2/>payload</sub></x><y/></a>",
+            "<a><x/><y><sub><k1/><k2/>payload</sub></y></a>",
+            &DiffOptions::default(),
+        );
+        assert_eq!(
+            m.old_of_new(by_label(&new, "sub")),
+            Some(by_label(&old, "sub")),
+            "the identical subtree must match across the move"
+        );
+    }
+
+    #[test]
+    fn heavy_subtree_forces_ancestor_match() {
+        // §5.1: "a large subtree may force the matching of its ancestors up
+        // to the root". The wrapper labels agree, the heavy payload matches
+        // by signature, ancestors follow.
+        let payload = "<p><q>lots and lots of text content here</q><r>more text</r></p>";
+        let (old, new, m, _s) = run_buld(
+            &format!("<root><wrap>{payload}</wrap></root>"),
+            &format!("<root><wrap>{payload}<extra/></wrap></root>"),
+            &DiffOptions::default(),
+        );
+        assert!(m.is_matched_new(by_label(&new, "wrap")));
+        assert!(m.is_matched_new(by_label(&new, "root")));
+        assert_eq!(m.old_of_new(by_label(&new, "p")), Some(by_label(&old, "p")));
+    }
+
+    #[test]
+    fn candidate_choice_follows_matched_parent() {
+        // Two identical <item>x</item> under different parents; the one
+        // whose parent matches must be chosen.
+        let old_xml = "<a><left><item>x</item><anchor>AAAAAAAAAA</anchor></left><right><item>x</item><anchor2>BBBBBBBBBB</anchor2></right></a>";
+        let new_xml = "<a><left><item>x</item><anchor>AAAAAAAAAA</anchor></left><right><item>x</item><anchor2>BBBBBBBBBB</anchor2></right></a>";
+        let (old, new, m, _s) = run_buld(old_xml, new_xml, &DiffOptions::default());
+        // The left item matches the left item, not the right one.
+        let old_left_item = old.tree.child_at(by_label(&old, "left"), 0).unwrap();
+        let new_left_item = new.tree.child_at(by_label(&new, "left"), 0).unwrap();
+        assert_eq!(m.old_of_new(new_left_item), Some(old_left_item));
+    }
+
+    #[test]
+    fn children_enqueued_when_parent_unmatched() {
+        // The root element label changed, so the top subtree never matches,
+        // but the children still match individually.
+        let (old, new, m, _s) = run_buld(
+            "<oldroot><a>one</a><b>two</b></oldroot>",
+            "<newroot><a>one</a><b>two</b></newroot>",
+            &DiffOptions::default(),
+        );
+        assert_eq!(m.old_of_new(by_label(&new, "a")), Some(by_label(&old, "a")));
+        assert_eq!(m.old_of_new(by_label(&new, "b")), Some(by_label(&old, "b")));
+        assert!(!m.is_matched_new(by_label(&new, "newroot")));
+    }
+
+    #[test]
+    fn unique_child_propagation_matches_changed_price() {
+        // The paper's Figure 2 narrative: Name/zy456 matches, parent Product
+        // is matched by propagation, then the Price children match as unique
+        // labels although their content differs.
+        let (old, new, m, _s) = run_buld(
+            "<Product><Name>zy456</Name><Price>$799</Price></Product>",
+            "<Product><Name>zy456</Name><Price>$699</Price></Product>",
+            &DiffOptions::default(),
+        );
+        assert_eq!(
+            m.old_of_new(by_label(&new, "Price")),
+            Some(by_label(&old, "Price"))
+        );
+        // The price *text* is left for phase 4 (lazy down): one propagation
+        // pass matches it, enabling an update op instead of delete+insert.
+        let info = analyze(&new.tree);
+        let mut m = m;
+        let mut stats = DiffStats::default();
+        crate::propagate::propagation_pass(&old.tree, &new.tree, &info, &mut m, &mut stats);
+        let old_t = old.tree.first_child(by_label(&old, "Price")).unwrap();
+        let new_t = new.tree.first_child(by_label(&new, "Price")).unwrap();
+        assert_eq!(m.old_of_new(new_t), Some(old_t));
+    }
+
+    #[test]
+    fn disabling_unique_child_propagation_is_lazier() {
+        let opts = DiffOptions {
+            enable_unique_child_propagation: false,
+            ..Default::default()
+        };
+        let (_old, new, m, _s) = run_buld(
+            "<Product><Name>zy456</Name><Price>$799</Price></Product>",
+            "<Product><Name>zy456</Name><Price>$699</Price></Product>",
+            &opts,
+        );
+        // Without the immediate propagation (and without phase 4, which this
+        // test does not run), the changed Price stays unmatched.
+        assert!(!m.is_matched_new(by_label(&new, "Price")));
+    }
+
+    #[test]
+    fn repeated_identical_nodes_all_match() {
+        // Exercises the candidate-cursor path: many identical siblings.
+        let items = "<i/>".repeat(200);
+        let (_old, new, m, _s) = run_buld(
+            &format!("<list>{items}</list>"),
+            &format!("<list>{items}</list>"),
+            &DiffOptions { max_candidates_scan: 4, ..Default::default() },
+        );
+        let list = by_label(&new, "list");
+        assert!(new.tree.children(list).all(|c| m.is_matched_new(c)));
+    }
+
+    #[test]
+    fn parent_index_resolves_repeated_text() {
+        // "multiple occurrences of a short text node in a large document,
+        // e.g. the product manufacturer for every product in a catalog"
+        // (§5.3). Each ACME text must match the one under its own product.
+        let mut old = String::from("<catalog>");
+        let mut new = String::from("<catalog>");
+        for i in 0..30 {
+            old.push_str(&format!("<product><name>item{i}</name><maker>ACME</maker></product>"));
+            new.push_str(&format!("<product><name>item{i}</name><maker>ACME</maker></product>"));
+        }
+        old.push_str("</catalog>");
+        new.push_str("</catalog>");
+        let (old, new, m, _s) = run_buld(&old, &new, &DiffOptions { max_candidates_scan: 2, ..Default::default() });
+        // Every maker text matches, and matches *within the same product*.
+        for (op, np) in old
+            .tree
+            .child_elements(by_label(&old, "catalog"), "product")
+            .zip(new.tree.child_elements(by_label(&new, "catalog"), "product"))
+        {
+            let om = old.tree.child_element(op, "maker").unwrap();
+            let nm = new.tree.child_element(np, "maker").unwrap();
+            let ot = old.tree.first_child(om).unwrap();
+            let nt = new.tree.first_child(nm).unwrap();
+            assert_eq!(m.old_of_new(nt), Some(ot), "maker text must match within its product");
+        }
+    }
+
+    #[test]
+    fn empty_documents_do_nothing() {
+        let (_o, _n, m, s) = run_buld("<a/>", "<b/>", &DiffOptions::default());
+        assert_eq!(m.matched_count(), 1); // roots only
+        assert_eq!(s.signature_matches, 0);
+    }
+}

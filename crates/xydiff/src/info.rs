@@ -1,0 +1,252 @@
+//! Phase 2: subtree signatures and weights.
+//!
+//! "In one traversal of each tree, we compute the signature of each node of
+//! the old and new documents. The signature is a hash value computed using
+//! the node's content, and its children signatures. Thus it uniquely
+//! represents the content of the entire subtree rooted at that node. A
+//! weight is computed simultaneously for each node. It is the size of the
+//! content for text nodes and the sum of the weights of children for element
+//! nodes." (§5.2)
+//!
+//! Weight choices follow §5.2 "Tuning": elements weigh
+//! `1 + Σ weight(children)` (the weight "must be no less than the sum of its
+//! children" and "grow in O(n)"), text nodes weigh `1 + log(length(text))`
+//! ("when the text is large … it should have more weight than a simple
+//! word").
+
+use xytree::hash::Fnv64;
+use xytree::{NodeId, NodeKind, Tree};
+
+/// Domain-separation seeds so that, e.g., a text node `"a"` and an element
+/// `<a/>` can never share a signature.
+mod seed {
+    pub const DOCUMENT: u64 = 0xD0C;
+    pub const ELEMENT: u64 = 0xE1E;
+    pub const TEXT: u64 = 0x7E7;
+    pub const COMMENT: u64 = 0xC03;
+    pub const PI: u64 = 0x91;
+}
+
+/// Per-node signature/weight record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeInfo {
+    /// Content hash of the whole subtree rooted here.
+    pub signature: u64,
+    /// The paper's weight (drives the priority queue and the look-up depth).
+    pub weight: f64,
+    /// Node count of the subtree (cheap exact size, used for statistics and
+    /// as the LIS move weight).
+    pub size: u32,
+}
+
+/// Signatures and weights for every attached node of a tree.
+#[derive(Debug, Clone)]
+pub struct TreeInfo {
+    infos: Vec<NodeInfo>,
+    /// Total weight of the document (W₀ in the paper's depth bound).
+    pub total_weight: f64,
+    /// Number of attached nodes.
+    pub node_count: usize,
+}
+
+impl TreeInfo {
+    /// Info record of `node`.
+    #[inline]
+    pub fn get(&self, node: NodeId) -> &NodeInfo {
+        &self.infos[node.index()]
+    }
+
+    /// Subtree signature of `node`.
+    #[inline]
+    pub fn signature(&self, node: NodeId) -> u64 {
+        self.infos[node.index()].signature
+    }
+
+    /// Weight of `node`.
+    #[inline]
+    pub fn weight(&self, node: NodeId) -> f64 {
+        self.infos[node.index()].weight
+    }
+}
+
+/// One post-order traversal computing signature + weight for each node.
+pub fn analyze(tree: &Tree) -> TreeInfo {
+    let mut infos = vec![NodeInfo::default(); tree.arena_len()];
+    let mut node_count = 0usize;
+    for node in tree.post_order(tree.root()) {
+        node_count += 1;
+        let mut h;
+        let mut weight;
+        let mut size = 1u32;
+        match tree.kind(node) {
+            NodeKind::Document => {
+                h = Fnv64::with_seed(seed::DOCUMENT);
+                weight = 1.0;
+            }
+            NodeKind::Element(e) => {
+                h = Fnv64::with_seed(seed::ELEMENT);
+                h.update(e.name.as_bytes());
+                h.update(&[0]);
+                // Attributes are a set: hash them in name order.
+                if !e.attrs.is_empty() {
+                    let mut idx: Vec<usize> = (0..e.attrs.len()).collect();
+                    idx.sort_by(|&a, &b| e.attrs[a].name.cmp(&e.attrs[b].name));
+                    for i in idx {
+                        let a = &e.attrs[i];
+                        h.update(a.name.as_bytes());
+                        h.update(&[1]);
+                        h.update(a.value.as_bytes());
+                        h.update(&[2]);
+                    }
+                }
+                weight = 1.0;
+            }
+            NodeKind::Text(t) => {
+                h = Fnv64::with_seed(seed::TEXT);
+                h.update(t.as_bytes());
+                weight = text_weight(t.len());
+            }
+            NodeKind::Comment(c) => {
+                h = Fnv64::with_seed(seed::COMMENT);
+                h.update(c.as_bytes());
+                weight = text_weight(c.len());
+            }
+            NodeKind::Pi { target, data } => {
+                h = Fnv64::with_seed(seed::PI);
+                h.update(target.as_bytes());
+                h.update(&[0]);
+                h.update(data.as_bytes());
+                weight = text_weight(target.len() + data.len());
+            }
+        }
+        // Children were visited first (post-order): fold their signatures in
+        // order and add their weights.
+        for c in tree.children(node) {
+            let ci = &infos[c.index()];
+            h.update_u64(ci.signature);
+            weight += ci.weight;
+            size += ci.size;
+        }
+        infos[node.index()] = NodeInfo { signature: h.value(), weight, size };
+    }
+    let total_weight = infos[tree.root().index()].weight;
+    TreeInfo { infos, total_weight, node_count }
+}
+
+/// Text-node weight: `1 + log(length)` (§5.2), with `log 0 := 0`.
+fn text_weight(len: usize) -> f64 {
+    1.0 + (len.max(1) as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xytree::Document;
+
+    fn info_of(xml: &str) -> (Document, TreeInfo) {
+        let d = Document::parse(xml).unwrap();
+        let i = analyze(&d.tree);
+        (d, i)
+    }
+
+    #[test]
+    fn identical_subtrees_share_signatures() {
+        let (d, i) = info_of("<a><p><q>t</q></p><p><q>t</q></p></a>");
+        let a = d.root_element().unwrap();
+        let p1 = d.tree.child_at(a, 0).unwrap();
+        let p2 = d.tree.child_at(a, 1).unwrap();
+        assert_eq!(i.signature(p1), i.signature(p2));
+        assert_ne!(i.signature(p1), i.signature(a));
+    }
+
+    #[test]
+    fn content_difference_changes_signature() {
+        let (d1, i1) = info_of("<a><p>x</p></a>");
+        let (d2, i2) = info_of("<a><p>y</p></a>");
+        let p1 = d1.tree.child_at(d1.root_element().unwrap(), 0).unwrap();
+        let p2 = d2.tree.child_at(d2.root_element().unwrap(), 0).unwrap();
+        assert_ne!(i1.signature(p1), i2.signature(p2));
+    }
+
+    #[test]
+    fn attribute_order_does_not_change_signature() {
+        let (d1, i1) = info_of(r#"<a x="1" y="2"/>"#);
+        let (d2, i2) = info_of(r#"<a y="2" x="1"/>"#);
+        let e1 = d1.root_element().unwrap();
+        let e2 = d2.root_element().unwrap();
+        assert_eq!(i1.signature(e1), i2.signature(e2));
+    }
+
+    #[test]
+    fn attribute_value_changes_signature() {
+        let (d1, i1) = info_of(r#"<a x="1"/>"#);
+        let (d2, i2) = info_of(r#"<a x="2"/>"#);
+        assert_ne!(
+            i1.signature(d1.root_element().unwrap()),
+            i2.signature(d2.root_element().unwrap())
+        );
+    }
+
+    #[test]
+    fn child_order_changes_signature() {
+        let (d1, i1) = info_of("<a><b/><c/></a>");
+        let (d2, i2) = info_of("<a><c/><b/></a>");
+        assert_ne!(
+            i1.signature(d1.root_element().unwrap()),
+            i2.signature(d2.root_element().unwrap())
+        );
+    }
+
+    #[test]
+    fn text_vs_element_domain_separated() {
+        // <a>b</a> vs <a><b/></a>
+        let (d1, i1) = info_of("<a>b</a>");
+        let (d2, i2) = info_of("<a><b/></a>");
+        assert_ne!(
+            i1.signature(d1.root_element().unwrap()),
+            i2.signature(d2.root_element().unwrap())
+        );
+    }
+
+    #[test]
+    fn element_weight_exceeds_children_sum() {
+        let (d, i) = info_of("<a><p>hello world</p><q>more text here</q></a>");
+        let a = d.root_element().unwrap();
+        let sum: f64 = d.tree.children(a).map(|c| i.weight(c)).sum();
+        assert!(i.weight(a) > sum, "paper: weight must be no less than children sum");
+    }
+
+    #[test]
+    fn long_text_outweighs_short_text() {
+        let (d, i) = info_of("<a><p>x</p><p>a much longer description of the product</p></a>");
+        let a = d.root_element().unwrap();
+        let short = d.tree.first_child(d.tree.child_at(a, 0).unwrap()).unwrap();
+        let long = d.tree.first_child(d.tree.child_at(a, 1).unwrap()).unwrap();
+        assert!(i.weight(long) > i.weight(short));
+        // But only logarithmically.
+        assert!(i.weight(long) < i.weight(short) * 6.0);
+    }
+
+    #[test]
+    fn total_weight_and_count() {
+        let (d, i) = info_of("<a><b/><c>t</c></a>");
+        assert_eq!(i.node_count, 5);
+        assert_eq!(i.total_weight, i.weight(d.tree.root()));
+        assert_eq!(i.get(d.tree.root()).size, 5);
+    }
+
+    #[test]
+    fn weight_grows_linearly_not_faster() {
+        // A chain of n elements must have weight Θ(n).
+        let mut xml = String::new();
+        for _ in 0..100 {
+            xml.push_str("<d>");
+        }
+        for _ in 0..100 {
+            xml.push_str("</d>");
+        }
+        let (d, i) = info_of(&xml);
+        let w = i.weight(d.root_element().unwrap());
+        assert!((100.0..=101.0).contains(&w));
+    }
+}

@@ -1,0 +1,151 @@
+//! XyDiff — the BULD change-detection algorithm for XML documents.
+//!
+//! This crate is the primary contribution of *"Detecting Changes in XML
+//! Documents"* (Cobéna, Abiteboul, Marian; ICDE 2002): a diff that runs in
+//! `O(n log n)` worst-case time and linear memory, supports **move**
+//! operations, and trades a small amount of delta minimality for speed.
+//!
+//! BULD stands for **B**ottom-**U**p, **L**azy-**D**own propagation:
+//! matchings found between identical subtrees are propagated *up* to their
+//! ancestors eagerly (bounded by subtree weight) and *down* to descendants
+//! only lazily (unique-label children immediately; everything else waits for
+//! later queue pops or the final peephole pass).
+//!
+//! # The five phases (§5.2)
+//!
+//! 1. **ID attributes** — nodes uniquely identified by a DTD-declared ID
+//!    attribute are matched by ID value (and barred from any other match),
+//!    then one bottom-up + top-down propagation pass runs.
+//! 2. **Signatures & weights** — every subtree gets a content hash and a
+//!    weight (`1 + Σ weight(children)` for elements, `1 + log |text|` for
+//!    text); a priority queue holds the new document's subtrees by weight.
+//! 3. **Heaviest-first matching** — pop the heaviest unmatched subtree, find
+//!    same-signature candidates in the old document, pick the candidate
+//!    whose ancestors agree with already-matched ancestors (look-up depth
+//!    `1 + log n · W/W₀`), match the whole subtree, propagate to same-label
+//!    ancestors, and enqueue the children of unmatched elements.
+//! 4. **Structural propagation** — bottom-up (adopt the parent of the
+//!    heaviest matched-children group) and top-down (match unique same-label
+//!    children of matched parents) peephole passes.
+//! 5. **Delta construction** — matched nodes inherit XIDs, unmatched nodes
+//!    are inserts/deletes, text changes are updates, parent changes are
+//!    moves, and within-parent permutations are repaired with a weighted
+//!    largest order-preserving subsequence (exact or the paper's fixed-window
+//!    heuristic).
+//!
+//! # Quick start
+//!
+//! ```
+//! use xydelta::XidDocument;
+//! use xydiff::{diff, DiffOptions};
+//!
+//! let v0 = XidDocument::parse_initial("<cat><p>1</p><p>2</p></cat>").unwrap();
+//! let v1 = xytree::Document::parse("<cat><p>1</p><p>two</p></cat>").unwrap();
+//! let result = diff(&v0, &v1, &DiffOptions::default());
+//! assert_eq!(result.delta.counts().updates, 1);
+//!
+//! // The delta is correct by construction: applying it to v0 yields v1.
+//! let mut replay = v0.clone();
+//! result.delta.apply_to(&mut replay).unwrap();
+//! assert_eq!(replay.doc.to_xml(), v1.to_xml());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buld;
+pub mod config;
+pub mod info;
+pub mod matching;
+pub mod phase1;
+pub mod phase5;
+pub mod propagate;
+pub mod report;
+pub mod similarity;
+
+pub use config::DiffOptions;
+pub use matching::Matching;
+pub use report::{DiffResult, DiffStats, PhaseTimings};
+
+use std::time::Instant;
+use xydelta::XidDocument;
+use xytree::Document;
+
+/// Diff an XID-carrying old version against a plain new document.
+///
+/// Returns the delta, the new version with inherited/fresh XIDs, per-phase
+/// timings, and matching statistics. The new document is cloned into the
+/// result (the diff itself never mutates its inputs).
+pub fn diff(old: &XidDocument, new: &Document, opts: &DiffOptions) -> DiffResult {
+    let mut stats = DiffStats::default();
+    let mut timings = PhaseTimings::default();
+
+    let old_tree = &old.doc.tree;
+    let new_tree = &new.tree;
+    let mut matching = Matching::new(old_tree.arena_len(), new_tree.arena_len());
+    // The document roots always correspond.
+    matching.add(old_tree.root(), new_tree.root());
+
+    // Phase 2 runs first here: the propagation pass that closes phase 1
+    // needs the weights (the paper reports "phase 1 + phase 2" as one curve
+    // in Figure 4, so the grouping is faithful).
+    let t = Instant::now();
+    let old_info = info::analyze(old_tree);
+    let new_info = info::analyze(new_tree);
+    timings.phase2 = t.elapsed();
+
+    // Phase 1: ID-attribute matching (+ one propagation pass).
+    let t = Instant::now();
+    if opts.use_id_attributes {
+        phase1::match_by_id(&old.doc, new, &mut matching, &mut stats);
+        if stats.id_matches > 0 {
+            propagate::propagation_pass(old_tree, new_tree, &new_info, &mut matching, &mut stats);
+        }
+    }
+    timings.phase1 = t.elapsed();
+
+    // Phase 3: BULD matching loop.
+    let t = Instant::now();
+    buld::run(old_tree, new_tree, &old_info, &new_info, &mut matching, opts, &mut stats);
+    timings.phase3 = t.elapsed();
+
+    // Phase 4: structural propagation to fixpoint (bounded passes).
+    let t = Instant::now();
+    if opts.enable_propagation {
+        for _ in 0..opts.propagation_passes {
+            let changed = propagate::propagation_pass(
+                old_tree, new_tree, &new_info, &mut matching, &mut stats,
+            );
+            if changed == 0 {
+                break;
+            }
+        }
+    }
+    timings.phase4 = t.elapsed();
+
+    // Phase 5: XID inheritance + delta construction.
+    let t = Instant::now();
+    let new_version = phase5::inherit_xids(old, new.clone(), &matching);
+    let lis_window = if opts.exact_lis { None } else { Some(opts.lis_window) };
+    let delta = xydelta::diff_by_xid::diff_by_xid_with(old, &new_version, lis_window);
+    timings.phase5 = t.elapsed();
+
+    stats.old_nodes = old_tree.subtree_size(old_tree.root());
+    stats.new_nodes = new_tree.subtree_size(new_tree.root());
+    stats.matched_nodes = matching.matched_count();
+
+    DiffResult { delta, new_version, timings, stats }
+}
+
+/// Convenience wrapper: assign initial XIDs to `old` and diff.
+pub fn diff_documents(old: &Document, new: &Document, opts: &DiffOptions) -> DiffResult {
+    let old_x = XidDocument::assign_initial(old.clone());
+    diff(&old_x, new, opts)
+}
+
+/// Convenience wrapper over XML strings with default options.
+pub fn diff_str(old_xml: &str, new_xml: &str) -> Result<DiffResult, xytree::ParseError> {
+    let old = Document::parse(old_xml)?;
+    let new = Document::parse(new_xml)?;
+    Ok(diff_documents(&old, &new, &DiffOptions::default()))
+}

@@ -1,0 +1,231 @@
+//! Behavioral tests tracking §5.1's narrative and the algorithm's
+//! weight-bounded decisions, plus structural extremes.
+
+use xydelta::XidDocument;
+use xydiff::{diff, DiffOptions};
+use xytree::Document;
+
+fn run(old: &str, new: &str, opts: &DiffOptions) -> xydiff::DiffResult {
+    let old = XidDocument::parse_initial(old).unwrap();
+    let new = Document::parse(new).unwrap();
+    let r = diff(&old, &new, opts);
+    let mut replay = old.clone();
+    r.delta.apply_to(&mut replay).expect("delta applies");
+    assert_eq!(replay.doc.to_xml(), new.to_xml(), "correctness is non-negotiable");
+    r
+}
+
+/// "A large subtree may force the matching of its ancestors up to the
+/// root" — matching must reach the root through several same-label levels.
+#[test]
+fn heavy_subtree_climbs_to_the_root() {
+    let payload = "<data><k1>abcdefgh ijklmnop</k1><k2>qrstuvwx yzabcdef</k2><k3>ghijklmn opqrstuv</k3></data>";
+    let old = format!("<root><l1><l2><l3>{payload}</l3></l2></l1></root>");
+    let new = format!("<root><l1><l2><l3>{payload}</l3></l2></l1><extra/></root>");
+    let opts = DiffOptions { enable_propagation: false, ..Default::default() };
+    let r = run(&old, &new, &opts);
+    // Without phase 4, only signature matching + upward propagation ran;
+    // the insert of <extra/> must be the only operation.
+    assert_eq!(r.delta.counts().total(), 1, "{}", r.delta.describe());
+    assert_eq!(r.delta.counts().inserts, 1);
+}
+
+/// "Matching a small subtree may not even force the matching of its
+/// parent": with `depth_factor` at the paper's value and a large document,
+/// a tiny identical leaf cannot pull several ancestor levels along.
+#[test]
+fn light_subtree_has_bounded_reach() {
+    // A ~2000-node document dilutes the weight fraction W/W0 of one tiny
+    // text node, so d = 1 + log2(n)·W/W0 stays at 1: the leaf may match its
+    // parent but not the grandparent.
+    let mut old_filler = String::new();
+    let mut new_filler = String::new();
+    for i in 0..400 {
+        old_filler.push_str(&format!("<f><v>old {i} content</v></f>"));
+        new_filler.push_str(&format!("<f><v>totally different {i}</v></f>"));
+    }
+    // The anchor: identical tiny leaf under same-label ancestors whose other
+    // content differs completely.
+    let old = format!("<root><wrap><mid><leaf>x</leaf><o1/></mid><oo/></wrap>{old_filler}</root>");
+    let new = format!("<root><wrap><mid><leaf>x</leaf><n1/></mid><nn/></wrap>{new_filler}</root>");
+    let opts = DiffOptions { enable_propagation: false, enable_unique_child_propagation: false, ..Default::default() };
+    let old_x = XidDocument::parse_initial(&old).unwrap();
+    let new_d = Document::parse(&new).unwrap();
+    let r = diff(&old_x, &new_d, &opts);
+    // The leaf's weight fraction is ~1/2000, log2(4000) ≈ 12, so d = 1:
+    // <mid> (parent) may match; <wrap> (grandparent) must not have been
+    // matched by *upward propagation from the leaf*. (The root element
+    // matches through the pre-matched document root chain in phase 3 only
+    // if its whole subtree is identical — it is not.)
+    let find = |d: &xytree::Document, l: &str| {
+        d.tree.descendants(d.tree.root()).find(|&n| d.tree.name(n) == Some(l)).unwrap()
+    };
+    let _ = find;
+    // Correctness still holds regardless.
+    let mut replay = old_x.clone();
+    r.delta.apply_to(&mut replay).unwrap();
+    assert_eq!(replay.doc.to_xml(), new_d.to_xml());
+    // The structural claim: matched count stays small (leaf + parent at
+    // most from this anchor; the fillers all changed).
+    assert!(
+        r.stats.matched_nodes < 20,
+        "a 1-node anchor must not drag hundreds of matches: {}",
+        r.stats.matched_nodes
+    );
+}
+
+/// Increasing depth_factor lets the same anchor pull more ancestors.
+#[test]
+fn depth_factor_controls_upward_reach() {
+    let old = "<a><b><c><d><leaf>unique anchor text here</leaf></d></c></b></a>";
+    let new = "<a><b><c><d><leaf>unique anchor text here</leaf><n/></d></c></b><m/></a>";
+    let shallow = run(old, new, &DiffOptions {
+        depth_factor: 0.0,
+        enable_propagation: false,
+        enable_unique_child_propagation: false,
+        ..Default::default()
+    });
+    let deep = run(old, new, &DiffOptions {
+        depth_factor: 8.0,
+        enable_propagation: false,
+        enable_unique_child_propagation: false,
+        ..Default::default()
+    });
+    assert!(
+        deep.stats.matched_nodes >= shallow.stats.matched_nodes,
+        "deep {} < shallow {}",
+        deep.stats.matched_nodes,
+        shallow.stats.matched_nodes
+    );
+    assert!(
+        deep.delta.size_bytes() <= shallow.delta.size_bytes(),
+        "more reach must not produce a bigger delta here"
+    );
+}
+
+/// Phase 4 rescues matches the lazy phases miss ("significantly improves
+/// the quality of the delta").
+#[test]
+fn propagation_pass_shrinks_the_delta() {
+    // Every leaf changed, so no signatures match below the root; only
+    // structural propagation can match the scaffolding.
+    let old = "<cat><sec><p><name>a</name><price>1</price></p></sec><sec2><q>x</q></sec2></cat>";
+    let new = "<cat><sec><p><name>b</name><price>2</price></p></sec><sec2><q>y</q></sec2></cat>";
+    let without = run(old, new, &DiffOptions { enable_propagation: false, enable_unique_child_propagation: false, ..Default::default() });
+    let with = run(old, new, &DiffOptions::default());
+    assert!(
+        with.delta.size_bytes() < without.delta.size_bytes(),
+        "phase 4 must shrink the delta: {} vs {}",
+        with.delta.size_bytes(),
+        without.delta.size_bytes()
+    );
+    // With propagation everything matches structurally: only text updates.
+    let c = with.delta.counts();
+    assert_eq!((c.deletes, c.inserts, c.moves), (0, 0, 0), "{}", with.delta.describe());
+    assert_eq!(c.updates, 3);
+}
+
+/// Unmatched ID-bearing nodes stay unmatched even when content is identical
+/// ("other nodes with ID attributes can not be matched").
+#[test]
+fn forbidden_id_nodes_become_delete_plus_insert() {
+    let dtd = "<!DOCTYPE c [<!ATTLIST item id ID #REQUIRED>]>";
+    let old = format!("{dtd}<c><item id='old-key'><v>same content</v></item></c>");
+    let new = format!("{dtd}<c><item id='new-key'><v>same content</v></item></c>");
+    let r = run(&old, &new, &DiffOptions::default());
+    let c = r.delta.counts();
+    assert_eq!(
+        (c.deletes, c.inserts),
+        (1, 1),
+        "identical content must NOT rescue nodes whose IDs disagree: {}",
+        r.delta.describe()
+    );
+    // Turning ID semantics off flips the outcome: content match wins.
+    let r2 = run(&old, &new, &DiffOptions { use_id_attributes: false, ..Default::default() });
+    let c2 = r2.delta.counts();
+    assert_eq!((c2.deletes, c2.inserts), (0, 0), "{}", r2.delta.describe());
+    assert_eq!(c2.attr_ops, 1, "only the id attribute changed");
+}
+
+/// Comments and PIs: equal ones match, changed ones are replaced (there is
+/// no update op for them in the model).
+#[test]
+fn comment_and_pi_changes() {
+    let r = run(
+        "<a><!--same--><?app v1?><b/></a>",
+        "<a><!--same--><?app v2?><b/></a>",
+        &DiffOptions::default(),
+    );
+    let c = r.delta.counts();
+    assert_eq!(c.updates, 0, "no update op exists for PIs");
+    assert_eq!((c.deletes, c.inserts), (1, 1), "{}", r.delta.describe());
+}
+
+/// A 400-level-deep chain diffs correctly (recursion limits, depth bounds).
+#[test]
+fn very_deep_documents() {
+    let mut old = String::new();
+    let mut new = String::new();
+    for _ in 0..400 {
+        old.push_str("<d>");
+        new.push_str("<d>");
+    }
+    old.push_str("<leaf>old</leaf>");
+    new.push_str("<leaf>new</leaf>");
+    for _ in 0..400 {
+        old.push_str("</d>");
+        new.push_str("</d>");
+    }
+    let r = run(&old, &new, &DiffOptions::default());
+    assert_eq!(r.delta.counts().updates, 1, "{}", r.delta.describe());
+    assert_eq!(r.delta.counts().total(), 1);
+}
+
+/// A 3000-child flat reorder exercises the windowed LIS at scale.
+#[test]
+fn very_wide_reorder() {
+    let n = 3000;
+    let mut kids: Vec<String> = (0..n).map(|i| format!("<k><i>{i}</i></k>")).collect();
+    let old = format!("<a>{}</a>", kids.join(""));
+    // Rotate by one: a single element moves from the back to the front.
+    let last = kids.pop().unwrap();
+    kids.insert(0, last);
+    let new = format!("<a>{}</a>", kids.join(""));
+    let r = run(&old, &new, &DiffOptions::default());
+    let c = r.delta.counts();
+    assert_eq!((c.deletes, c.inserts, c.updates), (0, 0, 0), "{}", c.total());
+    // The windowed heuristic may use a handful of moves instead of 1, but
+    // never anything proportional to n.
+    assert!(c.moves >= 1 && c.moves <= 60, "moves = {}", c.moves);
+    // The exact algorithm gets the minimal single move.
+    let r2 = run(&old, &new, &DiffOptions { exact_lis: true, ..Default::default() });
+    assert_eq!(r2.delta.counts().moves, 1);
+}
+
+/// Mixed content (text interleaved with elements): changed text siblings
+/// are *not* unique under their parent, so the unique-child rule cannot
+/// match them — they become delete+insert pairs, not updates. (A unique
+/// changed text child, by contrast, becomes an update — see
+/// `propagation_pass_shrinks_the_delta`.) Unchanged pieces still match by
+/// signature, and nothing is spuriously moved.
+#[test]
+fn mixed_content_updates() {
+    let r = run(
+        "<p>The <b>quick</b> brown <i>fox</i> jumps</p>",
+        "<p>The <b>quick</b> red <i>fox</i> leaps</p>",
+        &DiffOptions::default(),
+    );
+    let c = r.delta.counts();
+    assert_eq!((c.deletes, c.inserts), (2, 2), "{}", r.delta.describe());
+    assert_eq!(c.moves, 0);
+    assert_eq!(c.updates, 0);
+}
+
+/// The empty-to-content and content-to-empty extremes.
+#[test]
+fn degenerate_documents() {
+    let r = run("<a/>", "<a><b><c>deep</c></b></a>", &DiffOptions::default());
+    assert_eq!(r.delta.counts().inserts, 1);
+    let r = run("<a><b><c>deep</c></b></a>", "<a/>", &DiffOptions::default());
+    assert_eq!(r.delta.counts().deletes, 1);
+}

@@ -1,0 +1,154 @@
+//! HTML entity expansion (lenient).
+
+/// Expand `&name;` and numeric references in `raw`, appending to `out`.
+/// Unknown named entities are kept literally (crawled HTML is full of them).
+pub fn expand_into(raw: &str, out: &mut String) {
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        // Entities are short; don't scan forever for a stray '&'.
+        let semi = after.char_indices().take(32).find(|&(_, c)| c == ';');
+        let Some((semi, _)) = semi else {
+            out.push('&');
+            rest = after;
+            continue;
+        };
+        let name = &after[..semi];
+        match lookup(name) {
+            Some(ch) => {
+                out.push_str(ch);
+                rest = &after[semi + 1..];
+            }
+            None if name.starts_with('#') => {
+                let body = &name[1..];
+                let cp = if let Some(h) = body.strip_prefix('x').or_else(|| body.strip_prefix('X'))
+                {
+                    u32::from_str_radix(h, 16).ok()
+                } else {
+                    body.parse::<u32>().ok()
+                };
+                match cp.and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => {
+                        out.push('&');
+                        out.push_str(name);
+                        out.push(';');
+                    }
+                }
+                rest = &after[semi + 1..];
+            }
+            None => {
+                // Unknown entity: keep it literally.
+                out.push('&');
+                out.push_str(name);
+                out.push(';');
+                rest = &after[semi + 1..];
+            }
+        }
+    }
+    out.push_str(rest);
+}
+
+/// The entities that actually occur on the web, plus the XML five.
+fn lookup(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "amp" => "&",
+        "lt" => "<",
+        "gt" => ">",
+        "quot" => "\"",
+        "apos" => "'",
+        "nbsp" => "\u{a0}",
+        "copy" => "©",
+        "reg" => "®",
+        "trade" => "™",
+        "deg" => "°",
+        "middot" => "·",
+        "bull" => "•",
+        "hellip" => "…",
+        "mdash" => "—",
+        "ndash" => "–",
+        "lsquo" => "‘",
+        "rsquo" => "’",
+        "ldquo" => "“",
+        "rdquo" => "”",
+        "laquo" => "«",
+        "raquo" => "»",
+        "times" => "×",
+        "divide" => "÷",
+        "plusmn" => "±",
+        "frac12" => "½",
+        "frac14" => "¼",
+        "sup2" => "²",
+        "sup3" => "³",
+        "euro" => "€",
+        "pound" => "£",
+        "yen" => "¥",
+        "cent" => "¢",
+        "sect" => "§",
+        "para" => "¶",
+        "agrave" => "à",
+        "aacute" => "á",
+        "acirc" => "â",
+        "auml" => "ä",
+        "ccedil" => "ç",
+        "egrave" => "è",
+        "eacute" => "é",
+        "ecirc" => "ê",
+        "euml" => "ë",
+        "igrave" => "ì",
+        "iacute" => "í",
+        "icirc" => "î",
+        "iuml" => "ï",
+        "ograve" => "ò",
+        "oacute" => "ó",
+        "ocirc" => "ô",
+        "ouml" => "ö",
+        "ugrave" => "ù",
+        "uacute" => "ú",
+        "ucirc" => "û",
+        "uuml" => "ü",
+        "ntilde" => "ñ",
+        "szlig" => "ß",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(s: &str) -> String {
+        let mut out = String::new();
+        expand_into(s, &mut out);
+        out
+    }
+
+    #[test]
+    fn common_entities() {
+        assert_eq!(exp("a&nbsp;b&mdash;c"), "a\u{a0}b—c");
+        assert_eq!(exp("&copy; 2001 &amp; more"), "© 2001 & more");
+    }
+
+    #[test]
+    fn numeric_refs() {
+        assert_eq!(exp("&#65;&#x42;"), "AB");
+    }
+
+    #[test]
+    fn unknown_entities_survive() {
+        assert_eq!(exp("&doesnotexist;"), "&doesnotexist;");
+        assert_eq!(exp("&#xZZ;"), "&#xZZ;");
+    }
+
+    #[test]
+    fn bare_ampersands_survive() {
+        assert_eq!(exp("fish & chips"), "fish & chips");
+        assert_eq!(exp("a=1&b=2&c=3 with no semicolons anywhere near"), "a=1&b=2&c=3 with no semicolons anywhere near");
+    }
+
+    #[test]
+    fn accented_letters() {
+        assert_eq!(exp("Gr&eacute;gory Cob&eacute;na"), "Grégory Cobéna");
+    }
+}

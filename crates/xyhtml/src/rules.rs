@@ -1,0 +1,73 @@
+//! HTML tag rules: void elements and implied end tags.
+
+/// Elements that never have content ("void elements" in the HTML spec).
+pub fn is_void(tag: &str) -> bool {
+    matches!(
+        tag,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input"
+            | "link" | "meta" | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Block-level elements that terminate an open `<p>`.
+fn closes_p(tag: &str) -> bool {
+    matches!(
+        tag,
+        "address" | "article" | "aside" | "blockquote" | "div" | "dl" | "fieldset"
+            | "footer" | "form" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "header"
+            | "hr" | "main" | "nav" | "ol" | "p" | "pre" | "section" | "table" | "ul"
+    )
+}
+
+/// Does an incoming `<incoming>` open tag implicitly close an open
+/// `<open>` element? (The core of "properly closing tags".)
+pub fn closes_implicitly(open: &str, incoming: &str) -> bool {
+    match open {
+        "p" => closes_p(incoming),
+        "li" => incoming == "li",
+        "dt" | "dd" => matches!(incoming, "dt" | "dd"),
+        "td" | "th" => matches!(incoming, "td" | "th" | "tr" | "tbody" | "tfoot"),
+        "tr" => matches!(incoming, "tr" | "tbody" | "tfoot"),
+        "thead" | "tbody" => matches!(incoming, "tbody" | "tfoot"),
+        "option" => matches!(incoming, "option" | "optgroup"),
+        "optgroup" => incoming == "optgroup",
+        "colgroup" => !matches!(incoming, "col"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn void_list_is_sane() {
+        for t in ["br", "img", "meta", "input", "hr"] {
+            assert!(is_void(t), "{t}");
+        }
+        for t in ["div", "p", "span", "script"] {
+            assert!(!is_void(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn paragraph_rules() {
+        assert!(closes_implicitly("p", "p"));
+        assert!(closes_implicitly("p", "div"));
+        assert!(closes_implicitly("p", "table"));
+        assert!(!closes_implicitly("p", "b"));
+        assert!(!closes_implicitly("p", "span"));
+    }
+
+    #[test]
+    fn list_and_table_rules() {
+        assert!(closes_implicitly("li", "li"));
+        assert!(!closes_implicitly("li", "ul"));
+        assert!(closes_implicitly("td", "td"));
+        assert!(closes_implicitly("td", "tr"));
+        assert!(closes_implicitly("tr", "tr"));
+        assert!(!closes_implicitly("tr", "td"));
+        assert!(closes_implicitly("dt", "dd"));
+        assert!(closes_implicitly("option", "option"));
+    }
+}

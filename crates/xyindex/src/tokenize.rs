@@ -1,0 +1,45 @@
+//! Word tokenization for the full-text index.
+
+/// Split text into lowercase alphanumeric words. Words shorter than two
+/// characters are dropped (classic full-text behavior; single letters are
+/// noise in the catalog/feed workloads).
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| w.chars().count() >= 2)
+        .map(str::to_lowercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s).collect()
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(toks("Hello, world! x2"), ["hello", "world", "x2"]);
+    }
+
+    #[test]
+    fn drops_single_characters() {
+        assert_eq!(toks("a b cd e"), ["cd"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(toks("XyDiff BULD"), ["xydiff", "buld"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(toks("café déjà-vu"), ["café", "déjà", "vu"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(toks("").is_empty());
+        assert!(toks("!@# $%").is_empty());
+    }
+}

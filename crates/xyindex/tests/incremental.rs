@@ -1,0 +1,95 @@
+//! The headline property of diff-driven index maintenance (§2): feeding the
+//! delta stream into the index yields exactly the index a full rebuild
+//! produces — across document kinds, change rates, and long version chains.
+
+use xydelta::XidDocument;
+use xydiff::{diff, DiffOptions};
+use xyindex::DocumentIndex;
+use xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+
+fn check_incremental(kind: DocKind, nodes: usize, rate: f64, steps: u64, seed: u64) {
+    let doc = generate(&DocGenConfig { kind, target_nodes: nodes, seed, id_attributes: false });
+    let mut current = XidDocument::assign_initial(doc);
+    let mut index = DocumentIndex::build(&current);
+    for step in 0..steps {
+        let sim = simulate(&current, &ChangeConfig::uniform(rate, seed * 1000 + step));
+        // Run the real diff (not the simulator's perfect delta) so the index
+        // sees exactly what the warehouse pipeline would feed it.
+        let r = diff(&current, &sim.new_version.doc, &DiffOptions::default());
+        index.apply_delta(&r.delta, &r.new_version);
+        current = r.new_version;
+        let rebuilt = DocumentIndex::build(&current);
+        assert!(
+            index.same_as(&rebuilt),
+            "{kind:?} step {step}: incremental index diverged \
+             (incremental {} postings vs rebuilt {})",
+            index.posting_count(),
+            rebuilt.posting_count()
+        );
+    }
+}
+
+#[test]
+fn catalog_chain_stays_in_sync() {
+    check_incremental(DocKind::Catalog, 600, 0.1, 4, 1);
+}
+
+#[test]
+fn addressbook_chain_stays_in_sync() {
+    check_incremental(DocKind::AddressBook, 500, 0.1, 3, 2);
+}
+
+#[test]
+fn feed_chain_stays_in_sync() {
+    check_incremental(DocKind::Feed, 500, 0.15, 3, 3);
+}
+
+#[test]
+fn heavy_churn_stays_in_sync() {
+    check_incremental(DocKind::Catalog, 300, 0.4, 3, 4);
+}
+
+#[test]
+fn move_heavy_stream_stays_in_sync() {
+    let doc = generate(&DocGenConfig {
+        kind: DocKind::Catalog,
+        target_nodes: 500,
+        seed: 9,
+        id_attributes: false,
+    });
+    let mut current = XidDocument::assign_initial(doc);
+    let mut index = DocumentIndex::build(&current);
+    for step in 0..3 {
+        let cfg = ChangeConfig { p_delete: 0.1, p_update: 0.0, p_insert: 0.0, p_move: 0.4, seed: step };
+        let sim = simulate(&current, &cfg);
+        let r = diff(&current, &sim.new_version.doc, &DiffOptions::default());
+        index.apply_delta(&r.delta, &r.new_version);
+        current = r.new_version;
+        assert!(index.same_as(&DocumentIndex::build(&current)), "step {step}");
+    }
+}
+
+#[test]
+fn incremental_update_example_from_the_paper() {
+    // "That a new product has been added to a catalog" must become findable
+    // the moment its delta is indexed.
+    let v0 = XidDocument::parse_initial(
+        "<catalog><product><name>old camera</name></product></catalog>",
+    )
+    .unwrap();
+    let mut index = DocumentIndex::build(&v0);
+    assert!(!index.contains("telescope"));
+
+    let v1 = xytree::Document::parse(
+        "<catalog><product><name>old camera</name></product>\
+         <product><name>shiny telescope</name></product></catalog>",
+    )
+    .unwrap();
+    let r = diff(&v0, &v1, &DiffOptions::default());
+    index.apply_delta(&r.delta, &r.new_version);
+    assert!(index.contains("telescope"));
+    assert_eq!(index.postings_under("telescope", "name").len(), 1);
+    // And the posting's XID is live in the new version.
+    let posting = &index.postings("telescope")[0];
+    assert!(r.new_version.node(posting.text_node).is_some());
+}

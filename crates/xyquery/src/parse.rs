@@ -1,0 +1,283 @@
+//! Parser for the path language.
+//!
+//! Grammar (no whitespace sensitivity inside predicates' quoted strings):
+//!
+//! ```text
+//! path       := step+ output?
+//! step       := ("/" | "//") nodetest predicate*
+//! nodetest   := NAME | "*"
+//! predicate  := "[" pred-body "]"
+//! pred-body  := "@" NAME ("=" string)?
+//!             | "text()" "=" string
+//!             | "contains(text()," string ")"
+//!             | NUMBER
+//! output     := "/" "text()"  |  "/" "@" NAME
+//! string     := "'" chars "'"  |  '"' chars '"'
+//! ```
+
+use crate::{Axis, NodeTest, Output, Path, Predicate, Step};
+use std::fmt;
+
+/// Error produced by [`Path::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the problem.
+    pub offset: usize,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, message: impl Into<String>) -> QueryParseError {
+        QueryParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn name(&mut self) -> Option<&'a str> {
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 || rest.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        self.pos += end;
+        Some(&rest[..end])
+    }
+
+    fn string_literal(&mut self) -> Result<String, QueryParseError> {
+        let quote = match self.peek() {
+            Some(q @ ('\'' | '"')) => q,
+            _ => return Err(self.err("expected a quoted string")),
+        };
+        self.pos += 1;
+        let rest = &self.input[self.pos..];
+        let Some(end) = rest.find(quote) else {
+            return Err(self.err("unterminated string literal"));
+        };
+        let s = rest[..end].to_string();
+        self.pos += end + 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Option<usize> {
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return None;
+        }
+        let v = rest[..end].parse().ok()?;
+        self.pos += end;
+        Some(v)
+    }
+}
+
+pub(crate) fn parse(input: &str) -> Result<Path, QueryParseError> {
+    let mut p = P { input: input.trim(), pos: 0 };
+    if p.at_end() {
+        return Err(p.err("empty path"));
+    }
+    let mut steps: Vec<Step> = Vec::new();
+    let mut output = Output::Nodes;
+
+    while !p.at_end() {
+        let axis = if p.eat("//") {
+            Axis::Descendant
+        } else if p.eat("/") {
+            Axis::Child
+        } else if steps.is_empty() {
+            // A leading bare name is treated as a child step from the root.
+            Axis::Child
+        } else {
+            return Err(p.err("expected '/' or '//'"));
+        };
+
+        // Trailing output selectors. `text()` is a real step (it selects
+        // text-node children/descendants, XPath-style) that also switches
+        // the output to the nodes' text content.
+        if p.eat("text()") {
+            if !p.at_end() {
+                return Err(p.err("text() must be the last component"));
+            }
+            steps.push(Step { axis, test: NodeTest::Text, predicates: Vec::new() });
+            output = Output::Text;
+            break;
+        }
+        if p.eat("@") {
+            let Some(name) = p.name() else {
+                return Err(p.err("expected attribute name after '@'"));
+            };
+            if !p.at_end() {
+                return Err(p.err("@attribute must be the last component"));
+            }
+            output = Output::Attr(name.to_string());
+            break;
+        }
+
+        let test = if p.eat("*") {
+            NodeTest::AnyElement
+        } else if let Some(name) = p.name() {
+            NodeTest::Name(name.to_string())
+        } else {
+            return Err(p.err("expected an element name, '*', 'text()' or '@attr'"));
+        };
+
+        let mut predicates = Vec::new();
+        while p.eat("[") {
+            let pred = parse_predicate(&mut p)?;
+            if !p.eat("]") {
+                return Err(p.err("expected ']'"));
+            }
+            predicates.push(pred);
+        }
+        steps.push(Step { axis, test, predicates });
+    }
+
+    if steps.is_empty() {
+        return Err(P { input, pos: 0 }.err("path selects nothing"));
+    }
+    Ok(Path { steps, output })
+}
+
+fn parse_predicate(p: &mut P<'_>) -> Result<Predicate, QueryParseError> {
+    if p.eat("@") {
+        let Some(name) = p.name() else {
+            return Err(p.err("expected attribute name after '@'"));
+        };
+        let name = name.to_string();
+        if p.eat("=") {
+            let v = p.string_literal()?;
+            return Ok(Predicate::AttrEquals(name, v));
+        }
+        return Ok(Predicate::AttrExists(name));
+    }
+    if p.eat("text()") {
+        if !p.eat("=") {
+            return Err(p.err("expected '=' after text()"));
+        }
+        let v = p.string_literal()?;
+        return Ok(Predicate::TextEquals(v));
+    }
+    if p.eat("contains(text(),") {
+        let v = p.string_literal()?;
+        if !p.eat(")") {
+            return Err(p.err("expected ')'"));
+        }
+        return Ok(Predicate::TextContains(v));
+    }
+    if let Some(n) = p.number() {
+        if n == 0 {
+            return Err(p.err("positions are 1-based"));
+        }
+        return Ok(Predicate::Position(n));
+    }
+    Err(p.err("unrecognized predicate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_paths() {
+        let p = parse("/a/b//c").unwrap();
+        assert_eq!(p.steps().len(), 3);
+        assert_eq!(p.steps()[2].axis, Axis::Descendant);
+        assert_eq!(p.output(), &Output::Nodes);
+    }
+
+    #[test]
+    fn leading_bare_name_is_child_of_root() {
+        let p = parse("catalog/product").unwrap();
+        assert_eq!(p.steps().len(), 2);
+        assert_eq!(p.steps()[0].axis, Axis::Child);
+    }
+
+    #[test]
+    fn parses_all_predicates() {
+        let p = parse("//x[@a='1'][@b][text()='t'][contains(text(),'n')][3]").unwrap();
+        assert_eq!(
+            p.steps()[0].predicates,
+            vec![
+                Predicate::AttrEquals("a".into(), "1".into()),
+                Predicate::AttrExists("b".into()),
+                Predicate::TextEquals("t".into()),
+                Predicate::TextContains("n".into()),
+                Predicate::Position(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_outputs() {
+        assert_eq!(parse("//x/text()").unwrap().output(), &Output::Text);
+        assert_eq!(parse("//x/@id").unwrap().output(), &Output::Attr("id".into()));
+    }
+
+    #[test]
+    fn double_quoted_strings() {
+        let p = parse(r#"//x[@a="v"]"#).unwrap();
+        assert_eq!(p.steps()[0].predicates, vec![Predicate::AttrEquals("a".into(), "v".into())]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "/",
+            "//",
+            "/a[",
+            "/a[@]",
+            "/a[0]",
+            "/a[text()]",
+            "/a/text()/b",
+            "/a/@id/b",
+            "/a[unquoted=v]",
+            "/a[@k='unterminated]",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = parse("/a[@k='v'").unwrap_err();
+        assert!(e.offset >= 9, "offset {} should point at the missing bracket", e.offset);
+        assert!(e.to_string().contains("']'"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Properties of path evaluation over random documents.
+
+use proptest::prelude::*;
+use xyquery::Path;
+use xytree::{Document, ElementBuilder};
+
+const NAMES: &[&str] = &["a", "b", "c", "item"];
+
+#[derive(Debug, Clone)]
+struct Spec {
+    name: usize,
+    attr: Option<String>,
+    text: Option<String>,
+    children: Vec<Spec>,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    let leaf = (0usize..NAMES.len(), proptest::option::of("[a-z]{1,4}"))
+        .prop_map(|(name, text)| Spec { name, attr: None, text, children: vec![] });
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        (
+            0usize..NAMES.len(),
+            proptest::option::of("[a-z0-9]{0,3}"),
+            proptest::option::of("[a-z]{1,4}"),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attr, text, children)| Spec { name, attr, text, children })
+    })
+}
+
+fn build(spec: &Spec) -> ElementBuilder {
+    let mut e = ElementBuilder::new(NAMES[spec.name]);
+    if let Some(a) = &spec.attr {
+        e = e.attr("k", a.clone());
+    }
+    if let Some(t) = &spec.text {
+        e = e.text(t.clone());
+    }
+    for c in &spec.children {
+        e = e.child(build(c));
+    }
+    e
+}
+
+fn doc(spec: &Spec) -> Document {
+    ElementBuilder::new("root").child(build(spec)).into_document()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `//name` finds exactly the elements a manual traversal finds.
+    #[test]
+    fn descendant_search_is_complete(spec in arb_spec(), which in 0usize..NAMES.len()) {
+        let d = doc(&spec);
+        let name = NAMES[which];
+        let got = Path::parse(&format!("//{name}")).unwrap().select_doc(&d).len();
+        let want = d
+            .tree
+            .descendants(d.tree.root())
+            .filter(|&n| d.tree.name(n) == Some(name))
+            .count();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Results are unique and in document order.
+    #[test]
+    fn results_unique_and_ordered(spec in arb_spec()) {
+        let d = doc(&spec);
+        let hits = Path::parse("//*").unwrap().select_doc(&d);
+        let mut seen = std::collections::HashSet::new();
+        prop_assert!(hits.iter().all(|n| seen.insert(*n)), "duplicates in results");
+        // Document order: index within a pre-order enumeration increases.
+        let order: std::collections::HashMap<_, _> = d
+            .tree
+            .descendants(d.tree.root())
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect();
+        let idx: Vec<usize> = hits.iter().map(|n| order[n]).collect();
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "not in document order: {idx:?}");
+    }
+
+    /// `//x[@k]` ⊆ `//x`, and every hit really has the attribute.
+    #[test]
+    fn attr_predicate_is_a_filter(spec in arb_spec(), which in 0usize..NAMES.len()) {
+        let d = doc(&spec);
+        let name = NAMES[which];
+        let all: std::collections::HashSet<_> =
+            Path::parse(&format!("//{name}")).unwrap().select_doc(&d).into_iter().collect();
+        let with_attr = Path::parse(&format!("//{name}[@k]")).unwrap().select_doc(&d);
+        for n in &with_attr {
+            prop_assert!(all.contains(n));
+            prop_assert!(d.tree.attr(*n, "k").is_some());
+        }
+    }
+
+    /// Positional `[1]` on the child axis returns at most one node per
+    /// parent, and it is that parent's first matching child.
+    #[test]
+    fn first_position_semantics(spec in arb_spec(), which in 0usize..NAMES.len()) {
+        let d = doc(&spec);
+        let name = NAMES[which];
+        let firsts = Path::parse(&format!("//*/{name}[1]")).unwrap().select_doc(&d);
+        for n in firsts {
+            let parent = d.tree.parent(n).unwrap();
+            let first_matching = d
+                .tree
+                .children(parent)
+                .find(|&c| d.tree.name(c) == Some(name))
+                .unwrap();
+            prop_assert_eq!(n, first_matching);
+        }
+    }
+
+    /// text() output equals the concatenation semantics of deep_text on
+    /// text nodes.
+    #[test]
+    fn text_output_matches_node_content(spec in arb_spec()) {
+        let d = doc(&spec);
+        let texts = Path::parse("//text()").unwrap().select_strings(&d);
+        let manual: Vec<String> = d
+            .tree
+            .descendants(d.tree.root())
+            .filter_map(|n| d.tree.text(n).map(str::to_string))
+            .collect();
+        prop_assert_eq!(texts, manual);
+    }
+}

@@ -1,0 +1,75 @@
+//! Fixed sample documents, including the paper's own running example.
+
+/// The Figure 2 catalog, **old** version (§4):
+/// a Digital Cameras category with a discounted product tx123 and a new
+/// product zy456 at $799.
+pub const FIGURE2_OLD: &str = "<Category>\
+<Title>Digital Cameras</Title>\
+<Discount><Product><Name>tx123</Name><Price>$499</Price></Product></Discount>\
+<NewProducts><Product><Name>zy456</Name><Price>$799</Price></Product></NewProducts>\
+</Category>";
+
+/// The Figure 2 catalog, **new** version: tx123 is gone, zy456 moved into
+/// Discount with its price updated to $699, and a new product abc at $899
+/// appears under NewProducts.
+pub const FIGURE2_NEW: &str = "<Category>\
+<Title>Digital Cameras</Title>\
+<Discount><Product><Name>zy456</Name><Price>$699</Price></Product></Discount>\
+<NewProducts><Product><Name>abc</Name><Price>$899</Price></Product></NewProducts>\
+</Category>";
+
+/// A small catalog with a DTD-declared ID attribute (phase 1 material).
+pub const CATALOG_WITH_IDS: &str = "<!DOCTYPE catalog [\
+<!ATTLIST product sku ID #REQUIRED>\
+<!ENTITY co \"Xyleme SA\">\
+]>\
+<catalog>\
+<vendor>&co;</vendor>\
+<product sku=\"A1\"><name>widget</name><price>$10</price></product>\
+<product sku=\"B2\"><name>gadget</name><price>$25</price></product>\
+<product sku=\"C3\"><name>gizmo</name><price>$40</price></product>\
+</catalog>";
+
+/// An RSS-like feed sample.
+pub const FEED_SAMPLE: &str = "<feed>\
+<title>Xyleme project news</title>\
+<entry><title>Crawler milestone</title><date>2001-05-02</date>\
+<summary>The crawler now loads millions of pages per day.</summary></entry>\
+<entry><title>Diff module</title><date>2001-06-17</date>\
+<summary>BULD matches subtrees bottom-up with lazy down propagation.</summary></entry>\
+</feed>";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xytree::Document;
+
+    #[test]
+    fn all_samples_parse() {
+        for (name, xml) in [
+            ("FIGURE2_OLD", FIGURE2_OLD),
+            ("FIGURE2_NEW", FIGURE2_NEW),
+            ("CATALOG_WITH_IDS", CATALOG_WITH_IDS),
+            ("FEED_SAMPLE", FEED_SAMPLE),
+        ] {
+            Document::parse(xml).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn figure2_shapes() {
+        let old = Document::parse(FIGURE2_OLD).unwrap();
+        // Old version postfix count: 15 nodes + document = 16.
+        assert_eq!(old.node_count(), 16);
+        let new = Document::parse(FIGURE2_NEW).unwrap();
+        assert_eq!(new.node_count(), 16);
+    }
+
+    #[test]
+    fn catalog_dtd_is_live() {
+        let d = Document::parse(CATALOG_WITH_IDS).unwrap();
+        assert_eq!(d.id_attr_of("product"), Some("sku"));
+        let root = d.root_element().unwrap();
+        assert!(d.tree.deep_text(root).contains("Xyleme SA"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Parameterized random XML documents.
+//!
+//! The performance experiment needs "arbitrary sized data" (§6.1); these
+//! generators build documents with realistic XML shape: a small label
+//! vocabulary reused heavily (the paper stresses that "many nodes may have
+//! the same label"), record-oriented repetition (products in a catalog,
+//! people in an address book), mixed short and long text nodes, and
+//! optional DTD-declared ID attributes to exercise phase 1.
+
+use crate::words::{sentence, words};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xytree::{Document, ElementBuilder};
+
+/// Document family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocKind {
+    /// Product catalog with categories, products, prices, long descriptions.
+    Catalog,
+    /// Address book: flat repetition of small records.
+    AddressBook,
+    /// RSS-like feed: entries with summaries and links.
+    Feed,
+    /// Random labels/branching — stress shape without record structure.
+    Generic,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DocGenConfig {
+    /// Document family.
+    pub kind: DocKind,
+    /// Approximate number of tree nodes to produce (within one record).
+    pub target_nodes: usize,
+    /// RNG seed (same seed ⇒ identical document).
+    pub seed: u64,
+    /// Emit a DOCTYPE declaring an ID attribute and stamp records with IDs
+    /// (exercises BULD phase 1).
+    pub id_attributes: bool,
+}
+
+impl Default for DocGenConfig {
+    fn default() -> Self {
+        DocGenConfig {
+            kind: DocKind::Catalog,
+            target_nodes: 1000,
+            seed: 0,
+            id_attributes: false,
+        }
+    }
+}
+
+/// Generate a document per `cfg`.
+pub fn generate(cfg: &DocGenConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    match cfg.kind {
+        DocKind::Catalog => catalog(cfg, &mut rng),
+        DocKind::AddressBook => address_book(cfg, &mut rng),
+        DocKind::Feed => feed(cfg, &mut rng),
+        DocKind::Generic => generic(cfg, &mut rng),
+    }
+}
+
+/// Parse helper: wrap a built root element (plus optional DTD) and reparse so
+/// the resulting `Document` carries the DOCTYPE metadata.
+fn with_dtd(root: ElementBuilder, dtd: Option<&str>) -> Document {
+    match dtd {
+        None => root.into_document(),
+        Some(dtd) => {
+            let body = root.into_document().to_xml();
+            Document::parse(&format!("{dtd}{body}"))
+                .expect("generated document must parse")
+        }
+    }
+}
+
+fn catalog(cfg: &DocGenConfig, rng: &mut StdRng) -> Document {
+    // A product subtree is ~12 nodes; a category adds ~4.
+    let mut produced = 4usize;
+    let mut root = ElementBuilder::new("catalog");
+    let mut product_id = 0usize;
+    while produced < cfg.target_nodes {
+        let mut cat = ElementBuilder::new("category")
+            .child(ElementBuilder::new("title").text(sentence(rng, 1, 3)));
+        produced += 4;
+        let products = rng.gen_range(3..=8);
+        for _ in 0..products {
+            if produced >= cfg.target_nodes {
+                break;
+            }
+            product_id += 1;
+            let mut p = ElementBuilder::new("product");
+            if cfg.id_attributes {
+                p = p.attr("id", format!("p{product_id}"));
+            }
+            p = p
+                .child(ElementBuilder::new("name").text(format!(
+                    "{}-{}",
+                    words(rng, 1),
+                    rng.gen_range(100..999)
+                )))
+                .child(ElementBuilder::new("price").text(format!("${}", rng.gen_range(5..2000))))
+                .child(ElementBuilder::new("maker").text(words(rng, 1)))
+                .child(ElementBuilder::new("description").text(sentence(rng, 8, 30)));
+            if rng.gen_bool(0.3) {
+                p = p.child(ElementBuilder::new("stock").text(rng.gen_range(0..500).to_string()));
+            }
+            produced += 12;
+            cat = cat.child(p);
+        }
+        root = root.child(cat);
+    }
+    let dtd = cfg
+        .id_attributes
+        .then_some("<!DOCTYPE catalog [<!ATTLIST product id ID #REQUIRED>]>");
+    with_dtd(root, dtd)
+}
+
+fn address_book(cfg: &DocGenConfig, rng: &mut StdRng) -> Document {
+    let mut produced = 2usize;
+    let mut root = ElementBuilder::new("addressbook");
+    let mut person_id = 0usize;
+    while produced < cfg.target_nodes {
+        person_id += 1;
+        let mut p = ElementBuilder::new("person");
+        if cfg.id_attributes {
+            p = p.attr("id", format!("person{person_id}"));
+        }
+        let first = words(rng, 1);
+        let last = words(rng, 1);
+        p = p
+            .child(ElementBuilder::new("name").text(format!("{first} {last}")))
+            .child(ElementBuilder::new("email").text(format!("{first}.{last}@example.org")))
+            .child(
+                ElementBuilder::new("address")
+                    .child(ElementBuilder::new("street").text(sentence(rng, 2, 4)))
+                    .child(ElementBuilder::new("city").text(words(rng, 1))),
+            );
+        if rng.gen_bool(0.5) {
+            p = p.child(
+                ElementBuilder::new("phone").text(format!("+33-{}", rng.gen_range(100000..999999))),
+            );
+        }
+        produced += 13;
+        root = root.child(p);
+    }
+    let dtd = cfg
+        .id_attributes
+        .then_some("<!DOCTYPE addressbook [<!ATTLIST person id ID #REQUIRED>]>");
+    with_dtd(root, dtd)
+}
+
+fn feed(cfg: &DocGenConfig, rng: &mut StdRng) -> Document {
+    let mut produced = 5usize;
+    let mut root = ElementBuilder::new("feed")
+        .child(ElementBuilder::new("title").text(sentence(rng, 2, 5)));
+    let mut day = 1u32;
+    while produced < cfg.target_nodes {
+        day += 1;
+        let links = rng.gen_range(0..4);
+        let mut e = ElementBuilder::new("entry")
+            .child(ElementBuilder::new("title").text(sentence(rng, 3, 8)))
+            .child(ElementBuilder::new("date").text(format!("2001-{:02}-{:02}", 1 + day / 28 % 12, 1 + day % 28)))
+            .child(ElementBuilder::new("summary").text(sentence(rng, 15, 60)));
+        for _ in 0..links {
+            e = e.child(
+                ElementBuilder::new("link")
+                    .attr("href", format!("http://example.org/{}", words(rng, 1))),
+            );
+        }
+        produced += 9 + links;
+        root = root.child(e);
+    }
+    with_dtd(root, None)
+}
+
+fn generic(cfg: &DocGenConfig, rng: &mut StdRng) -> Document {
+    const LABELS: &[&str] = &["node", "item", "group", "entry", "block", "part"];
+    fn grow(rng: &mut StdRng, budget: &mut isize, depth: usize) -> ElementBuilder {
+        let label = LABELS[rng.gen_range(0..LABELS.len())];
+        let mut e = ElementBuilder::new(label);
+        *budget -= 1;
+        if depth >= 12 || *budget <= 0 {
+            return e.text(words(rng, 2));
+        }
+        let kids = rng.gen_range(1..=5);
+        for _ in 0..kids {
+            if *budget <= 0 {
+                break;
+            }
+            if rng.gen_bool(0.35) {
+                *budget -= 1;
+                e = e.text(sentence(rng, 1, 10));
+            } else {
+                e = e.child(grow(rng, budget, depth + 1));
+            }
+        }
+        e
+    }
+    let mut budget = cfg.target_nodes as isize;
+    let mut root = ElementBuilder::new("root");
+    while budget > 0 {
+        root = root.child(grow(rng, &mut budget, 1));
+    }
+    with_dtd(root, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = DocGenConfig { target_nodes: 300, seed: 9, ..Default::default() };
+        assert_eq!(generate(&cfg).to_xml(), generate(&cfg).to_xml());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DocGenConfig { seed: 1, ..Default::default() });
+        let b = generate(&DocGenConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.to_xml(), b.to_xml());
+    }
+
+    #[test]
+    fn node_budget_is_respected_roughly() {
+        for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed, DocKind::Generic] {
+            for target in [100usize, 1000, 5000] {
+                let d = generate(&DocGenConfig { kind, target_nodes: target, seed: 5, ..Default::default() });
+                let n = d.node_count();
+                assert!(
+                    n >= target / 2 && n <= target * 2 + 40,
+                    "{kind:?} target {target} produced {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn id_attributes_come_with_dtd() {
+        let d = generate(&DocGenConfig {
+            kind: DocKind::Catalog,
+            target_nodes: 200,
+            id_attributes: true,
+            seed: 3,
+        });
+        assert_eq!(d.id_attr_of("product"), Some("id"));
+        // Every product carries a distinct id.
+        let t = &d.tree;
+        let mut seen = std::collections::HashSet::new();
+        let mut products = 0;
+        for n in t.descendants(t.root()) {
+            if t.name(n) == Some("product") {
+                products += 1;
+                let id = t.attr(n, "id").expect("product without id");
+                assert!(seen.insert(id.to_string()), "duplicate product id {id}");
+            }
+        }
+        assert!(products > 3);
+    }
+
+    #[test]
+    fn generated_documents_reparse() {
+        for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed, DocKind::Generic] {
+            let d = generate(&DocGenConfig { kind, target_nodes: 400, seed: 11, ..Default::default() });
+            let xml = d.to_xml();
+            let back = Document::parse(&xml).unwrap();
+            assert_eq!(back.to_xml(), xml, "{kind:?} must round-trip");
+        }
+    }
+
+    #[test]
+    fn labels_repeat_heavily() {
+        // "Many nodes may have the same label" — the premise of the
+        // signature-based candidate machinery.
+        let d = generate(&DocGenConfig { target_nodes: 2000, seed: 4, ..Default::default() });
+        let stats = d.stats();
+        let (_, count) = stats.dominant_label().unwrap();
+        assert!(count > 50, "dominant label should repeat, got {count}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic workloads for the XyDiff experiments.
+//!
+//! The paper's evaluation (§6) runs on (a) simulated changes over XML
+//! documents — "we needed to be able to control the changes on a document
+//! based on parameters of interest such as deletion rate. To do that, we
+//! built a change simulator" — and (b) XML snapshots of web sites ("we
+//! implemented a tool that represents a snapshot of a portion of the web as
+//! a set of XML documents"). The original web corpus is not available, so
+//! this crate synthesizes documents matching the statistics the paper
+//! reports (average web XML ≈ 20 KB; site-metadata files of ~5 MB), per the
+//! substitution policy in DESIGN.md §4.
+//!
+//! - [`docgen`] — parameterized random documents (catalogs, address books,
+//!   feeds, generic trees) of controllable size;
+//! - [`change`] — the three-phase change simulator of §6.1, emitting the
+//!   new version *and* the "perfect" delta (via shared XIDs);
+//! - [`websnap`] — site-metadata snapshots à la the INRIA experiment (§6.2);
+//! - [`corpus`] — small fixed documents, including the paper's Figure 2
+//!   catalog example, for tests and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod change;
+pub mod corpus;
+pub mod docgen;
+pub mod websnap;
+mod words;
+
+pub use change::{simulate, ChangeConfig, SimulatedChange};
+pub use docgen::{generate, DocGenConfig, DocKind};
+pub use websnap::{evolve_site, site_snapshot, SiteConfig};

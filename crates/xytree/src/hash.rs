@@ -1,0 +1,163 @@
+//! Fast, non-cryptographic hashing used throughout the workspace.
+//!
+//! The BULD algorithm registers a signature (hash value) for every subtree of
+//! the old document and probes that table once per considered subtree of the
+//! new document, so hashing is on the critical path of phases 2 and 3. We use
+//! FNV-1a with 64-bit state: trivially seedable, streaming, and fast on the
+//! short keys (labels, signatures) this workload produces. HashDoS is not a
+//! concern — the tables are private to one diff invocation.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a (64 bit) hasher.
+///
+/// Implements [`std::hash::Hasher`] so it can back standard collections via
+/// [`FastHashMap`] / [`FastHashSet`], and is also usable directly for subtree
+/// signatures.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// A hasher with the standard FNV offset basis.
+    #[inline]
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// A hasher seeded with an arbitrary value (used to domain-separate the
+    /// different node kinds when computing signatures).
+    #[inline]
+    pub fn with_seed(seed: u64) -> Self {
+        let mut h = Fnv64::new();
+        h.write_u64(seed);
+        h
+    }
+
+    /// Absorb raw bytes.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a 64-bit value (e.g. a child signature).
+    #[inline]
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Final hash value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot convenience: hash a byte slice.
+    #[inline]
+    pub fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.update(bytes);
+        h.value()
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.update(bytes);
+    }
+}
+
+/// `HashMap` with the fast FNV hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv64>>;
+/// `HashSet` with the fast FNV hasher.
+pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<Fnv64>>;
+
+/// Create an empty [`FastHashMap`].
+pub fn fast_map<K, V>() -> FastHashMap<K, V> {
+    FastHashMap::default()
+}
+
+/// Create an empty [`FastHashMap`] with a capacity hint.
+pub fn fast_map_with_capacity<K, V>(cap: usize) -> FastHashMap<K, V> {
+    FastHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Create an empty [`FastHashSet`].
+pub fn fast_set<K>() -> FastHashSet<K> {
+    FastHashSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(Fnv64::hash_bytes(b""), 0xcbf29ce484222325);
+        assert_eq!(Fnv64::hash_bytes(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(Fnv64::hash_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.value(), Fnv64::hash_bytes(b"foobar"));
+    }
+
+    #[test]
+    fn seed_separates_domains() {
+        let a = {
+            let mut h = Fnv64::with_seed(1);
+            h.update(b"x");
+            h.value()
+        };
+        let b = {
+            let mut h = Fnv64::with_seed(2);
+            h.update(b"x");
+            h.value()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastHashMap<&str, u32> = fast_map();
+        m.insert("k", 1);
+        assert_eq!(m.get("k"), Some(&1));
+        let mut s: FastHashSet<u64> = fast_set();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn update_u64_differs_from_bytes_of_other_value() {
+        let mut a = Fnv64::new();
+        a.update_u64(1);
+        let mut b = Fnv64::new();
+        b.update_u64(2);
+        assert_ne!(a.value(), b.value());
+    }
+}

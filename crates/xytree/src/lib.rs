@@ -1,0 +1,54 @@
+//! XML substrate for the XyDiff reproduction.
+//!
+//! The ICDE 2002 paper ("Detecting Changes in XML Documents", Cobéna,
+//! Abiteboul, Marian) operates on ordered labeled trees parsed from XML
+//! files; the original implementation sat on top of the Xerces-C++ DOM. This
+//! crate is the from-scratch Rust substitute: a non-validating XML parser, an
+//! arena-based ordered tree with cheap structural mutation, a serializer, and
+//! just enough of the DTD internal subset to expose the two pieces of schema
+//! information the diff algorithm exploits — **ID attributes** (used by BULD
+//! phase 1) and **internal entities** (needed to parse real documents).
+//!
+//! # Quick tour
+//!
+//! ```
+//! use xytree::Document;
+//!
+//! let doc = Document::parse(
+//!     "<catalog><product id='p1'><name>tx123</name></product></catalog>",
+//! ).unwrap();
+//! let root = doc.root_element().unwrap();
+//! assert_eq!(doc.tree.name(root), Some("catalog"));
+//! assert_eq!(doc.tree.descendants(root).count(), 4); // catalog, product, name, text
+//! let xml = doc.to_xml();
+//! assert!(xml.contains("<product id=\"p1\">"));
+//! ```
+//!
+//! The tree is an index-based arena ([`Tree`] / [`NodeId`]): nodes are never
+//! reallocated, identifiers stay valid across mutations, and detached
+//! subtrees remain addressable — exactly what a diff algorithm that matches
+//! nodes across two versions needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod document;
+pub mod error;
+pub mod escape;
+pub mod hash;
+pub mod node;
+pub mod parser;
+pub mod serialize;
+pub mod stats;
+pub mod traversal;
+pub mod tree;
+
+pub use build::ElementBuilder;
+pub use document::{Doctype, Document};
+pub use error::{ParseError, ParseErrorKind};
+pub use node::{Attr, Element, NodeKind};
+pub use parser::ParseOptions;
+pub use serialize::SerializeOptions;
+pub use stats::DocStats;
+pub use tree::{NodeId, Tree};

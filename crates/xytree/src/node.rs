@@ -1,0 +1,222 @@
+//! Node payloads: the XML data model of the paper (ordered trees whose nodes
+//! carry labels for elements and data for text nodes, §4), plus comments and
+//! processing instructions so real documents round-trip.
+
+use std::fmt;
+
+/// An attribute of an element node.
+///
+/// Attributes are *not* children in the tree model: the paper treats them
+/// specially (at most one per label, unordered, no persistent identifier of
+/// their own — §5.2 "Other XML features").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attr {
+    /// Attribute name, e.g. `id` or `xml:lang`.
+    pub name: String,
+    /// Attribute value after entity expansion.
+    pub value: String,
+}
+
+impl Attr {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attr { name: name.into(), value: value.into() }
+    }
+}
+
+/// Payload of an element node: a label and its attribute list.
+///
+/// Attribute order is preserved for faithful serialization but is semantically
+/// irrelevant (set semantics), matching the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// The element label (tag name).
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<Attr>,
+}
+
+impl Element {
+    /// An element with the given label and no attributes.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attrs: Vec::new() }
+    }
+
+    /// Value of the attribute named `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|a| a.name == name).map(|a| a.value.as_str())
+    }
+
+    /// Set (insert or overwrite) an attribute. Returns the previous value.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        let name = name.into();
+        let value = value.into();
+        for a in &mut self.attrs {
+            if a.name == name {
+                return Some(std::mem::replace(&mut a.value, value));
+            }
+        }
+        self.attrs.push(Attr { name, value });
+        None
+    }
+
+    /// Remove an attribute. Returns its value if it existed.
+    pub fn remove_attr(&mut self, name: &str) -> Option<String> {
+        let idx = self.attrs.iter().position(|a| a.name == name)?;
+        Some(self.attrs.remove(idx).value)
+    }
+
+    /// True when the element carries an attribute named `name`.
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a.name == name)
+    }
+}
+
+/// The payload of a tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The document root; exactly one per [`crate::Tree`], always the root.
+    Document,
+    /// An element node: label plus attributes.
+    Element(Element),
+    /// A text node (character data after entity expansion).
+    Text(String),
+    /// A comment (`<!-- ... -->`).
+    Comment(String),
+    /// A processing instruction (`<?target data?>`).
+    Pi {
+        /// The PI target, e.g. `xml-stylesheet`.
+        target: String,
+        /// Everything between the target and `?>`.
+        data: String,
+    },
+}
+
+impl NodeKind {
+    /// Element label, if this is an element.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            NodeKind::Element(e) => Some(e.name.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Text content, if this is a text node.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            NodeKind::Text(t) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Borrow the element payload, if this is an element.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the element payload, if this is an element.
+    pub fn as_element_mut(&mut self) -> Option<&mut Element> {
+        match self {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True for [`NodeKind::Element`].
+    pub fn is_element(&self) -> bool {
+        matches!(self, NodeKind::Element(_))
+    }
+
+    /// True for [`NodeKind::Text`].
+    pub fn is_text(&self) -> bool {
+        matches!(self, NodeKind::Text(_))
+    }
+
+    /// True for [`NodeKind::Document`].
+    pub fn is_document(&self) -> bool {
+        matches!(self, NodeKind::Document)
+    }
+
+    /// A short tag identifying the kind, used in diagnostics and hashing.
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            NodeKind::Document => "document",
+            NodeKind::Element(_) => "element",
+            NodeKind::Text(_) => "text",
+            NodeKind::Comment(_) => "comment",
+            NodeKind::Pi { .. } => "pi",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Document => write!(f, "#document"),
+            NodeKind::Element(e) => write!(f, "<{}>", e.name),
+            NodeKind::Text(t) => {
+                let shown: String = t.chars().take(24).collect();
+                if t.chars().count() > 24 {
+                    write!(f, "{shown:?}…")
+                } else {
+                    write!(f, "{shown:?}")
+                }
+            }
+            NodeKind::Comment(_) => write!(f, "<!--…-->"),
+            NodeKind::Pi { target, .. } => write!(f, "<?{target}…?>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_attr_roundtrip() {
+        let mut e = Element::new("product");
+        assert_eq!(e.attr("id"), None);
+        assert_eq!(e.set_attr("id", "p1"), None);
+        assert_eq!(e.attr("id"), Some("p1"));
+        assert_eq!(e.set_attr("id", "p2"), Some("p1".to_string()));
+        assert_eq!(e.attr("id"), Some("p2"));
+        assert!(e.has_attr("id"));
+        assert_eq!(e.remove_attr("id"), Some("p2".to_string()));
+        assert!(!e.has_attr("id"));
+        assert_eq!(e.remove_attr("id"), None);
+    }
+
+    #[test]
+    fn set_attr_preserves_order_of_others() {
+        let mut e = Element::new("x");
+        e.set_attr("a", "1");
+        e.set_attr("b", "2");
+        e.set_attr("a", "3");
+        let names: Vec<_> = e.attrs.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let e = NodeKind::Element(Element::new("a"));
+        assert_eq!(e.name(), Some("a"));
+        assert!(e.is_element());
+        assert!(!e.is_text());
+        let t = NodeKind::Text("hello".into());
+        assert_eq!(t.text(), Some("hello"));
+        assert!(t.is_text());
+        assert_eq!(NodeKind::Document.kind_tag(), "document");
+        assert_eq!(t.kind_tag(), "text");
+    }
+
+    #[test]
+    fn display_truncates_long_text() {
+        let t = NodeKind::Text("x".repeat(100));
+        let s = t.to_string();
+        assert!(s.len() < 60);
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,388 @@
+//! DTD internal-subset parsing.
+//!
+//! The diff algorithm needs exactly two things from a DTD (§5.2 of the
+//! paper): **ID-typed attribute declarations** — "the existence of [an] ID
+//! attribute for a given node provides a unique condition to match the node"
+//! (phase 1) — and internal general entities so documents referencing them
+//! parse. Everything else (`<!ELEMENT>` content models, notations, external
+//! subsets) is skipped: the paper explicitly found content-model reasoning
+//! "costly … and turns out not to help much".
+
+use crate::error::{ParseError, ParseErrorKind};
+use std::collections::HashMap;
+
+use super::cursor::Cursor;
+
+/// DTD-derived document metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Doctype {
+    /// The declared document-element name.
+    pub name: String,
+    /// `element name → attribute name` for every `ID`-typed attribute
+    /// declared in the internal subset.
+    pub id_attrs: HashMap<String, String>,
+    /// Internal general entities (`<!ENTITY n "v">`).
+    pub entities: HashMap<String, String>,
+}
+
+impl Doctype {
+    /// The ID attribute declared for elements labeled `element`, if any.
+    pub fn id_attr_of(&self, element: &str) -> Option<&str> {
+        self.id_attrs.get(element).map(String::as_str)
+    }
+
+    /// True when the internal subset declared at least one ID attribute.
+    pub fn has_id_attrs(&self) -> bool {
+        !self.id_attrs.is_empty()
+    }
+}
+
+/// Parse `<!DOCTYPE ...>` with the cursor positioned at `<`.
+pub(crate) fn parse_doctype(cur: &mut Cursor<'_>) -> Result<Doctype, ParseError> {
+    cur.advance(9); // <!DOCTYPE
+    cur.skip_whitespace();
+    let name = cur.take_name().to_string();
+    if name.is_empty() {
+        return Err(cur.error(ParseErrorKind::MalformedDoctype("missing document-element name")));
+    }
+    let mut dt = Doctype { name, ..Default::default() };
+    cur.skip_whitespace();
+
+    // Optional external id: SYSTEM "sys" | PUBLIC "pub" "sys". We skip the
+    // identifiers; external subsets are not fetched.
+    if cur.starts_with(b"SYSTEM") {
+        cur.advance(6);
+        cur.skip_whitespace();
+        skip_quoted(cur)?;
+        cur.skip_whitespace();
+    } else if cur.starts_with(b"PUBLIC") {
+        cur.advance(6);
+        cur.skip_whitespace();
+        skip_quoted(cur)?;
+        cur.skip_whitespace();
+        skip_quoted(cur)?;
+        cur.skip_whitespace();
+    }
+
+    if cur.peek() == Some(b'[') {
+        cur.advance(1);
+        parse_internal_subset(cur, &mut dt)?;
+        cur.skip_whitespace();
+    }
+    cur.expect(b'>').map_err(|_| {
+        cur.error(ParseErrorKind::MalformedDoctype("expected '>' at end of DOCTYPE"))
+    })?;
+    Ok(dt)
+}
+
+fn parse_internal_subset(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), ParseError> {
+    loop {
+        cur.skip_whitespace();
+        match cur.peek() {
+            Some(b']') => {
+                cur.advance(1);
+                return Ok(());
+            }
+            Some(b'%') => {
+                // Parameter-entity reference: skip it (unsupported).
+                cur.advance(1);
+                cur.take_name();
+                let _ = cur.expect(b';');
+            }
+            Some(b'<') => {
+                if cur.starts_with(b"<!--") {
+                    cur.advance(4);
+                    cur.take_until_seq(b"-->").ok_or_else(|| {
+                        cur.error(ParseErrorKind::UnexpectedEof("comment in DTD"))
+                    })?;
+                    cur.advance(3);
+                } else if cur.starts_with(b"<?") {
+                    cur.advance(2);
+                    cur.take_until_seq(b"?>").ok_or_else(|| {
+                        cur.error(ParseErrorKind::UnexpectedEof("processing instruction in DTD"))
+                    })?;
+                    cur.advance(2);
+                } else if cur.starts_with(b"<!ENTITY") {
+                    cur.advance(8);
+                    parse_entity_decl(cur, dt)?;
+                } else if cur.starts_with(b"<!ATTLIST") {
+                    cur.advance(9);
+                    parse_attlist_decl(cur, dt)?;
+                } else if cur.starts_with(b"<!ELEMENT") || cur.starts_with(b"<!NOTATION") {
+                    skip_markup_decl(cur)?;
+                } else {
+                    return Err(cur.error(ParseErrorKind::MalformedDoctype(
+                        "unrecognized markup declaration in internal subset",
+                    )));
+                }
+            }
+            Some(_) => {
+                return Err(cur.error(ParseErrorKind::MalformedDoctype(
+                    "unexpected content in internal subset",
+                )))
+            }
+            None => {
+                return Err(cur.error(ParseErrorKind::UnexpectedEof("DTD internal subset")));
+            }
+        }
+    }
+}
+
+/// `<!ENTITY name "value">` — record internal general entities; skip
+/// parameter entities (`<!ENTITY % ...`) and external ones.
+fn parse_entity_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), ParseError> {
+    cur.skip_whitespace();
+    if cur.peek() == Some(b'%') {
+        return skip_markup_decl(cur);
+    }
+    let name = cur.take_name().to_string();
+    if name.is_empty() {
+        return Err(cur.error(ParseErrorKind::MalformedDoctype("entity declaration without name")));
+    }
+    cur.skip_whitespace();
+    if cur.starts_with(b"SYSTEM") || cur.starts_with(b"PUBLIC") {
+        // External entity: not fetched; leave undeclared so references fail
+        // loudly rather than silently expanding to nothing.
+        return skip_markup_decl(cur);
+    }
+    let value = read_quoted(cur)?;
+    dt.entities.insert(name, value);
+    skip_markup_decl_tail(cur)
+}
+
+/// `<!ATTLIST element (attr type default)*>` — record `ID`-typed attributes.
+fn parse_attlist_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), ParseError> {
+    cur.skip_whitespace();
+    let element = cur.take_name().to_string();
+    if element.is_empty() {
+        return Err(cur.error(ParseErrorKind::MalformedDoctype("ATTLIST without element name")));
+    }
+    loop {
+        cur.skip_whitespace();
+        match cur.peek() {
+            Some(b'>') => {
+                cur.advance(1);
+                return Ok(());
+            }
+            None => return Err(cur.error(ParseErrorKind::UnexpectedEof("ATTLIST declaration"))),
+            _ => {}
+        }
+        let attr = cur.take_name().to_string();
+        if attr.is_empty() {
+            return Err(cur.error(ParseErrorKind::MalformedDoctype("ATTLIST attribute name")));
+        }
+        cur.skip_whitespace();
+        // Attribute type.
+        let is_id = if cur.peek() == Some(b'(') {
+            // Enumerated type: ( tok | tok ... )
+            skip_parenthesized(cur)?;
+            false
+        } else {
+            let ty = cur.take_name().to_string();
+            cur.skip_whitespace();
+            if ty == "NOTATION" && cur.peek() == Some(b'(') {
+                skip_parenthesized(cur)?;
+            }
+            ty == "ID"
+        };
+        cur.skip_whitespace();
+        // Default declaration.
+        if cur.starts_with(b"#REQUIRED") {
+            cur.advance(9);
+        } else if cur.starts_with(b"#IMPLIED") {
+            cur.advance(8);
+        } else if cur.starts_with(b"#FIXED") {
+            cur.advance(6);
+            cur.skip_whitespace();
+            skip_quoted(cur)?;
+        } else if matches!(cur.peek(), Some(b'"' | b'\'')) {
+            skip_quoted(cur)?;
+        }
+        if is_id {
+            // XML allows at most one ID attribute per element type; first
+            // declaration wins, matching common processor behavior.
+            dt.id_attrs.entry(element.clone()).or_insert(attr);
+        }
+    }
+}
+
+fn read_quoted(cur: &mut Cursor<'_>) -> Result<String, ParseError> {
+    let quote = match cur.peek() {
+        Some(q @ (b'"' | b'\'')) => q,
+        _ => return Err(cur.error(ParseErrorKind::MalformedDoctype("expected quoted literal"))),
+    };
+    cur.advance(1);
+    let v = cur
+        .take_until_byte_checked(quote)
+        .ok_or_else(|| cur.error(ParseErrorKind::UnexpectedEof("quoted literal in DTD")))?
+        .to_string();
+    cur.advance(1);
+    Ok(v)
+}
+
+fn skip_quoted(cur: &mut Cursor<'_>) -> Result<(), ParseError> {
+    read_quoted(cur).map(|_| ())
+}
+
+fn skip_parenthesized(cur: &mut Cursor<'_>) -> Result<(), ParseError> {
+    cur.expect(b'(')
+        .map_err(|_| cur.error(ParseErrorKind::MalformedDoctype("expected '('")))?;
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.peek() {
+            Some(b'(') => depth += 1,
+            Some(b')') => depth -= 1,
+            Some(_) => {}
+            None => return Err(cur.error(ParseErrorKind::UnexpectedEof("enumerated type"))),
+        }
+        cur.advance(1);
+    }
+    Ok(())
+}
+
+/// Skip the remainder of a markup declaration up to and including `>`,
+/// ignoring `>` inside quoted literals.
+fn skip_markup_decl(cur: &mut Cursor<'_>) -> Result<(), ParseError> {
+    skip_markup_decl_tail(cur)
+}
+
+fn skip_markup_decl_tail(cur: &mut Cursor<'_>) -> Result<(), ParseError> {
+    let mut quote: Option<u8> = None;
+    loop {
+        match cur.peek() {
+            Some(b) => {
+                cur.advance(1);
+                match quote {
+                    Some(q) if b == q => quote = None,
+                    Some(_) => {}
+                    None => match b {
+                        b'"' | b'\'' => quote = Some(b),
+                        b'>' => return Ok(()),
+                        _ => {}
+                    },
+                }
+            }
+            None => return Err(cur.error(ParseErrorKind::UnexpectedEof("markup declaration"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::document::Document;
+    use crate::error::ParseErrorKind;
+
+    #[test]
+    fn doctype_name_recorded() {
+        let doc = Document::parse("<!DOCTYPE catalog><catalog/>").unwrap();
+        assert_eq!(doc.doctype.as_ref().unwrap().name, "catalog");
+    }
+
+    #[test]
+    fn external_id_skipped() {
+        let doc = Document::parse(
+            r#"<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0//EN" "http://x/dtd"><html/>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.doctype.as_ref().unwrap().name, "html");
+    }
+
+    #[test]
+    fn id_attribute_declared() {
+        let doc = Document::parse(
+            "<!DOCTYPE c [<!ATTLIST product id ID #REQUIRED>]><c><product id='p1'/></c>",
+        )
+        .unwrap();
+        let dt = doc.doctype.as_ref().unwrap();
+        assert_eq!(dt.id_attr_of("product"), Some("id"));
+        assert!(dt.has_id_attrs());
+    }
+
+    #[test]
+    fn non_id_attribute_not_recorded() {
+        let doc = Document::parse(
+            "<!DOCTYPE c [<!ATTLIST product name CDATA #IMPLIED>]><c/>",
+        )
+        .unwrap();
+        assert!(!doc.doctype.as_ref().unwrap().has_id_attrs());
+    }
+
+    #[test]
+    fn multi_attribute_attlist() {
+        let doc = Document::parse(
+            "<!DOCTYPE c [<!ATTLIST p a CDATA #IMPLIED key ID #REQUIRED b (x|y) \"x\">]><c/>",
+        )
+        .unwrap();
+        assert_eq!(doc.doctype.as_ref().unwrap().id_attr_of("p"), Some("key"));
+    }
+
+    #[test]
+    fn first_id_declaration_wins() {
+        let doc = Document::parse(
+            "<!DOCTYPE c [<!ATTLIST p a ID #IMPLIED><!ATTLIST p b ID #IMPLIED>]><c/>",
+        )
+        .unwrap();
+        assert_eq!(doc.doctype.as_ref().unwrap().id_attr_of("p"), Some("a"));
+    }
+
+    #[test]
+    fn internal_entity_used_in_body() {
+        let doc = Document::parse(
+            "<!DOCTYPE c [<!ENTITY co \"Xyleme SA\">]><c>&co;</c>",
+        )
+        .unwrap();
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.tree.deep_text(root), "Xyleme SA");
+    }
+
+    #[test]
+    fn element_decls_skipped() {
+        let doc = Document::parse(
+            "<!DOCTYPE c [<!ELEMENT c (p*)><!ELEMENT p (#PCDATA)>]><c><p/></c>",
+        )
+        .unwrap();
+        assert!(doc.doctype.is_some());
+    }
+
+    #[test]
+    fn fixed_default_with_gt_inside_quotes() {
+        let doc = Document::parse(
+            "<!DOCTYPE c [<!ATTLIST p a CDATA #FIXED \"x>y\" k ID #IMPLIED>]><c/>",
+        )
+        .unwrap();
+        assert_eq!(doc.doctype.as_ref().unwrap().id_attr_of("p"), Some("k"));
+    }
+
+    #[test]
+    fn comment_and_pi_inside_subset() {
+        let doc = Document::parse(
+            "<!DOCTYPE c [<!--x--><?pi data?><!ATTLIST p k ID #IMPLIED>]><c/>",
+        )
+        .unwrap();
+        assert_eq!(doc.doctype.as_ref().unwrap().id_attr_of("p"), Some("k"));
+    }
+
+    #[test]
+    fn doctype_after_root_is_error() {
+        let e = Document::parse("<c/><!DOCTYPE c>").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::MalformedDoctype(_) | ParseErrorKind::ContentOutsideRoot
+        ));
+    }
+
+    #[test]
+    fn external_entity_left_undeclared() {
+        let e = Document::parse(
+            "<!DOCTYPE c [<!ENTITY ext SYSTEM \"http://x\">]><c>&ext;</c>",
+        )
+        .unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn unterminated_doctype() {
+        let e = Document::parse("<!DOCTYPE c [").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::UnexpectedEof(_)));
+    }
+}

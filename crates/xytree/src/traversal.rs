@@ -1,0 +1,243 @@
+//! Tree iterators: children, ancestors, pre-order and post-order walks.
+//!
+//! All iterators are allocation-free except [`PostOrder`], which keeps an
+//! explicit descent stack bounded by tree depth.
+
+use crate::tree::{NodeId, Tree};
+
+/// Iterator over the children of a node, in document order.
+pub struct Children<'a> {
+    tree: &'a Tree,
+    next: Option<NodeId>,
+}
+
+impl<'a> Children<'a> {
+    pub(crate) fn new(tree: &'a Tree, parent: NodeId) -> Self {
+        Children { tree, next: tree.first_child(parent) }
+    }
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+/// Iterator over the proper ancestors of a node, nearest first.
+pub struct Ancestors<'a> {
+    tree: &'a Tree,
+    next: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(tree: &'a Tree, node: NodeId) -> Self {
+        Ancestors { tree, next: tree.parent(node) }
+    }
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+/// Pre-order (document-order) iterator over a subtree, root included.
+pub struct Descendants<'a> {
+    tree: &'a Tree,
+    scope: NodeId,
+    next: Option<NodeId>,
+}
+
+impl<'a> Descendants<'a> {
+    pub(crate) fn new(tree: &'a Tree, scope: NodeId) -> Self {
+        Descendants { tree, scope, next: Some(scope) }
+    }
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        // Advance: first child, else next sibling of the nearest ancestor
+        // still inside the scope.
+        self.next = if let Some(c) = self.tree.first_child(cur) {
+            Some(c)
+        } else {
+            let mut n = cur;
+            loop {
+                if n == self.scope {
+                    break None;
+                }
+                if let Some(s) = self.tree.next_sibling(n) {
+                    break Some(s);
+                }
+                match self.tree.parent(n) {
+                    Some(p) => n = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(cur)
+    }
+}
+
+/// Post-order iterator over a subtree (children before parents), root last.
+///
+/// This is the order in which XIDs are assigned to a fresh document (§4 of
+/// the paper uses the postfix position as the initial persistent identifier).
+pub struct PostOrder<'a> {
+    tree: &'a Tree,
+    /// Nodes whose subtree still has to be descended into.
+    next: Option<NodeId>,
+    scope: NodeId,
+    done: bool,
+}
+
+impl<'a> PostOrder<'a> {
+    pub(crate) fn new(tree: &'a Tree, scope: NodeId) -> Self {
+        // Start at the leftmost leaf.
+        let mut cur = scope;
+        while let Some(c) = tree.first_child(cur) {
+            cur = c;
+        }
+        PostOrder { tree, next: Some(cur), scope, done: false }
+    }
+}
+
+impl Iterator for PostOrder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.done {
+            return None;
+        }
+        let cur = self.next?;
+        if cur == self.scope {
+            self.done = true;
+            self.next = None;
+            return Some(cur);
+        }
+        self.next = if let Some(sib) = self.tree.next_sibling(cur) {
+            // Descend to the leftmost leaf of the next sibling.
+            let mut n = sib;
+            while let Some(c) = self.tree.first_child(n) {
+                n = c;
+            }
+            Some(n)
+        } else {
+            self.tree.parent(cur)
+        };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::Tree;
+
+    /// Build:
+    /// ```text
+    ///        a
+    ///      / | \
+    ///     b  e  f
+    ///    / \     \
+    ///   c   d     g
+    /// ```
+    fn sample() -> (Tree, Vec<crate::tree::NodeId>) {
+        let mut t = Tree::new();
+        let a = t.new_element("a");
+        let root = t.root();
+        t.append_child(root, a);
+        let b = t.new_element("b");
+        t.append_child(a, b);
+        let c = t.new_element("c");
+        t.append_child(b, c);
+        let d = t.new_element("d");
+        t.append_child(b, d);
+        let e = t.new_element("e");
+        t.append_child(a, e);
+        let f = t.new_element("f");
+        t.append_child(a, f);
+        let g = t.new_element("g");
+        t.append_child(f, g);
+        (t, vec![a, b, c, d, e, f, g])
+    }
+
+    fn names(t: &Tree, ids: impl Iterator<Item = crate::tree::NodeId>) -> Vec<String> {
+        ids.map(|n| t.name(n).unwrap_or("#doc").to_string()).collect()
+    }
+
+    #[test]
+    fn pre_order_is_document_order() {
+        let (t, ids) = sample();
+        let got = names(&t, t.descendants(ids[0]));
+        assert_eq!(got, ["a", "b", "c", "d", "e", "f", "g"]);
+    }
+
+    #[test]
+    fn pre_order_scope_stops_at_subtree() {
+        let (t, ids) = sample();
+        let got = names(&t, t.descendants(ids[1])); // subtree at b
+        assert_eq!(got, ["b", "c", "d"]);
+    }
+
+    #[test]
+    fn post_order_children_before_parents() {
+        let (t, ids) = sample();
+        let got = names(&t, t.post_order(ids[0]));
+        assert_eq!(got, ["c", "d", "b", "e", "g", "f", "a"]);
+    }
+
+    #[test]
+    fn post_order_on_leaf() {
+        let (t, ids) = sample();
+        let got = names(&t, t.post_order(ids[4])); // e is a leaf
+        assert_eq!(got, ["e"]);
+    }
+
+    #[test]
+    fn post_order_scope_stays_in_subtree() {
+        let (t, ids) = sample();
+        let got = names(&t, t.post_order(ids[5])); // subtree at f
+        assert_eq!(got, ["g", "f"]);
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let (t, ids) = sample();
+        let got: Vec<_> = t.ancestors(ids[2]).collect(); // c -> b, a, root
+        assert_eq!(got, vec![ids[1], ids[0], t.root()]);
+    }
+
+    #[test]
+    fn children_of_leaf_is_empty() {
+        let (t, ids) = sample();
+        assert_eq!(t.children(ids[2]).count(), 0);
+    }
+
+    #[test]
+    fn pre_and_post_visit_same_sets() {
+        let (t, ids) = sample();
+        let mut pre: Vec<_> = t.descendants(ids[0]).collect();
+        let mut post: Vec<_> = t.post_order(ids[0]).collect();
+        pre.sort();
+        post.sort();
+        assert_eq!(pre, post);
+    }
+
+    #[test]
+    fn post_order_from_document_root() {
+        let (t, _) = sample();
+        let got = names(&t, t.post_order(t.root()));
+        assert_eq!(got, ["c", "d", "b", "e", "g", "f", "a", "#doc"]);
+    }
+}

@@ -1,0 +1,771 @@
+//! Arena-based ordered tree.
+//!
+//! Nodes live in a `Vec` and are addressed by [`NodeId`] indices; sibling
+//! order is kept in an intrusive doubly-linked list. This gives the three
+//! properties the diff pipeline needs:
+//!
+//! 1. **Stable identifiers** — a `NodeId` stays valid for the life of the
+//!    tree, across arbitrary detach/insert mutations, so matchings and XID
+//!    tables can be plain `Vec`s indexed by node.
+//! 2. **O(1) structural edits** — detach, insert-before, append are pointer
+//!    swaps, so applying a delta is linear in the number of operations.
+//! 3. **Addressable detached subtrees** — a deleted subtree stays in the
+//!    arena; completed deltas can still serialize it for the inverse
+//!    operation.
+//!
+//! Memory is only reclaimed when the whole tree is dropped; documents in this
+//! workload are short-lived (parse → diff → drop), matching the paper's
+//! streaming warehouse setting.
+
+use crate::node::{Element, NodeKind};
+use crate::traversal::{Ancestors, Children, Descendants, PostOrder};
+
+/// Index of a node within a [`Tree`] arena.
+///
+/// Only meaningful together with the tree that created it. The raw index is
+/// exposed ([`NodeId::index`]) so callers can maintain dense side tables
+/// (e.g. `Vec<Option<Xid>>` keyed by node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The arena slot of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a `NodeId` from a slot index previously obtained via
+    /// [`NodeId::index`]. Using an index that was never handed out yields a
+    /// node id that panics on use.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    parent: Option<NodeId>,
+    prev_sibling: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    first_child: Option<NodeId>,
+    last_child: Option<NodeId>,
+    kind: NodeKind,
+}
+
+/// An ordered tree of XML nodes backed by an arena.
+///
+/// Every tree owns exactly one [`NodeKind::Document`] node, created by
+/// [`Tree::new`], which is the permanent root. All other nodes are created
+/// detached and linked in with the insertion methods.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<NodeData>,
+}
+
+impl Default for Tree {
+    fn default() -> Self {
+        Tree::new()
+    }
+}
+
+impl Tree {
+    /// A tree containing only the document root.
+    pub fn new() -> Tree {
+        Tree {
+            nodes: vec![NodeData {
+                parent: None,
+                prev_sibling: None,
+                next_sibling: None,
+                first_child: None,
+                last_child: None,
+                kind: NodeKind::Document,
+            }],
+        }
+    }
+
+    /// A tree with a capacity hint for the expected node count.
+    pub fn with_capacity(nodes: usize) -> Tree {
+        let mut t = Tree { nodes: Vec::with_capacity(nodes.max(1)) };
+        t.nodes.push(NodeData {
+            parent: None,
+            prev_sibling: None,
+            next_sibling: None,
+            first_child: None,
+            last_child: None,
+            kind: NodeKind::Document,
+        });
+        t
+    }
+
+    /// The document root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of arena slots in use (live **and** detached nodes).
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    #[inline]
+    fn data_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // Payload access
+    // ------------------------------------------------------------------
+
+    /// Borrow the payload of `id`.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.data(id).kind
+    }
+
+    /// Mutably borrow the payload of `id`.
+    #[inline]
+    pub fn kind_mut(&mut self, id: NodeId) -> &mut NodeKind {
+        &mut self.data_mut(id).kind
+    }
+
+    /// Element label of `id`, if it is an element.
+    #[inline]
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        self.kind(id).name()
+    }
+
+    /// Text content of `id`, if it is a text node.
+    #[inline]
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        self.kind(id).text()
+    }
+
+    /// Borrow the element payload of `id`, if it is an element.
+    #[inline]
+    pub fn element(&self, id: NodeId) -> Option<&Element> {
+        self.kind(id).as_element()
+    }
+
+    /// Mutably borrow the element payload of `id`, if it is an element.
+    #[inline]
+    pub fn element_mut(&mut self, id: NodeId) -> Option<&mut Element> {
+        self.kind_mut(id).as_element_mut()
+    }
+
+    /// Attribute `name` of element `id`.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.element(id).and_then(|e| e.attr(name))
+    }
+
+    // ------------------------------------------------------------------
+    // Navigation
+    // ------------------------------------------------------------------
+
+    /// Parent of `id` (`None` for the root and for detached nodes).
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).parent
+    }
+
+    /// First child of `id`.
+    #[inline]
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).first_child
+    }
+
+    /// Last child of `id`.
+    #[inline]
+    pub fn last_child(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).last_child
+    }
+
+    /// Next sibling of `id`.
+    #[inline]
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).next_sibling
+    }
+
+    /// Previous sibling of `id`.
+    #[inline]
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).prev_sibling
+    }
+
+    /// Iterator over the children of `id`, in order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children::new(self, id)
+    }
+
+    /// Number of children of `id`. O(children).
+    pub fn children_count(&self, id: NodeId) -> usize {
+        self.children(id).count()
+    }
+
+    /// The `idx`-th child of `id` (0-based). O(idx).
+    pub fn child_at(&self, id: NodeId, idx: usize) -> Option<NodeId> {
+        self.children(id).nth(idx)
+    }
+
+    /// Position of `id` among its siblings (0-based). O(position).
+    ///
+    /// Returns 0 for a detached node or the root.
+    pub fn child_index(&self, id: NodeId) -> usize {
+        let mut i = 0;
+        let mut cur = id;
+        while let Some(prev) = self.prev_sibling(cur) {
+            i += 1;
+            cur = prev;
+        }
+        i
+    }
+
+    /// Pre-order iterator over `id` and all its descendants.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants::new(self, id)
+    }
+
+    /// Post-order iterator over `id` and all its descendants (children before
+    /// parents — the order XIDs are assigned in, §4).
+    pub fn post_order(&self, id: NodeId) -> PostOrder<'_> {
+        PostOrder::new(self, id)
+    }
+
+    /// Iterator over the ancestors of `id`, starting at its parent.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors::new(self, id)
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (including `id`).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.descendants(id).count()
+    }
+
+    /// Depth of `id`: 0 for the root, 1 for its children, etc.
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// True if `id` is reachable from the root (not detached).
+    pub fn is_attached(&self, id: NodeId) -> bool {
+        if id == self.root() {
+            return true;
+        }
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            if p == self.root() {
+                return true;
+            }
+            cur = p;
+        }
+        false
+    }
+
+    /// Concatenation of all text-node content below `id`, in document order.
+    pub fn deep_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants(id) {
+            if let Some(t) = self.text(n) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// The root element of the document, if any (skipping comments and PIs at
+    /// the top level).
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.children(self.root()).find(|&c| self.kind(c).is_element())
+    }
+
+    /// First child element of `id` with label `name`.
+    pub fn child_element(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.children(id).find(|&c| self.name(c) == Some(name))
+    }
+
+    /// All child elements of `id` with label `name`.
+    pub fn child_elements<'a>(
+        &'a self,
+        id: NodeId,
+        name: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(id).filter(move |&c| self.name(c) == Some(name))
+    }
+
+    // ------------------------------------------------------------------
+    // Construction & mutation
+    // ------------------------------------------------------------------
+
+    /// Allocate a detached node with the given payload.
+    pub fn new_node(&mut self, kind: NodeKind) -> NodeId {
+        assert!(!kind.is_document(), "a tree has exactly one document node");
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData {
+            parent: None,
+            prev_sibling: None,
+            next_sibling: None,
+            first_child: None,
+            last_child: None,
+            kind,
+        });
+        id
+    }
+
+    /// Allocate a detached element node.
+    pub fn new_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.new_node(NodeKind::Element(Element::new(name)))
+    }
+
+    /// Allocate a detached text node.
+    pub fn new_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.new_node(NodeKind::Text(text.into()))
+    }
+
+    fn assert_insertable(&self, parent: NodeId, child: NodeId) {
+        assert_ne!(child, self.root(), "cannot attach the document root");
+        assert!(
+            self.data(child).parent.is_none(),
+            "node is already attached; detach it first"
+        );
+        // Cycle guard: parent must not live inside child's subtree.
+        let mut cur = Some(parent);
+        while let Some(c) = cur {
+            assert_ne!(c, child, "cannot attach a node under its own descendant");
+            cur = self.parent(c);
+        }
+    }
+
+    /// Attach `child` as the last child of `parent`.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        self.assert_insertable(parent, child);
+        let old_last = self.data(parent).last_child;
+        self.data_mut(child).parent = Some(parent);
+        self.data_mut(child).prev_sibling = old_last;
+        self.data_mut(child).next_sibling = None;
+        match old_last {
+            Some(last) => self.data_mut(last).next_sibling = Some(child),
+            None => self.data_mut(parent).first_child = Some(child),
+        }
+        self.data_mut(parent).last_child = Some(child);
+    }
+
+    /// Attach `child` as the first child of `parent`.
+    pub fn prepend_child(&mut self, parent: NodeId, child: NodeId) {
+        self.assert_insertable(parent, child);
+        let old_first = self.data(parent).first_child;
+        self.data_mut(child).parent = Some(parent);
+        self.data_mut(child).prev_sibling = None;
+        self.data_mut(child).next_sibling = old_first;
+        match old_first {
+            Some(first) => self.data_mut(first).prev_sibling = Some(child),
+            None => self.data_mut(parent).last_child = Some(child),
+        }
+        self.data_mut(parent).first_child = Some(child);
+    }
+
+    /// Attach `new` immediately before `sibling` (which must be attached).
+    pub fn insert_before(&mut self, sibling: NodeId, new: NodeId) {
+        let parent = self
+            .parent(sibling)
+            .expect("insert_before target must have a parent");
+        self.assert_insertable(parent, new);
+        let prev = self.data(sibling).prev_sibling;
+        self.data_mut(new).parent = Some(parent);
+        self.data_mut(new).prev_sibling = prev;
+        self.data_mut(new).next_sibling = Some(sibling);
+        self.data_mut(sibling).prev_sibling = Some(new);
+        match prev {
+            Some(p) => self.data_mut(p).next_sibling = Some(new),
+            None => self.data_mut(parent).first_child = Some(new),
+        }
+    }
+
+    /// Attach `new` immediately after `sibling` (which must be attached).
+    pub fn insert_after(&mut self, sibling: NodeId, new: NodeId) {
+        match self.next_sibling(sibling) {
+            Some(next) => self.insert_before(next, new),
+            None => {
+                let parent = self
+                    .parent(sibling)
+                    .expect("insert_after target must have a parent");
+                self.append_child(parent, new);
+            }
+        }
+    }
+
+    /// Attach `child` so that it becomes the `idx`-th child of `parent`
+    /// (0-based). `idx` is clamped to the current child count.
+    pub fn insert_child_at(&mut self, parent: NodeId, idx: usize, child: NodeId) {
+        match self.child_at(parent, idx) {
+            Some(at) => self.insert_before(at, child),
+            None => self.append_child(parent, child),
+        }
+    }
+
+    /// Unlink `id` from its parent. The subtree below `id` stays intact and
+    /// addressable; `id` can be re-attached later. No-op if already detached.
+    pub fn detach(&mut self, id: NodeId) {
+        assert_ne!(id, self.root(), "cannot detach the document root");
+        let (parent, prev, next) = {
+            let d = self.data(id);
+            (d.parent, d.prev_sibling, d.next_sibling)
+        };
+        let Some(parent) = parent else { return };
+        match prev {
+            Some(p) => self.data_mut(p).next_sibling = next,
+            None => self.data_mut(parent).first_child = next,
+        }
+        match next {
+            Some(n) => self.data_mut(n).prev_sibling = prev,
+            None => self.data_mut(parent).last_child = prev,
+        }
+        let d = self.data_mut(id);
+        d.parent = None;
+        d.prev_sibling = None;
+        d.next_sibling = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-tree operations
+    // ------------------------------------------------------------------
+
+    /// Deep-copy the subtree rooted at `src_node` of `src` into this tree,
+    /// returning the id of the copied root (detached).
+    pub fn copy_subtree_from(&mut self, src: &Tree, src_node: NodeId) -> NodeId {
+        let new_root = self.new_node(src.kind_for_copy(src_node));
+        let mut stack = vec![(src_node, new_root)];
+        while let Some((s, d)) = stack.pop() {
+            // Collect children first so we append in order.
+            let kids: Vec<NodeId> = src.children(s).collect();
+            for k in kids {
+                let nk = self.new_node(src.kind_for_copy(k));
+                self.append_child(d, nk);
+                stack.push((k, nk));
+            }
+        }
+        new_root
+    }
+
+    fn kind_for_copy(&self, id: NodeId) -> NodeKind {
+        // A document node can only be copied as the content below it; callers
+        // never pass the root, but guard anyway by turning it into an element
+        // placeholder — in practice `extract_subtree` handles the root case.
+        match self.kind(id) {
+            NodeKind::Document => NodeKind::Element(Element::new("#document")),
+            k => k.clone(),
+        }
+    }
+
+    /// Clone the subtree rooted at `id` into a fresh standalone tree whose
+    /// document root has the copied node as its single child.
+    pub fn extract_subtree(&self, id: NodeId) -> Tree {
+        let mut t = Tree::with_capacity(self.subtree_size(id) + 1);
+        let copied = t.copy_subtree_from(self, id);
+        let root = t.root();
+        t.append_child(root, copied);
+        t
+    }
+
+    /// Structural equality of two subtrees (labels, attributes as sets, text,
+    /// children order). Document nodes compare equal to each other.
+    pub fn subtree_eq(&self, a: NodeId, other: &Tree, b: NodeId) -> bool {
+        if !node_payload_eq(self.kind(a), other.kind(b)) {
+            return false;
+        }
+        let mut ca = self.first_child(a);
+        let mut cb = other.first_child(b);
+        loop {
+            match (ca, cb) {
+                (None, None) => return true,
+                (Some(x), Some(y)) => {
+                    if !self.subtree_eq(x, other, y) {
+                        return false;
+                    }
+                    ca = self.next_sibling(x);
+                    cb = other.next_sibling(y);
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (used by property tests)
+    // ------------------------------------------------------------------
+
+    /// Check the intrusive-list invariants of the whole arena. Returns a
+    /// description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, d) in self.nodes.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            if let Some(fc) = d.first_child {
+                if self.data(fc).parent != Some(id) {
+                    return Err(format!("first_child of {i} has wrong parent"));
+                }
+                if self.data(fc).prev_sibling.is_some() {
+                    return Err(format!("first_child of {i} has a prev_sibling"));
+                }
+            }
+            if let Some(lc) = d.last_child {
+                if self.data(lc).parent != Some(id) {
+                    return Err(format!("last_child of {i} has wrong parent"));
+                }
+                if self.data(lc).next_sibling.is_some() {
+                    return Err(format!("last_child of {i} has a next_sibling"));
+                }
+            }
+            if d.first_child.is_some() != d.last_child.is_some() {
+                return Err(format!("node {i}: first/last child disagree"));
+            }
+            // Walk the child list and check back-links.
+            let mut prev: Option<NodeId> = None;
+            let mut cur = d.first_child;
+            let mut steps = 0usize;
+            while let Some(c) = cur {
+                if self.data(c).parent != Some(id) {
+                    return Err(format!("child {} of {} has wrong parent", c.index(), i));
+                }
+                if self.data(c).prev_sibling != prev {
+                    return Err(format!("child {} of {} has wrong prev link", c.index(), i));
+                }
+                prev = Some(c);
+                cur = self.data(c).next_sibling;
+                steps += 1;
+                if steps > self.nodes.len() {
+                    return Err(format!("cycle in child list of node {i}"));
+                }
+            }
+            if prev != d.last_child {
+                return Err(format!("node {i}: last_child does not terminate the list"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compare node payloads the way the diff does: element attributes are a set,
+/// everything else is literal.
+pub fn node_payload_eq(a: &NodeKind, b: &NodeKind) -> bool {
+    match (a, b) {
+        (NodeKind::Document, NodeKind::Document) => true,
+        (NodeKind::Element(x), NodeKind::Element(y)) => {
+            x.name == y.name
+                && x.attrs.len() == y.attrs.len()
+                && x.attrs.iter().all(|ax| y.attr(&ax.name) == Some(ax.value.as_str()))
+        }
+        (NodeKind::Text(x), NodeKind::Text(y)) => x == y,
+        (NodeKind::Comment(x), NodeKind::Comment(y)) => x == y,
+        (
+            NodeKind::Pi { target: t1, data: d1 },
+            NodeKind::Pi { target: t2, data: d2 },
+        ) => t1 == t2 && d1 == d2,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Tree, NodeId, NodeId, NodeId, NodeId) {
+        // <a><b/>text<c/></a>
+        let mut t = Tree::new();
+        let a = t.new_element("a");
+        let root = t.root();
+        t.append_child(root, a);
+        let b = t.new_element("b");
+        t.append_child(a, b);
+        let txt = t.new_text("text");
+        t.append_child(a, txt);
+        let c = t.new_element("c");
+        t.append_child(a, c);
+        (t, a, b, txt, c)
+    }
+
+    #[test]
+    fn navigation_links() {
+        let (t, a, b, txt, c) = small();
+        assert_eq!(t.first_child(a), Some(b));
+        assert_eq!(t.last_child(a), Some(c));
+        assert_eq!(t.next_sibling(b), Some(txt));
+        assert_eq!(t.prev_sibling(c), Some(txt));
+        assert_eq!(t.parent(txt), Some(a));
+        assert_eq!(t.children(a).collect::<Vec<_>>(), vec![b, txt, c]);
+        assert_eq!(t.children_count(a), 3);
+        assert_eq!(t.child_at(a, 1), Some(txt));
+        assert_eq!(t.child_at(a, 3), None);
+        assert_eq!(t.child_index(c), 2);
+        assert_eq!(t.child_index(b), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn detach_middle_and_reattach() {
+        let (mut t, a, b, txt, c) = small();
+        t.detach(txt);
+        assert_eq!(t.children(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(t.parent(txt), None);
+        assert!(!t.is_attached(txt));
+        t.validate().unwrap();
+        t.insert_child_at(a, 0, txt);
+        assert_eq!(t.children(a).collect::<Vec<_>>(), vec![txt, b, c]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn detach_first_and_last() {
+        let (mut t, a, b, txt, c) = small();
+        t.detach(b);
+        assert_eq!(t.first_child(a), Some(txt));
+        t.detach(c);
+        assert_eq!(t.last_child(a), Some(txt));
+        assert_eq!(t.children(a).collect::<Vec<_>>(), vec![txt]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn detach_is_idempotent() {
+        let (mut t, a, _b, txt, _c) = small();
+        t.detach(txt);
+        t.detach(txt);
+        assert_eq!(t.children_count(a), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_before_and_after() {
+        let (mut t, a, b, txt, _c) = small();
+        let x = t.new_element("x");
+        t.insert_before(b, x);
+        assert_eq!(t.child_at(a, 0), Some(x));
+        let y = t.new_element("y");
+        t.insert_after(txt, y);
+        assert_eq!(t.child_index(y), 3);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_child_at_clamps() {
+        let (mut t, a, ..) = small();
+        let x = t.new_element("x");
+        t.insert_child_at(a, 99, x);
+        assert_eq!(t.last_child(a), Some(x));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let (mut t, a, b, ..) = small();
+        t.append_child(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "descendant")]
+    fn cycle_panics() {
+        let (mut t, a, b, ..) = small();
+        t.detach(a); // a now detached, b still its child
+        t.append_child(b, a);
+    }
+
+    #[test]
+    fn subtree_size_and_depth() {
+        let (t, a, b, ..) = small();
+        assert_eq!(t.subtree_size(a), 4);
+        assert_eq!(t.subtree_size(t.root()), 5);
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.depth(a), 1);
+        assert_eq!(t.depth(b), 2);
+    }
+
+    #[test]
+    fn deep_text_concatenates() {
+        let (mut t, _a, b, ..) = small();
+        let inner = t.new_text("deep");
+        t.append_child(b, inner);
+        assert_eq!(t.deep_text(t.root()), "deeptext");
+    }
+
+    #[test]
+    fn extract_and_graft() {
+        let (t, a, ..) = small();
+        let sub = t.extract_subtree(a);
+        let sub_root_elem = sub.root_element().unwrap();
+        assert_eq!(sub.name(sub_root_elem), Some("a"));
+        assert_eq!(sub.subtree_size(sub.root()), 5);
+        assert!(t.subtree_eq(a, &sub, sub_root_elem));
+    }
+
+    #[test]
+    fn copy_subtree_preserves_order() {
+        let (t, a, ..) = small();
+        let mut dst = Tree::new();
+        let copied = dst.copy_subtree_from(&t, a);
+        let root = dst.root();
+        dst.append_child(root, copied);
+        let names: Vec<_> = dst
+            .descendants(copied)
+            .map(|n| dst.kind(n).to_string())
+            .collect();
+        assert_eq!(names, ["<a>", "<b>", "\"text\"", "<c>"]);
+        dst.validate().unwrap();
+    }
+
+    #[test]
+    fn subtree_eq_detects_attr_set_equality() {
+        let mut t1 = Tree::new();
+        let e1 = t1.new_element("e");
+        t1.element_mut(e1).unwrap().set_attr("a", "1");
+        t1.element_mut(e1).unwrap().set_attr("b", "2");
+        let r1 = t1.root();
+        t1.append_child(r1, e1);
+
+        let mut t2 = Tree::new();
+        let e2 = t2.new_element("e");
+        t2.element_mut(e2).unwrap().set_attr("b", "2");
+        t2.element_mut(e2).unwrap().set_attr("a", "1");
+        let r2 = t2.root();
+        t2.append_child(r2, e2);
+
+        assert!(t1.subtree_eq(e1, &t2, e2), "attribute order must not matter");
+        t2.element_mut(e2).unwrap().set_attr("a", "9");
+        assert!(!t1.subtree_eq(e1, &t2, e2));
+    }
+
+    #[test]
+    fn subtree_eq_child_count_mismatch() {
+        let (t1, a1, ..) = small();
+        let (mut t2, a2, _b2, txt2, _c2) = small();
+        t2.detach(txt2);
+        assert!(!t1.subtree_eq(a1, &t2, a2));
+    }
+
+    #[test]
+    fn root_element_skips_comments() {
+        let mut t = Tree::new();
+        let c = t.new_node(NodeKind::Comment("hi".into()));
+        let root = t.root();
+        t.append_child(root, c);
+        let e = t.new_element("e");
+        t.append_child(root, e);
+        assert_eq!(t.root_element(), Some(e));
+    }
+
+    #[test]
+    fn child_element_lookup() {
+        let (mut t, a, ..) = small();
+        assert!(t.child_element(a, "b").is_some());
+        assert!(t.child_element(a, "zz").is_none());
+        let b2 = t.new_element("b");
+        t.append_child(a, b2);
+        assert_eq!(t.child_elements(a, "b").count(), 2);
+    }
+}

@@ -1,0 +1,310 @@
+//! File-backed persistence for version chains.
+//!
+//! Figure 1's repository stores documents and their delta sequences. The
+//! on-disk layout per document key is deliberately plain XML — "the diff
+//! output is stored as an XML document" (§2) — so the files are themselves
+//! greppable/queryable:
+//!
+//! ```text
+//! <dir>/<key>/v0.xml          the initial version
+//! <dir>/<key>/delta-0001.xml  v0 -> v1
+//! <dir>/<key>/delta-0002.xml  v1 -> v2
+//! …
+//! ```
+//!
+//! Nothing else is needed: initial XIDs are assigned deterministically
+//! (postfix order, §4), and every later version is `v0` plus the deltas, so
+//! reloading replays the chain and reproduces the exact XID assignment the
+//! writer had.
+
+use crate::repository::RepositoryError;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use xydelta::{xml_io, VersionChain, XidDocument};
+
+/// Errors from saving/loading chains.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A stored file does not parse as XML or as a delta.
+    Corrupt {
+        /// Offending file.
+        file: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+    /// Replaying a stored delta failed.
+    Replay(xydelta::ApplyError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o: {e}"),
+            PersistError::Corrupt { file, message } => {
+                write!(f, "corrupt store file {}: {message}", file.display())
+            }
+            PersistError::Replay(e) => write!(f, "stored delta does not replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<PersistError> for RepositoryError {
+    fn from(e: PersistError) -> Self {
+        // Persistence failures surface as reconstruction problems at the
+        // repository level; keep the detailed message.
+        RepositoryError::UnknownDocument(e.to_string())
+    }
+}
+
+/// Write a chain to `dir` (created if missing). Only files this module owns
+/// (`v0.xml`, `delta-*.xml`, `key.txt`) are replaced or removed — the
+/// directory is never wholesale-deleted, so a mistaken path cannot wipe
+/// unrelated data.
+pub fn save_chain(chain: &VersionChain, dir: &Path) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    // Remove stale chain files from a previous (possibly longer) save.
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name == "v0.xml" || (name.starts_with("delta-") && name.ends_with(".xml")) {
+            fs::remove_file(&path)?;
+        }
+    }
+    let v0 = chain
+        .version(0)
+        .map_err(PersistError::Replay)?;
+    fs::write(dir.join("v0.xml"), v0.doc.to_xml())?;
+    for i in 0.. {
+        let Some(delta) = chain.delta(i) else { break };
+        let name = format!("delta-{:04}.xml", i + 1);
+        fs::write(dir.join(name), xml_io::delta_to_xml(delta))?;
+    }
+    Ok(())
+}
+
+/// Load a chain from `dir`, replaying every stored delta.
+pub fn load_chain(dir: &Path) -> Result<VersionChain, PersistError> {
+    let v0_path = dir.join("v0.xml");
+    let v0_xml = fs::read_to_string(&v0_path)?;
+    let v0_doc = xytree::Document::parse(&v0_xml).map_err(|e| PersistError::Corrupt {
+        file: v0_path,
+        message: e.to_string(),
+    })?;
+    let mut chain = VersionChain::new(XidDocument::assign_initial(v0_doc));
+
+    // Collect delta files in order.
+    let mut delta_files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("delta-") && n.ends_with(".xml"))
+        })
+        .collect();
+    delta_files.sort();
+    for file in delta_files {
+        let xml = fs::read_to_string(&file)?;
+        let delta = xml_io::parse_delta(&xml).map_err(|e| PersistError::Corrupt {
+            file: file.clone(),
+            message: e.to_string(),
+        })?;
+        chain.push_delta(delta).map_err(PersistError::Replay)?;
+    }
+    Ok(chain)
+}
+
+impl crate::repository::Repository {
+    /// Persist every stored document's chain under `dir`: one numbered
+    /// subdirectory per key, with the key recorded in `key.txt` (keys are
+    /// URLs in the Xyleme setting and may contain path separators) and the
+    /// set of live subdirectories in `manifest.txt`. Stale subdirectories
+    /// from a previous larger save are dropped from the manifest but never
+    /// deleted — this function only ever touches files it wrote itself.
+    pub fn save_to(&self, dir: &Path) -> Result<(), PersistError> {
+        fs::create_dir_all(dir)?;
+        let mut keys = self.keys();
+        keys.sort();
+        let mut manifest = String::new();
+        for (i, key) in keys.iter().enumerate() {
+            let sub_name = format!("doc-{i:05}");
+            let sub = dir.join(&sub_name);
+            let chain = self
+                .chain_snapshot(key)
+                .expect("listed key must have a chain");
+            save_chain(&chain, &sub)?;
+            fs::write(sub.join("key.txt"), key)?;
+            manifest.push_str(&sub_name);
+            manifest.push('\n');
+        }
+        fs::write(dir.join("manifest.txt"), manifest)?;
+        Ok(())
+    }
+
+    /// Load a repository previously written by [`Repository::save_to`],
+    /// with fresh diff options and alerter.
+    pub fn load_from(
+        dir: &Path,
+        opts: xydiff::DiffOptions,
+        alerter: crate::alerter::Alerter,
+    ) -> Result<Self, PersistError> {
+        let repo = crate::repository::Repository::with_options(opts, alerter);
+        let manifest_path = dir.join("manifest.txt");
+        let manifest = fs::read_to_string(&manifest_path)?;
+        let mut subdirs: Vec<PathBuf> = manifest
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| dir.join(l.trim()))
+            .collect();
+        subdirs.sort();
+        for sub in subdirs {
+            let key_file = sub.join("key.txt");
+            let key = fs::read_to_string(&key_file)?;
+            let chain = load_chain(&sub)?;
+            repo.install_chain(key.trim().to_string(), chain);
+        }
+        Ok(repo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xydiff::{diff, DiffOptions};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "xywarehouse-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn build_chain(versions: &[&str]) -> VersionChain {
+        let mut chain =
+            VersionChain::new(XidDocument::parse_initial(versions[0]).unwrap());
+        for xml in &versions[1..] {
+            let doc = xytree::Document::parse(xml).unwrap();
+            let r = diff(chain.latest(), &doc, &DiffOptions::default());
+            chain.push_version(r.new_version, r.delta);
+        }
+        chain
+    }
+
+    #[test]
+    fn save_load_roundtrip_reproduces_every_version() {
+        let versions = [
+            "<log><e>a</e></log>",
+            "<log><e>a</e><e>b</e></log>",
+            "<log><e>b</e><e>a!</e></log>",
+        ];
+        let chain = build_chain(&versions);
+        let dir = tmpdir("roundtrip");
+        save_chain(&chain, &dir).unwrap();
+
+        let loaded = load_chain(&dir).unwrap();
+        assert_eq!(loaded.version_count(), 3);
+        for (i, xml) in versions.iter().enumerate() {
+            assert_eq!(&loaded.version(i).unwrap().doc.to_xml(), xml, "version {i}");
+        }
+        // XID assignment is reproduced exactly, so diffing can continue from
+        // the loaded chain.
+        let next = xytree::Document::parse("<log><e>b</e><e>a!</e><e>c</e></log>").unwrap();
+        let r = diff(loaded.latest(), &next, &DiffOptions::default());
+        assert_eq!(r.delta.counts().inserts, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loaded_chain_matches_original_xids() {
+        let chain = build_chain(&["<a><b>x</b></a>", "<a><b>y</b></a>"]);
+        let dir = tmpdir("xids");
+        save_chain(&chain, &dir).unwrap();
+        let loaded = load_chain(&dir).unwrap();
+        // Same latest XML and the same next-XID counter (continuation-safe).
+        assert_eq!(
+            loaded.latest().doc.to_xml(),
+            chain.latest().doc.to_xml()
+        );
+        assert_eq!(
+            loaded.latest().next_xid_value(),
+            chain.latest().next_xid_value()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_delta_is_reported_with_filename() {
+        let chain = build_chain(&["<a/>", "<a><b/></a>"]);
+        let dir = tmpdir("corrupt");
+        save_chain(&chain, &dir).unwrap();
+        fs::write(dir.join("delta-0001.xml"), "<not-a-delta/>").unwrap();
+        match load_chain(&dir) {
+            Err(PersistError::Corrupt { file, .. }) => {
+                assert!(file.to_string_lossy().contains("delta-0001"));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        assert!(matches!(
+            load_chain(Path::new("/nonexistent/xywarehouse-test")),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn repository_save_and_load() {
+        let repo = crate::repository::Repository::new();
+        repo.load_version("site/a.xml", "<a><v>1</v></a>").unwrap();
+        repo.load_version("site/a.xml", "<a><v>2</v></a>").unwrap();
+        repo.load_version("site/b.xml", "<b/>").unwrap();
+        let dir = tmpdir("repo");
+        repo.save_to(&dir).unwrap();
+
+        let loaded = crate::repository::Repository::load_from(
+            &dir,
+            DiffOptions::default(),
+            crate::alerter::Alerter::new(),
+        )
+        .unwrap();
+        let mut keys = loaded.keys();
+        keys.sort();
+        assert_eq!(keys, vec!["site/a.xml".to_string(), "site/b.xml".to_string()]);
+        assert_eq!(loaded.version_count("site/a.xml"), 2);
+        assert_eq!(loaded.version_xml("site/a.xml", 0).unwrap(), "<a><v>1</v></a>");
+        assert_eq!(loaded.latest_xml("site/a.xml").unwrap(), "<a><v>2</v></a>");
+        // And ingest continues seamlessly after reload.
+        let out = loaded.load_version("site/a.xml", "<a><v>3</v></a>").unwrap();
+        assert_eq!(out.version, 2);
+        assert_eq!(out.delta.counts().updates, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_replaces_previous_contents() {
+        let dir = tmpdir("replace");
+        let chain1 = build_chain(&["<a/>", "<a><b/></a>", "<a><b/><c/></a>"]);
+        save_chain(&chain1, &dir).unwrap();
+        let chain2 = build_chain(&["<z/>"]);
+        save_chain(&chain2, &dir).unwrap();
+        let loaded = load_chain(&dir).unwrap();
+        assert_eq!(loaded.version_count(), 1);
+        assert_eq!(loaded.latest().doc.to_xml(), "<z/>");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,312 @@
+//! The version repository: the storage half of Figure 1.
+//!
+//! Keyed by document identifier (URL in Xyleme), each entry is a
+//! [`VersionChain`]: the latest snapshot plus the forward delta sequence.
+//! Loading a new version runs the BULD diff against the stored latest,
+//! appends the delta, replaces the snapshot ("the old version is then
+//! possibly removed from the repository"), and hands the delta to the
+//! alerter.
+
+use crate::alerter::{Alerter, Notification};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use xydelta::{ApplyError, Delta, VersionChain, XidDocument};
+use xydiff::{diff, DiffOptions};
+use xytree::{Document, ParseError};
+
+/// Errors surfaced by repository operations.
+#[derive(Debug)]
+pub enum RepositoryError {
+    /// The submitted XML does not parse.
+    Parse(ParseError),
+    /// No document is stored under the given key.
+    UnknownDocument(String),
+    /// The requested version index does not exist.
+    UnknownVersion {
+        /// Document key.
+        key: String,
+        /// Requested version.
+        version: usize,
+        /// Number of stored versions.
+        available: usize,
+    },
+    /// Delta replay failed while reconstructing a version (storage
+    /// corruption — should never happen).
+    Reconstruct(ApplyError),
+}
+
+impl fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepositoryError::Parse(e) => write!(f, "document does not parse: {e}"),
+            RepositoryError::UnknownDocument(k) => write!(f, "no document stored under {k:?}"),
+            RepositoryError::UnknownVersion { key, version, available } => write!(
+                f,
+                "document {key:?} has {available} versions, version {version} requested"
+            ),
+            RepositoryError::Reconstruct(e) => write!(f, "version reconstruction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+impl From<ParseError> for RepositoryError {
+    fn from(e: ParseError) -> Self {
+        RepositoryError::Parse(e)
+    }
+}
+
+/// What loading one version produced.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// Index of the freshly stored version (0 for the first load).
+    pub version: usize,
+    /// The computed delta (empty for the first load or an unchanged doc).
+    pub delta: Delta,
+    /// Subscription hits raised by this delta.
+    pub notifications: Vec<Notification>,
+}
+
+/// A concurrent store of versioned documents.
+pub struct Repository {
+    entries: RwLock<HashMap<String, VersionChain>>,
+    opts: DiffOptions,
+    alerter: Alerter,
+}
+
+impl Repository {
+    /// An empty repository with default diff options and no subscriptions.
+    pub fn new() -> Repository {
+        Repository::with_options(DiffOptions::default(), Alerter::new())
+    }
+
+    /// An empty repository with explicit diff options and an alerter.
+    pub fn with_options(opts: DiffOptions, alerter: Alerter) -> Repository {
+        Repository { entries: RwLock::new(HashMap::new()), opts, alerter }
+    }
+
+    /// Install a new version of document `key` (the Figure 1 ingest path).
+    ///
+    /// The first load of a key creates version 0 with an empty delta; later
+    /// loads diff against the stored latest.
+    pub fn load_version(&self, key: &str, xml: &str) -> Result<LoadOutcome, RepositoryError> {
+        let doc = Document::parse(xml)?;
+        let mut entries = self.entries.write();
+        match entries.get_mut(key) {
+            None => {
+                let initial = XidDocument::assign_initial(doc);
+                entries.insert(key.to_string(), VersionChain::new(initial));
+                Ok(LoadOutcome { version: 0, delta: Delta::new(), notifications: Vec::new() })
+            }
+            Some(chain) => {
+                let result = diff(chain.latest(), &doc, &self.opts);
+                let notifications = self.alerter.evaluate(
+                    key,
+                    &result.delta,
+                    chain.latest(),
+                    &result.new_version,
+                );
+                let version = chain.latest_index() + 1;
+                chain.push_version(result.new_version, result.delta.clone());
+                Ok(LoadOutcome { version, delta: result.delta, notifications })
+            }
+        }
+    }
+
+    /// Serialized latest version of `key`.
+    pub fn latest_xml(&self, key: &str) -> Result<String, RepositoryError> {
+        let entries = self.entries.read();
+        let chain = entries
+            .get(key)
+            .ok_or_else(|| RepositoryError::UnknownDocument(key.to_string()))?;
+        Ok(chain.latest().doc.to_xml())
+    }
+
+    /// Serialized version `i` of `key`, reconstructed through inverse deltas
+    /// ("querying the past").
+    pub fn version_xml(&self, key: &str, version: usize) -> Result<String, RepositoryError> {
+        let entries = self.entries.read();
+        let chain = entries
+            .get(key)
+            .ok_or_else(|| RepositoryError::UnknownDocument(key.to_string()))?;
+        if version > chain.latest_index() {
+            return Err(RepositoryError::UnknownVersion {
+                key: key.to_string(),
+                version,
+                available: chain.version_count(),
+            });
+        }
+        let doc = chain.version(version).map_err(RepositoryError::Reconstruct)?;
+        Ok(doc.doc.to_xml())
+    }
+
+    /// Number of stored versions of `key` (0 when unknown).
+    pub fn version_count(&self, key: &str) -> usize {
+        self.entries.read().get(key).map_or(0, VersionChain::version_count)
+    }
+
+    /// The aggregated delta between two versions of `key`.
+    pub fn delta_between(
+        &self,
+        key: &str,
+        from: usize,
+        to: usize,
+    ) -> Result<Delta, RepositoryError> {
+        let entries = self.entries.read();
+        let chain = entries
+            .get(key)
+            .ok_or_else(|| RepositoryError::UnknownDocument(key.to_string()))?;
+        chain.delta_between(from, to).map_err(RepositoryError::Reconstruct)
+    }
+
+    /// All stored document keys.
+    pub fn keys(&self) -> Vec<String> {
+        self.entries.read().keys().cloned().collect()
+    }
+
+    /// Clone of one document's chain (persistence support).
+    pub(crate) fn chain_snapshot(&self, key: &str) -> Option<VersionChain> {
+        self.entries.read().get(key).cloned()
+    }
+
+    /// Install a loaded chain under `key`, replacing any existing entry
+    /// (persistence support).
+    pub(crate) fn install_chain(&self, key: String, chain: VersionChain) {
+        self.entries.write().insert(key, chain);
+    }
+}
+
+impl Default for Repository {
+    fn default() -> Self {
+        Repository::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscription::{OpFilter, Subscription};
+    use std::sync::Arc;
+
+    #[test]
+    fn first_load_is_version_zero() {
+        let repo = Repository::new();
+        let out = repo.load_version("doc", "<a><b>1</b></a>").unwrap();
+        assert_eq!(out.version, 0);
+        assert!(out.delta.is_empty());
+        assert_eq!(repo.version_count("doc"), 1);
+        assert_eq!(repo.latest_xml("doc").unwrap(), "<a><b>1</b></a>");
+    }
+
+    #[test]
+    fn subsequent_loads_append_versions() {
+        let repo = Repository::new();
+        repo.load_version("doc", "<a><b>1</b></a>").unwrap();
+        let out = repo.load_version("doc", "<a><b>2</b></a>").unwrap();
+        assert_eq!(out.version, 1);
+        assert_eq!(out.delta.counts().updates, 1);
+        assert_eq!(repo.version_count("doc"), 2);
+        assert_eq!(repo.latest_xml("doc").unwrap(), "<a><b>2</b></a>");
+        assert_eq!(repo.version_xml("doc", 0).unwrap(), "<a><b>1</b></a>");
+    }
+
+    #[test]
+    fn querying_the_past_across_many_versions() {
+        let repo = Repository::new();
+        for i in 0..6 {
+            repo.load_version("doc", &format!("<log><n>{i}</n></log>")).unwrap();
+        }
+        for i in 0..6 {
+            assert_eq!(
+                repo.version_xml("doc", i).unwrap(),
+                format!("<log><n>{i}</n></log>")
+            );
+        }
+        let agg = repo.delta_between("doc", 1, 4).unwrap();
+        assert_eq!(agg.counts().updates, 1, "updates must aggregate: {}", agg.describe());
+    }
+
+    #[test]
+    fn unknown_keys_and_versions_error() {
+        let repo = Repository::new();
+        assert!(matches!(
+            repo.latest_xml("nope"),
+            Err(RepositoryError::UnknownDocument(_))
+        ));
+        repo.load_version("doc", "<a/>").unwrap();
+        assert!(matches!(
+            repo.version_xml("doc", 5),
+            Err(RepositoryError::UnknownVersion { .. })
+        ));
+        assert_eq!(repo.version_count("nope"), 0);
+    }
+
+    #[test]
+    fn malformed_xml_is_rejected() {
+        let repo = Repository::new();
+        assert!(matches!(
+            repo.load_version("doc", "<a><b></a>"),
+            Err(RepositoryError::Parse(_))
+        ));
+        assert_eq!(repo.version_count("doc"), 0);
+    }
+
+    #[test]
+    fn alerter_is_wired_into_ingest() {
+        let mut alerter = Alerter::new();
+        alerter.subscribe(
+            Subscription::everything("new-products")
+                .at_path(["catalog", "product"])
+                .only(OpFilter::Insert),
+        );
+        let repo = Repository::with_options(DiffOptions::default(), alerter);
+        repo.load_version("cat", "<catalog><product><name>a</name></product></catalog>")
+            .unwrap();
+        let out = repo
+            .load_version(
+                "cat",
+                "<catalog><product><name>a</name></product>\
+                 <product><name>b</name></product></catalog>",
+            )
+            .unwrap();
+        assert_eq!(out.notifications.len(), 1);
+        assert_eq!(out.notifications[0].subscription, "new-products");
+    }
+
+    #[test]
+    fn concurrent_loads_on_distinct_keys() {
+        let repo = Arc::new(Repository::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let repo = Arc::clone(&repo);
+            handles.push(std::thread::spawn(move || {
+                let key = format!("doc-{t}");
+                for v in 0..10 {
+                    repo.load_version(&key, &format!("<d><v>{v}</v></d>")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(repo.keys().len(), 8);
+        for t in 0..8 {
+            assert_eq!(repo.version_count(&format!("doc-{t}")), 10);
+            assert_eq!(
+                repo.version_xml(&format!("doc-{t}"), 3).unwrap(),
+                "<d><v>3</v></d>"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_reload_creates_empty_delta_version() {
+        let repo = Repository::new();
+        repo.load_version("doc", "<a/>").unwrap();
+        let out = repo.load_version("doc", "<a/>").unwrap();
+        assert_eq!(out.version, 1);
+        assert!(out.delta.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Temporal queries: "querying the past" (§2).
+//!
+//! "One might want to ask a query about the past, e.g., ask for the value of
+//! some element at some previous time, and to query changes, e.g., ask for
+//! the list of items recently introduced in a catalog." Both shapes live
+//! here: path queries against any stored version, and path queries against
+//! the deltas between versions (which are XML documents themselves).
+
+use crate::repository::{Repository, RepositoryError};
+use xydelta::xml_io;
+use xyquery::{Path, QueryParseError};
+use xytree::Document;
+
+/// Error type for temporal queries.
+#[derive(Debug)]
+pub enum TemporalError {
+    /// Underlying repository problem.
+    Repository(RepositoryError),
+    /// The path expression does not parse.
+    Query(QueryParseError),
+    /// A reconstructed version failed to re-parse (storage corruption).
+    Corrupt(xytree::ParseError),
+}
+
+impl std::fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemporalError::Repository(e) => write!(f, "{e}"),
+            TemporalError::Query(e) => write!(f, "{e}"),
+            TemporalError::Corrupt(e) => write!(f, "stored version corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+impl From<RepositoryError> for TemporalError {
+    fn from(e: RepositoryError) -> Self {
+        TemporalError::Repository(e)
+    }
+}
+
+impl From<QueryParseError> for TemporalError {
+    fn from(e: QueryParseError) -> Self {
+        TemporalError::Query(e)
+    }
+}
+
+impl Repository {
+    /// Evaluate a path expression against version `version` of `key` —
+    /// "the value of some element at some previous time".
+    pub fn query_version(
+        &self,
+        key: &str,
+        version: usize,
+        path: &str,
+    ) -> Result<Vec<String>, TemporalError> {
+        let path = Path::parse(path)?;
+        let xml = self.version_xml(key, version)?;
+        let doc = Document::parse(&xml).map_err(TemporalError::Corrupt)?;
+        Ok(path.select_strings(&doc))
+    }
+
+    /// Evaluate a path expression against the latest version of `key`.
+    pub fn query_latest(&self, key: &str, path: &str) -> Result<Vec<String>, TemporalError> {
+        let path = Path::parse(path)?;
+        let xml = self.latest_xml(key)?;
+        let doc = Document::parse(&xml).map_err(TemporalError::Corrupt)?;
+        Ok(path.select_strings(&doc))
+    }
+
+    /// Evaluate a path expression against the (aggregated) delta between two
+    /// versions — "ask for the list of items recently introduced in a
+    /// catalog" becomes `query_changes(key, i, j, "/delta/insert//item")`.
+    pub fn query_changes(
+        &self,
+        key: &str,
+        from: usize,
+        to: usize,
+        path: &str,
+    ) -> Result<Vec<String>, TemporalError> {
+        let path = Path::parse(path)?;
+        let delta = self.delta_between(key, from, to)?;
+        let doc = xml_io::delta_to_document(&delta);
+        Ok(path.select_strings(&doc))
+    }
+
+    /// The history of one queried value across all versions: element `i` of
+    /// the result is the first match of `path` in version `i` (or `None`).
+    pub fn value_history(
+        &self,
+        key: &str,
+        path: &str,
+    ) -> Result<Vec<Option<String>>, TemporalError> {
+        let parsed = Path::parse(path)?;
+        let n = self.version_count(key);
+        if n == 0 {
+            return Err(TemporalError::Repository(RepositoryError::UnknownDocument(
+                key.to_string(),
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let xml = self.version_xml(key, i)?;
+            let doc = Document::parse(&xml).map_err(TemporalError::Corrupt)?;
+            out.push(parsed.select_strings(&doc).into_iter().next());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog_repo() -> Repository {
+        let repo = Repository::new();
+        repo.load_version(
+            "cat",
+            "<catalog><product id='p1'><price>$10</price></product></catalog>",
+        )
+        .unwrap();
+        repo.load_version(
+            "cat",
+            "<catalog><product id='p1'><price>$12</price></product></catalog>",
+        )
+        .unwrap();
+        repo.load_version(
+            "cat",
+            "<catalog><product id='p1'><price>$12</price></product>\
+             <product id='p2'><price>$99</price></product></catalog>",
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn value_of_an_element_at_a_previous_time() {
+        let repo = catalog_repo();
+        assert_eq!(
+            repo.query_version("cat", 0, "//product[@id='p1']/price/text()").unwrap(),
+            vec!["$10"]
+        );
+        assert_eq!(
+            repo.query_latest("cat", "//product[@id='p1']/price/text()").unwrap(),
+            vec!["$12"]
+        );
+    }
+
+    #[test]
+    fn value_history_tracks_all_versions() {
+        let repo = catalog_repo();
+        let h = repo.value_history("cat", "//product[@id='p1']/price/text()").unwrap();
+        assert_eq!(h, vec![Some("$10".into()), Some("$12".into()), Some("$12".into())]);
+        let h2 = repo.value_history("cat", "//product[@id='p2']/price/text()").unwrap();
+        assert_eq!(h2, vec![None, None, Some("$99".into())]);
+    }
+
+    #[test]
+    fn recently_introduced_items_via_delta_query() {
+        let repo = catalog_repo();
+        // "Ask for the list of items recently introduced in a catalog."
+        let inserted = repo
+            .query_changes("cat", 0, 2, "/delta/insert/product/@id")
+            .unwrap();
+        assert_eq!(inserted, vec!["p2"]);
+        // And the updates over the same range.
+        let updated = repo.query_changes("cat", 0, 2, "//update/newval/text()").unwrap();
+        assert_eq!(updated, vec!["$12"]);
+    }
+
+    #[test]
+    fn bad_path_and_bad_key_error() {
+        let repo = catalog_repo();
+        assert!(matches!(
+            repo.query_latest("cat", "/a[").unwrap_err(),
+            TemporalError::Query(_)
+        ));
+        assert!(matches!(
+            repo.query_latest("nope", "//a").unwrap_err(),
+            TemporalError::Repository(_)
+        ));
+        assert!(matches!(
+            repo.value_history("nope", "//a").unwrap_err(),
+            TemporalError::Repository(_)
+        ));
+    }
+}

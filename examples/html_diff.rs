@@ -1,0 +1,73 @@
+//! Diffing HTML pages by XMLizing them first (§1 of the paper), with the
+//! full pipeline attached: path queries over the result and an incrementally
+//! maintained full-text index.
+//!
+//! ```text
+//! cargo run --example html_diff
+//! ```
+
+use xydiff_suite::xydelta::XidDocument;
+use xydiff_suite::xydiff::{diff, DiffOptions};
+use xydiff_suite::xyhtml::htmlize;
+use xydiff_suite::xyindex::DocumentIndex;
+use xydiff_suite::xyquery::query;
+
+fn main() {
+    // Monday's crawl of a (messy) product page.
+    let monday = htmlize(
+        "<HTML><BODY>\
+         <h1>Weekly specials\
+         <ul>\
+           <li>Digital camera &mdash; <b>$499</b>\
+           <li>Film scanner &mdash; <b>$250</b>\
+         </ul>\
+         <p>Prices include VAT<p>Offers end Sunday\
+         </BODY></HTML>",
+    );
+    println!("XMLized Monday page:\n{}\n", monday.to_xml_pretty());
+
+    // Friday: the camera price dropped, a new item appeared, the scanner
+    // moved to the bottom.
+    let friday = htmlize(
+        "<html><body>\
+         <h1>Weekly specials\
+         <ul>\
+           <li>Digital camera &mdash; <b>$449</b>\
+           <li>Tripod &mdash; <b>$59</b>\
+           <li>Film scanner &mdash; <b>$250</b>\
+         </ul>\
+         <p>Prices include VAT<p>Offers end Sunday\
+         </body></html>",
+    );
+
+    let v0 = XidDocument::assign_initial(monday);
+    let mut index = DocumentIndex::build(&v0);
+    assert!(index.contains("camera"));
+    assert!(!index.contains("tripod"));
+
+    let result = diff(&v0, &friday, &DiffOptions::default());
+    let c = result.delta.counts();
+    println!(
+        "delta: {} inserts, {} deletes, {} updates, {} moves",
+        c.inserts, c.deletes, c.updates, c.moves
+    );
+    print!("{}", result.delta.describe());
+
+    // The delta reconstructs Friday's page exactly.
+    let mut replay = v0.clone();
+    result.delta.apply_to(&mut replay).unwrap();
+    assert_eq!(replay.doc.to_xml(), friday.to_xml());
+
+    // Query the new version with the path language.
+    let prices = query(&result.new_version.doc, "//li/b/text()").unwrap();
+    println!("\ncurrent prices: {prices:?}");
+    assert!(prices.contains(&"$449".to_string()));
+
+    // The index follows the delta stream — "tripod" is now findable.
+    index.apply_delta(&result.delta, &result.new_version);
+    assert!(index.contains("tripod"));
+    let hits = index.postings_under("tripod", "li");
+    println!("index: 'tripod' now has {} posting(s) under <li>", hits.len());
+    assert_eq!(hits.len(), 1);
+    println!("\nhtml_diff: all assertions passed");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: diff two XML documents, inspect the delta, apply and invert.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use xydiff_suite::xydelta::{xml_io, XidDocument};
+use xydiff_suite::xydiff::{diff, DiffOptions};
+use xydiff_suite::xytree::Document;
+
+fn main() {
+    // The paper's Figure 2 catalog (§4): tx123 on discount, zy456 new.
+    let old_xml = "<Category>\
+        <Title>Digital Cameras</Title>\
+        <Discount><Product><Name>tx123</Name><Price>$499</Price></Product></Discount>\
+        <NewProducts><Product><Name>zy456</Name><Price>$799</Price></Product></NewProducts>\
+        </Category>";
+    // One week later: tx123 retired, zy456 moved to Discount at a new price,
+    // and a fresh product appeared.
+    let new_xml = "<Category>\
+        <Title>Digital Cameras</Title>\
+        <Discount><Product><Name>zy456</Name><Price>$699</Price></Product></Discount>\
+        <NewProducts><Product><Name>abc</Name><Price>$899</Price></Product></NewProducts>\
+        </Category>";
+
+    // Version 0 gets persistent identifiers (XIDs) in postfix order.
+    let v0 = XidDocument::parse_initial(old_xml).expect("old version parses");
+    let v1_doc = Document::parse(new_xml).expect("new version parses");
+
+    // Run the BULD diff.
+    let result = diff(&v0, &v1_doc, &DiffOptions::default());
+
+    println!("== operations ==");
+    print!("{}", result.delta.describe());
+    println!("\n== delta as XML ==");
+    println!("{}", xml_io::delta_to_xml_pretty(&result.delta));
+
+    let c = result.delta.counts();
+    assert_eq!(
+        (c.deletes, c.inserts, c.moves, c.updates),
+        (1, 1, 1, 1),
+        "the Figure 2 delta is one delete, one insert, one move, one update"
+    );
+
+    // The delta is sufficient: applying it to v0 reproduces v1 exactly.
+    let mut replay = v0.clone();
+    result.delta.apply_to(&mut replay).expect("delta applies");
+    assert_eq!(replay.doc.to_xml(), v1_doc.to_xml());
+    println!("applied delta: v0 -> v1 reproduced byte-for-byte");
+
+    // Completed deltas are invertible: go back to v0.
+    result.delta.inverted().apply_to(&mut replay).expect("inverse applies");
+    assert_eq!(replay.doc.to_xml(), v0.doc.to_xml());
+    println!("applied inverse: v1 -> v0 restored");
+
+    println!(
+        "\nmatched {} of {} nodes ({} by signature, {} by propagation) in {:?}",
+        result.stats.matched_nodes,
+        result.stats.new_nodes,
+        result.stats.signature_matches,
+        result.stats.propagation_matches,
+        result.timings.total(),
+    );
+}

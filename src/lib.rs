@@ -1,0 +1,24 @@
+//! Umbrella crate for the XyDiff reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//!
+//! - [`xytree`] — XML substrate (parser, arena tree, serializer, DTD subset)
+//! - [`xydelta`] — the XyDelta change model (XIDs, deltas, versions)
+//! - [`xydiff`] — the BULD diff algorithm (the paper's contribution)
+//! - [`xybase`] — baseline diff algorithms for comparison
+//! - [`xysim`] — synthetic document generator and change simulator
+//! - [`xywarehouse`] — the Xyleme-Change pipeline (repository + alerter)
+//! - [`xyquery`] — path queries over documents, versions and deltas
+//! - [`xyindex`] — full-text index maintained incrementally from deltas
+//! - [`xyhtml`] — HTML XMLization so web pages can be diffed
+
+pub use xybase;
+pub use xydelta;
+pub use xydiff;
+pub use xyhtml;
+pub use xyindex;
+pub use xyquery;
+pub use xysim;
+pub use xytree;
+pub use xywarehouse;

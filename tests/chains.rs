@@ -1,0 +1,105 @@
+//! Algebraic properties of delta chains over realistic change streams:
+//! reconstruction, inversion, aggregation, and the diff's idempotence.
+
+use xydiff_suite::xydelta::{aggregate::aggregate_chain, VersionChain, XidDocument};
+use xydiff_suite::xydiff::{diff, DiffOptions};
+use xydiff_suite::xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+
+/// Build a chain of `steps` simulated versions, returning the chain plus
+/// every version's canonical XML.
+fn build_chain(kind: DocKind, nodes: usize, rate: f64, steps: u64, seed: u64) -> (VersionChain, Vec<String>) {
+    let doc = generate(&DocGenConfig { kind, target_nodes: nodes, seed, id_attributes: false });
+    let mut chain = VersionChain::new(XidDocument::assign_initial(doc));
+    let mut snapshots = vec![chain.latest().doc.to_xml()];
+    for step in 0..steps {
+        let sim = simulate(chain.latest(), &ChangeConfig::uniform(rate, seed ^ (step + 1)));
+        let r = diff(chain.latest(), &sim.new_version.doc, &DiffOptions::default());
+        chain.push_version(r.new_version, r.delta);
+        snapshots.push(chain.latest().doc.to_xml());
+    }
+    (chain, snapshots)
+}
+
+#[test]
+fn every_version_reconstructs_across_a_long_chain() {
+    let (chain, snapshots) = build_chain(DocKind::Catalog, 500, 0.12, 6, 11);
+    for (i, want) in snapshots.iter().enumerate() {
+        assert_eq!(&chain.version(i).unwrap().doc.to_xml(), want, "version {i}");
+    }
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn aggregate_of_any_range_equals_endpoint_diff() {
+    let (chain, snapshots) = build_chain(DocKind::Feed, 400, 0.1, 4, 7);
+    for from in 0..snapshots.len() {
+        for to in from..snapshots.len() {
+            let agg = chain.delta_between(from, to).unwrap();
+            let mut replay = chain.version(from).unwrap();
+            agg.apply_to(&mut replay).unwrap();
+            assert_eq!(
+                replay.doc.to_xml(),
+                snapshots[to],
+                "aggregate {from}->{to} must land on the endpoint"
+            );
+            if from == to {
+                assert!(agg.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn aggregate_chain_matches_delta_between() {
+    let (chain, _) = build_chain(DocKind::AddressBook, 350, 0.1, 3, 3);
+    let base = chain.version(0).unwrap();
+    let deltas: Vec<_> = (0..3).map(|i| chain.delta(i).unwrap().clone()).collect();
+    let a = aggregate_chain(&base, &deltas).unwrap();
+    let b = chain.delta_between(0, 3).unwrap();
+    // Both express the same transformation (ops may be ordered differently).
+    let mut va = base.clone();
+    a.apply_to(&mut va).unwrap();
+    let mut vb = base.clone();
+    b.apply_to(&mut vb).unwrap();
+    assert_eq!(va.doc.to_xml(), vb.doc.to_xml());
+    assert_eq!(a.len(), b.len());
+}
+
+#[test]
+fn inverse_chain_walks_back_to_v0() {
+    let (chain, snapshots) = build_chain(DocKind::Catalog, 400, 0.15, 5, 19);
+    let mut doc = chain.latest().clone();
+    for i in (0..5).rev() {
+        chain.delta(i).unwrap().inverted().apply_to(&mut doc).unwrap();
+        assert_eq!(doc.doc.to_xml(), snapshots[i], "walking back to version {i}");
+    }
+}
+
+#[test]
+fn rediffing_identical_versions_is_empty_along_the_chain() {
+    let (chain, _) = build_chain(DocKind::Feed, 300, 0.1, 3, 23);
+    for i in 0..=3 {
+        let v = chain.version(i).unwrap();
+        let r = diff(&v, &v.doc, &DiffOptions::default());
+        assert!(r.delta.is_empty(), "self-diff of version {i} not empty: {}", r.delta.describe());
+    }
+}
+
+#[test]
+fn delta_sizes_scale_with_range_width() {
+    // Aggregating a longer range should never be smaller than the largest
+    // single step it contains by more than noise — sanity of aggregation
+    // (it cancels work, but v0->vN must still describe the net change).
+    let (chain, snapshots) = build_chain(DocKind::Catalog, 600, 0.08, 4, 29);
+    let whole = chain.delta_between(0, 4).unwrap();
+    assert!(!whole.is_empty());
+    // The aggregated delta is never larger than the sum of the parts.
+    let sum: usize = (0..4).map(|i| chain.delta(i).unwrap().size_bytes()).sum();
+    assert!(
+        whole.size_bytes() <= sum,
+        "aggregate {} B must not exceed the sum of steps {} B",
+        whole.size_bytes(),
+        sum
+    );
+    let _ = snapshots;
+}

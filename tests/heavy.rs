@@ -1,0 +1,41 @@
+//! Large-scale end-to-end runs. The enabled test covers a mid-size site;
+//! the `#[ignore]`d one reproduces the full §6.2 INRIA scale (run with
+//! `cargo test --release -- --ignored heavy`).
+
+use xydiff_suite::xydelta::XidDocument;
+use xydiff_suite::xydiff::{diff, DiffOptions};
+use xydiff_suite::xysim::{evolve_site, site_snapshot, SiteConfig};
+
+fn site_roundtrip(pages: usize, churn: f64) {
+    let old = XidDocument::assign_initial(site_snapshot(&SiteConfig {
+        pages,
+        sections: (pages / 250).max(4),
+        seed: 31,
+    }));
+    let evolved = evolve_site(&old, churn, 77);
+    let r = diff(&old, &evolved.new_version.doc, &DiffOptions::default());
+    let mut replay = old.clone();
+    r.delta.apply_to(&mut replay).unwrap();
+    assert_eq!(replay.doc.to_xml(), evolved.new_version.doc.to_xml());
+    // Inverse too — reconstruction is the warehouse's storage model.
+    r.delta.inverted().apply_to(&mut replay).unwrap();
+    assert_eq!(replay.doc.to_xml(), old.doc.to_xml());
+    // Low churn must produce a delta far smaller than the snapshot.
+    let delta_bytes = r.delta.size_bytes();
+    let doc_bytes = old.doc.to_xml().len();
+    assert!(
+        delta_bytes < doc_bytes,
+        "delta {delta_bytes} B vs snapshot {doc_bytes} B"
+    );
+}
+
+#[test]
+fn two_thousand_page_site_roundtrips() {
+    site_roundtrip(2_000, 0.02);
+}
+
+#[test]
+#[ignore = "INRIA-scale (~3 MB, several seconds in debug builds)"]
+fn heavy_inria_scale_site_roundtrips() {
+    site_roundtrip(14_000, 0.02);
+}

@@ -1,0 +1,197 @@
+//! Cross-crate integration: the full Xyleme-Change loop (Figure 1) driven by
+//! the change simulator, plus baseline cross-checks.
+
+use xydiff_suite::xybase;
+use xydiff_suite::xydelta::XidDocument;
+use xydiff_suite::xydiff::{diff, DiffOptions};
+use xydiff_suite::xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+use xydiff_suite::xywarehouse::{Alerter, OpFilter, Repository, Subscription};
+
+/// Feed a simulated stream of versions through the repository and verify
+/// every stored version reconstructs exactly.
+#[test]
+fn warehouse_ingest_loop_with_simulator() {
+    let repo = Repository::new();
+    let doc = generate(&DocGenConfig {
+        kind: DocKind::Catalog,
+        target_nodes: 400,
+        seed: 1,
+        id_attributes: false,
+    });
+    let mut history = vec![doc.to_xml()];
+    repo.load_version("cat.xml", &history[0]).unwrap();
+
+    let mut current = XidDocument::assign_initial(doc);
+    for step in 0..5u64 {
+        let sim = simulate(&current, &ChangeConfig::uniform(0.08, step));
+        let xml = sim.new_version.doc.to_xml();
+        let out = repo.load_version("cat.xml", &xml).unwrap();
+        assert_eq!(out.version, step as usize + 1);
+        history.push(xml);
+        current = sim.new_version;
+    }
+
+    assert_eq!(repo.version_count("cat.xml"), history.len());
+    for (i, xml) in history.iter().enumerate() {
+        assert_eq!(
+            &repo.version_xml("cat.xml", i).unwrap(),
+            xml,
+            "version {i} must reconstruct"
+        );
+    }
+    // Aggregated deltas across the whole history replay correctly too.
+    let agg = repo.delta_between("cat.xml", 0, history.len() - 1).unwrap();
+    let mut v0 = XidDocument::assign_initial(
+        xydiff_suite::xytree::Document::parse(&history[0]).unwrap(),
+    );
+    // delta_between is expressed over the chain's own XID space; re-diff the
+    // reconstructed endpoints instead for an independent check.
+    assert!(!agg.is_empty());
+    let last = repo.version_xml("cat.xml", history.len() - 1).unwrap();
+    let last_doc = xydiff_suite::xytree::Document::parse(&last).unwrap();
+    let r = diff(&v0, &last_doc, &DiffOptions::default());
+    r.delta.apply_to(&mut v0).unwrap();
+    assert_eq!(v0.doc.to_xml(), last);
+}
+
+/// Subscriptions fire exactly for matching operations in a realistic stream.
+#[test]
+fn subscriptions_fire_on_simulated_changes() {
+    let mut alerter = Alerter::new();
+    alerter.subscribe(Subscription::everything("any-change"));
+    alerter.subscribe(
+        Subscription::everything("product-inserts")
+            .at_path(["product"])
+            .only(OpFilter::Insert),
+    );
+    let repo = Repository::with_options(DiffOptions::default(), alerter);
+
+    let doc = generate(&DocGenConfig {
+        kind: DocKind::Catalog,
+        target_nodes: 500,
+        seed: 9,
+        id_attributes: false,
+    });
+    repo.load_version("cat.xml", &doc.to_xml()).unwrap();
+    let old = XidDocument::assign_initial(doc);
+    let sim = simulate(&old, &ChangeConfig::uniform(0.15, 3));
+    let out = repo
+        .load_version("cat.xml", &sim.new_version.doc.to_xml())
+        .unwrap();
+
+    assert_eq!(
+        out.notifications
+            .iter()
+            .filter(|n| n.subscription == "any-change")
+            .count(),
+        out.delta.len(),
+        "the catch-all subscription fires once per op"
+    );
+    for n in &out.notifications {
+        if n.subscription == "product-inserts" {
+            assert_eq!(n.op_kind, "insert");
+            assert!(n.path.ends_with("product"), "path {} must end in product", n.path);
+        }
+    }
+}
+
+/// BULD vs the exact XID diff: given the same two versions, BULD's delta may
+/// differ in shape but must never be wildly larger on record-structured data.
+#[test]
+fn buld_close_to_perfect_across_kinds_and_rates() {
+    for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed] {
+        for rate in [0.02, 0.1, 0.25] {
+            let doc = generate(&DocGenConfig {
+                kind,
+                target_nodes: 900,
+                seed: 17,
+                id_attributes: false,
+            });
+            let old = XidDocument::assign_initial(doc);
+            let sim = simulate(&old, &ChangeConfig::uniform(rate, 23));
+            let r = diff(&old, &sim.new_version.doc, &DiffOptions::default());
+            let ours = r.delta.size_bytes();
+            let perfect = sim.perfect_delta.size_bytes().max(1);
+            let ratio = ours as f64 / perfect as f64;
+            assert!(
+                ratio < 2.5,
+                "{kind:?} at {rate}: {ours} B vs perfect {perfect} B ({ratio:.2})"
+            );
+        }
+    }
+}
+
+/// The DiffMK baseline pays delete+insert for a move that XyDiff gets for
+/// one op — the paper's §3 criticism, checked end to end.
+#[test]
+fn move_detection_beats_diffmk_on_reordered_sections() {
+    let doc = generate(&DocGenConfig {
+        kind: DocKind::Catalog,
+        target_nodes: 600,
+        seed: 4,
+        id_attributes: false,
+    });
+    let old = XidDocument::assign_initial(doc.clone());
+    // Rotate the categories: pure structural move.
+    let mut new = doc;
+    let root = new.root_element().unwrap();
+    let first = new.tree.first_child(root).unwrap();
+    new.tree.detach(first);
+    new.tree.append_child(root, first);
+
+    let r = diff(&old, &new, &DiffOptions::default());
+    assert_eq!(r.delta.counts().moves, 1);
+    assert_eq!(r.delta.counts().total(), 1);
+
+    let mk = xybase::diffmk_diff(&old.doc, &new);
+    assert!(
+        mk.edit_ops() > 10,
+        "DiffMK must pay per-token for the move, got {}",
+        mk.edit_ops()
+    );
+    assert!(
+        r.delta.size_bytes() < mk.patch_bytes,
+        "xydelta {} B should beat DiffMK {} B on a big move",
+        r.delta.size_bytes(),
+        mk.patch_bytes
+    );
+}
+
+/// The Selkow baseline agrees with XyDiff when nothing moved: both see the
+/// same inserts/deletes on leaf-level edits.
+#[test]
+fn selkow_cost_tracks_simple_edit_sizes() {
+    let old_doc = xydiff_suite::xytree::Document::parse(
+        "<a><b>one</b><c><d/><e/></c></a>",
+    )
+    .unwrap();
+    let new_doc = xydiff_suite::xytree::Document::parse(
+        "<a><b>one</b><c><d/></c></a>",
+    )
+    .unwrap();
+    let s = xybase::selkow_distance(&old_doc, &new_doc);
+    assert_eq!(s.cost, 1, "deleting <e/> costs its single node");
+    let old = XidDocument::assign_initial(old_doc);
+    let r = diff(&old, &new_doc, &DiffOptions::default());
+    assert_eq!(r.delta.counts().deletes, 1);
+    assert_eq!(r.delta.counts().total(), 1);
+}
+
+/// Unix diff and XyDiff must both round-trip nothing on identical inputs.
+#[test]
+fn all_engines_agree_on_no_change()
+{
+    let doc = generate(&DocGenConfig {
+        kind: DocKind::Feed,
+        target_nodes: 300,
+        seed: 2,
+        id_attributes: false,
+    });
+    let xml = doc.to_xml();
+    assert_eq!(xybase::unix_diff_size(&xml, &xml), 0);
+    assert_eq!(xybase::diffmk_diff(&doc, &doc).edit_ops(), 0);
+    assert_eq!(xybase::selkow_distance(&doc, &doc).cost, 0);
+    let old = XidDocument::assign_initial(doc.clone());
+    let r = diff(&old, &doc, &DiffOptions::default());
+    assert!(r.delta.is_empty());
+}

@@ -1,0 +1,56 @@
+//! Robustness: the parsers must never panic, whatever bytes arrive — the
+//! warehouse ingests crawled web content (§2), which is adversarially messy.
+
+use proptest::prelude::*;
+use xydiff_suite::xyhtml::htmlize;
+use xydiff_suite::xytree::Document;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The XML parser returns Ok or Err but never panics.
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let _ = Document::parse(&input);
+    }
+
+    /// Markup-dense input: bias toward XML-ish characters.
+    #[test]
+    fn xml_parser_never_panics_on_markup_soup(input in "[<>/='\"a-z0-9 &;!\\-\\[\\]?]{0,200}") {
+        let _ = Document::parse(&input);
+    }
+
+    /// htmlize is total: never panics, and its output is always well-formed
+    /// XML that re-parses.
+    #[test]
+    fn htmlize_output_always_reparses(input in "[<>/='\"a-zA-Z0-9 &;!\\-]{0,200}") {
+        let doc = htmlize(&input);
+        let xml = doc.to_xml();
+        let back = Document::parse(&xml);
+        prop_assert!(back.is_ok(), "htmlize({input:?}) -> {xml:?}: {:?}", back.err());
+    }
+
+    /// Whatever parses must re-serialize to something that parses to the
+    /// same tree (fixpoint under serialize∘parse).
+    #[test]
+    fn parse_serialize_parse_is_stable(input in "[<>/='\"a-z0-9 ]{0,150}") {
+        if let Ok(doc) = Document::parse(&input) {
+            let once = doc.to_xml();
+            let doc2 = Document::parse(&once)
+                .unwrap_or_else(|e| panic!("serialize of parsed {input:?} fails: {e} in {once:?}"));
+            prop_assert_eq!(doc2.to_xml(), once);
+        }
+    }
+
+    /// Delta parsing is similarly total.
+    #[test]
+    fn delta_parser_never_panics(input in ".{0,200}") {
+        let _ = xydiff_suite::xydelta::xml_io::parse_delta(&input);
+    }
+
+    /// Path-expression parsing is total.
+    #[test]
+    fn query_parser_never_panics(input in ".{0,80}") {
+        let _ = xydiff_suite::xyquery::Path::parse(&input);
+    }
+}
