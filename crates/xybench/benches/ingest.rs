@@ -1,0 +1,49 @@
+//! Criterion bench for E11: concurrent ingestion throughput.
+//!
+//! One `xyserve` pool ingests the same versioned corpus with 1 worker and
+//! with N workers; the element throughput lines make the scaling visible.
+//! On a single-core host the multi-worker run only measures coordination
+//! overhead — the ≥2× expectation applies to ≥4-core machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xybench::versioned_corpus;
+use xyserve::{IngestServer, ServeConfig};
+
+fn ingest_corpus(corpus: &[(String, Vec<String>)], workers: usize) {
+    let server = IngestServer::start(ServeConfig {
+        workers,
+        queue_capacity: 64,
+        shards: 8,
+        ..ServeConfig::default()
+    });
+    let max_versions = corpus.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    for round in 0..max_versions {
+        for (key, versions) in corpus {
+            if let Some(xml) = versions.get(round) {
+                server.submit(key, xml.clone()).unwrap();
+            }
+        }
+    }
+    let report = server.shutdown();
+    assert!(report.is_balanced());
+    assert_eq!(report.dead_lettered, 0);
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let corpus = versioned_corpus(8, 4, 8_000, 21);
+    let snapshots: usize = corpus.iter().map(|(_, v)| v.len()).sum();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(snapshots as u64));
+    for workers in [1usize, cores.max(4)] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| ingest_corpus(&corpus, w));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! xydiff htmlize PAGE.html               XMLize an HTML page
 //! xydiff store DIR load KEY FILE.xml     ingest a version into a warehouse
 //! xydiff store DIR get|history|changes…  query the stored history
+//! xydiff ingest [--workers N] DIR        concurrent ingestion of a corpus
 //! ```
 //!
 //! Exit codes: 0 success, 1 documents differ (for `diff`) or no matches
@@ -20,6 +21,7 @@
 //! XID assignment; `diff`, `patch` and `revert` all accept annotated input,
 //! which is what makes cross-process delta chains (and `revert`) possible.
 
+mod ingest;
 mod store;
 
 use std::io::Read;
@@ -51,6 +53,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "query" => cmd_query(rest),
         "htmlize" => cmd_htmlize(rest),
         "store" => store::cmd_store(rest),
+        "ingest" => ingest::cmd_ingest(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -70,7 +73,10 @@ pub(crate) fn usage() -> String {
      xydiff store DIR get KEY [VERSION]   print a stored version\n  \
      xydiff store DIR history KEY         list versions with delta summaries\n  \
      xydiff store DIR changes KEY FROM TO print the aggregated delta\n  \
-     xydiff store DIR keys                list stored documents"
+     xydiff store DIR keys                list stored documents\n  \
+     xydiff ingest [--workers N] [--queue N] [--shards N] [--quiet] DIR\n  \
+       \u{20}                              ingest a snapshot corpus concurrently\n  \
+       \u{20}                              (DIR/key/*.xml sorted = versions; metrics on stdout)"
         .to_string()
 }
 

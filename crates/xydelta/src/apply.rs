@@ -140,22 +140,14 @@ pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
         }
     }
 
-    // Phase 5: attribute operations.
+    // Phase 5: attribute operations. Deletes and updates go first (keyed by
+    // name); inserts are then applied per element in ascending final
+    // position, so the surviving attributes — which keep their relative
+    // order — interleave into the exact new attribute sequence (the same
+    // argument as phase 3's child placement).
     for op in &delta.ops {
         match op {
-            Op::AttrInsert { element, name, value } => {
-                let e = element_of(doc, *element, "attr-insert")?;
-                let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
-                if elem.has_attr(name) {
-                    return Err(ApplyError::AttrConflict {
-                        element: *element,
-                        name: name.clone(),
-                        problem: "attribute to insert already exists",
-                    });
-                }
-                elem.set_attr(name.clone(), value.clone());
-            }
-            Op::AttrDelete { element, name, old } => {
+            Op::AttrDelete { element, name, old, .. } => {
                 let e = element_of(doc, *element, "attr-delete")?;
                 let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
                 match elem.attr(name) {
@@ -203,6 +195,29 @@ pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
             }
             _ => {}
         }
+    }
+    let mut attr_inserts: Vec<(&Xid, &usize, &String, &String)> = delta
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::AttrInsert { element, name, value, pos } => Some((element, pos, name, value)),
+            _ => None,
+        })
+        .collect();
+    attr_inserts.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(b.1)));
+    for (element, pos, name, value) in attr_inserts {
+        let e = element_of(doc, *element, "attr-insert")?;
+        let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
+        if elem.has_attr(name) {
+            return Err(ApplyError::AttrConflict {
+                element: *element,
+                name: name.clone(),
+                problem: "attribute to insert already exists",
+            });
+        }
+        // Positions are fidelity hints over a semantically unordered set
+        // (§5.2), so out-of-range values clamp instead of erroring.
+        elem.insert_attr_at(*pos, name.clone(), value.clone());
     }
     Ok(())
 }
@@ -479,8 +494,8 @@ mod tests {
         let a = xid_of_label(&d, "a");
         let delta = Delta::from_ops(vec![
             Op::AttrUpdate { element: a, name: "k".into(), old: "1".into(), new: "2".into() },
-            Op::AttrDelete { element: a, name: "gone".into(), old: "x".into() },
-            Op::AttrInsert { element: a, name: "fresh".into(), value: "f".into() },
+            Op::AttrDelete { element: a, name: "gone".into(), old: "x".into(), pos: 1 },
+            Op::AttrInsert { element: a, name: "fresh".into(), value: "f".into(), pos: 1 },
         ]);
         delta.apply_to(&mut d).unwrap();
         assert_eq!(d.doc.tree.attr(d.node(a).unwrap(), "k"), Some("2"));
@@ -496,6 +511,7 @@ mod tests {
             element: a,
             name: "k".into(),
             value: "2".into(),
+            pos: 0,
         }]);
         assert!(matches!(
             dup.apply_to(&mut d.clone()).unwrap_err(),

@@ -139,7 +139,7 @@ mod tests {
         let d = Delta::from_ops(vec![
             Op::Update { xid: Xid(1), old: "a".into(), new: "b".into() },
             Op::Move { xid: Xid(2), from_parent: Xid(3), from_pos: 0, to_parent: Xid(3), to_pos: 1 },
-            Op::AttrInsert { element: Xid(4), name: "n".into(), value: "v".into() },
+            Op::AttrInsert { element: Xid(4), name: "n".into(), value: "v".into(), pos: 0 },
         ]);
         let c = d.counts();
         assert_eq!(c.updates, 1);
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn canonicalize_orders_by_kind_then_xid() {
         let mut d = Delta::from_ops(vec![
-            Op::AttrInsert { element: Xid(1), name: "n".into(), value: "v".into() },
+            Op::AttrInsert { element: Xid(1), name: "n".into(), value: "v".into(), pos: 0 },
             Op::Update { xid: Xid(9), old: "".into(), new: "".into() },
             Op::Update { xid: Xid(2), old: "".into(), new: "".into() },
         ]);
@@ -194,7 +194,7 @@ mod tests {
     fn describe_mentions_every_op() {
         let d = Delta::from_ops(vec![
             Op::Update { xid: Xid(1), old: "a".into(), new: "b".into() },
-            Op::AttrDelete { element: Xid(2), name: "k".into(), old: "v".into() },
+            Op::AttrDelete { element: Xid(2), name: "k".into(), old: "v".into(), pos: 0 },
         ]);
         let text = d.describe();
         assert!(text.contains("update"));

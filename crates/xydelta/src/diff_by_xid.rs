@@ -239,12 +239,13 @@ fn collect_xids_postfix(
 }
 
 fn diff_attrs(xid: Xid, old: &xytree::Element, new: &xytree::Element, ops: &mut Vec<Op>) {
-    for a in &old.attrs {
+    for (i, a) in old.attrs.iter().enumerate() {
         match new.attr(&a.name) {
             None => ops.push(Op::AttrDelete {
                 element: xid,
                 name: a.name.clone(),
                 old: a.value.clone(),
+                pos: i,
             }),
             Some(v) if v != a.value => ops.push(Op::AttrUpdate {
                 element: xid,
@@ -255,12 +256,13 @@ fn diff_attrs(xid: Xid, old: &xytree::Element, new: &xytree::Element, ops: &mut 
             Some(_) => {}
         }
     }
-    for a in &new.attrs {
+    for (i, a) in new.attrs.iter().enumerate() {
         if old.attr(&a.name).is_none() {
             ops.push(Op::AttrInsert {
                 element: xid,
                 name: a.name.clone(),
                 value: a.value.clone(),
+                pos: i,
             });
         }
     }

@@ -82,6 +82,10 @@ pub enum Op {
         name: String,
         /// Attribute value in the new version.
         value: String,
+        /// 0-based position in the element's attribute list in the new
+        /// version. Attribute order carries no meaning, but recording it
+        /// keeps reconstructed versions byte-identical to the originals.
+        pos: usize,
     },
     /// Removal of an attribute from an existing element.
     AttrDelete {
@@ -91,6 +95,9 @@ pub enum Op {
         name: String,
         /// Value it had in the old version (for inversion).
         old: String,
+        /// 0-based position in the old version's attribute list, so the
+        /// inverse insert restores the attribute where it was.
+        pos: usize,
     },
     /// Change of an attribute's value.
     AttrUpdate {
@@ -153,11 +160,11 @@ impl Op {
                 to_parent: from_parent,
                 to_pos: from_pos,
             },
-            Op::AttrInsert { element, name, value } => {
-                Op::AttrDelete { element, name, old: value }
+            Op::AttrInsert { element, name, value, pos } => {
+                Op::AttrDelete { element, name, old: value, pos }
             }
-            Op::AttrDelete { element, name, old } => {
-                Op::AttrInsert { element, name, value: old }
+            Op::AttrDelete { element, name, old, pos } => {
+                Op::AttrInsert { element, name, value: old, pos }
             }
             Op::AttrUpdate { element, name, old, new } => {
                 Op::AttrUpdate { element, name, old: new, new: old }
@@ -200,7 +207,7 @@ impl Op {
             Op::Move { xid, from_parent, to_parent, .. } => {
                 format!("move xid {xid}: parent {from_parent} -> {to_parent}")
             }
-            Op::AttrInsert { element, name, value } => {
+            Op::AttrInsert { element, name, value, .. } => {
                 format!("attr-insert {name}={value:?} on xid {element}")
             }
             Op::AttrDelete { element, name, .. } => {
@@ -269,7 +276,7 @@ mod tests {
             },
             Op::Update { xid: Xid(3), old: "a".into(), new: "b".into() },
             Op::Move { xid: Xid(4), from_parent: Xid(5), from_pos: 1, to_parent: Xid(6), to_pos: 2 },
-            Op::AttrInsert { element: Xid(7), name: "n".into(), value: "v".into() },
+            Op::AttrInsert { element: Xid(7), name: "n".into(), value: "v".into(), pos: 0 },
             Op::AttrUpdate { element: Xid(8), name: "n".into(), old: "o".into(), new: "w".into() },
         ];
         for op in ops {

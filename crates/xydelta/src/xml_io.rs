@@ -54,6 +54,15 @@ fn set(tree: &mut Tree, node: NodeId, name: &str, value: impl ToString) {
         .set_attr(name, value.to_string());
 }
 
+/// Serialize an attribute-op position, 1-based like the tree-op positions.
+/// The "append at the end" sentinel ([`usize::MAX`], produced when parsing
+/// deltas that predate attribute positions) is expressed by omission.
+fn set_attr_pos(tree: &mut Tree, node: NodeId, pos: usize) {
+    if pos != usize::MAX {
+        set(tree, node, "pos", pos + 1);
+    }
+}
+
 fn op_to_node(op: &Op, tree: &mut Tree) -> NodeId {
     match op {
         Op::Delete { xid, parent, pos, subtree, xid_map }
@@ -101,18 +110,20 @@ fn op_to_node(op: &Op, tree: &mut Tree) -> NodeId {
             set(tree, n, "to-pos", to_pos + 1);
             n
         }
-        Op::AttrInsert { element, name, value } => {
+        Op::AttrInsert { element, name, value, pos } => {
             let n = tree.new_element("attr-insert");
             set(tree, n, "xid", element);
             set(tree, n, "name", name);
             set(tree, n, "value", value);
+            set_attr_pos(tree, n, *pos);
             n
         }
-        Op::AttrDelete { element, name, old } => {
+        Op::AttrDelete { element, name, old, pos } => {
             let n = tree.new_element("attr-delete");
             set(tree, n, "xid", element);
             set(tree, n, "name", name);
             set(tree, n, "old", old);
+            set_attr_pos(tree, n, *pos);
             n
         }
         Op::AttrUpdate { element, name, old, new } => {
@@ -220,11 +231,13 @@ pub fn document_to_delta(doc: &Document) -> Result<Delta, DeltaParseError> {
                 element: req_xid(t, child, "xid")?,
                 name: req_attr(t, child, "name")?.to_string(),
                 value: req_attr(t, child, "value")?.to_string(),
+                pos: opt_pos(t, child, "pos")?,
             },
             "attr-delete" => Op::AttrDelete {
                 element: req_xid(t, child, "xid")?,
                 name: req_attr(t, child, "name")?.to_string(),
                 old: req_attr(t, child, "old")?.to_string(),
+                pos: opt_pos(t, child, "pos")?,
             },
             "attr-update" => Op::AttrUpdate {
                 element: req_xid(t, child, "xid")?,
@@ -267,6 +280,15 @@ fn req_pos(t: &Tree, node: NodeId, name: &str) -> Result<usize, DeltaParseError>
     one_based
         .checked_sub(1)
         .ok_or_else(|| DeltaParseError::Structure(format!("position {name} must be >= 1")))
+}
+
+/// Attribute-op positions are a later addition to the format: absent means
+/// "append at the end" (application clamps), so pre-existing deltas parse.
+fn opt_pos(t: &Tree, node: NodeId, name: &str) -> Result<usize, DeltaParseError> {
+    if t.attr(node, name).is_none() {
+        return Ok(usize::MAX);
+    }
+    req_pos(t, node, name)
 }
 
 /// Extract the single stored subtree under a delete/insert op element.
@@ -332,8 +354,8 @@ mod tests {
             Op::Move { xid: Xid(13), from_parent: Xid(14), from_pos: 0, to_parent: Xid(8), to_pos: 0 },
             Op::Update { xid: Xid(11), old: "$799".into(), new: "$699".into() },
             Op::AttrUpdate { element: Xid(2), name: "lang".into(), old: "fr".into(), new: "en".into() },
-            Op::AttrInsert { element: Xid(2), name: "v".into(), value: "1".into() },
-            Op::AttrDelete { element: Xid(2), name: "w".into(), old: "0".into() },
+            Op::AttrInsert { element: Xid(2), name: "v".into(), value: "1".into(), pos: 0 },
+            Op::AttrDelete { element: Xid(2), name: "w".into(), old: "0".into(), pos: 1 },
         ])
     }
 

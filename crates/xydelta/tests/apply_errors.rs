@@ -179,6 +179,7 @@ fn attr_ops_on_text_node_rejected() {
         element: text_xid,
         name: "k".into(),
         value: "v".into(),
+        pos: 0,
     }]);
     assert!(matches!(
         delta.apply_to(&mut d).unwrap_err(),

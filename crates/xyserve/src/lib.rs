@@ -1,0 +1,41 @@
+//! xyserve — the concurrent ingestion server of the Xyleme-Change loop.
+//!
+//! The paper's Figure 1 sketches a production service: a crawler feeds
+//! document snapshots to a diff module, deltas are appended to the
+//! repository, and an alerter matches them against subscriptions — "the
+//! versioning of tens of millions of documents per day". This crate scales
+//! the single-threaded loop the other crates implement into that service
+//! shape:
+//!
+//! - [`queue::Queue`] — a bounded MPMC work queue (std `Mutex`/`Condvar`
+//!   only) whose blocking `push` is the backpressure toward the crawler;
+//! - [`IngestServer`] — a worker pool over hash-sharded
+//!   [`xywarehouse::Repository`] shards, with per-key ordering, bounded
+//!   retry for transient failures, and a dead-letter queue for poison
+//!   documents;
+//! - [`metrics::Metrics`] — atomic counters, queue-depth gauge, and
+//!   per-phase latency histograms with a text exposition.
+//!
+//! ```
+//! use xyserve::{IngestServer, ServeConfig};
+//!
+//! let server = IngestServer::start(ServeConfig { workers: 2, ..Default::default() });
+//! server.submit("doc.xml", "<doc><p>v0</p></doc>").unwrap();
+//! server.submit("doc.xml", "<doc><p>v1</p></doc>").unwrap();
+//! let report = server.shutdown();
+//! assert!(report.is_balanced());
+//! assert_eq!(report.succeeded, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use queue::Queue;
+pub use server::{
+    DeadLetter, FaultHook, IngestServer, ServeConfig, ShutdownReport, SubmitError,
+};

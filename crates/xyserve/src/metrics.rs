@@ -1,0 +1,282 @@
+//! Lock-free operational metrics for the ingestion server.
+//!
+//! Atomic counters, a gauge with a high-water mark for queue depth, and
+//! power-of-two-bucket latency histograms for the per-phase timings the
+//! paper's Figure 1 loop goes through (parse, diff, store+alert). A plain
+//! [`Metrics::render`] produces the text exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable value that also remembers the highest value it ever held.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the current value, updating the high-water mark.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count: bucket `i` holds observations in `[2^i, 2^(i+1))` µs, the
+/// last bucket is unbounded. 2^31 µs ≈ 36 minutes, far beyond any diff.
+const BUCKETS: usize = 32;
+
+/// A latency histogram over microseconds, with power-of-two buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(us, Ordering::Relaxed);
+        self.max_micros.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Largest observation in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (µs, exclusive) of the smallest bucket that contains the
+    /// `q`-quantile — a coarse percentile good enough for dashboards.
+    pub fn quantile_bound_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i as u32).min(63);
+            }
+        }
+        self.max_micros()
+    }
+}
+
+/// The server's metric registry.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Snapshots accepted into the queue.
+    pub enqueued: Counter,
+    /// Snapshots whose processing finished successfully.
+    pub succeeded: Counter,
+    /// Transient failures that were retried.
+    pub retries: Counter,
+    /// Snapshots given up on and moved to the dead-letter queue.
+    pub dead_lettered: Counter,
+    /// Subscription notifications fired by the alerter.
+    pub alerts_fired: Counter,
+    /// Current queue depth (with high-water mark).
+    pub queue_depth: Gauge,
+    /// XML parse time per snapshot.
+    pub parse_time: Histogram,
+    /// BULD diff time per snapshot (from the repository's stats hook).
+    pub diff_time: Histogram,
+    /// Alerter evaluation time per snapshot.
+    pub alert_time: Histogram,
+    /// End-to-end processing time per snapshot (parse through store).
+    pub total_time: Histogram,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            enqueued: Counter::default(),
+            succeeded: Counter::default(),
+            retries: Counter::default(),
+            dead_lettered: Counter::default(),
+            alerts_fired: Counter::default(),
+            queue_depth: Gauge::default(),
+            parse_time: Histogram::default(),
+            diff_time: Histogram::default(),
+            alert_time: Histogram::default(),
+            total_time: Histogram::default(),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Metrics {
+    /// A fresh registry; the uptime clock starts now.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Seconds since the registry was created.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Successfully processed documents per second of uptime.
+    pub fn docs_per_sec(&self) -> f64 {
+        let t = self.uptime_secs();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.succeeded.get() as f64 / t
+        }
+    }
+
+    /// Text exposition of every counter, gauge, and histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let c = |out: &mut String, name: &str, v: u64| {
+            out.push_str(&format!("{name} {v}\n"));
+        };
+        c(&mut out, "ingest_enqueued_total", self.enqueued.get());
+        c(&mut out, "ingest_succeeded_total", self.succeeded.get());
+        c(&mut out, "ingest_retries_total", self.retries.get());
+        c(&mut out, "ingest_dead_lettered_total", self.dead_lettered.get());
+        c(&mut out, "ingest_alerts_fired_total", self.alerts_fired.get());
+        c(&mut out, "ingest_queue_depth", self.queue_depth.get());
+        c(&mut out, "ingest_queue_depth_high_water", self.queue_depth.high_water());
+        out.push_str(&format!("ingest_docs_per_sec {:.1}\n", self.docs_per_sec()));
+        for (name, h) in [
+            ("parse", &self.parse_time),
+            ("diff", &self.diff_time),
+            ("alert", &self.alert_time),
+            ("total", &self.total_time),
+        ] {
+            out.push_str(&format!(
+                "ingest_{name}_micros{{stat=\"count\"}} {}\n\
+                 ingest_{name}_micros{{stat=\"mean\"}} {}\n\
+                 ingest_{name}_micros{{stat=\"p99\"}} {}\n\
+                 ingest_{name}_micros{{stat=\"max\"}} {}\n",
+                h.count(),
+                h.mean_micros(),
+                h.quantile_bound_micros(0.99),
+                h.max_micros(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = Metrics::new();
+        m.enqueued.add(3);
+        m.enqueued.inc();
+        assert_eq!(m.enqueued.get(), 4);
+        m.queue_depth.set(7);
+        m.queue_depth.set(2);
+        assert_eq!(m.queue_depth.get(), 2);
+        assert_eq!(m.queue_depth.high_water(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(3));
+        h.observe(Duration::from_micros(5));
+        h.observe(Duration::from_micros(100));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean_micros(), 36);
+        assert_eq!(h.max_micros(), 100);
+        // p50 lands in the [2,8) µs range, p99 must cover the 100 µs sample.
+        assert!(h.quantile_bound_micros(0.5) <= 8);
+        assert!(h.quantile_bound_micros(0.99) >= 100);
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let m = Metrics::new();
+        m.succeeded.inc();
+        m.alerts_fired.add(2);
+        m.total_time.observe(Duration::from_millis(1));
+        let text = m.render();
+        for needle in [
+            "ingest_enqueued_total",
+            "ingest_succeeded_total 1",
+            "ingest_alerts_fired_total 2",
+            "ingest_queue_depth_high_water",
+            "ingest_total_micros{stat=\"count\"} 1",
+            "ingest_docs_per_sec",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn zero_duration_observation_is_counted() {
+        let h = Histogram::default();
+        h.observe(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_micros(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! A bounded multi-producer/multi-consumer work queue.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only (see DESIGN.md §5: the
+//! workspace carries no external runtime dependencies). Producers block when
+//! the queue is full — that is the backpressure that keeps a fast crawler
+//! from outrunning the diff workers — and consumers block when it is empty.
+//! [`Queue::close`] starts a drain: further pushes are refused, pops keep
+//! returning queued items, and once the queue is empty every blocked
+//! consumer wakes with `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The item handed back by [`Queue::push`] when the queue is closed.
+#[derive(Debug)]
+pub struct Closed<T>(pub T);
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded blocking MPMC queue.
+pub struct Queue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Queue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Queue<T> {
+        Queue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is full. Returns the item
+    /// back if the queue was closed before space opened up.
+    pub fn push(&self, item: T) -> Result<(), Closed<T>> {
+        let mut s = self.state.lock().unwrap();
+        while s.items.len() >= self.capacity && !s.closed {
+            s = self.not_full.wait(s).unwrap();
+        }
+        if s.closed {
+            return Err(Closed(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).unwrap();
+        }
+    }
+
+    /// Refuse new items and wake everyone; queued items remain poppable.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = Queue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        q.close();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_space() {
+        let q = Arc::new(Queue::new(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.push(2).is_ok());
+        // The pusher must be parked on a full queue; give it time to block.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 1, "second push must wait for space");
+        assert_eq!(q.pop(), Some(1));
+        assert!(t.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = Queue::new(8);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        q.close();
+        assert!(q.push("c").is_err(), "push after close must be refused");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Queue::<u32>::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || q.pop()));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = Arc::new(Queue::new(16));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<i32> =
+            (0..4).flat_map(|p| (0..250).map(move |i| p * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

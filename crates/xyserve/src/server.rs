@@ -1,0 +1,584 @@
+//! The concurrent ingestion server: Figure 1 at production scale.
+//!
+//! Snapshots enter through [`IngestServer::submit`], which assigns each
+//! document key a per-key sequence number and enqueues the snapshot on a
+//! bounded queue (blocking when full — backpressure toward the crawler). A
+//! pool of workers pops snapshots and runs the paper's loop: parse → BULD
+//! diff against the stored latest → append the delta to the version chain →
+//! evaluate subscriptions.
+//!
+//! Two failure classes are kept apart:
+//!
+//! - **poison** snapshots (malformed XML) can never succeed — they go to
+//!   the dead-letter queue immediately and must never kill a worker;
+//! - **transient** failures (modeled by an injectable fault hook, standing
+//!   in for store I/O hiccups) are retried a bounded number of times before
+//!   dead-lettering.
+//!
+//! Because workers race on the shared queue, a per-key gate enforces that
+//! versions of one document apply in submission order: a popped snapshot
+//! whose predecessor is still in flight parks, and whoever finishes the
+//! predecessor continues the chain. Every submitted snapshot therefore ends
+//! in exactly one of {succeeded, dead-lettered}, which
+//! [`ShutdownReport::is_balanced`] checks after a draining shutdown.
+
+use crate::metrics::Metrics;
+use crate::queue::Queue;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use xydiff::DiffOptions;
+use xytree::Document;
+use xywarehouse::{Alerter, Notification, Repository};
+
+/// Decides whether an attempt experiences a (simulated) transient failure.
+/// Arguments: document key, per-key sequence number, 1-based attempt count.
+pub type FaultHook = Arc<dyn Fn(&str, u64, u32) -> bool + Send + Sync>;
+
+/// Configuration of an [`IngestServer`].
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// How many times a transient failure is retried before dead-lettering.
+    pub max_retries: u32,
+    /// Number of repository shards (keys are hash-partitioned).
+    pub shards: usize,
+    /// Diff options used by every shard.
+    pub diff_options: DiffOptions,
+    /// Subscriptions evaluated on every ingested delta.
+    pub alerter: Alerter,
+    /// Transient-failure injection for tests; `None` in production.
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_capacity: 128,
+            max_retries: 2,
+            shards: 8,
+            diff_options: DiffOptions::default(),
+            alerter: Alerter::new(),
+            fault_hook: None,
+        }
+    }
+}
+
+/// A snapshot that could not be ingested, with the reason.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// Document key.
+    pub key: String,
+    /// Per-key sequence number of the failed snapshot.
+    pub seq: u64,
+    /// Attempts made (0 when the snapshot never reached processing).
+    pub attempts: u32,
+    /// Human-readable failure description.
+    pub error: String,
+}
+
+/// Error returned by [`IngestServer::submit`].
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The server is shutting down; the snapshot was dead-lettered.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Loss-free accounting produced by [`IngestServer::shutdown`].
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Snapshots submitted (sequence numbers assigned).
+    pub submitted: u64,
+    /// Snapshots fully processed.
+    pub succeeded: u64,
+    /// Snapshots dead-lettered (poison, retry exhaustion, or shutdown race).
+    pub dead_lettered: u64,
+    /// Transient-failure retries performed.
+    pub retries: u64,
+    /// Alerter notifications fired.
+    pub alerts_fired: u64,
+    /// The dead letters themselves.
+    pub dead_letters: Vec<DeadLetter>,
+    /// Notifications not yet collected via [`IngestServer::take_notifications`].
+    pub notifications: Vec<Notification>,
+    /// Full metrics text exposition at shutdown time.
+    pub metrics_text: String,
+}
+
+impl ShutdownReport {
+    /// True when every submitted snapshot is accounted for.
+    pub fn is_balanced(&self) -> bool {
+        self.submitted == self.succeeded + self.dead_lettered
+            && self.dead_lettered == self.dead_letters.len() as u64
+    }
+}
+
+struct Job {
+    key: String,
+    xml: String,
+    seq: u64,
+}
+
+#[derive(Default)]
+struct Gate {
+    /// Next sequence number to hand out at submit time.
+    next_submit: u64,
+    /// The only sequence number allowed to apply right now.
+    next_apply: u64,
+    /// Popped snapshots waiting for their predecessor, keyed by seq.
+    parked: BTreeMap<u64, Job>,
+    /// Sequence numbers that will never run (submit lost the shutdown race).
+    cancelled: BTreeSet<u64>,
+}
+
+struct Inner {
+    shards: Vec<Repository>,
+    queue: Queue<Job>,
+    gates: Mutex<HashMap<String, Gate>>,
+    metrics: Metrics,
+    dead: Mutex<Vec<DeadLetter>>,
+    notifications: Mutex<Vec<Notification>>,
+    max_retries: u32,
+    fault_hook: Option<FaultHook>,
+}
+
+/// The concurrent ingestion server. See the module docs for the design.
+pub struct IngestServer {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl IngestServer {
+    /// Start a server with `config`, spawning its worker pool.
+    pub fn start(config: ServeConfig) -> IngestServer {
+        let shard_count = config.shards.max(1);
+        let shards = (0..shard_count)
+            .map(|_| {
+                Repository::with_options(config.diff_options.clone(), config.alerter.clone())
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            shards,
+            queue: Queue::new(config.queue_capacity),
+            gates: Mutex::new(HashMap::new()),
+            metrics: Metrics::new(),
+            dead: Mutex::new(Vec::new()),
+            notifications: Mutex::new(Vec::new()),
+            max_retries: config.max_retries,
+            fault_hook: config.fault_hook.clone(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("xyserve-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        IngestServer { inner, workers }
+    }
+
+    /// Submit one snapshot of document `key`. Blocks while the queue is
+    /// full. Snapshots of the same key submitted from one thread are
+    /// guaranteed to apply in submission order.
+    pub fn submit(&self, key: &str, xml: impl Into<String>) -> Result<(), SubmitError> {
+        let seq = {
+            let mut gates = self.inner.gates.lock().unwrap();
+            let g = gates.entry(key.to_string()).or_default();
+            let seq = g.next_submit;
+            g.next_submit += 1;
+            seq
+        };
+        self.inner.metrics.enqueued.inc();
+        let job = Job { key: key.to_string(), xml: xml.into(), seq };
+        match self.inner.queue.push(job) {
+            Ok(()) => {
+                self.inner.metrics.queue_depth.set(self.inner.queue.len() as u64);
+                Ok(())
+            }
+            Err(crate::queue::Closed(job)) => {
+                // The sequence number is already burned; account for it so
+                // successors parked behind it are not stranded.
+                self.inner.cancel(job);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// The metrics registry (live counters; render at any time).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Current snapshot of the dead-letter queue.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.inner.dead.lock().unwrap().clone()
+    }
+
+    /// Take every notification fired so far (the alert delivery channel).
+    pub fn take_notifications(&self) -> Vec<Notification> {
+        std::mem::take(&mut self.inner.notifications.lock().unwrap())
+    }
+
+    /// The shard repository holding `key` (for reads: versions, deltas).
+    pub fn repository_for(&self, key: &str) -> &Repository {
+        &self.inner.shards[self.inner.shard_of(key)]
+    }
+
+    /// All shard repositories (persistence, global stats).
+    pub fn shards(&self) -> &[Repository] {
+        &self.inner.shards
+    }
+
+    /// Total versions stored across all shards.
+    pub fn total_versions(&self) -> usize {
+        self.inner.shards.iter().map(Repository::total_versions).sum()
+    }
+
+    /// Block until every snapshot submitted so far is accounted for
+    /// (succeeded or dead-lettered). Quiesce point for live reads; the
+    /// server keeps accepting new work afterwards.
+    pub fn wait_idle(&self) {
+        let m = &self.inner.metrics;
+        while m.succeeded.get() + m.dead_lettered.get() < m.enqueued.get() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Stop accepting work, drain the queue and all in-flight chains, join
+    /// every worker, and return the loss-free accounting.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.inner.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let m = &self.inner.metrics;
+        ShutdownReport {
+            submitted: m.enqueued.get(),
+            succeeded: m.succeeded.get(),
+            dead_lettered: m.dead_lettered.get(),
+            retries: m.retries.get(),
+            alerts_fired: m.alerts_fired.get(),
+            dead_letters: self.inner.dead.lock().unwrap().clone(),
+            notifications: std::mem::take(&mut self.inner.notifications.lock().unwrap()),
+            metrics_text: m.render(),
+        }
+    }
+}
+
+impl Drop for IngestServer {
+    fn drop(&mut self) {
+        // `shutdown` drains `workers`; a bare drop still terminates cleanly.
+        self.inner.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Inner {
+    fn shard_of(&self, key: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            self.metrics.queue_depth.set(self.queue.len() as u64);
+            let mut runnable = self.admit(job);
+            while let Some(j) = runnable {
+                let key = j.key.clone();
+                let seq = j.seq;
+                self.process(j);
+                runnable = self.advance(&key, seq);
+            }
+        }
+    }
+
+    /// Gate check: run the job now iff it is its key's next version;
+    /// otherwise park it for whoever finishes the predecessor.
+    fn admit(&self, job: Job) -> Option<Job> {
+        let mut gates = self.gates.lock().unwrap();
+        let g = gates.entry(job.key.clone()).or_default();
+        if job.seq == g.next_apply {
+            Some(job)
+        } else {
+            g.parked.insert(job.seq, job);
+            None
+        }
+    }
+
+    /// Mark `seq` done, skip any cancelled successors, and hand back the
+    /// next parked snapshot if it is now runnable.
+    fn advance(&self, key: &str, seq: u64) -> Option<Job> {
+        let mut gates = self.gates.lock().unwrap();
+        let g = gates.get_mut(key).expect("gate exists for processed key");
+        debug_assert_eq!(g.next_apply, seq, "only the gated seq can finish");
+        g.next_apply = seq + 1;
+        loop {
+            if g.cancelled.remove(&g.next_apply) {
+                g.next_apply += 1;
+                continue;
+            }
+            return g.parked.remove(&g.next_apply);
+        }
+    }
+
+    /// A submit lost the race against shutdown after its sequence number
+    /// was assigned: dead-letter it and unblock any parked successors (the
+    /// canceller processes them inline, acting as a worker).
+    fn cancel(&self, job: Job) {
+        self.dead_letter(&job.key, job.seq, 0, "submitted during shutdown".to_string());
+        let mut runnable = {
+            let mut gates = self.gates.lock().unwrap();
+            let g = gates.get_mut(&job.key).expect("gate exists for submitted key");
+            if job.seq == g.next_apply {
+                g.next_apply += 1;
+                loop {
+                    if g.cancelled.remove(&g.next_apply) {
+                        g.next_apply += 1;
+                        continue;
+                    }
+                    break g.parked.remove(&g.next_apply);
+                }
+            } else {
+                g.cancelled.insert(job.seq);
+                None
+            }
+        };
+        while let Some(j) = runnable {
+            let key = j.key.clone();
+            let seq = j.seq;
+            self.process(j);
+            runnable = self.advance(&key, seq);
+        }
+    }
+
+    fn dead_letter(&self, key: &str, seq: u64, attempts: u32, error: String) {
+        self.metrics.dead_lettered.inc();
+        self.dead.lock().unwrap().push(DeadLetter {
+            key: key.to_string(),
+            seq,
+            attempts,
+            error,
+        });
+    }
+
+    /// Run one snapshot through parse → diff → store → alert, with bounded
+    /// retry for transient failures and dead-lettering for poison input.
+    fn process(&self, job: Job) {
+        let started = Instant::now();
+        let t_parse = Instant::now();
+        let doc = match Document::parse(&job.xml) {
+            Ok(doc) => doc,
+            Err(e) => {
+                // Poison: malformed XML can never succeed, so no retry.
+                self.dead_letter(&job.key, job.seq, 1, format!("parse error: {e}"));
+                return;
+            }
+        };
+        self.metrics.parse_time.observe(t_parse.elapsed());
+
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            if let Some(hook) = &self.fault_hook {
+                if hook(&job.key, job.seq, attempt) {
+                    if attempt > self.max_retries {
+                        self.dead_letter(
+                            &job.key,
+                            job.seq,
+                            attempt,
+                            "transient failure, retries exhausted".to_string(),
+                        );
+                        return;
+                    }
+                    self.metrics.retries.inc();
+                    continue;
+                }
+            }
+            break;
+        }
+
+        let shard = &self.shards[self.shard_of(&job.key)];
+        let out = shard.load_parsed(&job.key, doc);
+        if out.version > 0 {
+            // The initial load of a key runs no diff; recording its zero
+            // duration would skew the latency statistics.
+            self.metrics.diff_time.observe(out.diff_time);
+            self.metrics.alert_time.observe(out.alert_time);
+        }
+        if !out.notifications.is_empty() {
+            self.metrics.alerts_fired.add(out.notifications.len() as u64);
+            self.notifications.lock().unwrap().extend(out.notifications);
+        }
+        self.metrics.succeeded.inc();
+        self.metrics.total_time.observe(started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_server(workers: usize) -> IngestServer {
+        IngestServer::start(ServeConfig {
+            workers,
+            queue_capacity: 8,
+            shards: 2,
+            ..ServeConfig::default()
+        })
+    }
+
+    #[test]
+    fn single_document_versions_apply_in_order() {
+        let server = tiny_server(4);
+        for v in 0..20 {
+            server.submit("doc", format!("<d><v>{v}</v></d>")).unwrap();
+        }
+        let report = server.shutdown();
+        assert!(report.is_balanced(), "{report:?}");
+        assert_eq!(report.succeeded, 20);
+        assert_eq!(report.dead_lettered, 0);
+    }
+
+    #[test]
+    fn versions_match_serial_ingestion() {
+        let server = tiny_server(4);
+        for v in 0..10 {
+            server.submit("a", format!("<d><n>{v}</n></d>")).unwrap();
+            server.submit("b", format!("<e><m>{}</m></e>", v * 7)).unwrap();
+        }
+        server.wait_idle();
+        // Reads go through the owning shard; reconstruction must agree with
+        // what a serial loop would have stored.
+        let repo_a = server.repository_for("a");
+        for v in 0..10 {
+            assert_eq!(repo_a.version_xml("a", v).unwrap(), format!("<d><n>{v}</n></d>"));
+        }
+        let report = server.shutdown();
+        assert!(report.is_balanced());
+        assert_eq!(report.succeeded, 20);
+    }
+
+    #[test]
+    fn poison_documents_dead_letter_without_killing_workers() {
+        let server = tiny_server(2);
+        server.submit("ok", "<a><b>1</b></a>").unwrap();
+        server.submit("bad", "<a><unclosed>").unwrap();
+        server.submit("ok", "<a><b>2</b></a>").unwrap();
+        server.submit("bad", "<a>fine now</a>").unwrap();
+        let report = server.shutdown();
+        assert!(report.is_balanced(), "{report:?}");
+        assert_eq!(report.succeeded, 3);
+        assert_eq!(report.dead_lettered, 1);
+        assert_eq!(report.dead_letters[0].key, "bad");
+        assert!(report.dead_letters[0].error.contains("parse error"));
+    }
+
+    #[test]
+    fn transient_failures_retry_then_succeed() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let tries = Arc::new(AtomicU32::new(0));
+        let tries2 = Arc::clone(&tries);
+        let server = IngestServer::start(ServeConfig {
+            workers: 1,
+            max_retries: 3,
+            // Fail the first two attempts of everything.
+            fault_hook: Some(Arc::new(move |_, _, attempt| {
+                tries2.fetch_add(1, Ordering::Relaxed);
+                attempt <= 2
+            })),
+            ..ServeConfig::default()
+        });
+        server.submit("doc", "<a/>").unwrap();
+        let report = server.shutdown();
+        assert!(report.is_balanced());
+        assert_eq!(report.succeeded, 1);
+        assert_eq!(report.retries, 2);
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn transient_failures_exhaust_retries_into_dlq() {
+        let server = IngestServer::start(ServeConfig {
+            workers: 2,
+            max_retries: 2,
+            fault_hook: Some(Arc::new(|key, _, _| key == "cursed")),
+            ..ServeConfig::default()
+        });
+        server.submit("cursed", "<a/>").unwrap();
+        server.submit("fine", "<a/>").unwrap();
+        let report = server.shutdown();
+        assert!(report.is_balanced(), "{report:?}");
+        assert_eq!(report.succeeded, 1);
+        assert_eq!(report.dead_lettered, 1);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.dead_letters[0].attempts, 3);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let server = tiny_server(1);
+        server.inner.queue.close();
+        let err = server.submit("doc", "<a/>");
+        assert!(matches!(err, Err(SubmitError::ShuttingDown)));
+        // The burned sequence number is accounted as a dead letter.
+        let report = server.shutdown();
+        assert!(report.is_balanced(), "{report:?}");
+        assert_eq!(report.dead_lettered, 1);
+    }
+
+    #[test]
+    fn metrics_render_reflects_work() {
+        let server = tiny_server(2);
+        for v in 0..5 {
+            server.submit("m", format!("<x><y>{v}</y></x>")).unwrap();
+        }
+        let report = server.shutdown();
+        assert!(report.metrics_text.contains("ingest_succeeded_total 5"));
+        assert!(report.metrics_text.contains("ingest_diff_micros{stat=\"count\"} 4"));
+    }
+
+    #[test]
+    fn alerts_are_collected_and_counted() {
+        use xywarehouse::{OpFilter, Subscription};
+        let mut alerter = Alerter::new();
+        alerter.subscribe(
+            Subscription::everything("watch")
+                .at_path(["catalog", "product"])
+                .only(OpFilter::Insert),
+        );
+        let server = IngestServer::start(ServeConfig {
+            workers: 2,
+            alerter,
+            ..ServeConfig::default()
+        });
+        server.submit("cat", "<catalog><product/></catalog>").unwrap();
+        server.submit("cat", "<catalog><product/><product/></catalog>").unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.alerts_fired, 1, "{report:?}");
+        // Exactly one notification, delivered exactly once.
+        assert_eq!(report.notifications.len(), 1);
+        assert_eq!(report.notifications[0].subscription, "watch");
+    }
+}

@@ -60,6 +60,20 @@ impl Element {
         None
     }
 
+    /// Insert an attribute at `pos` in the attribute list (clamped to the
+    /// list length). Attribute order is semantically irrelevant, but delta
+    /// application uses this to keep reconstructed versions byte-identical
+    /// to the originals. Callers ensure no attribute of that name exists.
+    pub fn insert_attr_at(
+        &mut self,
+        pos: usize,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) {
+        let pos = pos.min(self.attrs.len());
+        self.attrs.insert(pos, Attr { name: name.into(), value: value.into() });
+    }
+
     /// Remove an attribute. Returns its value if it existed.
     pub fn remove_attr(&mut self, name: &str) -> Option<String> {
         let idx = self.attrs.iter().position(|a| a.name == name)?;

@@ -67,6 +67,10 @@ pub struct LoadOutcome {
     pub delta: Delta,
     /// Subscription hits raised by this delta.
     pub notifications: Vec<Notification>,
+    /// Wall-clock time spent in the BULD diff for this load.
+    pub diff_time: std::time::Duration,
+    /// Wall-clock time spent evaluating subscriptions.
+    pub alert_time: std::time::Duration,
 }
 
 /// A concurrent store of versioned documents.
@@ -93,24 +97,44 @@ impl Repository {
     /// loads diff against the stored latest.
     pub fn load_version(&self, key: &str, xml: &str) -> Result<LoadOutcome, RepositoryError> {
         let doc = Document::parse(xml)?;
+        Ok(self.load_parsed(key, doc))
+    }
+
+    /// Install an already-parsed new version of document `key`.
+    ///
+    /// This is the shard-friendly ingest entry point: parsing — the only
+    /// fallible part and a large share of the work — happens outside the
+    /// store's write lock, so concurrent pipelines parse in parallel and
+    /// hold the lock only for diff + append.
+    pub fn load_parsed(&self, key: &str, doc: Document) -> LoadOutcome {
         let mut entries = self.entries.write();
         match entries.get_mut(key) {
             None => {
                 let initial = XidDocument::assign_initial(doc);
                 entries.insert(key.to_string(), VersionChain::new(initial));
-                Ok(LoadOutcome { version: 0, delta: Delta::new(), notifications: Vec::new() })
+                LoadOutcome {
+                    version: 0,
+                    delta: Delta::new(),
+                    notifications: Vec::new(),
+                    diff_time: std::time::Duration::ZERO,
+                    alert_time: std::time::Duration::ZERO,
+                }
             }
             Some(chain) => {
+                let t0 = std::time::Instant::now();
                 let result = diff(chain.latest(), &doc, &self.opts);
+                let diff_time = t0.elapsed();
+                let t1 = std::time::Instant::now();
                 let notifications = self.alerter.evaluate(
                     key,
                     &result.delta,
                     chain.latest(),
                     &result.new_version,
                 );
+                let alert_time = t1.elapsed();
                 let version = chain.latest_index() + 1;
                 chain.push_version(result.new_version, result.delta.clone());
-                Ok(LoadOutcome { version, delta: result.delta, notifications })
+                LoadOutcome { version, delta: result.delta, notifications, diff_time, alert_time }
             }
         }
     }
@@ -164,6 +188,16 @@ impl Repository {
     /// All stored document keys.
     pub fn keys(&self) -> Vec<String> {
         self.entries.read().keys().cloned().collect()
+    }
+
+    /// Number of stored documents (stats hook for serving layers).
+    pub fn doc_count(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Total stored versions across all documents (stats hook).
+    pub fn total_versions(&self) -> usize {
+        self.entries.read().values().map(VersionChain::version_count).sum()
     }
 
     /// Clone of one document's chain (persistence support).

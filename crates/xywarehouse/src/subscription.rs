@@ -170,7 +170,7 @@ mod tests {
         assert!(OpFilter::Any.accepts(&up));
         assert!(OpFilter::Update.accepts(&up));
         assert!(!OpFilter::Insert.accepts(&up));
-        let attr = Op::AttrInsert { element: Xid(1), name: "n".into(), value: "v".into() };
+        let attr = Op::AttrInsert { element: Xid(1), name: "n".into(), value: "v".into(), pos: 0 };
         assert!(OpFilter::AttrChange.accepts(&attr));
         assert!(!OpFilter::Move.accepts(&attr));
     }

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! the slice of proptest's API that this workspace's test suites use:
+//!
+//! - the [`Strategy`] trait with `prop_map` and `prop_recursive`;
+//! - strategies for integer ranges, regex-like string patterns (a small
+//!   subset: classes, `.`, escapes, `{m,n}` repetition), tuples,
+//!   `option::of`, `collection::vec`, and `any::<T>()`;
+//! - the [`proptest!`] macro with `#![proptest_config(..)]` support and the
+//!   `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberately accepted: **no shrinking** (a
+//! failing case reports its case number and seed instead — generation is
+//! deterministic, so rerunning the test reproduces it), and
+//! `*.proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::fmt::Debug;
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Strategy};
+
+/// Everything the test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Per-property configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random inputs.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (carries the rendered assertion message).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// The canonical strategy for `T` (`any::<usize>()` etc.).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                // Bias toward small values the way upstream does, so
+                // generated indices land near real collection sizes often
+                // enough to exercise the in-bounds paths.
+                strategy::from_fn(|rng| {
+                    match rng.gen_range(0u32..4) {
+                        0 => rng.gen_range(0u64..16) as $t,
+                        1 => rng.gen_range(0u64..256) as $t,
+                        2 => rng.gen_range(0u64..65536) as $t,
+                        _ => (rng.next_u64() as $t),
+                    }
+                })
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        strategy::from_fn(|rng| rng.gen_bool(0.5))
+    }
+}
+
+/// `proptest::option::of` — generates `Some` ~75% of the time.
+pub mod option {
+    use super::*;
+
+    /// Strategy for `Option<S::Value>`.
+    pub fn of<S: Strategy + 'static>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S::Value: Debug + 'static,
+    {
+        strategy::from_fn(move |rng| {
+            if rng.gen_bool(0.75) {
+                Some(inner.new_value(rng))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// `proptest::collection::vec`.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy + 'static>(
+        elem: S,
+        size: std::ops::Range<usize>,
+    ) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: Debug + 'static,
+    {
+        strategy::from_fn(move |rng| {
+            let n = if size.is_empty() { size.start } else { rng.gen_range(size.clone()) };
+            (0..n).map(|_| elem.new_value(rng)).collect()
+        })
+    }
+}
+
+/// Equal-weight choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The property-test harness macro. Supports the forms used in this
+/// workspace: an optional `#![proptest_config(expr)]` header followed by
+/// `fn name(pat in strategy, ...) { body }` items, each already carrying
+/// its own `#[test]` attribute (matched as part of the meta list).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    cfg,
+                    |__proptest_rng| {
+                        $(let $pat = $crate::Strategy::new_value(&$strat, __proptest_rng);)+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Run `cfg.cases` deterministic random cases of `f`, panicking with the
+/// case number and seed on the first failure.
+pub fn run_cases(
+    test_name: &str,
+    cfg: ProptestConfig,
+    mut f: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    use rand::SeedableRng;
+    let base = fxhash(test_name);
+    for case in 0..cfg.cases as u64 {
+        let seed = base ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = f(&mut rng) {
+            panic!("property failed at case {case} (seed {seed:#x}) of {test_name}: {e}");
+        }
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`: fail the
+/// current case without panicking (the harness reports it).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a), stringify!($b), left
+            )));
+        }
+    }};
+}

@@ -1,0 +1,409 @@
+//! The [`Strategy`] trait and the concrete strategies the workspace uses.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A generator of random values of one type.
+///
+/// Upstream proptest strategies also know how to *shrink*; this stand-in
+/// only generates (see the crate docs for the rationale).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Produce one random value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive structures: `recurse` receives a strategy for the
+    /// shallower levels and returns the strategy for one level up.
+    /// `depth` bounds nesting; the other two size hints are accepted for
+    /// API compatibility but not used.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            // 3:1 in favor of recursion; the leaf arm (and any empty
+            // collection inside `recurse`) keeps generated depth varied.
+            cur = union(vec![leaf.clone(), deeper.clone(), deeper.clone(), deeper]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erase into a cloneable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T: Debug>(Arc<dyn Strategy<Value = T>>);
+
+impl<T: Debug> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.0.new_value(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        self
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Equal-weight choice among `arms` (the engine behind `prop_oneof!`).
+pub fn union<T: Debug>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    Union { arms }
+}
+
+/// See [`union`].
+pub struct Union<T: Debug> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].new_value(rng)
+    }
+}
+
+/// A strategy from a plain generation closure.
+pub fn from_fn<T, F>(f: F) -> BoxedStrategy<T>
+where
+    T: Debug + 'static,
+    F: Fn(&mut StdRng) -> T + 'static,
+{
+    FnStrategy(f).boxed()
+}
+
+struct FnStrategy<F>(F);
+
+impl<T: Debug, F: Fn(&mut StdRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String literals are regex-like patterns. The supported subset is what
+/// this workspace's tests write: character classes (`[a-z0-9 ]`, with
+/// `\`-escapes for `-`, `[`, `]`, `\`), the `.` wildcard (anything but
+/// newline, biased toward ASCII), bare literal characters, and one
+/// `{n}` / `{m,n}` repetition per atom.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    /// Any character except `\n`.
+    Dot,
+    /// Inclusive character ranges (single chars are 1-length ranges).
+    Class(Vec<(char, char)>),
+}
+
+fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    };
+                    let c = match c {
+                        ']' => break,
+                        '\\' => chars.next().unwrap_or('\\'),
+                        c => c,
+                    };
+                    // `a-z` range (a trailing `-` is a literal).
+                    if chars.peek() == Some(&'-')
+                        && chars.clone().nth(1).is_some_and(|n| n != ']')
+                    {
+                        chars.next();
+                        let mut hi = chars.next().unwrap();
+                        if hi == '\\' {
+                            hi = chars.next().unwrap_or('\\');
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let e = chars.next().unwrap_or('\\');
+                let lit = match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                Atom::Class(vec![(lit, lit)])
+            }
+            other => Atom::Class(vec![(other, other)]),
+        };
+        // Optional {n} or {m,n} repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition"),
+                    n.trim().parse().expect("bad repetition"),
+                ),
+                None => {
+                    let n: usize = spec.trim().parse().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.gen_range(lo..=hi.max(lo));
+        for _ in 0..count {
+            out.push(gen_char(&atom, rng));
+        }
+    }
+    out
+}
+
+fn gen_char(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Dot => loop {
+            // Mostly printable ASCII, sometimes wider Unicode, occasionally
+            // control characters — mirrors upstream's bias well enough for
+            // the robustness suites.
+            let c = match rng.gen_range(0u32..20) {
+                0..=15 => char::from_u32(rng.gen_range(0x20u32..0x7F)),
+                16 | 17 => char::from_u32(rng.gen_range(0xA0u32..0x2FF)),
+                18 => char::from_u32(rng.gen_range(0x370u32..0xFFFD)),
+                _ => char::from_u32(rng.gen_range(0u32..0x20)),
+            };
+            match c {
+                Some('\n') | None => continue,
+                Some(c) => return c,
+            }
+        },
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(a, b) in ranges {
+                let span = b as u32 - a as u32 + 1;
+                if pick < span {
+                    return char::from_u32(a as u32 + pick)
+                        .expect("class range produced invalid char");
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn class_pattern_stays_in_alphabet() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-z0-9 ]{0,6}".new_value(&mut r);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn escaped_class_members_work() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[<>/='\"a-z0-9 &;!\\-\\[\\]?]{1,20}".new_value(&mut r);
+            assert!(s.chars().all(|c| "<>/='\"& ;!-[]?".contains(c)
+                || c.is_ascii_lowercase()
+                || c.is_ascii_digit()), "unexpected char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_never_emits_newline() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = ".{0,50}".new_value(&mut r);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn fixed_repetition_is_exact() {
+        let mut r = rng();
+        let s = "[ab]{4}".new_value(&mut r);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn tuples_and_maps_compose() {
+        let mut r = rng();
+        let strat = (0usize..4, "[a-z]{1,3}").prop_map(|(n, s)| format!("{n}:{s}"));
+        for _ in 0..100 {
+            let v = strat.new_value(&mut r);
+            let (n, s) = v.split_once(':').unwrap();
+            assert!(n.parse::<usize>().unwrap() < 4);
+            assert!((1..=3).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = crate::prop_oneof![(0u8..1).prop_map(|_| T::Leaf)].prop_recursive(
+            3,
+            16,
+            4,
+            |inner| crate::collection::vec(inner, 0..4).prop_map(T::Node),
+        );
+        let mut r = rng();
+        let depths: Vec<usize> = (0..200).map(|_| depth(&strat.new_value(&mut r))).collect();
+        assert!(depths.iter().all(|&d| d <= 4), "{depths:?}");
+        assert!(depths.contains(&0));
+        assert!(depths.iter().any(|&d| d >= 2));
+    }
+}

@@ -12,6 +12,7 @@
 //! - [`xyquery`] — path queries over documents, versions and deltas
 //! - [`xyindex`] — full-text index maintained incrementally from deltas
 //! - [`xyhtml`] — HTML XMLization so web pages can be diffed
+//! - [`xyserve`] — concurrent ingestion server (Figure 1 at scale)
 
 pub use xybase;
 pub use xydelta;
@@ -19,6 +20,7 @@ pub use xydiff;
 pub use xyhtml;
 pub use xyindex;
 pub use xyquery;
+pub use xyserve;
 pub use xysim;
 pub use xytree;
 pub use xywarehouse;

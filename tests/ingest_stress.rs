@@ -1,0 +1,198 @@
+//! End-to-end stress tests for the `xyserve` ingestion pipeline: concurrent
+//! ingestion must store exactly what a serial loop would, the alerter must
+//! deliver every notification exactly once, and poison documents must end
+//! in the dead-letter queue without disturbing anything else.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use xydiff_suite::xyserve::{IngestServer, ServeConfig};
+use xydiff_suite::xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+use xydiff_suite::xywarehouse::{Alerter, OpFilter, Repository, Subscription};
+use xydiff_suite::xydelta::XidDocument;
+
+/// `docs` documents with `versions` snapshots each, as canonical XML.
+fn corpus(docs: usize, versions: usize, nodes: usize, seed: u64) -> Vec<(String, Vec<String>)> {
+    (0..docs)
+        .map(|d| {
+            let doc = generate(&DocGenConfig {
+                kind: DocKind::Catalog,
+                target_nodes: nodes,
+                seed: seed + d as u64,
+                id_attributes: false,
+            });
+            let mut cur = XidDocument::assign_initial(doc);
+            let mut snaps = vec![cur.doc.to_xml()];
+            for v in 1..versions {
+                let step = seed ^ (d as u64 * 131 + v as u64);
+                cur = simulate(&cur, &ChangeConfig::uniform(0.15, step)).new_version;
+                snaps.push(cur.doc.to_xml());
+            }
+            (format!("doc-{d}"), snaps)
+        })
+        .collect()
+}
+
+/// Multi-producer, multi-worker ingestion over a small (backpressuring)
+/// queue must reconstruct every stored version byte-for-byte identical to
+/// a serial `Repository` ingesting the same snapshots.
+#[test]
+fn concurrent_ingestion_matches_serial_byte_for_byte() {
+    let corpus = corpus(8, 5, 400, 2024);
+
+    // Serial reference: one repository, versions loaded in order.
+    let serial = Repository::new();
+    for (key, versions) in &corpus {
+        for xml in versions {
+            serial.load_version(key, xml).unwrap();
+        }
+    }
+
+    let server = Arc::new(IngestServer::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 4, // tiny on purpose: producers must hit backpressure
+        shards: 4,
+        ..ServeConfig::default()
+    }));
+
+    // Four producer threads, each owning a disjoint slice of the documents
+    // (per-key submission order must come from one thread).
+    let corpus = Arc::new(corpus);
+    let producers: Vec<_> = (0..4)
+        .map(|p| {
+            let server = Arc::clone(&server);
+            let corpus = Arc::clone(&corpus);
+            std::thread::spawn(move || {
+                for (key, versions) in corpus.iter().skip(p).step_by(4) {
+                    for xml in versions {
+                        server.submit(key, xml.clone()).unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    server.wait_idle();
+
+    for (key, versions) in corpus.iter() {
+        let repo = server.repository_for(key);
+        assert_eq!(repo.version_count(key), versions.len(), "{key}");
+        for (v, snapshot) in versions.iter().enumerate() {
+            let concurrent = repo.version_xml(key, v).unwrap();
+            let reference = serial.version_xml(key, v).unwrap();
+            assert_eq!(concurrent, reference, "{key} V({v}) diverged from serial ingestion");
+            assert_eq!(&concurrent, snapshot, "{key} V({v}) diverged from the snapshot");
+        }
+    }
+
+    let server = Arc::into_inner(server).expect("all producers joined");
+    let report = server.shutdown();
+    assert!(report.is_balanced(), "{report:?}");
+    assert_eq!(report.succeeded, 8 * 5);
+    assert_eq!(report.dead_lettered, 0);
+}
+
+/// Every subscription match is delivered exactly once: no notification is
+/// lost in the worker pool and none is duplicated by retries.
+#[test]
+fn alerter_delivers_every_notification_exactly_once() {
+    let mut alerter = Alerter::new();
+    alerter.subscribe(
+        Subscription::everything("new-products")
+            .at_path(["catalog", "product"])
+            .only(OpFilter::Insert),
+    );
+    let server = IngestServer::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 8,
+        shards: 4,
+        alerter,
+        // Every snapshot fails transiently once: retries must not duplicate
+        // notifications.
+        fault_hook: Some(Arc::new(|_, _, attempt| attempt == 1)),
+        ..ServeConfig::default()
+    });
+
+    // Each version of each document appends exactly one uniquely-labeled
+    // product, so version v of any document fires exactly one insert alert.
+    let docs = 6;
+    let versions = 5;
+    for v in 0..versions {
+        for d in 0..docs {
+            let products: String =
+                (0..=v).map(|i| format!("<product>p{d}-{i}</product>")).collect();
+            let xml = format!("<catalog>{products}</catalog>");
+            server.submit(&format!("doc-{d}"), xml).unwrap();
+        }
+    }
+
+    let report = server.shutdown();
+    assert!(report.is_balanced(), "{report:?}");
+    assert_eq!(report.succeeded as usize, docs * versions);
+    assert_eq!(report.retries as usize, docs * versions);
+
+    // V(0) runs no diff, so each document alerts once per later version.
+    let expected = docs * (versions - 1);
+    assert_eq!(report.notifications.len(), expected, "lost or duplicated notifications");
+    assert_eq!(report.alerts_fired as usize, expected);
+    let unique: HashSet<(String, String)> = report
+        .notifications
+        .iter()
+        .map(|n| (n.doc_key.clone(), n.snippet.clone()))
+        .collect();
+    assert_eq!(unique.len(), expected, "duplicate notifications: {:?}", report.notifications);
+}
+
+/// A corpus laced with malformed snapshots and one persistently failing
+/// document: the good work is stored, the bad work is dead-lettered, and
+/// the shutdown accounting covers every enqueued item.
+#[test]
+fn poison_corpus_is_dead_lettered_with_full_accounting() {
+    let server = IngestServer::start(ServeConfig {
+        workers: 3,
+        queue_capacity: 8,
+        shards: 2,
+        max_retries: 1,
+        fault_hook: Some(Arc::new(|key, _, _| key == "cursed")),
+        ..ServeConfig::default()
+    });
+
+    let mut good = 0u64;
+    let mut poison = 0u64;
+    for v in 0..6 {
+        server.submit("healthy", format!("<d><v>{v}</v></d>")).unwrap();
+        good += 1;
+        if v % 2 == 0 {
+            // Malformed XML in the middle of another document's chain.
+            server.submit("flaky", format!("<d><broken v{v}")).unwrap();
+            poison += 1;
+        } else {
+            server.submit("flaky", format!("<d><v>{v}</v></d>")).unwrap();
+            good += 1;
+        }
+        server.submit("cursed", format!("<d><v>{v}</v></d>")).unwrap();
+    }
+    server.wait_idle();
+
+    // Good documents are fully stored; the poison versions are simply
+    // missing from flaky's chain.
+    assert_eq!(server.repository_for("healthy").version_count("healthy"), 6);
+    assert_eq!(server.repository_for("flaky").version_count("flaky"), 3);
+    assert_eq!(server.repository_for("cursed").version_count("cursed"), 0);
+
+    let report = server.shutdown();
+    assert!(report.is_balanced(), "{report:?}");
+    assert_eq!(report.submitted, good + poison + 6);
+    assert_eq!(report.succeeded, good);
+    assert_eq!(report.dead_lettered, poison + 6);
+    // One retry per cursed snapshot (max_retries = 1), none for poison.
+    assert_eq!(report.retries, 6);
+    for dl in &report.dead_letters {
+        match dl.key.as_str() {
+            "flaky" => assert!(dl.error.contains("parse error"), "{dl:?}"),
+            "cursed" => assert!(dl.error.contains("retries exhausted"), "{dl:?}"),
+            other => panic!("unexpected dead letter for {other}: {dl:?}"),
+        }
+    }
+}
