@@ -11,12 +11,14 @@
 use std::time::Instant;
 use xybench::{fmt_bytes, fmt_dur, log_log_slope, pair_at_rate};
 use xydelta::XidDocument;
-use xydiff::{diff, DiffOptions};
+use xydiff::{diff, diff_with_scratch, DiffOptions, DiffScratch};
 use xysim::{evolve_site, site_snapshot, SiteConfig};
 use xytree::{Document, SerializeOptions};
 
-const KNOWN: &[&str] =
-    &["all", "fig4", "fig5", "fig6", "scaling", "site", "ablation", "index", "matchers", "ingest"];
+const KNOWN: &[&str] = &[
+    "all", "fig4", "fig5", "fig6", "scaling", "site", "ablation", "index", "matchers", "ingest",
+    "diff",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +56,139 @@ fn main() {
     if want("ingest") {
         ingest();
     }
+    if want("diff") {
+        diff_bench();
+    }
+}
+
+/// E12 (extension) — diff hot-path throughput on the xysim corpus, with a
+/// machine-readable `BENCH_diff.json` next to the human table. Fast mode
+/// (`XYBENCH_FAST=1`) shrinks the corpus for the CI perf-smoke job;
+/// `XYBENCH_GATE=1` compares docs/sec against `bench_baseline.json` and
+/// exits non-zero on a >2x regression.
+fn diff_bench() {
+    use xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+
+    println!("## Diff throughput — hot path on the xysim corpus\n");
+    let fast = xybench::fast_mode();
+    let (sizes, rounds): (&[usize], usize) =
+        if fast { (&[20_000], 3) } else { (&[20_000, 100_000, 400_000], 5) };
+    let kinds = [
+        (DocKind::Catalog, "catalog"),
+        (DocKind::AddressBook, "addressbook"),
+        (DocKind::Feed, "feed"),
+        (DocKind::Generic, "generic"),
+    ];
+
+    struct Case {
+        old: XidDocument,
+        new: Document,
+        bytes: usize,
+    }
+    let mut cases = Vec::new();
+    for &bytes in sizes {
+        for (i, &(kind, _)) in kinds.iter().enumerate() {
+            for (j, &rate) in [0.05f64, 0.2].iter().enumerate() {
+                let seed = 1000 + (bytes + i * 7 + j) as u64;
+                let doc = generate(&DocGenConfig {
+                    kind,
+                    target_nodes: (bytes / xybench::CATALOG_BYTES_PER_NODE).max(16),
+                    seed,
+                    id_attributes: matches!(kind, DocKind::Catalog),
+                });
+                let old = XidDocument::assign_initial(doc);
+                let sim = simulate(&old, &ChangeConfig::uniform(rate, seed ^ 0x5eed));
+                let total = old.doc.to_xml().len() + sim.new_version.doc.to_xml().len();
+                cases.push(Case { old, new: sim.new_version.doc.clone(), bytes: total });
+            }
+        }
+    }
+    let bytes_per_round: usize = cases.iter().map(|c| c.bytes).sum();
+
+    // One scratch reused across the whole run, as a long-lived ingest worker
+    // would hold it. The warmup round (untimed) also warms its capacity, so
+    // the timed rounds measure the allocation-free steady state.
+    let mut scratch = DiffScratch::new();
+    for c in &cases {
+        let _ = diff_with_scratch(&c.old, &c.new, &DiffOptions::default(), &mut scratch);
+    }
+
+    let mut phases = [0.0f64; 6]; // p1..p5, total — mean micros per diff
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for c in &cases {
+            let r = diff_with_scratch(&c.old, &c.new, &DiffOptions::default(), &mut scratch);
+            let tm = r.timings;
+            for (acc, d) in phases.iter_mut().zip([
+                tm.phase1,
+                tm.phase2,
+                tm.phase3,
+                tm.phase4,
+                tm.phase5,
+                tm.total(),
+            ]) {
+                *acc += d.as_secs_f64() * 1e6;
+            }
+        }
+    }
+    let wall = t.elapsed();
+    let diffs = (rounds * cases.len()) as f64;
+    for p in &mut phases {
+        *p /= diffs;
+    }
+    let docs_per_sec = diffs / wall.as_secs_f64();
+    let mb_per_sec = (bytes_per_round * rounds) as f64 / 1e6 / wall.as_secs_f64();
+    let peak_rss = xybench::peak_rss_bytes().unwrap_or(0);
+
+    println!("| mode | pairs | rounds | docs/sec | MB/s | mean diff | peak RSS |");
+    println!("|---|---:|---:|---:|---:|---:|---:|");
+    println!(
+        "| {} | {} | {rounds} | {docs_per_sec:.0} | {mb_per_sec:.1} | {:.0} µs | {} |",
+        if fast { "fast" } else { "full" },
+        cases.len(),
+        phases[5],
+        fmt_bytes(peak_rss as usize),
+    );
+    println!(
+        "\nmean per-phase micros: p1 {:.0} | p2 {:.0} | p3 {:.0} | p4 {:.0} | p5 {:.0}\n",
+        phases[0], phases[1], phases[2], phases[3], phases[4]
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"diff\",\n  \"mode\": \"{mode}\",\n  \"pairs\": {pairs},\n  \
+         \"rounds\": {rounds},\n  \"bytes_per_round\": {bytes_per_round},\n  \
+         \"docs_per_sec\": {docs_per_sec:.2},\n  \"mb_per_sec\": {mb_per_sec:.3},\n  \
+         \"phase_micros\": {{ \"phase1\": {p1:.1}, \"phase2\": {p2:.1}, \"phase3\": {p3:.1}, \
+         \"phase4\": {p4:.1}, \"phase5\": {p5:.1}, \"total\": {pt:.1} }},\n  \
+         \"peak_rss_bytes\": {peak_rss}\n}}\n",
+        mode = if fast { "fast" } else { "full" },
+        pairs = cases.len(),
+        p1 = phases[0],
+        p2 = phases[1],
+        p3 = phases[2],
+        p4 = phases[3],
+        p5 = phases[4],
+        pt = phases[5],
+    );
+    let path = xybench::bench_out_path("BENCH_diff.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| eprintln!("cannot write {path:?}: {e}"));
+    println!("wrote {}\n", path.display());
+
+    if std::env::var_os("XYBENCH_GATE").is_some() {
+        match xybench::baseline_docs_per_sec("bench_baseline.json") {
+            Some(base) => {
+                let floor = base / 2.0;
+                println!(
+                    "perf gate: {docs_per_sec:.0} docs/sec vs baseline {base:.0} (floor {floor:.0})"
+                );
+                if docs_per_sec < floor {
+                    eprintln!("perf gate FAILED: diff throughput regressed >2x");
+                    std::process::exit(1);
+                }
+            }
+            None => eprintln!("perf gate: no bench_baseline.json found, skipping"),
+        }
+    }
 }
 
 /// E11 (extension) — Figure 1 at production scale: the `xyserve` worker
@@ -75,6 +210,7 @@ fn ingest() {
     println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
     let mut base_rate = None;
     let mut last_metrics = String::new();
+    let mut json_rows: Vec<String> = Vec::new();
     for workers in [1usize, 2, 4] {
         let server = IngestServer::start(ServeConfig {
             workers,
@@ -108,11 +244,29 @@ fn ingest() {
             m.diff_time.quantile_bound_micros(0.99),
             m.total_time.quantile_bound_micros(0.99),
         );
+        json_rows.push(format!(
+            "    {{ \"workers\": {workers}, \"wall_secs\": {:.4}, \"docs_per_sec\": {rate:.2}, \
+             \"speedup\": {speedup:.3}, \"diff_mean_micros\": {}, \"diff_p99_micros\": {}, \
+             \"total_p99_micros\": {} }}",
+            wall.as_secs_f64(),
+            m.diff_time.mean_micros(),
+            m.diff_time.quantile_bound_micros(0.99),
+            m.total_time.quantile_bound_micros(0.99),
+        ));
         last_metrics = m.render();
         let report = server.shutdown();
         assert!(report.is_balanced(), "unbalanced shutdown accounting: {report:?}");
         assert_eq!(report.succeeded as usize, snapshots);
     }
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"snapshots\": {snapshots},\n  \"runs\": [\n{}\n  ],\n  \
+         \"peak_rss_bytes\": {}\n}}\n",
+        json_rows.join(",\n"),
+        xybench::peak_rss_bytes().unwrap_or(0),
+    );
+    let path = xybench::bench_out_path("BENCH_ingest.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| eprintln!("cannot write {path:?}: {e}"));
+    println!("wrote {}", path.display());
     println!(
         "\n(target: >=2x docs/sec with 4 workers on a >=4-core host; this host has {cores} core{})\n",
         if cores == 1 { "" } else { "s" }

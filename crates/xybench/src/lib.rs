@@ -58,6 +58,49 @@ pub fn versioned_corpus(
         .collect()
 }
 
+/// True when `XYBENCH_FAST=1`: benches shrink their corpora so the CI
+/// perf-smoke job finishes in seconds.
+pub fn fast_mode() -> bool {
+    std::env::var_os("XYBENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Where a `BENCH_*.json` file should land: `$XYBENCH_OUT` or the current
+/// directory.
+pub fn bench_out_path(file: &str) -> std::path::PathBuf {
+    match std::env::var_os("XYBENCH_OUT") {
+        Some(dir) => std::path::PathBuf::from(dir).join(file),
+        None => std::path::PathBuf::from(file),
+    }
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`; `None`
+/// elsewhere).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Extract `"docs_per_sec": <number>` from a checked-in baseline JSON file
+/// (hand-rolled so the workspace stays dependency-free).
+pub fn baseline_docs_per_sec(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    json_number(&text, "docs_per_sec")
+}
+
+/// Find `"key": <number>` in a JSON text. Good enough for the flat BENCH
+/// files this workspace writes; not a general JSON parser.
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Least-squares slope of `ln y` against `ln x` — the growth exponent used
 /// to check the near-linearity claims (slope ≈ 1 ⇒ linear, ≈ 2 ⇒ quadratic).
 pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
@@ -133,6 +176,14 @@ mod tests {
         assert_eq!(fmt_dur(std::time::Duration::from_micros(250)), "250 µs");
         assert_eq!(fmt_dur(std::time::Duration::from_millis(12)), "12.00 ms");
         assert_eq!(fmt_dur(std::time::Duration::from_secs(3)), "3.00 s");
+    }
+
+    #[test]
+    fn json_number_extracts_flat_keys() {
+        let text = "{\n  \"bench\": \"diff\",\n  \"docs_per_sec\": 123.45,\n  \"n\": 7\n}";
+        assert_eq!(json_number(text, "docs_per_sec"), Some(123.45));
+        assert_eq!(json_number(text, "n"), Some(7.0));
+        assert_eq!(json_number(text, "missing"), None);
     }
 
     #[test]

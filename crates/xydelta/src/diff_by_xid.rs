@@ -53,10 +53,51 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
 
     let mut ops: Vec<Op> = Vec::new();
 
-    // --- Deletions: maximal old subtrees whose XID is absent from new. ---
-    // `matched_in_new(x)` is cheap thanks to the reverse index.
-    let in_new = |xid: Xid| new.node(xid).is_some();
-    let in_old = |xid: Xid| old.node(xid).is_some();
+    // Resolve the XID matching into direct NodeId↔NodeId arrays up front:
+    // the walks below probe "is this node matched / where is its partner"
+    // several times per node, and an array load beats a hash lookup on that
+    // budget (one hash probe per node here instead of ~6 spread over the
+    // walks).
+    let mut new_of_old: Vec<Option<NodeId>> = vec![None; o.arena_len()];
+    let mut old_of_new: Vec<Option<NodeId>> = vec![None; n.arena_len()];
+    // XIDs are dense (allocated sequentially per document chain), so when the
+    // span is proportionate to the node count a direct array indexed by XID
+    // value replaces the per-node hash probe. Long version chains can leave
+    // the live XID range sparse; fall back to the hash map there rather than
+    // allocate a table proportional to every XID ever issued.
+    let xid_span = new.next_xid_value() as usize;
+    if xid_span <= 4 * (o.arena_len() + n.arena_len()) {
+        let mut node_of_xid: Vec<Option<NodeId>> = vec![None; xid_span];
+        for (new_node, xid) in new.iter() {
+            node_of_xid[xid.value() as usize] = Some(new_node);
+        }
+        for (old_node, xid) in old.iter() {
+            if let Some(new_node) = node_of_xid
+                .get(xid.value() as usize)
+                .copied()
+                .flatten()
+            {
+                new_of_old[old_node.index()] = Some(new_node);
+                old_of_new[new_node.index()] = Some(old_node);
+            }
+        }
+    } else {
+        for (old_node, xid) in old.iter() {
+            if let Some(new_node) = new.node(xid) {
+                new_of_old[old_node.index()] = Some(new_node);
+                old_of_new[new_node.index()] = Some(old_node);
+            }
+        }
+    }
+
+    // Child positions and subtree sizes, O(n) each. The walks below emit one
+    // op per changed node, and each op wants the node's position among its
+    // siblings (`Tree::child_index` is O(position)) or its subtree weight
+    // (`Tree::subtree_size` is O(subtree)); under a wide parent — thousands
+    // of products in a catalog — paying those per op is quadratic.
+    let pos_old = child_positions(o);
+    let pos_new = child_positions(n);
+
 
     // A delete/insert op is emitted for every unmatched node whose parent
     // *is* matched. The captured subtree excludes matched descendants (they
@@ -67,52 +108,54 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
     // move …).
     for node in o.descendants(o.root()) {
         let Some(parent) = o.parent(node) else { continue };
-        let xid = old.xid(node).expect("old node without XID");
-        if in_new(xid) {
+        if new_of_old[node.index()].is_some() {
             continue;
         }
-        let parent_xid = old.xid(parent).expect("parent without XID");
-        if !in_new(parent_xid) {
+        let xid = old.xid(node).expect("old node without XID");
+        if new_of_old[parent.index()].is_none() {
             continue; // covered by the ancestor's delete op
         }
+        let parent_xid = old.xid(parent).expect("parent without XID");
         let (subtree, xid_map) =
-            capture_with_xids(old, node, &|d| old.xid(d).map(in_new).unwrap_or(false));
+            capture_with_xids(old, node, &|d| new_of_old[d.index()].is_some());
         ops.push(Op::Delete {
             xid,
             parent: parent_xid,
-            pos: o.child_index(node),
+            pos: pos_old[node.index()],
             subtree,
             xid_map,
         });
     }
+
 
     // --- Insertions: the exact mirror image. ---
     for node in n.descendants(n.root()) {
         let Some(parent) = n.parent(node) else { continue };
-        let xid = new.xid(node).expect("new node without XID");
-        if in_old(xid) {
+        if old_of_new[node.index()].is_some() {
             continue;
         }
-        let parent_xid = new.xid(parent).expect("parent without XID");
-        if !in_old(parent_xid) {
+        let xid = new.xid(node).expect("new node without XID");
+        if old_of_new[parent.index()].is_none() {
             continue; // covered by the ancestor's insert op
         }
+        let parent_xid = new.xid(parent).expect("parent without XID");
         let (subtree, xid_map) =
-            capture_with_xids(new, node, &|d| new.xid(d).map(in_old).unwrap_or(false));
+            capture_with_xids(new, node, &|d| old_of_new[d.index()].is_some());
         ops.push(Op::Insert {
             xid,
             parent: parent_xid,
-            pos: n.child_index(node),
+            pos: pos_new[node.index()],
             subtree,
             xid_map,
         });
     }
 
+
     // --- Matched-node comparisons: moves, updates, attributes. ---
     // Walk matched nodes of the new document (every XID in both).
     for new_node in n.descendants(n.root()) {
+        let Some(old_node) = old_of_new[new_node.index()] else { continue };
         let xid = new.xid(new_node).expect("new node without XID");
-        let Some(old_node) = old.node(xid) else { continue };
         // Cross-parent move?
         if new_node != n.root() {
             let new_parent_xid = n.parent(new_node).and_then(|p| new.xid(p));
@@ -122,9 +165,9 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
                     ops.push(Op::Move {
                         xid,
                         from_parent: opx,
-                        from_pos: o.child_index(old_node),
+                        from_pos: pos_old[old_node.index()],
                         to_parent: npx,
-                        to_pos: n.child_index(new_node),
+                        to_pos: pos_new[new_node.index()],
                     });
                 }
             }
@@ -141,22 +184,41 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
         }
     }
 
+
     // --- Within-parent reorders. ---
     // For every matched parent pair, the children that are matched *and*
     // stayed under this parent form the same set on both sides; everything
     // outside a heaviest order-preserving subsequence of their permutation
     // becomes a same-parent move (Figure 3).
     for new_parent in n.descendants(n.root()) {
+        let Some(old_parent) = old_of_new[new_parent.index()] else { continue };
+        // Fast path, no allocation: the stable children (matched and still
+        // under this parent on both sides) keep their relative order for any
+        // parent whose child list was only edited/extended/trimmed, which is
+        // almost every parent. Compare the old-side sequence against the new
+        // side's partners directly.
+        let order_preserved = {
+            let old_side = o.children(old_parent).filter(|&oc| {
+                new_of_old[oc.index()].is_some_and(|nc| n.parent(nc) == Some(new_parent))
+            });
+            let new_side = n.children(new_parent).filter_map(|c| {
+                let oc = old_of_new[c.index()]?;
+                (o.parent(oc) == Some(old_parent)).then_some(oc)
+            });
+            old_side.eq(new_side)
+        };
+        if order_preserved {
+            continue;
+        }
         let pxid = new.xid(new_parent).expect("new node without XID");
-        let Some(old_parent) = old.node(pxid) else { continue };
         // Stable children in new order, with their position in the *new*
         // child list and subtree weight.
         let stable_new: Vec<(Xid, NodeId)> = n
             .children(new_parent)
             .filter_map(|c| {
-                let cx = new.xid(c)?;
-                let oc = old.node(cx)?;
+                let oc = old_of_new[c.index()]?;
                 // Stayed under the same parent?
+                let cx = new.xid(c)?;
                 (o.parent(oc) == Some(old_parent)).then_some((cx, c))
             })
             .collect();
@@ -177,13 +239,8 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
             .collect();
         debug_assert_eq!(stable_old.len(), stable_new.len());
         let perm: Vec<u64> = stable_old.iter().map(|(cx, _)| new_rank[cx]).collect();
-        if perm.windows(2).all(|w| w[0] < w[1]) {
-            continue; // already in order
-        }
-        let weights: Vec<u64> = stable_old
-            .iter()
-            .map(|&(_, oc)| o.subtree_size(oc) as u64)
-            .collect();
+        let weights: Vec<u64> =
+            stable_old.iter().map(|&(_, oc)| o.subtree_size(oc) as u64).collect();
         let kept = match lis_window {
             Some(w) => chunked_heaviest_increasing_by(&perm, w, |i| weights[i]),
             None => heaviest_increasing_subsequence_by(&perm, |i| weights[i]),
@@ -193,13 +250,13 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
             if kept_set.contains(&i) {
                 continue;
             }
-            let nc = new.node(cx).expect("stable child must exist in new");
+            let nc = stable_new[perm[i] as usize].1;
             ops.push(Op::Move {
                 xid: cx,
                 from_parent: pxid,
-                from_pos: o.child_index(oc),
+                from_pos: pos_old[oc.index()],
                 to_parent: pxid,
-                to_pos: n.child_index(nc),
+                to_pos: pos_new[nc.index()],
             });
         }
     }
@@ -207,6 +264,18 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
     let mut delta = Delta::from_ops(ops);
     delta.canonicalize();
     delta
+}
+
+/// Position of every attached node among its siblings, indexed by arena slot
+/// (detached slots keep 0 and are never consulted).
+fn child_positions(tree: &xytree::Tree) -> Vec<usize> {
+    let mut pos = vec![0usize; tree.arena_len()];
+    for node in tree.descendants(tree.root()) {
+        for (i, c) in tree.children(node).enumerate() {
+            pos[c.index()] = i;
+        }
+    }
+    pos
 }
 
 /// Capture the subtree at `node` excluding descendants for which `matched`
@@ -240,16 +309,16 @@ fn collect_xids_postfix(
 
 fn diff_attrs(xid: Xid, old: &xytree::Element, new: &xytree::Element, ops: &mut Vec<Op>) {
     for (i, a) in old.attrs.iter().enumerate() {
-        match new.attr(&a.name) {
+        match new.attr_sym(a.name) {
             None => ops.push(Op::AttrDelete {
                 element: xid,
-                name: a.name.clone(),
+                name: a.name.to_string(),
                 old: a.value.clone(),
                 pos: i,
             }),
             Some(v) if v != a.value => ops.push(Op::AttrUpdate {
                 element: xid,
-                name: a.name.clone(),
+                name: a.name.to_string(),
                 old: a.value.clone(),
                 new: v.to_string(),
             }),
@@ -257,10 +326,10 @@ fn diff_attrs(xid: Xid, old: &xytree::Element, new: &xytree::Element, ops: &mut 
         }
     }
     for (i, a) in new.attrs.iter().enumerate() {
-        if old.attr(&a.name).is_none() {
+        if old.attr_sym(a.name).is_none() {
             ops.push(Op::AttrInsert {
                 element: xid,
-                name: a.name.clone(),
+                name: a.name.to_string(),
                 value: a.value.clone(),
                 pos: i,
             });

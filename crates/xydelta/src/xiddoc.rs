@@ -1,6 +1,7 @@
 //! A document together with its persistent-identifier assignment.
 
 use crate::xid::{Xid, XidMap};
+use std::sync::OnceLock;
 use xytree::hash::{fast_map_with_capacity, FastHashMap};
 use xytree::{Document, NodeId};
 
@@ -47,8 +48,12 @@ pub struct XidDocument {
     pub doc: Document,
     /// XID of each arena slot (`None` for unassigned/detached slots).
     xid_of: Vec<Option<Xid>>,
-    /// Reverse index.
-    by_xid: FastHashMap<Xid, NodeId>,
+    /// Reverse index, built lazily on the first [`XidDocument::node`] query.
+    /// The diff hot path builds one `XidDocument` per version and only walks
+    /// the forward array, so constructing the per-version hash map eagerly
+    /// would be pure overhead there. Once built (or once a mutator needs the
+    /// displacement lookup), it is kept incrementally in sync.
+    by_xid: OnceLock<FastHashMap<Xid, NodeId>>,
     /// Next fresh XID value.
     next: u64,
 }
@@ -60,15 +65,13 @@ impl XidDocument {
     pub fn assign_initial(doc: Document) -> XidDocument {
         let n = doc.tree.arena_len();
         let mut xid_of = vec![None; n];
-        let mut by_xid = fast_map_with_capacity(n);
         let mut next = 1u64;
         for node in doc.tree.post_order(doc.tree.root()) {
             let xid = Xid(next);
             next += 1;
             xid_of[node.index()] = Some(xid);
-            by_xid.insert(xid, node);
         }
-        XidDocument { doc, xid_of, by_xid, next }
+        XidDocument { doc, xid_of, by_xid: OnceLock::new(), next }
     }
 
     /// Wrap a document with an explicit XID assignment (used by the diff when
@@ -81,13 +84,14 @@ impl XidDocument {
     ) -> XidDocument {
         let n = doc.tree.arena_len();
         let mut xid_of = vec![None; n];
-        let mut by_xid = fast_map_with_capacity(n);
         for (node, xid) in assignment {
             debug_assert!(xid.0 < next, "assigned XID {xid} not below next={next}");
+            if node.index() >= xid_of.len() {
+                xid_of.resize(node.index() + 1, None);
+            }
             xid_of[node.index()] = Some(xid);
-            by_xid.insert(xid, node);
         }
-        XidDocument { doc, xid_of, by_xid, next }
+        XidDocument { doc, xid_of, by_xid: OnceLock::new(), next }
     }
 
     /// Parse XML and assign initial XIDs.
@@ -104,12 +108,25 @@ impl XidDocument {
     /// The node currently carrying `xid`, if any.
     #[inline]
     pub fn node(&self, xid: Xid) -> Option<NodeId> {
-        self.by_xid.get(&xid).copied()
+        self.reverse().get(&xid).copied()
+    }
+
+    /// The reverse index, materialized from the forward array on first use.
+    fn reverse(&self) -> &FastHashMap<Xid, NodeId> {
+        self.by_xid.get_or_init(|| {
+            let mut m = fast_map_with_capacity(self.xid_of.len());
+            for (i, x) in self.xid_of.iter().enumerate() {
+                if let Some(x) = *x {
+                    m.insert(x, NodeId::from_index(i));
+                }
+            }
+            m
+        })
     }
 
     /// Number of XID-bearing nodes.
     pub fn assigned_count(&self) -> usize {
-        self.by_xid.len()
+        self.xid_of.iter().flatten().count()
     }
 
     /// The next fresh XID value (not yet assigned).
@@ -126,24 +143,30 @@ impl XidDocument {
 
     /// Assign `xid` to `node`, replacing any previous assignment of either.
     pub fn set_xid(&mut self, node: NodeId, xid: Xid) {
+        // The displacement lookup ("who holds `xid` now?") needs the reverse
+        // index; materialize it so the update below keeps it in sync.
+        self.reverse();
+        let by_xid = self.by_xid.get_mut().expect("reverse index materialized");
         if node.index() >= self.xid_of.len() {
             self.xid_of.resize(node.index() + 1, None);
         }
         if let Some(old) = self.xid_of[node.index()] {
-            self.by_xid.remove(&old);
+            by_xid.remove(&old);
         }
-        if let Some(&old_node) = self.by_xid.get(&xid) {
+        if let Some(&old_node) = by_xid.get(&xid) {
             self.xid_of[old_node.index()] = None;
         }
         self.xid_of[node.index()] = Some(xid);
-        self.by_xid.insert(xid, node);
+        by_xid.insert(xid, node);
         self.next = self.next.max(xid.0 + 1);
     }
 
     /// Remove the XID of `node` (e.g. after its subtree is deleted).
     pub fn clear_xid(&mut self, node: NodeId) {
         if let Some(x) = self.xid_of.get(node.index()).copied().flatten() {
-            self.by_xid.remove(&x);
+            if let Some(by_xid) = self.by_xid.get_mut() {
+                by_xid.remove(&x);
+            }
             self.xid_of[node.index()] = None;
         }
     }
@@ -176,9 +199,12 @@ impl XidDocument {
         XidMap::new(xids)
     }
 
-    /// Iterate `(node, xid)` for all assigned nodes, in arbitrary order.
+    /// Iterate `(node, xid)` for all assigned nodes, in arena-slot order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Xid)> + '_ {
-        self.by_xid.iter().map(|(&x, &n)| (n, x))
+        self.xid_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, x)| x.map(|x| (NodeId::from_index(i), x)))
     }
 
     /// Serialize with the persistent identifiers embedded: a processing
@@ -241,7 +267,7 @@ impl XidDocument {
         for (i, &x) in self.xid_of.iter().enumerate() {
             if let Some(x) = x {
                 let node = NodeId::from_index(i);
-                if self.by_xid.get(&x) != Some(&node) {
+                if self.node(x) != Some(node) {
                     return Err(format!("xid {x} reverse index mismatch at slot {i}"));
                 }
                 if x.0 >= self.next {
@@ -249,7 +275,7 @@ impl XidDocument {
                 }
             }
         }
-        for (&x, &n) in &self.by_xid {
+        for (&x, &n) in self.reverse() {
             if self.xid_of.get(n.index()).copied().flatten() != Some(x) {
                 return Err(format!("forward index mismatch for xid {x}"));
             }

@@ -32,6 +32,16 @@ use std::collections::BinaryHeap;
 use xytree::hash::{fast_map_with_capacity, FastHashMap};
 use xytree::{NodeId, Tree};
 
+/// Reusable phase-3 state: the old-document candidate index and the
+/// heaviest-first priority queue. Part of [`crate::DiffScratch`]; a fresh
+/// value per diff is equivalent, reuse just keeps the table and vector
+/// allocations warm.
+#[derive(Debug, Default)]
+pub struct BuldScratch {
+    index: CandidateIndex,
+    heap: BinaryHeap<Entry>,
+}
+
 /// Run the phase-3 matching loop, extending `matching` in place.
 pub fn run(
     old: &Tree,
@@ -42,11 +52,28 @@ pub fn run(
     opts: &DiffOptions,
     stats: &mut DiffStats,
 ) {
-    let mut index = CandidateIndex::build(old, old_info);
+    let mut scratch = BuldScratch::default();
+    run_with(old, new, old_info, new_info, matching, opts, stats, &mut scratch);
+}
+
+/// [`run`] with caller-owned scratch, reusing its allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with(
+    old: &Tree,
+    new: &Tree,
+    old_info: &TreeInfo,
+    new_info: &TreeInfo,
+    matching: &mut Matching,
+    opts: &DiffOptions,
+    stats: &mut DiffStats,
+    scratch: &mut BuldScratch,
+) {
+    let BuldScratch { index, heap } = scratch;
+    index.rebuild(old, old_info, opts.max_candidates_scan);
+    heap.clear();
     let n_total = old_info.node_count + new_info.node_count;
     let w0 = new_info.total_weight;
 
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(64);
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<Entry>, seq: &mut u64, node: NodeId| {
         heap.push(Entry { weight: new_info.weight(node), seq: *seq, node });
@@ -54,7 +81,7 @@ pub fn run(
     };
     // "To start, the queue only contains the root of the entire new
     // document."
-    push(&mut heap, &mut seq, new.root());
+    push(heap, &mut seq, new.root());
 
     while let Some(Entry { node: v, .. }) = heap.pop() {
         let enqueue_children = |heap: &mut BinaryHeap<Entry>, seq: &mut u64| {
@@ -69,7 +96,7 @@ pub fn run(
             // e.g. the content below an ID-matched element, which can have
             // changed arbitrarily. Every node enters the queue at most once,
             // so this keeps the O(n log n) bound.
-            enqueue_children(&mut heap, &mut seq);
+            enqueue_children(heap, &mut seq);
             continue;
         }
         let sig = new_info.signature(v);
@@ -80,7 +107,7 @@ pub fn run(
                 stats.signature_matches += matched;
                 propagate_up(old, new, c, v, matching, new_info, opts, n_total, w0, stats);
             }
-            None => enqueue_children(&mut heap, &mut seq),
+            None => enqueue_children(heap, &mut seq),
         }
     }
 }
@@ -88,6 +115,7 @@ pub fn run(
 /// Priority-queue entry: heavier first, FIFO among equal weights ("when
 /// several nodes have the same weight, the first subtree inserted in the
 /// queue is chosen").
+#[derive(Debug)]
 struct Entry {
     weight: f64,
     seq: u64,
@@ -115,24 +143,32 @@ impl Ord for Entry {
 
 /// Candidate lists per signature, with consumed-prefix cursors, plus the
 /// parent-keyed secondary index.
+#[derive(Debug, Default)]
 struct CandidateIndex {
     by_sig: FastHashMap<u64, usize>,
     lists: Vec<CandidateList>,
     by_sig_parent: FastHashMap<(u64, NodeId), Vec<NodeId>>,
 }
 
+#[derive(Debug)]
 struct CandidateList {
     nodes: Vec<NodeId>,
     cursor: usize,
 }
 
 impl CandidateIndex {
-    fn build(old: &Tree, old_info: &TreeInfo) -> CandidateIndex {
-        let cap = old_info.node_count;
-        let mut by_sig: FastHashMap<u64, usize> = fast_map_with_capacity(cap);
-        let mut lists: Vec<CandidateList> = Vec::new();
-        let mut by_sig_parent: FastHashMap<(u64, NodeId), Vec<NodeId>> =
-            fast_map_with_capacity(cap);
+    /// Repopulate for a new old-document, keeping table and list capacity.
+    /// List slots are recycled in place via a live counter; slots beyond it
+    /// are stale leftovers from a bigger earlier diff, unreachable because
+    /// `by_sig` was cleared, and kept only for their capacity.
+    fn rebuild(&mut self, old: &Tree, old_info: &TreeInfo, parent_index_threshold: usize) {
+        let CandidateIndex { by_sig, lists, by_sig_parent } = self;
+        by_sig.clear();
+        by_sig_parent.clear();
+        if by_sig.capacity() == 0 {
+            *by_sig = fast_map_with_capacity(old_info.node_count);
+        }
+        let mut live = 0usize;
         // Document order, so "first candidate" ties break deterministically.
         for o in old.descendants(old.root()) {
             if o == old.root() {
@@ -140,15 +176,35 @@ impl CandidateIndex {
             }
             let sig = old_info.signature(o);
             let slot = *by_sig.entry(sig).or_insert_with(|| {
-                lists.push(CandidateList { nodes: Vec::new(), cursor: 0 });
-                lists.len() - 1
+                if live < lists.len() {
+                    lists[live].nodes.clear();
+                    lists[live].cursor = 0;
+                } else {
+                    lists.push(CandidateList { nodes: Vec::new(), cursor: 0 });
+                }
+                live += 1;
+                live - 1
             });
             lists[slot].nodes.push(o);
-            if let Some(p) = old.parent(o) {
-                by_sig_parent.entry((sig, p)).or_default().push(o);
+        }
+        // Parent groups are built only for signatures whose list is long
+        // enough that `select` could ever consult them: it takes the indexed
+        // path only when the live suffix exceeds the scan bound, and the live
+        // suffix is a subset of the full list. In the common case (almost all
+        // signatures occur a handful of times) this skips one hash insert per
+        // node. Each group stays in document order because each signature's
+        // node list is.
+        for (&sig, &slot) in by_sig.iter() {
+            let nodes = &lists[slot].nodes;
+            if nodes.len() <= parent_index_threshold {
+                continue;
+            }
+            for &o in nodes {
+                if let Some(p) = old.parent(o) {
+                    by_sig_parent.entry((sig, p)).or_default().push(o);
+                }
             }
         }
-        CandidateIndex { by_sig, lists, by_sig_parent }
     }
 
     /// Choose the best old-document candidate for new node `v`, or `None`.

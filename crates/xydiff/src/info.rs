@@ -14,7 +14,8 @@
 //! ("when the text is large … it should have more weight than a simple
 //! word").
 
-use xytree::hash::Fnv64;
+use xydelta::{Xid, XidDocument};
+use xytree::hash::{FastHashMap, Fnv64};
 use xytree::{NodeId, NodeKind, Tree};
 
 /// Domain-separation seeds so that, e.g., a text node `"a"` and an element
@@ -40,7 +41,7 @@ pub struct NodeInfo {
 }
 
 /// Signatures and weights for every attached node of a tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TreeInfo {
     infos: Vec<NodeInfo>,
     /// Total weight of the document (W₀ in the paper's depth bound).
@@ -71,66 +72,184 @@ impl TreeInfo {
 
 /// One post-order traversal computing signature + weight for each node.
 pub fn analyze(tree: &Tree) -> TreeInfo {
-    let mut infos = vec![NodeInfo::default(); tree.arena_len()];
+    let mut out = TreeInfo::default();
+    analyze_into(tree, &mut out);
+    out
+}
+
+/// [`analyze`] into a caller-owned [`TreeInfo`], reusing its allocation.
+/// This is the [`crate::DiffScratch`] reuse path: a long-lived worker runs
+/// thousands of diffs without growing the heap.
+pub fn analyze_into(tree: &Tree, out: &mut TreeInfo) {
+    out.infos.clear();
+    out.infos.resize(tree.arena_len(), NodeInfo::default());
     let mut node_count = 0usize;
     for node in tree.post_order(tree.root()) {
         node_count += 1;
-        let mut h;
-        let mut weight;
-        let mut size = 1u32;
-        match tree.kind(node) {
-            NodeKind::Document => {
-                h = Fnv64::with_seed(seed::DOCUMENT);
-                weight = 1.0;
-            }
-            NodeKind::Element(e) => {
-                h = Fnv64::with_seed(seed::ELEMENT);
-                h.update(e.name.as_bytes());
-                h.update(&[0]);
-                // Attributes are a set: hash them in name order.
-                if !e.attrs.is_empty() {
-                    let mut idx: Vec<usize> = (0..e.attrs.len()).collect();
-                    idx.sort_by(|&a, &b| e.attrs[a].name.cmp(&e.attrs[b].name));
-                    for i in idx {
-                        let a = &e.attrs[i];
-                        h.update(a.name.as_bytes());
-                        h.update(&[1]);
-                        h.update(a.value.as_bytes());
-                        h.update(&[2]);
-                    }
-                }
-                weight = 1.0;
-            }
-            NodeKind::Text(t) => {
-                h = Fnv64::with_seed(seed::TEXT);
-                h.update(t.as_bytes());
-                weight = text_weight(t.len());
-            }
-            NodeKind::Comment(c) => {
-                h = Fnv64::with_seed(seed::COMMENT);
-                h.update(c.as_bytes());
-                weight = text_weight(c.len());
-            }
-            NodeKind::Pi { target, data } => {
-                h = Fnv64::with_seed(seed::PI);
-                h.update(target.as_bytes());
-                h.update(&[0]);
-                h.update(data.as_bytes());
-                weight = text_weight(target.len() + data.len());
-            }
-        }
-        // Children were visited first (post-order): fold their signatures in
-        // order and add their weights.
-        for c in tree.children(node) {
-            let ci = &infos[c.index()];
-            h.update_u64(ci.signature);
-            weight += ci.weight;
-            size += ci.size;
-        }
-        infos[node.index()] = NodeInfo { signature: h.value(), weight, size };
+        out.infos[node.index()] = compute_node(tree, node, &out.infos);
     }
-    let total_weight = infos[tree.root().index()].weight;
-    TreeInfo { infos, total_weight, node_count }
+    out.total_weight = out.infos[tree.root().index()].weight;
+    out.node_count = node_count;
+}
+
+/// Signature/weight/size of one node, assuming its children (post-order
+/// predecessors) are already present in `infos`.
+fn compute_node(tree: &Tree, node: NodeId, infos: &[NodeInfo]) -> NodeInfo {
+    let mut h;
+    let mut weight;
+    let mut size = 1u32;
+    match tree.kind(node) {
+        NodeKind::Document => {
+            h = Fnv64::with_seed(seed::DOCUMENT);
+            weight = 1.0;
+        }
+        NodeKind::Element(e) => {
+            h = Fnv64::with_seed(seed::ELEMENT);
+            h.update(e.name.as_bytes());
+            h.update(&[0]);
+            // Attributes are a set: hash them in name order. Parsers and
+            // builders keep attributes in a stable order, so they are almost
+            // always already sorted — check first and skip the index buffer.
+            let mut fold = |a: &xytree::Attr| {
+                h.update(a.name.as_bytes());
+                h.update(&[1]);
+                h.update(a.value.as_bytes());
+                h.update(&[2]);
+            };
+            if e.attrs.windows(2).all(|w| w[0].name <= w[1].name) {
+                for a in &e.attrs {
+                    fold(a);
+                }
+            } else {
+                let mut idx: Vec<usize> = (0..e.attrs.len()).collect();
+                idx.sort_by(|&a, &b| e.attrs[a].name.cmp(&e.attrs[b].name));
+                for i in idx {
+                    fold(&e.attrs[i]);
+                }
+            }
+            weight = 1.0;
+        }
+        NodeKind::Text(t) => {
+            h = Fnv64::with_seed(seed::TEXT);
+            h.update(t.as_bytes());
+            weight = text_weight(t.len());
+        }
+        NodeKind::Comment(c) => {
+            h = Fnv64::with_seed(seed::COMMENT);
+            h.update(c.as_bytes());
+            weight = text_weight(c.len());
+        }
+        NodeKind::Pi { target, data } => {
+            h = Fnv64::with_seed(seed::PI);
+            h.update(target.as_bytes());
+            h.update(&[0]);
+            h.update(data.as_bytes());
+            weight = text_weight(target.len() + data.len());
+        }
+    }
+    // Children were visited first (post-order): fold their signatures in
+    // order and add their weights.
+    for c in tree.children(node) {
+        let ci = &infos[c.index()];
+        h.update_u64(ci.signature);
+        weight += ci.weight;
+        size += ci.size;
+    }
+    NodeInfo { signature: h.value(), weight, size }
+}
+
+/// Cross-version cache of per-subtree [`NodeInfo`] records, keyed by
+/// persistent XID.
+///
+/// In a warehouse, the *old* side of every diff is a document the system
+/// itself produced one ingest earlier — its signatures were all computed
+/// then. Keyed by XID (the identity that survives versioning), those records
+/// can be replayed instead of re-hashed, removing the old tree's share of
+/// phase 2 from steady-state ingestion.
+///
+/// **Coherence contract**: an entry must equal what [`analyze`] would compute
+/// for the subtree currently rooted at that XID. [`SignatureCache::refresh`]
+/// (after each ingest) maintains this; any out-of-band mutation of the stored
+/// document must [`SignatureCache::invalidate`] the touched XIDs or
+/// [`SignatureCache::clear`] the cache. A stale-but-coherent miss is safe —
+/// the analysis falls back to hashing locally.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureCache {
+    map: FastHashMap<u64, NodeInfo>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SignatureCache {
+    /// An empty cache.
+    pub fn new() -> SignatureCache {
+        SignatureCache::default()
+    }
+
+    /// Number of cached subtree records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no records are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop every record (keeps the table allocation).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Drop the record for one XID — required for any node whose subtree
+    /// content changed outside the normal ingest path (e.g. a delta applied
+    /// directly to the stored version).
+    pub fn invalidate(&mut self, xid: Xid) {
+        self.map.remove(&xid.value());
+    }
+
+    /// Replace the cache contents with the records of `doc`'s current
+    /// version, as computed in `info` (indices must refer to `doc.doc.tree`).
+    pub fn refresh(&mut self, doc: &XidDocument, info: &TreeInfo) {
+        self.map.clear();
+        let tree = &doc.doc.tree;
+        for node in tree.post_order(tree.root()) {
+            if let Some(xid) = doc.xid(node) {
+                self.map.insert(xid.value(), *info.get(node));
+            }
+        }
+    }
+
+    /// Cumulative (hits, misses) over the cache's lifetime.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// [`analyze`] for an XID-carrying document, replaying records cached from a
+/// previous version wherever the XID resolves; only cache misses are hashed.
+/// See the [`SignatureCache`] coherence contract.
+pub fn analyze_xid_cached(doc: &XidDocument, cache: &mut SignatureCache, out: &mut TreeInfo) {
+    let tree = &doc.doc.tree;
+    out.infos.clear();
+    out.infos.resize(tree.arena_len(), NodeInfo::default());
+    let mut node_count = 0usize;
+    for node in tree.post_order(tree.root()) {
+        node_count += 1;
+        let cached = doc.xid(node).and_then(|x| cache.map.get(&x.value()).copied());
+        out.infos[node.index()] = match cached {
+            Some(info) => {
+                cache.hits += 1;
+                info
+            }
+            None => {
+                cache.misses += 1;
+                compute_node(tree, node, &out.infos)
+            }
+        };
+    }
+    out.total_weight = out.infos[tree.root().index()].weight;
+    out.node_count = node_count;
 }
 
 /// Text-node weight: `1 + log(length)` (§5.2), with `log 0 := 0`.

@@ -31,6 +31,20 @@ impl Matching {
         }
     }
 
+    /// Clear in place and resize for arenas of the given sizes, keeping the
+    /// vector allocations (the [`crate::DiffScratch`] reuse path).
+    pub fn reset(&mut self, old_len: usize, new_len: usize) {
+        self.old_to_new.clear();
+        self.old_to_new.resize(old_len, None);
+        self.new_to_old.clear();
+        self.new_to_old.resize(new_len, None);
+        self.forbidden_old.clear();
+        self.forbidden_old.resize(old_len, false);
+        self.forbidden_new.clear();
+        self.forbidden_new.resize(new_len, false);
+        self.matched = 0;
+    }
+
     /// Record `old ↔ new`. Both must be unmatched (checked in debug builds).
     pub fn add(&mut self, old: NodeId, new: NodeId) {
         debug_assert!(self.old_to_new[old.index()].is_none(), "old node matched twice");

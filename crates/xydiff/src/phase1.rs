@@ -11,7 +11,7 @@
 use crate::matching::Matching;
 use crate::report::DiffStats;
 use xytree::hash::{fast_map, FastHashMap};
-use xytree::{Document, NodeId};
+use xytree::{Document, NodeId, Symbol};
 
 /// Match element nodes by `(label, ID value)`; forbid ID-bearing nodes that
 /// find no partner.
@@ -29,24 +29,22 @@ pub fn match_by_id(
 
     // Index old ID nodes; `None` marks a duplicated (invalid) ID value,
     // which we conservatively refuse to match on.
-    let mut index: FastHashMap<(&str, &str), Option<NodeId>> = fast_map();
-    for &(node, ref label, ref value) in &old_ids {
+    let mut index: FastHashMap<(Symbol, &str), Option<NodeId>> = fast_map();
+    for &(node, label, value) in &old_ids {
         index
-            .entry((label.as_str(), value.as_str()))
+            .entry((label, value))
             .and_modify(|slot| *slot = None)
             .or_insert(Some(node));
     }
 
-    let mut seen_new: FastHashMap<(&str, &str), bool> = fast_map();
-    for &(node, ref label, ref value) in &new_ids {
-        let dup = seen_new
-            .insert((label.as_str(), value.as_str()), true)
-            .is_some();
+    let mut seen_new: FastHashMap<(Symbol, &str), bool> = fast_map();
+    for &(node, label, value) in &new_ids {
+        let dup = seen_new.insert((label, value), true).is_some();
         if dup {
             matching.forbid_new(node);
             continue;
         }
-        match index.get(&(label.as_str(), value.as_str())) {
+        match index.get(&(label, value)) {
             Some(Some(old_node)) if matching.can_match(*old_node, node) => {
                 matching.add(*old_node, node);
                 stats.id_matches += 1;
@@ -63,17 +61,18 @@ pub fn match_by_id(
 }
 
 /// All `(node, label, ID value)` triples of elements carrying an ID
-/// attribute declared by the document's own DTD.
-fn collect_id_nodes(doc: &Document) -> Vec<(NodeId, String, String)> {
+/// attribute declared by the document's own DTD. Labels are interned and ID
+/// values borrowed from the document — no per-node allocation.
+fn collect_id_nodes(doc: &Document) -> Vec<(NodeId, Symbol, &str)> {
     let Some(dt) = doc.doctype.as_ref().filter(|d| d.has_id_attrs()) else {
         return Vec::new();
     };
     let mut out = Vec::new();
     for n in doc.tree.descendants(doc.tree.root()) {
         let Some(e) = doc.tree.element(n) else { continue };
-        let Some(attr_name) = dt.id_attr_of(&e.name) else { continue };
-        if let Some(v) = e.attr(attr_name) {
-            out.push((n, e.name.clone(), v.to_string()));
+        let Some(attr_name) = dt.id_attr_sym(e.name) else { continue };
+        if let Some(v) = e.attr_sym(attr_name) {
+            out.push((n, e.name, v));
         }
     }
     out

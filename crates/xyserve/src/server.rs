@@ -30,7 +30,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
-use xydiff::DiffOptions;
+use xydiff::{DiffOptions, DiffScratch};
 use xytree::Document;
 use xywarehouse::{Alerter, Notification, Repository};
 
@@ -302,13 +302,17 @@ impl Inner {
     }
 
     fn worker_loop(&self) {
+        // One scratch per worker thread, reused for every diff this worker
+        // runs: the steady-state ingest loop allocates no per-diff working
+        // memory (see xydiff::DiffScratch).
+        let mut scratch = DiffScratch::new();
         while let Some(job) = self.queue.pop() {
             self.metrics.queue_depth.set(self.queue.len() as u64);
             let mut runnable = self.admit(job);
             while let Some(j) = runnable {
                 let key = j.key.clone();
                 let seq = j.seq;
-                self.process(j);
+                self.process(j, &mut scratch);
                 runnable = self.advance(&key, seq);
             }
         }
@@ -365,10 +369,12 @@ impl Inner {
                 None
             }
         };
+        // Rare path (shutdown race), so a cold scratch is fine.
+        let mut scratch = DiffScratch::new();
         while let Some(j) = runnable {
             let key = j.key.clone();
             let seq = j.seq;
-            self.process(j);
+            self.process(j, &mut scratch);
             runnable = self.advance(&key, seq);
         }
     }
@@ -385,7 +391,7 @@ impl Inner {
 
     /// Run one snapshot through parse → diff → store → alert, with bounded
     /// retry for transient failures and dead-lettering for poison input.
-    fn process(&self, job: Job) {
+    fn process(&self, job: Job, scratch: &mut DiffScratch) {
         let started = Instant::now();
         let t_parse = Instant::now();
         let doc = match Document::parse(&job.xml) {
@@ -420,7 +426,7 @@ impl Inner {
         }
 
         let shard = &self.shards[self.shard_of(&job.key)];
-        let out = shard.load_parsed(&job.key, doc);
+        let out = shard.load_parsed_with_scratch(&job.key, doc, scratch);
         if out.version > 0 {
             // The initial load of a key runs no diff; recording its zero
             // duration would skew the latency statistics.

@@ -41,7 +41,7 @@ impl ElementBuilder {
 
     /// Add an attribute.
     pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
-        self.attrs.push(Attr::new(name, value));
+        self.attrs.push(Attr::new(name.into(), value));
         self
     }
 
@@ -78,7 +78,7 @@ impl ElementBuilder {
     /// Materialize into `tree` as a detached subtree; returns its root.
     pub fn build_into(self, tree: &mut Tree) -> NodeId {
         let node = tree.new_node(NodeKind::Element(Element {
-            name: self.name,
+            name: self.name.into(),
             attrs: self.attrs,
         }));
         for child in self.children {

@@ -40,12 +40,40 @@ impl Fnv64 {
     }
 
     /// Absorb raw bytes.
+    ///
+    /// FNV-1a's xor-multiply chain is inherently sequential, so the loop is
+    /// unrolled into 8-byte rounds (same math, one bounds check per round and
+    /// better instruction scheduling) rather than vectorized. Output is
+    /// bit-identical to the byte-at-a-time definition — the known-vector
+    /// tests below pin that down.
     #[inline]
     pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(FNV_PRIME);
+        let mut state = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            state ^= w & 0xff;
+            state = state.wrapping_mul(FNV_PRIME);
+            state ^= (w >> 8) & 0xff;
+            state = state.wrapping_mul(FNV_PRIME);
+            state ^= (w >> 16) & 0xff;
+            state = state.wrapping_mul(FNV_PRIME);
+            state ^= (w >> 24) & 0xff;
+            state = state.wrapping_mul(FNV_PRIME);
+            state ^= (w >> 32) & 0xff;
+            state = state.wrapping_mul(FNV_PRIME);
+            state ^= (w >> 40) & 0xff;
+            state = state.wrapping_mul(FNV_PRIME);
+            state ^= (w >> 48) & 0xff;
+            state = state.wrapping_mul(FNV_PRIME);
+            state ^= w >> 56;
+            state = state.wrapping_mul(FNV_PRIME);
         }
+        for &b in chunks.remainder() {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(FNV_PRIME);
+        }
+        self.state = state;
     }
 
     /// Absorb a 64-bit value (e.g. a child signature).
@@ -125,6 +153,24 @@ mod tests {
         h.update(b"foo");
         h.update(b"bar");
         assert_eq!(h.value(), Fnv64::hash_bytes(b"foobar"));
+    }
+
+    #[test]
+    fn long_input_matches_reference_loop() {
+        // Exercises the unrolled 8-byte rounds plus the remainder tail on an
+        // input well past 64 bytes, against the textbook byte-at-a-time loop.
+        let data: Vec<u8> = (0u16..517).map(|i| (i % 251) as u8).collect();
+        let mut reference = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &data {
+            reference ^= u64::from(b);
+            reference = reference.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(Fnv64::hash_bytes(&data), reference);
+        // Split across updates at an offset that misaligns the chunks.
+        let mut h = Fnv64::new();
+        h.update(&data[..13]);
+        h.update(&data[13..]);
+        assert_eq!(h.value(), reference);
     }
 
     #[test]

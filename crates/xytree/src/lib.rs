@@ -37,6 +37,7 @@ pub mod document;
 pub mod error;
 pub mod escape;
 pub mod hash;
+pub mod intern;
 pub mod node;
 pub mod parser;
 pub mod serialize;
@@ -47,6 +48,7 @@ pub mod tree;
 pub use build::ElementBuilder;
 pub use document::{Doctype, Document};
 pub use error::{ParseError, ParseErrorKind};
+pub use intern::Symbol;
 pub use node::{Attr, Element, NodeKind};
 pub use parser::ParseOptions;
 pub use serialize::SerializeOptions;

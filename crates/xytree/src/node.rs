@@ -2,6 +2,7 @@
 //! carry labels for elements and data for text nodes, §4), plus comments and
 //! processing instructions so real documents round-trip.
 
+use crate::intern::Symbol;
 use std::fmt;
 
 /// An attribute of an element node.
@@ -11,15 +12,15 @@ use std::fmt;
 /// their own — §5.2 "Other XML features").
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Attr {
-    /// Attribute name, e.g. `id` or `xml:lang`.
-    pub name: String,
+    /// Attribute name, e.g. `id` or `xml:lang`, as an interned label.
+    pub name: Symbol,
     /// Attribute value after entity expansion.
     pub value: String,
 }
 
 impl Attr {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Symbol>, value: impl Into<String>) -> Self {
         Attr { name: name.into(), value: value.into() }
     }
 }
@@ -30,15 +31,15 @@ impl Attr {
 /// irrelevant (set semantics), matching the paper.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Element {
-    /// The element label (tag name).
-    pub name: String,
+    /// The element label (tag name), as an interned label.
+    pub name: Symbol,
     /// Attributes in document order.
     pub attrs: Vec<Attr>,
 }
 
 impl Element {
     /// An element with the given label and no attributes.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Symbol>) -> Self {
         Element { name: name.into(), attrs: Vec::new() }
     }
 
@@ -47,8 +48,14 @@ impl Element {
         self.attrs.iter().find(|a| a.name == name).map(|a| a.value.as_str())
     }
 
+    /// Value of the attribute with the interned label `name`, if present.
+    /// Avoids the text comparison of [`Element::attr`] on hot paths.
+    pub fn attr_sym(&self, name: Symbol) -> Option<&str> {
+        self.attrs.iter().find(|a| a.name == name).map(|a| a.value.as_str())
+    }
+
     /// Set (insert or overwrite) an attribute. Returns the previous value.
-    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) -> Option<String> {
+    pub fn set_attr(&mut self, name: impl Into<Symbol>, value: impl Into<String>) -> Option<String> {
         let name = name.into();
         let value = value.into();
         for a in &mut self.attrs {
@@ -67,7 +74,7 @@ impl Element {
     pub fn insert_attr_at(
         &mut self,
         pos: usize,
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         value: impl Into<String>,
     ) {
         let pos = pos.min(self.attrs.len());

@@ -9,6 +9,7 @@
 //! "costly … and turns out not to help much".
 
 use crate::error::{ParseError, ParseErrorKind};
+use crate::intern::Symbol;
 use std::collections::HashMap;
 
 use super::cursor::Cursor;
@@ -18,9 +19,9 @@ use super::cursor::Cursor;
 pub struct Doctype {
     /// The declared document-element name.
     pub name: String,
-    /// `element name → attribute name` for every `ID`-typed attribute
+    /// `element label → attribute label` for every `ID`-typed attribute
     /// declared in the internal subset.
-    pub id_attrs: HashMap<String, String>,
+    pub id_attrs: HashMap<Symbol, Symbol>,
     /// Internal general entities (`<!ENTITY n "v">`).
     pub entities: HashMap<String, String>,
 }
@@ -28,7 +29,14 @@ pub struct Doctype {
 impl Doctype {
     /// The ID attribute declared for elements labeled `element`, if any.
     pub fn id_attr_of(&self, element: &str) -> Option<&str> {
-        self.id_attrs.get(element).map(String::as_str)
+        // Non-inserting lookup: a never-interned label cannot be a key.
+        let sym = Symbol::lookup(element)?;
+        self.id_attrs.get(&sym).map(Symbol::as_str)
+    }
+
+    /// [`Doctype::id_attr_of`] keyed by an interned label (hot-path form).
+    pub fn id_attr_sym(&self, element: Symbol) -> Option<Symbol> {
+        self.id_attrs.get(&element).copied()
     }
 
     /// True when the internal subset declared at least one ID attribute.
@@ -153,10 +161,11 @@ fn parse_entity_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), Parse
 /// `<!ATTLIST element (attr type default)*>` — record `ID`-typed attributes.
 fn parse_attlist_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), ParseError> {
     cur.skip_whitespace();
-    let element = cur.take_name().to_string();
+    let element = cur.take_name();
     if element.is_empty() {
         return Err(cur.error(ParseErrorKind::MalformedDoctype("ATTLIST without element name")));
     }
+    let element = Symbol::intern(element);
     loop {
         cur.skip_whitespace();
         match cur.peek() {
@@ -167,7 +176,7 @@ fn parse_attlist_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), Pars
             None => return Err(cur.error(ParseErrorKind::UnexpectedEof("ATTLIST declaration"))),
             _ => {}
         }
-        let attr = cur.take_name().to_string();
+        let attr = cur.take_name();
         if attr.is_empty() {
             return Err(cur.error(ParseErrorKind::MalformedDoctype("ATTLIST attribute name")));
         }
@@ -178,7 +187,7 @@ fn parse_attlist_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), Pars
             skip_parenthesized(cur)?;
             false
         } else {
-            let ty = cur.take_name().to_string();
+            let ty = cur.take_name();
             cur.skip_whitespace();
             if ty == "NOTATION" && cur.peek() == Some(b'(') {
                 skip_parenthesized(cur)?;
@@ -201,7 +210,7 @@ fn parse_attlist_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), Pars
         if is_id {
             // XML allows at most one ID attribute per element type; first
             // declaration wins, matching common processor behavior.
-            dt.id_attrs.entry(element.clone()).or_insert(attr);
+            dt.id_attrs.entry(element).or_insert_with(|| Symbol::intern(attr));
         }
     }
 }

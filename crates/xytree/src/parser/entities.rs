@@ -2,19 +2,29 @@
 //! references, and internal general entities from the DTD.
 
 use crate::error::ParseErrorKind;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Maximum nesting of entity-in-entity expansion; guards against recursive
 /// definitions like `<!ENTITY a "&b;"><!ENTITY b "&a;">`.
 const MAX_ENTITY_DEPTH: usize = 16;
 
-/// Expand all `&...;` references in `raw`, appending the result to `out`.
-pub(crate) fn expand_into(
-    raw: &str,
+/// Expand all `&...;` references in `raw`.
+///
+/// The overwhelmingly common case — element content and attribute values
+/// with no references at all — borrows the input untouched; an owned string
+/// is built only when expansion actually rewrites bytes. Callers copy into
+/// the tree exactly once, when (and if) the text survives whitespace policy.
+pub(crate) fn expand<'a>(
+    raw: &'a str,
     entities: Option<&HashMap<String, String>>,
-    out: &mut String,
-) -> Result<(), ParseErrorKind> {
-    expand_rec(raw, entities, out, 0)
+) -> Result<Cow<'a, str>, ParseErrorKind> {
+    if !raw.as_bytes().contains(&b'&') {
+        return Ok(Cow::Borrowed(raw));
+    }
+    let mut out = String::with_capacity(raw.len());
+    expand_rec(raw, entities, &mut out, 0)?;
+    Ok(Cow::Owned(out))
 }
 
 fn expand_rec(
@@ -77,9 +87,7 @@ mod tests {
     fn expand(raw: &str, ents: &[(&str, &str)]) -> Result<String, ParseErrorKind> {
         let map: HashMap<String, String> =
             ents.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
-        let mut out = String::new();
-        expand_into(raw, Some(&map), &mut out)?;
-        Ok(out)
+        super::expand(raw, Some(&map)).map(Cow::into_owned)
     }
 
     #[test]
@@ -130,5 +138,7 @@ mod tests {
     #[test]
     fn no_entities_fast_path() {
         assert_eq!(expand("plain text", &[]).unwrap(), "plain text");
+        assert!(matches!(super::expand("plain text", None).unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(super::expand("a&amp;b", None).unwrap(), Cow::Owned(_)));
     }
 }

@@ -22,9 +22,11 @@ mod entities;
 pub use dtd::Doctype;
 
 use crate::error::{ParseError, ParseErrorKind};
+use crate::intern::Symbol;
 use crate::node::{Attr, Element, NodeKind};
 use crate::tree::{NodeId, Tree};
 use cursor::Cursor;
+use std::borrow::Cow;
 
 /// Options controlling parsing.
 #[derive(Debug, Clone)]
@@ -66,11 +68,14 @@ struct Parser<'a> {
     opts: &'a ParseOptions,
     tree: Tree,
     doctype: Option<Doctype>,
-    /// Open-element stack: (node, name-as-parsed).
-    stack: Vec<(NodeId, String)>,
+    /// Open-element stack: (node, interned name-as-parsed).
+    stack: Vec<(NodeId, Symbol)>,
     seen_root: bool,
-    /// Scratch buffer for text accumulation.
-    text_buf: String,
+    /// Pending character data. Borrows straight from the input for the common
+    /// single-run, no-entities case; goes owned only when runs merge (CDATA,
+    /// entity expansion) — so indentation text that the whitespace policy
+    /// drops is never copied at all.
+    pending_text: Option<Cow<'a, str>>,
 }
 
 impl<'a> Parser<'a> {
@@ -84,7 +89,7 @@ impl<'a> Parser<'a> {
             doctype: None,
             stack: Vec::with_capacity(32),
             seen_root: false,
-            text_buf: String::new(),
+            pending_text: None,
         }
     }
 
@@ -109,7 +114,7 @@ impl<'a> Parser<'a> {
             }
         }
         if let Some((_, name)) = self.stack.pop() {
-            return Err(self.err(ParseErrorKind::UnclosedElement(name)));
+            return Err(self.err(ParseErrorKind::UnclosedElement(name.to_string())));
         }
         if !self.seen_root {
             return Err(self.err(ParseErrorKind::NoRootElement));
@@ -147,22 +152,30 @@ impl<'a> Parser<'a> {
 
     fn read_text(&mut self) -> Result<(), ParseError> {
         let raw = self.cur.take_until(b'<');
-        entities::expand_into(
-            raw,
-            self.doctype.as_ref().map(|d| &d.entities),
-            &mut self.text_buf,
-        )
-        .map_err(|k| self.err(k))?;
+        let expanded = entities::expand(raw, self.doctype.as_ref().map(|d| &d.entities))
+            .map_err(|k| self.err(k))?;
+        self.append_pending(expanded);
         Ok(())
+    }
+
+    /// Accumulate a run of character data, staying borrowed until a second
+    /// run forces a merge.
+    fn append_pending(&mut self, piece: Cow<'a, str>) {
+        if piece.is_empty() {
+            return;
+        }
+        match &mut self.pending_text {
+            None => self.pending_text = Some(piece),
+            Some(cur) => cur.to_mut().push_str(&piece),
+        }
     }
 
     /// Attach accumulated text (if any) as a text node under the current
     /// parent, merging with a preceding text sibling.
     fn flush_pending_text(&mut self) -> Result<(), ParseError> {
-        if self.text_buf.is_empty() {
+        let Some(text) = self.pending_text.take() else {
             return Ok(());
-        }
-        let text = std::mem::take(&mut self.text_buf);
+        };
         let at_top = self.stack.is_empty();
         if at_top {
             if text.chars().all(char::is_whitespace) {
@@ -182,7 +195,7 @@ impl<'a> Parser<'a> {
                 return Ok(());
             }
         }
-        let n = self.tree.new_text(text);
+        let n = self.tree.new_text(text.into_owned());
         self.tree.append_child(parent, n);
         Ok(())
     }
@@ -193,7 +206,7 @@ impl<'a> Parser<'a> {
             .cur
             .take_until_seq(b"]]>")
             .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof("CDATA section")))?;
-        self.text_buf.push_str(content);
+        self.append_pending(Cow::Borrowed(content));
         self.cur.advance(3);
         Ok(())
     }
@@ -204,7 +217,7 @@ impl<'a> Parser<'a> {
 
     fn read_open_tag(&mut self) -> Result<(), ParseError> {
         self.cur.advance(1); // <
-        let name = self.read_name("element name")?;
+        let name = Symbol::intern(self.read_name("element name")?);
         let mut attrs: Vec<Attr> = Vec::new();
         loop {
             self.cur.skip_whitespace();
@@ -228,7 +241,9 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     let attr = self.read_attribute()?;
                     if attrs.iter().any(|a| a.name == attr.name) {
-                        return Err(self.err(ParseErrorKind::DuplicateAttribute(attr.name)));
+                        return Err(
+                            self.err(ParseErrorKind::DuplicateAttribute(attr.name.to_string()))
+                        );
                     }
                     attrs.push(attr);
                 }
@@ -239,7 +254,7 @@ impl<'a> Parser<'a> {
 
     fn push_element(
         &mut self,
-        name: String,
+        name: Symbol,
         attrs: Vec<Attr>,
         self_closed: bool,
     ) -> Result<(), ParseError> {
@@ -253,9 +268,7 @@ impl<'a> Parser<'a> {
             return Err(self.err(ParseErrorKind::TooDeep(self.opts.max_depth)));
         }
         let parent = self.current_parent();
-        let node = self
-            .tree
-            .new_node(NodeKind::Element(Element { name: name.clone(), attrs }));
+        let node = self.tree.new_node(NodeKind::Element(Element { name, attrs }));
         self.tree.append_child(parent, node);
         if !self_closed {
             self.stack.push((node, name));
@@ -265,6 +278,8 @@ impl<'a> Parser<'a> {
 
     fn read_close_tag(&mut self) -> Result<(), ParseError> {
         self.cur.advance(2); // </
+        // Compared against the interned open-tag name without interning:
+        // close tags of well-formed input never introduce a new label.
         let name = self.read_name("close tag name")?;
         self.cur.skip_whitespace();
         self.cur
@@ -273,15 +288,15 @@ impl<'a> Parser<'a> {
         match self.stack.pop() {
             Some((_, open_name)) if open_name == name => Ok(()),
             Some((_, open_name)) => Err(self.err(ParseErrorKind::MismatchedCloseTag {
-                expected: open_name,
-                found: name,
+                expected: open_name.to_string(),
+                found: name.to_string(),
             })),
-            None => Err(self.err(ParseErrorKind::UnmatchedCloseTag(name))),
+            None => Err(self.err(ParseErrorKind::UnmatchedCloseTag(name.to_string()))),
         }
     }
 
     fn read_attribute(&mut self) -> Result<Attr, ParseError> {
-        let name = self.read_name("attribute name")?;
+        let name = Symbol::intern(self.read_name("attribute name")?);
         self.cur.skip_whitespace();
         self.cur
             .expect(b'=')
@@ -305,14 +320,16 @@ impl<'a> Parser<'a> {
             .cur
             .take_until_byte_checked(quote)
             .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof("attribute value")))?;
-        let mut value = String::with_capacity(raw.len());
-        entities::expand_into(raw, self.doctype.as_ref().map(|d| &d.entities), &mut value)
-            .map_err(|k| self.err(k))?;
+        let value = entities::expand(raw, self.doctype.as_ref().map(|d| &d.entities))
+            .map_err(|k| self.err(k))?
+            .into_owned();
         self.cur.advance(1); // closing quote
         Ok(Attr { name, value })
     }
 
-    fn read_name(&mut self, context: &'static str) -> Result<String, ParseError> {
+    /// Borrow a name straight out of the input — callers intern or copy only
+    /// when the name survives the parse.
+    fn read_name(&mut self, context: &'static str) -> Result<&'a str, ParseError> {
         let name = self.cur.take_name();
         if name.is_empty() {
             return Err(match self.cur.peek() {
@@ -320,7 +337,7 @@ impl<'a> Parser<'a> {
                 None => self.err(ParseErrorKind::UnexpectedEof(context)),
             });
         }
-        Ok(name.to_string())
+        Ok(name)
     }
 
     // ------------------------------------------------------------------
@@ -365,7 +382,7 @@ impl<'a> Parser<'a> {
         }
         if self.opts.keep_pi {
             let parent = self.current_parent();
-            let n = self.tree.new_node(NodeKind::Pi { target, data });
+            let n = self.tree.new_node(NodeKind::Pi { target: target.to_string(), data });
             self.tree.append_child(parent, n);
         }
         Ok(())

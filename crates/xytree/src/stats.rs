@@ -44,7 +44,7 @@ impl DocStats {
                 NodeKind::Element(e) => {
                     s.elements += 1;
                     s.attributes += e.attrs.len();
-                    *s.label_histogram.entry(e.name.clone()).or_insert(0) += 1;
+                    *s.label_histogram.entry(e.name.to_string()).or_insert(0) += 1;
                     s.max_depth = s.max_depth.max(tree.depth(n));
                 }
                 NodeKind::Text(t) => {

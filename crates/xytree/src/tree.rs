@@ -320,7 +320,7 @@ impl Tree {
     }
 
     /// Allocate a detached element node.
-    pub fn new_element(&mut self, name: impl Into<String>) -> NodeId {
+    pub fn new_element(&mut self, name: impl Into<crate::intern::Symbol>) -> NodeId {
         self.new_node(NodeKind::Element(Element::new(name)))
     }
 

@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use xydelta::{ApplyError, Delta, VersionChain, XidDocument};
-use xydiff::{diff, DiffOptions};
+use xydiff::{diff_cached, diff_with_scratch, DiffOptions, DiffScratch, SignatureCache};
 use xytree::{Document, ParseError};
 
 /// Errors surfaced by repository operations.
@@ -73,11 +73,21 @@ pub struct LoadOutcome {
     pub alert_time: std::time::Duration,
 }
 
+/// One stored document: its version chain plus the signature cache carried
+/// between ingests (see [`SignatureCache`] for the coherence contract — the
+/// repository refreshes it on every diff, so the *old* side of the next diff
+/// replays cached subtree signatures instead of re-hashing the whole tree).
+struct StoredDoc {
+    chain: VersionChain,
+    cache: SignatureCache,
+}
+
 /// A concurrent store of versioned documents.
 pub struct Repository {
-    entries: RwLock<HashMap<String, VersionChain>>,
+    entries: RwLock<HashMap<String, StoredDoc>>,
     opts: DiffOptions,
     alerter: Alerter,
+    use_signature_cache: bool,
 }
 
 impl Repository {
@@ -88,7 +98,26 @@ impl Repository {
 
     /// An empty repository with explicit diff options and an alerter.
     pub fn with_options(opts: DiffOptions, alerter: Alerter) -> Repository {
-        Repository { entries: RwLock::new(HashMap::new()), opts, alerter }
+        Repository {
+            entries: RwLock::new(HashMap::new()),
+            opts,
+            alerter,
+            use_signature_cache: true,
+        }
+    }
+
+    /// Enable or disable the per-document cross-version signature cache.
+    ///
+    /// The cache is a pure optimisation — deltas and reconstructed versions
+    /// are byte-identical either way (pinned by tests) — so the toggle exists
+    /// for benchmarking and for debugging suspected cache-coherence issues.
+    pub fn set_signature_cache(&mut self, enabled: bool) {
+        self.use_signature_cache = enabled;
+        if !enabled {
+            for stored in self.entries.write().values_mut() {
+                stored.cache.clear();
+            }
+        }
     }
 
     /// Install a new version of document `key` (the Figure 1 ingest path).
@@ -107,11 +136,29 @@ impl Repository {
     /// store's write lock, so concurrent pipelines parse in parallel and
     /// hold the lock only for diff + append.
     pub fn load_parsed(&self, key: &str, doc: Document) -> LoadOutcome {
+        let mut scratch = DiffScratch::new();
+        self.load_parsed_with_scratch(key, doc, &mut scratch)
+    }
+
+    /// [`Repository::load_parsed`] with caller-owned diff working memory.
+    ///
+    /// Long-lived ingest workers hold one [`DiffScratch`] each and pass it to
+    /// every load; combined with the per-document signature cache this makes
+    /// the steady-state ingest loop free of per-diff structural allocation.
+    pub fn load_parsed_with_scratch(
+        &self,
+        key: &str,
+        doc: Document,
+        scratch: &mut DiffScratch,
+    ) -> LoadOutcome {
         let mut entries = self.entries.write();
         match entries.get_mut(key) {
             None => {
                 let initial = XidDocument::assign_initial(doc);
-                entries.insert(key.to_string(), VersionChain::new(initial));
+                entries.insert(
+                    key.to_string(),
+                    StoredDoc { chain: VersionChain::new(initial), cache: SignatureCache::new() },
+                );
                 LoadOutcome {
                     version: 0,
                     delta: Delta::new(),
@@ -120,9 +167,14 @@ impl Repository {
                     alert_time: std::time::Duration::ZERO,
                 }
             }
-            Some(chain) => {
+            Some(stored) => {
+                let chain = &mut stored.chain;
                 let t0 = std::time::Instant::now();
-                let result = diff(chain.latest(), &doc, &self.opts);
+                let result = if self.use_signature_cache {
+                    diff_cached(chain.latest(), &doc, &self.opts, scratch, &mut stored.cache)
+                } else {
+                    diff_with_scratch(chain.latest(), &doc, &self.opts, scratch)
+                };
                 let diff_time = t0.elapsed();
                 let t1 = std::time::Instant::now();
                 let notifications = self.alerter.evaluate(
@@ -144,8 +196,15 @@ impl Repository {
         let entries = self.entries.read();
         let chain = entries
             .get(key)
+            .map(|s| &s.chain)
             .ok_or_else(|| RepositoryError::UnknownDocument(key.to_string()))?;
         Ok(chain.latest().doc.to_xml())
+    }
+
+    /// Cumulative signature-cache (hits, misses) for `key`, `(0, 0)` when the
+    /// key is unknown or the cache is disabled (observability hook).
+    pub fn cache_counters(&self, key: &str) -> (u64, u64) {
+        self.entries.read().get(key).map_or((0, 0), |s| s.cache.counters())
     }
 
     /// Serialized version `i` of `key`, reconstructed through inverse deltas
@@ -154,6 +213,7 @@ impl Repository {
         let entries = self.entries.read();
         let chain = entries
             .get(key)
+            .map(|s| &s.chain)
             .ok_or_else(|| RepositoryError::UnknownDocument(key.to_string()))?;
         if version > chain.latest_index() {
             return Err(RepositoryError::UnknownVersion {
@@ -168,7 +228,7 @@ impl Repository {
 
     /// Number of stored versions of `key` (0 when unknown).
     pub fn version_count(&self, key: &str) -> usize {
-        self.entries.read().get(key).map_or(0, VersionChain::version_count)
+        self.entries.read().get(key).map_or(0, |s| s.chain.version_count())
     }
 
     /// The aggregated delta between two versions of `key`.
@@ -181,6 +241,7 @@ impl Repository {
         let entries = self.entries.read();
         let chain = entries
             .get(key)
+            .map(|s| &s.chain)
             .ok_or_else(|| RepositoryError::UnknownDocument(key.to_string()))?;
         chain.delta_between(from, to).map_err(RepositoryError::Reconstruct)
     }
@@ -197,18 +258,21 @@ impl Repository {
 
     /// Total stored versions across all documents (stats hook).
     pub fn total_versions(&self) -> usize {
-        self.entries.read().values().map(VersionChain::version_count).sum()
+        self.entries.read().values().map(|s| s.chain.version_count()).sum()
     }
 
     /// Clone of one document's chain (persistence support).
     pub(crate) fn chain_snapshot(&self, key: &str) -> Option<VersionChain> {
-        self.entries.read().get(key).cloned()
+        self.entries.read().get(key).map(|s| s.chain.clone())
     }
 
     /// Install a loaded chain under `key`, replacing any existing entry
-    /// (persistence support).
+    /// (persistence support). The signature cache starts cold — misses fall
+    /// back to local hashing and the first ingest re-warms it.
     pub(crate) fn install_chain(&self, key: String, chain: VersionChain) {
-        self.entries.write().insert(key, chain);
+        self.entries
+            .write()
+            .insert(key, StoredDoc { chain, cache: SignatureCache::new() });
     }
 }
 

@@ -132,7 +132,7 @@ fn anchor_label(doc: &XidDocument, xid: Xid) -> Option<String> {
     let node = doc.node(xid)?;
     let t = &doc.doc.tree;
     match t.kind(node) {
-        NodeKind::Element(e) => Some(e.name.clone()),
+        NodeKind::Element(e) => Some(e.name.to_string()),
         NodeKind::Text(_) | NodeKind::Comment(_) | NodeKind::Pi { .. } => {
             t.parent(node).and_then(|p| t.name(p)).map(str::to_string)
         }
@@ -142,7 +142,7 @@ fn anchor_label(doc: &XidDocument, xid: Xid) -> Option<String> {
 
 fn node_label(tree: &xytree::Tree, node: xytree::NodeId) -> String {
     match tree.kind(node) {
-        NodeKind::Element(e) => e.name.clone(),
+        NodeKind::Element(e) => e.name.to_string(),
         NodeKind::Text(_) => "#text".to_string(),
         NodeKind::Comment(_) => "#comment".to_string(),
         NodeKind::Pi { .. } => "#pi".to_string(),

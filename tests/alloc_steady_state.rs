@@ -1,0 +1,90 @@
+//! Heap-instrumented proof of the allocation-free hot path.
+//!
+//! A counting global allocator tracks net live bytes. After a warm-up that
+//! fills the `DiffScratch` capacity, interns every symbol, and touches every
+//! lazily initialised global, repeating the same diff workload must not grow
+//! the heap at all: every transient allocation (delta ops, the cloned new
+//! version) is freed with its `DiffResult`, and the scratch reuses its
+//! capacity instead of reallocating.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+use xydiff_suite::xydelta::XidDocument;
+use xydiff_suite::xydiff::{diff_with_scratch, DiffOptions, DiffScratch};
+use xydiff_suite::xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE_BYTES.fetch_add(new_size as isize - layout.size() as isize, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_diffing_does_not_grow_the_heap() {
+    // A mixed workload: three kinds, two change rates, parsed once up front.
+    let mut cases = Vec::new();
+    for (i, kind) in [DocKind::Catalog, DocKind::Feed, DocKind::Generic].into_iter().enumerate() {
+        for (j, rate) in [0.05f64, 0.2].into_iter().enumerate() {
+            let seed = 500 + (i * 7 + j) as u64;
+            let doc = generate(&DocGenConfig {
+                kind,
+                target_nodes: 400,
+                seed,
+                id_attributes: matches!(kind, DocKind::Catalog),
+            });
+            let old = XidDocument::assign_initial(doc);
+            let sim = simulate(&old, &ChangeConfig::uniform(rate, seed ^ 0xbeef));
+            cases.push((old, sim.new_version.doc.clone()));
+        }
+    }
+
+    let mut scratch = DiffScratch::new();
+    let opts = DiffOptions::default();
+
+    // Warm-up: grows the scratch to workload capacity and initialises every
+    // lazy global on this path (symbol interner, hash tables).
+    for _ in 0..5 {
+        for (old, new) in &cases {
+            let _ = diff_with_scratch(old, new, &opts, &mut scratch);
+        }
+    }
+
+    let before = LIVE_BYTES.load(Ordering::Relaxed);
+    for _ in 0..25 {
+        for (old, new) in &cases {
+            let _ = diff_with_scratch(old, new, &opts, &mut scratch);
+        }
+    }
+    let growth = LIVE_BYTES.load(Ordering::Relaxed) - before;
+
+    assert_eq!(
+        growth, 0,
+        "steady-state diffing leaked {growth} net bytes over 150 diffs \
+         (the scratch must reuse its capacity and every per-diff allocation \
+         must die with its DiffResult)"
+    );
+}

@@ -1,0 +1,129 @@
+//! Golden-equivalence suite: serialized documents and delta XML must stay
+//! byte-identical across substrate changes (interned labels, zero-copy
+//! parsing, scratch reuse, signature caching — none of them may alter a
+//! single output byte).
+//!
+//! The goldens under `tests/goldens/` were captured from the pre-interning
+//! substrate. Regenerate deliberately with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_equivalence
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use xydelta::XidDocument;
+use xydiff::{diff, DiffOptions};
+use xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+use xytree::{Document, SerializeOptions};
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = goldens_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::create_dir_all(goldens_dir()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with UPDATE_GOLDENS=1"));
+    assert_eq!(
+        expected, actual,
+        "golden {name} diverged — the substrate changed an output byte"
+    );
+}
+
+/// A hand-written sample covering the parser paths byte-identity depends on:
+/// DTD entities, ID attributes, CDATA, comments, PIs, namespaces, numeric
+/// character references, and attribute values needing escapes.
+const HANDMADE: &str = "<!DOCTYPE cat [\
+<!ATTLIST product sku ID #REQUIRED>\
+<!ENTITY co \"Xyleme&#32;SA\">\
+]>\
+<?xml-stylesheet href=\"c.css\"?>\
+<cat owner='&co;' note=\"a&lt;b&quot;c\">\
+<!--intro-->\
+<ns:product sku=\"A1\" xmlns:ns=\"u\"><name>wid&amp;get</name></ns:product>\
+<product sku=\"B2\"><desc>one<![CDATA[<raw&>]]>two &#x1F600;</desc></product>\
+<product sku=\"C3\">AT&amp;T &co;</product>\
+</cat>";
+
+fn corpus_docs() -> Vec<(String, String)> {
+    let mut docs: Vec<(String, String)> = vec![
+        ("fig2-old".into(), xysim::corpus::FIGURE2_OLD.into()),
+        ("fig2-new".into(), xysim::corpus::FIGURE2_NEW.into()),
+        ("catalog-ids".into(), xysim::corpus::CATALOG_WITH_IDS.into()),
+        ("feed".into(), xysim::corpus::FEED_SAMPLE.into()),
+        ("handmade".into(), HANDMADE.into()),
+    ];
+    for (kind, tag) in [
+        (DocKind::Catalog, "catalog"),
+        (DocKind::AddressBook, "addressbook"),
+        (DocKind::Feed, "feed"),
+        (DocKind::Generic, "generic"),
+    ] {
+        for seed in [11u64, 12] {
+            let doc = generate(&DocGenConfig {
+                kind,
+                target_nodes: 400,
+                seed,
+                id_attributes: matches!(kind, DocKind::Catalog) && seed == 12,
+            });
+            docs.push((format!("gen-{tag}-{seed}"), doc.to_xml()));
+        }
+    }
+    docs
+}
+
+#[test]
+fn serialized_documents_match_goldens() {
+    for (name, xml) in corpus_docs() {
+        let doc = Document::parse(&xml).unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_golden(&format!("{name}.xml"), &doc.to_xml());
+        check_golden(&format!("{name}.canonical.xml"), &doc.to_canonical_xml());
+        // Reparse of our own output must be a fixpoint.
+        let again = Document::parse(&doc.to_xml()).unwrap();
+        assert_eq!(again.to_xml(), doc.to_xml(), "{name}: serialize is not a fixpoint");
+    }
+}
+
+#[test]
+fn delta_xml_matches_goldens() {
+    for (kind, tag) in [
+        (DocKind::Catalog, "catalog"),
+        (DocKind::AddressBook, "addressbook"),
+        (DocKind::Feed, "feed"),
+        (DocKind::Generic, "generic"),
+    ] {
+        for (rate, seed) in [(0.05f64, 21u64), (0.25, 22)] {
+            let doc = generate(&DocGenConfig {
+                kind,
+                target_nodes: 400,
+                seed,
+                id_attributes: matches!(kind, DocKind::Catalog),
+            });
+            let old = XidDocument::assign_initial(doc);
+            let sim = simulate(&old, &ChangeConfig::uniform(rate, seed * 7 + 1));
+            let r = diff(&old, &sim.new_version.doc, &DiffOptions::default());
+            let name = format!("delta-{tag}-{seed}-{}", (rate * 100.0) as u32);
+            check_golden(
+                &format!("{name}.delta.xml"),
+                &xydelta::xml_io::delta_to_xml_pretty(&r.delta),
+            );
+            check_golden(&format!("{name}.new.xml"), &r.new_version.doc.to_xml());
+            // The delta must still replay exactly.
+            let mut replay = old.clone();
+            r.delta.apply_to(&mut replay).unwrap();
+            assert_eq!(replay.doc.to_xml(), sim.new_version.doc.to_xml());
+        }
+    }
+}
+
+#[test]
+fn pretty_serialization_matches_goldens() {
+    let doc = Document::parse(xysim::corpus::CATALOG_WITH_IDS).unwrap();
+    check_golden("catalog-ids.pretty.xml", &doc.to_xml_with(&SerializeOptions::pretty()));
+}

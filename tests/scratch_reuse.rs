@@ -1,0 +1,244 @@
+//! Scratch reuse and signature-cache equivalence.
+//!
+//! `DiffScratch` and `SignatureCache` are pure allocation optimisations: the
+//! diff's observable output — delta, new version, statistics — must be
+//! byte-identical whether the working memory is fresh, reused across many
+//! unrelated diffs, or seeded from a previous version's cache. These tests
+//! quantify that over random documents and over warehouse version chains.
+
+use std::cell::RefCell;
+
+use proptest::prelude::*;
+use xydiff_suite::xydelta::{xml_io, XidDocument};
+use xydiff_suite::xydiff::{
+    diff, diff_cached, diff_with_scratch, DiffOptions, DiffScratch, SignatureCache,
+};
+use xydiff_suite::xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+use xydiff_suite::xytree::{Document, NodeKind, Tree};
+use xydiff_suite::xywarehouse::{Alerter, Repository};
+
+/// A recursively generated node spec (same shape as tests/props.rs: a small
+/// vocabulary forces the label collisions the candidate machinery resolves).
+#[derive(Debug, Clone)]
+enum Spec {
+    Element { name: &'static str, attrs: Vec<(&'static str, String)>, children: Vec<Spec> },
+    Text(String),
+    Comment(String),
+}
+
+const NAMES: &[&str] = &["a", "b", "item", "list", "x"];
+const ATTRS: &[&str] = &["id", "k", "lang"];
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    let leaf = prop_oneof![
+        "[a-z]{1,8}".prop_map(Spec::Text),
+        "[a-z ]{0,6}".prop_map(Spec::Comment),
+        (0usize..NAMES.len()).prop_map(|i| Spec::Element {
+            name: NAMES[i],
+            attrs: vec![],
+            children: vec![]
+        }),
+    ];
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        (
+            0usize..NAMES.len(),
+            proptest::collection::vec((0usize..ATTRS.len(), "[a-z0-9]{0,4}"), 0..3),
+            proptest::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(n, attrs, children)| {
+                let mut seen = std::collections::HashSet::new();
+                let attrs = attrs
+                    .into_iter()
+                    .filter(|(i, _)| seen.insert(*i))
+                    .map(|(i, v)| (ATTRS[i], v))
+                    .collect();
+                Spec::Element { name: NAMES[n], attrs, children }
+            })
+    })
+}
+
+fn build(spec: &Spec) -> Document {
+    fn add(tree: &mut Tree, parent: xydiff_suite::xytree::NodeId, spec: &Spec) {
+        match spec {
+            Spec::Text(t) => {
+                if t.trim().is_empty() {
+                    return;
+                }
+                if let Some(last) = tree.last_child(parent) {
+                    if let NodeKind::Text(prev) = tree.kind_mut(last) {
+                        prev.push_str(t);
+                        return;
+                    }
+                }
+                let n = tree.new_text(t.clone());
+                tree.append_child(parent, n);
+            }
+            Spec::Comment(c) => {
+                let n = tree.new_node(NodeKind::Comment(c.clone()));
+                tree.append_child(parent, n);
+            }
+            Spec::Element { name, attrs, children } => {
+                let n = tree.new_element(*name);
+                for (k, v) in attrs {
+                    tree.element_mut(n).unwrap().set_attr(*k, v.clone());
+                }
+                tree.append_child(parent, n);
+                for c in children {
+                    add(tree, n, c);
+                }
+            }
+        }
+    }
+    let mut tree = Tree::new();
+    let root_elem = tree.new_element("root");
+    let root = tree.root();
+    tree.append_child(root, root_elem);
+    if let Spec::Element { children, .. } = spec {
+        for c in children {
+            add(&mut tree, root_elem, c);
+        }
+    } else {
+        add(&mut tree, root_elem, spec);
+    }
+    Document::from_tree(tree)
+}
+
+thread_local! {
+    /// One scratch shared by every proptest case on this thread, so by the
+    /// end of a run it has been reused across 100+ diffs of unrelated
+    /// documents of wildly different sizes — the dirtiest state it can be in.
+    static SHARED: RefCell<DiffScratch> = RefCell::new(DiffScratch::new());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A reused scratch produces exactly the result a fresh diff does.
+    #[test]
+    fn reused_scratch_matches_fresh(sa in arb_spec(), sb in arb_spec()) {
+        let a = XidDocument::assign_initial(build(&sa));
+        let b = build(&sb);
+        let fresh = diff(&a, &b, &DiffOptions::default());
+        let reused = SHARED.with(|s| {
+            diff_with_scratch(&a, &b, &DiffOptions::default(), &mut s.borrow_mut())
+        });
+        prop_assert_eq!(
+            xml_io::delta_to_xml(&fresh.delta),
+            xml_io::delta_to_xml(&reused.delta),
+        );
+        prop_assert_eq!(fresh.new_version.doc.to_xml(), reused.new_version.doc.to_xml());
+        prop_assert_eq!(fresh.stats.matched_nodes, reused.stats.matched_nodes);
+    }
+
+    /// Same for `diff_cached`: a cache warmed by an unrelated earlier diff
+    /// never changes the outcome (its entries are keyed by XID, so at worst
+    /// they miss — the coherence contract is exercised by the chain tests).
+    #[test]
+    fn cached_diff_matches_fresh(sa in arb_spec(), sb in arb_spec()) {
+        let a = XidDocument::assign_initial(build(&sa));
+        let b = build(&sb);
+        let fresh = diff(&a, &b, &DiffOptions::default());
+        let mut scratch = DiffScratch::new();
+        let mut cache = SignatureCache::new();
+        // First run refreshes the cache for `a`'s XIDs; second run replays it.
+        let warm = diff_cached(&a, &b, &DiffOptions::default(), &mut scratch, &mut cache);
+        prop_assert_eq!(
+            xml_io::delta_to_xml(&fresh.delta),
+            xml_io::delta_to_xml(&warm.delta),
+        );
+        prop_assert_eq!(fresh.new_version.doc.to_xml(), warm.new_version.doc.to_xml());
+    }
+}
+
+/// A version chain of `n` successive simulator edits over a generated doc.
+fn version_chain(kind: DocKind, n: usize, seed: u64) -> Vec<String> {
+    let doc = generate(&DocGenConfig {
+        kind,
+        target_nodes: 600,
+        seed,
+        id_attributes: matches!(kind, DocKind::Catalog),
+    });
+    let mut latest = XidDocument::assign_initial(doc);
+    let mut xmls = vec![latest.doc.to_xml()];
+    for i in 0..n {
+        let sim = simulate(&latest, &ChangeConfig::uniform(0.12, seed ^ (i as u64 + 1)));
+        latest = sim.new_version;
+        xmls.push(latest.doc.to_xml());
+    }
+    xmls
+}
+
+/// Across a whole version chain, diffing with a carried-over signature cache
+/// (the warehouse steady state) equals diffing cold — and the cache actually
+/// hits, otherwise this test would be vacuous.
+#[test]
+fn cached_chain_equals_cold_chain() {
+    for (kind, seed) in [(DocKind::Catalog, 11u64), (DocKind::Feed, 23), (DocKind::Generic, 37)] {
+        let chain = version_chain(kind, 5, seed);
+        let mut scratch = DiffScratch::new();
+        let mut cache = SignatureCache::new();
+        let mut latest = XidDocument::parse_initial(&chain[0]).unwrap();
+        for new_xml in &chain[1..] {
+            let new_doc = Document::parse(new_xml).unwrap();
+            let cold = diff(&latest, &new_doc, &DiffOptions::default());
+            let cached =
+                diff_cached(&latest, &new_doc, &DiffOptions::default(), &mut scratch, &mut cache);
+            assert_eq!(
+                xml_io::delta_to_xml(&cold.delta),
+                xml_io::delta_to_xml(&cached.delta),
+                "cached delta must be byte-identical ({kind:?})"
+            );
+            assert_eq!(cold.new_version.doc.to_xml(), cached.new_version.doc.to_xml());
+            latest = cached.new_version;
+        }
+        let (hits, misses) = cache.counters();
+        assert!(hits > 0, "the cache never hit on a {kind:?} chain (misses: {misses})");
+        // After the first diff warms it, the old side of each later diff
+        // should be mostly replayed, not re-hashed.
+        assert!(
+            hits > misses,
+            "expected mostly hits on the old sides of a 5-version chain, got {hits} hits / {misses} misses"
+        );
+    }
+}
+
+/// The repository-level toggle: a cache-enabled warehouse and a cache-
+/// disabled one ingest the same chains and must store byte-identical deltas
+/// and reconstruct byte-identical historical versions.
+#[test]
+fn warehouse_cache_on_off_is_equivalent() {
+    let mut repo_off = Repository::with_options(DiffOptions::default(), Alerter::new());
+    repo_off.set_signature_cache(false);
+    let repo_on = Repository::with_options(DiffOptions::default(), Alerter::new());
+
+    let chains: Vec<(String, Vec<String>)> = [DocKind::Catalog, DocKind::AddressBook]
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| (format!("doc-{i}"), version_chain(kind, 4, 100 + i as u64)))
+        .collect();
+
+    for (key, xmls) in &chains {
+        for xml in xmls {
+            let out_on = repo_on.load_version(key, xml).unwrap();
+            let out_off = repo_off.load_version(key, xml).unwrap();
+            assert_eq!(out_on.version, out_off.version);
+            assert_eq!(
+                xml_io::delta_to_xml(&out_on.delta),
+                xml_io::delta_to_xml(&out_off.delta),
+                "cache on/off deltas diverged for {key} v{}",
+                out_on.version
+            );
+        }
+    }
+    for (key, xmls) in &chains {
+        for (v, xml) in xmls.iter().enumerate() {
+            let on = repo_on.version_xml(key, v).unwrap();
+            let off = repo_off.version_xml(key, v).unwrap();
+            assert_eq!(on, off, "reconstructed {key} v{v} diverged");
+            assert_eq!(&on, xml, "reconstruction must reproduce the ingested bytes");
+        }
+        let (hits, _misses) = repo_on.cache_counters(key);
+        assert!(hits > 0, "cache-enabled repository never hit for {key}");
+        assert_eq!(repo_off.cache_counters(key), (0, 0), "disabled cache must stay cold");
+    }
+}
