@@ -6,6 +6,7 @@
 //! xydiff diff --stats OLD.xml NEW.xml    …plus op counts and timings on stderr
 //! xydiff patch DOC.xml DELTA.xml         apply a delta (new version on stdout)
 //! xydiff revert DOC.xml DELTA.xml        apply an inverted delta
+//! xydiff verify DELTA.xml                statically validate a delta
 //! xydiff query DOC.xml PATH              evaluate a path expression
 //! xydiff htmlize PAGE.html               XMLize an HTML page
 //! xydiff store DIR load KEY FILE.xml     ingest a version into a warehouse
@@ -50,6 +51,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "diff" => cmd_diff(rest),
         "patch" => cmd_patch(rest, false),
         "revert" => cmd_patch(rest, true),
+        "verify" => cmd_verify(rest),
         "query" => cmd_query(rest),
         "htmlize" => cmd_htmlize(rest),
         "store" => store::cmd_store(rest),
@@ -67,6 +69,7 @@ pub(crate) fn usage() -> String {
      xydiff diff [--pretty] [--stats] [--quiet] [--no-moves-window] OLD.xml NEW.xml\n  \
      xydiff patch [--plain] DOC.xml DELTA.xml   (output carries an xidmap annotation)\n  \
      xydiff revert [--plain] DOC.xml DELTA.xml  (DOC must carry its xidmap)\n  \
+     xydiff verify [--all] DELTA.xml      statically validate a completed delta\n  \
      xydiff query DOC.xml PATH\n  \
      xydiff htmlize PAGE.html\n  \
      xydiff store DIR load KEY FILE.xml   ingest a new version (runs the diff)\n  \
@@ -200,6 +203,49 @@ fn cmd_patch(args: &[String], invert: bool) -> Result<ExitCode, String> {
         println!("{}", target.to_annotated_xml());
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `xydiff verify [--all] DELTA.xml` — run the static completed-delta
+/// validator without applying the delta to anything. Exit 0 when every
+/// invariant holds, 1 with diagnostics on stderr otherwise.
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    let mut all = false;
+    let mut files = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--all" => all = true,
+            f if !f.starts_with("--") => files.push(f),
+            other => return Err(format!("unknown flag {other:?} for verify")),
+        }
+    }
+    let [delta_path] = files.as_slice() else {
+        return Err(format!("verify needs exactly one delta file\n{}", usage()));
+    };
+    let delta_xml = read_input(delta_path)?;
+    let delta = xml_io::parse_delta(&delta_xml).map_err(|e| format!("{delta_path}: {e}"))?;
+    if all {
+        let errors = xydelta::verify_all(&delta);
+        if errors.is_empty() {
+            println!("{delta_path}: ok ({} ops)", delta.ops.len());
+            return Ok(ExitCode::SUCCESS);
+        }
+        for e in &errors {
+            eprintln!("{delta_path}: {e}");
+        }
+        eprintln!("{delta_path}: {} invariant violation(s)", errors.len());
+        Ok(ExitCode::from(1))
+    } else {
+        match xydelta::verify(&delta) {
+            Ok(()) => {
+                println!("{delta_path}: ok ({} ops)", delta.ops.len());
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => {
+                eprintln!("{delta_path}: {e}");
+                Ok(ExitCode::from(1))
+            }
+        }
+    }
 }
 
 fn cmd_query(args: &[String]) -> Result<ExitCode, String> {

@@ -20,7 +20,7 @@
 //! 5. **Attribute operations** — likewise verified.
 
 use crate::delta::Delta;
-use crate::error::ApplyError;
+use crate::error::{ApplyError, ApplyErrorKind};
 use crate::ops::Op;
 use crate::xid::{Xid, XidMap};
 use crate::xiddoc::XidDocument;
@@ -30,28 +30,34 @@ use xytree::{NodeId, NodeKind, Tree};
 /// partially modified; apply to a clone when atomicity matters.
 pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
     // Phase 1: detach moved subtrees.
-    for op in &delta.ops {
+    for (i, op) in delta.ops.iter().enumerate() {
         if let Op::Move { xid, .. } = op {
-            let node = doc
-                .node(*xid)
-                .ok_or(ApplyError::UnknownXid { xid: *xid, op: "move" })?;
+            let node = doc.node(*xid).ok_or_else(|| {
+                ApplyError::at(i, ApplyErrorKind::UnknownXid { xid: *xid, op: "move" })
+            })?;
             if node == doc.doc.tree.root() {
                 // A foreign/mismatched delta can resolve to the document
                 // node; that is bad data, not a caller bug.
-                return Err(ApplyError::MalformedOp("move targets the document root"));
+                return Err(ApplyError::at(
+                    i,
+                    ApplyErrorKind::MalformedOp("move targets the document root"),
+                ));
             }
             doc.doc.tree.detach(node);
         }
     }
 
     // Phase 2: deletes.
-    for op in &delta.ops {
+    for (i, op) in delta.ops.iter().enumerate() {
         if let Op::Delete { xid, .. } = op {
-            let node = doc
-                .node(*xid)
-                .ok_or(ApplyError::UnknownXid { xid: *xid, op: "delete" })?;
+            let node = doc.node(*xid).ok_or_else(|| {
+                ApplyError::at(i, ApplyErrorKind::UnknownXid { xid: *xid, op: "delete" })
+            })?;
             if node == doc.doc.tree.root() {
-                return Err(ApplyError::MalformedOp("delete targets the document root"));
+                return Err(ApplyError::at(
+                    i,
+                    ApplyErrorKind::MalformedOp("delete targets the document root"),
+                ));
             }
             doc.doc.tree.detach(node);
             let subtree: Vec<NodeId> = doc.doc.tree.post_order(node).collect();
@@ -64,20 +70,26 @@ pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
     // Phase 3: inserts and move re-attachments, by fixpoint over target
     // parents.
     let mut pending: Vec<Placement<'_>> = Vec::new();
-    for op in &delta.ops {
+    for (i, op) in delta.ops.iter().enumerate() {
         match op {
             Op::Insert { xid: _, parent, pos, subtree, xid_map } => {
                 pending.push(Placement {
+                    op_index: i,
                     parent: *parent,
                     pos: *pos,
                     what: What::Graft { subtree, xid_map },
                 });
             }
             Op::Move { xid, to_parent, to_pos, .. } => {
-                let node = doc
-                    .node(*xid)
-                    .ok_or(ApplyError::UnknownXid { xid: *xid, op: "move" })?;
-                pending.push(Placement { parent: *to_parent, pos: *to_pos, what: What::Reattach(node) });
+                let node = doc.node(*xid).ok_or_else(|| {
+                    ApplyError::at(i, ApplyErrorKind::UnknownXid { xid: *xid, op: "move" })
+                })?;
+                pending.push(Placement {
+                    op_index: i,
+                    parent: *to_parent,
+                    pos: *to_pos,
+                    what: What::Reattach(node),
+                });
             }
             _ => {}
         }
@@ -113,29 +125,34 @@ pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
             i = j;
         }
         if !progressed && !still_pending.is_empty() {
-            return Err(ApplyError::UnresolvableTargets { remaining: still_pending.len() });
+            return Err(ApplyError::new(ApplyErrorKind::UnresolvableTargets {
+                remaining: still_pending.len(),
+            }));
         }
         pending = still_pending;
     }
 
     // Phase 4: text updates.
-    for op in &delta.ops {
+    for (i, op) in delta.ops.iter().enumerate() {
         if let Op::Update { xid, old, new } = op {
-            let node = doc
-                .node(*xid)
-                .ok_or(ApplyError::UnknownXid { xid: *xid, op: "update" })?;
+            let node = doc.node(*xid).ok_or_else(|| {
+                ApplyError::at(i, ApplyErrorKind::UnknownXid { xid: *xid, op: "update" })
+            })?;
             match doc.doc.tree.kind_mut(node) {
                 NodeKind::Text(t) => {
                     if t != old {
-                        return Err(ApplyError::StaleUpdate {
-                            xid: *xid,
-                            expected: old.clone(),
-                            found: t.clone(),
-                        });
+                        return Err(ApplyError::at(
+                            i,
+                            ApplyErrorKind::StaleUpdate {
+                                xid: *xid,
+                                expected: old.clone(),
+                                found: t.clone(),
+                            },
+                        ));
                     }
                     *t = new.clone();
                 }
-                _ => return Err(ApplyError::NotAText(*xid)),
+                _ => return Err(ApplyError::at(i, ApplyErrorKind::NotAText(*xid))),
             }
         }
     }
@@ -145,75 +162,103 @@ pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
     // position, so the surviving attributes — which keep their relative
     // order — interleave into the exact new attribute sequence (the same
     // argument as phase 3's child placement).
-    for op in &delta.ops {
+    for (i, op) in delta.ops.iter().enumerate() {
         match op {
             Op::AttrDelete { element, name, old, .. } => {
-                let e = element_of(doc, *element, "attr-delete")?;
-                let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
+                let e = element_of(doc, *element, "attr-delete", i)?;
+                let elem = doc
+                    .doc
+                    .tree
+                    .element_mut(e)
+                    .ok_or_else(|| ApplyError::at(i, ApplyErrorKind::NotAnElement(*element)))?;
                 match elem.attr(name) {
                     Some(v) if v == old => {
                         elem.remove_attr(name);
                     }
                     Some(_) => {
-                        return Err(ApplyError::AttrConflict {
-                            element: *element,
-                            name: name.clone(),
-                            problem: "attribute to delete has a different value",
-                        })
+                        return Err(ApplyError::at(
+                            i,
+                            ApplyErrorKind::AttrConflict {
+                                element: *element,
+                                name: name.clone(),
+                                problem: "attribute to delete has a different value",
+                            },
+                        ))
                     }
                     None => {
-                        return Err(ApplyError::AttrConflict {
-                            element: *element,
-                            name: name.clone(),
-                            problem: "attribute to delete is missing",
-                        })
+                        return Err(ApplyError::at(
+                            i,
+                            ApplyErrorKind::AttrConflict {
+                                element: *element,
+                                name: name.clone(),
+                                problem: "attribute to delete is missing",
+                            },
+                        ))
                     }
                 }
             }
             Op::AttrUpdate { element, name, old, new } => {
-                let e = element_of(doc, *element, "attr-update")?;
-                let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
+                let e = element_of(doc, *element, "attr-update", i)?;
+                let elem = doc
+                    .doc
+                    .tree
+                    .element_mut(e)
+                    .ok_or_else(|| ApplyError::at(i, ApplyErrorKind::NotAnElement(*element)))?;
                 match elem.attr(name) {
                     Some(v) if v == old => {
                         elem.set_attr(name.clone(), new.clone());
                     }
                     Some(_) => {
-                        return Err(ApplyError::AttrConflict {
-                            element: *element,
-                            name: name.clone(),
-                            problem: "attribute to update has a different value",
-                        })
+                        return Err(ApplyError::at(
+                            i,
+                            ApplyErrorKind::AttrConflict {
+                                element: *element,
+                                name: name.clone(),
+                                problem: "attribute to update has a different value",
+                            },
+                        ))
                     }
                     None => {
-                        return Err(ApplyError::AttrConflict {
-                            element: *element,
-                            name: name.clone(),
-                            problem: "attribute to update is missing",
-                        })
+                        return Err(ApplyError::at(
+                            i,
+                            ApplyErrorKind::AttrConflict {
+                                element: *element,
+                                name: name.clone(),
+                                problem: "attribute to update is missing",
+                            },
+                        ))
                     }
                 }
             }
             _ => {}
         }
     }
-    let mut attr_inserts: Vec<(&Xid, &usize, &String, &String)> = delta
+    let mut attr_inserts: Vec<(&Xid, &usize, &String, &String, usize)> = delta
         .ops
         .iter()
-        .filter_map(|op| match op {
-            Op::AttrInsert { element, name, value, pos } => Some((element, pos, name, value)),
+        .enumerate()
+        .filter_map(|(i, op)| match op {
+            Op::AttrInsert { element, name, value, pos } => Some((element, pos, name, value, i)),
             _ => None,
         })
         .collect();
     attr_inserts.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(b.1)));
-    for (element, pos, name, value) in attr_inserts {
-        let e = element_of(doc, *element, "attr-insert")?;
-        let elem = doc.doc.tree.element_mut(e).ok_or(ApplyError::NotAnElement(*element))?;
+    for (element, pos, name, value, i) in attr_inserts {
+        let e = element_of(doc, *element, "attr-insert", i)?;
+        let elem = doc
+            .doc
+            .tree
+            .element_mut(e)
+            .ok_or_else(|| ApplyError::at(i, ApplyErrorKind::NotAnElement(*element)))?;
         if elem.has_attr(name) {
-            return Err(ApplyError::AttrConflict {
-                element: *element,
-                name: name.clone(),
-                problem: "attribute to insert already exists",
-            });
+            return Err(ApplyError::at(
+                i,
+                ApplyErrorKind::AttrConflict {
+                    element: *element,
+                    name: name.clone(),
+                    problem: "attribute to insert already exists",
+                },
+            ));
         }
         // Positions are fidelity hints over a semantically unordered set
         // (§5.2), so out-of-range values clamp instead of erroring.
@@ -224,6 +269,7 @@ pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
 
 #[derive(Clone)]
 struct Placement<'a> {
+    op_index: usize,
     parent: Xid,
     pos: usize,
     what: What<'a>,
@@ -235,37 +281,54 @@ enum What<'a> {
     Reattach(NodeId),
 }
 
-fn element_of(doc: &XidDocument, xid: Xid, op: &'static str) -> Result<NodeId, ApplyError> {
-    doc.node(xid).ok_or(ApplyError::UnknownXid { xid, op })
+fn element_of(
+    doc: &XidDocument,
+    xid: Xid,
+    op: &'static str,
+    op_index: usize,
+) -> Result<NodeId, ApplyError> {
+    doc.node(xid)
+        .ok_or_else(|| ApplyError::at(op_index, ApplyErrorKind::UnknownXid { xid, op }))
 }
 
 fn place(doc: &mut XidDocument, placement: &Placement<'_>) -> Result<(), ApplyError> {
     let parent_node = doc
         .node(placement.parent)
+        // INVARIANT: the fixpoint loop only dispatches parent-groups whose
+        // parent already resolved and is attached.
         .expect("caller checked parent resolves");
     let count = doc.doc.tree.children_count(parent_node);
     if placement.pos > count {
-        return Err(ApplyError::PositionOutOfRange {
-            parent: placement.parent,
-            pos: placement.pos,
-            len: count,
-        });
+        return Err(ApplyError::at(
+            placement.op_index,
+            ApplyErrorKind::PositionOutOfRange {
+                parent: placement.parent,
+                pos: placement.pos,
+                len: count,
+            },
+        ));
     }
     match &placement.what {
         What::Reattach(node) => {
             doc.doc.tree.insert_child_at(parent_node, placement.pos, *node);
         }
         What::Graft { subtree, xid_map } => {
-            let src_root = subtree
-                .first_child(subtree.root())
-                .ok_or(ApplyError::MalformedOp("insert op with empty subtree"))?;
+            let src_root = subtree.first_child(subtree.root()).ok_or_else(|| {
+                ApplyError::at(
+                    placement.op_index,
+                    ApplyErrorKind::MalformedOp("insert op with empty subtree"),
+                )
+            })?;
             let copied = doc.doc.tree.copy_subtree_from(subtree, src_root);
             doc.doc.tree.insert_child_at(parent_node, placement.pos, copied);
             // Bind the op's XIDs to the grafted nodes, postfix order.
             let nodes: Vec<NodeId> = doc.doc.tree.post_order(copied).collect();
             if nodes.len() != xid_map.len() {
-                return Err(ApplyError::MalformedOp(
-                    "insert op XID-map length differs from subtree size",
+                return Err(ApplyError::at(
+                    placement.op_index,
+                    ApplyErrorKind::MalformedOp(
+                        "insert op XID-map length differs from subtree size",
+                    ),
                 ));
             }
             for (n, &x) in nodes.iter().zip(xid_map.xids()) {
@@ -321,7 +384,7 @@ mod tests {
             new: "new".into(),
         }]);
         let err = delta.apply_to(&mut d).unwrap_err();
-        assert!(matches!(err, ApplyError::StaleUpdate { .. }));
+        assert!(matches!(err.kind, ApplyErrorKind::StaleUpdate { .. }));
     }
 
     #[test]
@@ -437,7 +500,7 @@ mod tests {
             to_pos: 0,
         }]);
         let err = delta.apply_to(&mut d).unwrap_err();
-        assert!(matches!(err, ApplyError::UnresolvableTargets { remaining: 1 }));
+        assert!(matches!(err.kind, ApplyErrorKind::UnresolvableTargets { remaining: 1 }));
     }
 
     #[test]
@@ -514,8 +577,8 @@ mod tests {
             pos: 0,
         }]);
         assert!(matches!(
-            dup.apply_to(&mut d.clone()).unwrap_err(),
-            ApplyError::AttrConflict { .. }
+            dup.apply_to(&mut d.clone()).unwrap_err().kind,
+            ApplyErrorKind::AttrConflict { .. }
         ));
         let stale = Delta::from_ops(vec![Op::AttrUpdate {
             element: a,
@@ -524,8 +587,8 @@ mod tests {
             new: "2".into(),
         }]);
         assert!(matches!(
-            stale.apply_to(&mut d).unwrap_err(),
-            ApplyError::AttrConflict { .. }
+            stale.apply_to(&mut d).unwrap_err().kind,
+            ApplyErrorKind::AttrConflict { .. }
         ));
     }
 
@@ -537,10 +600,9 @@ mod tests {
             old: String::new(),
             new: String::new(),
         }]);
-        assert!(matches!(
-            delta.apply_to(&mut d).unwrap_err(),
-            ApplyError::UnknownXid { .. }
-        ));
+        let err = delta.apply_to(&mut d).unwrap_err();
+        assert!(matches!(err.kind, ApplyErrorKind::UnknownXid { .. }));
+        assert_eq!(err.op_index, Some(0));
     }
 
     #[test]

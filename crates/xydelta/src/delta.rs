@@ -70,7 +70,7 @@ impl Delta {
                 Op::Update { .. } => c.updates += 1,
                 Op::Move { .. } => c.moves += 1,
                 Op::AttrInsert { .. } | Op::AttrDelete { .. } | Op::AttrUpdate { .. } => {
-                    c.attr_ops += 1
+                    c.attr_ops += 1;
                 }
             }
         }

@@ -111,10 +111,14 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
         if new_of_old[node.index()].is_some() {
             continue;
         }
+        // INVARIANT: every node of a XidDocument carries an XID; assignment is
+        // total at construction (assign_initial / apply) and never partial.
         let xid = old.xid(node).expect("old node without XID");
         if new_of_old[parent.index()].is_none() {
             continue; // covered by the ancestor's delete op
         }
+        // INVARIANT: every node of a XidDocument carries an XID; assignment is
+        // total at construction (assign_initial / apply) and never partial.
         let parent_xid = old.xid(parent).expect("parent without XID");
         let (subtree, xid_map) =
             capture_with_xids(old, node, &|d| new_of_old[d.index()].is_some());
@@ -134,10 +138,14 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
         if old_of_new[node.index()].is_some() {
             continue;
         }
+        // INVARIANT: every node of a XidDocument carries an XID; assignment is
+        // total at construction (assign_initial / apply) and never partial.
         let xid = new.xid(node).expect("new node without XID");
         if old_of_new[parent.index()].is_none() {
             continue; // covered by the ancestor's insert op
         }
+        // INVARIANT: every node of a XidDocument carries an XID; assignment is
+        // total at construction (assign_initial / apply) and never partial.
         let parent_xid = new.xid(parent).expect("parent without XID");
         let (subtree, xid_map) =
             capture_with_xids(new, node, &|d| old_of_new[d.index()].is_some());
@@ -155,6 +163,8 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
     // Walk matched nodes of the new document (every XID in both).
     for new_node in n.descendants(n.root()) {
         let Some(old_node) = old_of_new[new_node.index()] else { continue };
+        // INVARIANT: every node of a XidDocument carries an XID; assignment is
+        // total at construction (assign_initial / apply) and never partial.
         let xid = new.xid(new_node).expect("new node without XID");
         // Cross-parent move?
         if new_node != n.root() {
@@ -210,6 +220,8 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
         if order_preserved {
             continue;
         }
+        // INVARIANT: every node of a XidDocument carries an XID; assignment is
+        // total at construction (assign_initial / apply) and never partial.
         let pxid = new.xid(new_parent).expect("new node without XID");
         // Stable children in new order, with their position in the *new*
         // child list and subtree weight.
@@ -304,6 +316,8 @@ fn collect_xids_postfix(
         }
         collect_xids_postfix(doc, c, excluded, out);
     }
+    // INVARIANT: every node of a XidDocument carries an XID; assignment is
+    // total at construction (assign_initial / apply) and never partial.
     out.push(doc.xid(node).expect("captured node without XID"));
 }
 

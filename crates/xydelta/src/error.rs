@@ -4,8 +4,54 @@ use crate::xid::Xid;
 use std::fmt;
 
 /// Failure while applying a [`crate::Delta`] to an [`crate::XidDocument`].
+///
+/// Carries the index of the offending operation in [`crate::Delta::ops`]
+/// (when a single operation is at fault) plus a typed [`ApplyErrorKind`]
+/// whose variants name the XIDs involved, so a rejected delta can be
+/// reported — and dead-lettered — with enough context to debug it without
+/// re-running the application.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ApplyError {
+pub struct ApplyError {
+    /// Index into [`crate::Delta::ops`] of the operation that failed, when
+    /// one operation is individually at fault. `None` for whole-delta
+    /// failures (e.g. a set of mutually unresolvable move targets).
+    pub op_index: Option<usize>,
+    /// What went wrong.
+    pub kind: ApplyErrorKind,
+}
+
+impl ApplyError {
+    /// A whole-delta failure not attributable to one operation.
+    pub fn new(kind: ApplyErrorKind) -> Self {
+        ApplyError { op_index: None, kind }
+    }
+
+    /// A failure attributed to the operation at `op_index`.
+    pub fn at(op_index: usize, kind: ApplyErrorKind) -> Self {
+        ApplyError { op_index: Some(op_index), kind }
+    }
+}
+
+impl From<ApplyErrorKind> for ApplyError {
+    fn from(kind: ApplyErrorKind) -> Self {
+        ApplyError::new(kind)
+    }
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(f, "op #{i}: {}", self.kind),
+            None => self.kind.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// The specific failure behind an [`ApplyError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyErrorKind {
     /// An operation referenced an XID absent from the document.
     UnknownXid {
         /// The missing identifier.
@@ -56,29 +102,29 @@ pub enum ApplyError {
     },
 }
 
-impl fmt::Display for ApplyError {
+impl fmt::Display for ApplyErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ApplyError::UnknownXid { xid, op } => {
+            ApplyErrorKind::UnknownXid { xid, op } => {
                 write!(f, "{op} references unknown XID {xid}")
             }
-            ApplyError::StaleUpdate { xid, expected, found } => write!(
+            ApplyErrorKind::StaleUpdate { xid, expected, found } => write!(
                 f,
                 "update of XID {xid}: document has {found:?}, delta expected {expected:?}"
             ),
-            ApplyError::NotAText(x) => write!(f, "update target XID {x} is not a text node"),
-            ApplyError::NotAnElement(x) => {
+            ApplyErrorKind::NotAText(x) => write!(f, "update target XID {x} is not a text node"),
+            ApplyErrorKind::NotAnElement(x) => {
                 write!(f, "attribute operation target XID {x} is not an element")
             }
-            ApplyError::AttrConflict { element, name, problem } => {
+            ApplyErrorKind::AttrConflict { element, name, problem } => {
                 write!(f, "attribute {name:?} on XID {element}: {problem}")
             }
-            ApplyError::UnresolvableTargets { remaining } => write!(
+            ApplyErrorKind::UnresolvableTargets { remaining } => write!(
                 f,
                 "{remaining} insert/move operations have unresolvable target parents"
             ),
-            ApplyError::MalformedOp(msg) => write!(f, "malformed operation: {msg}"),
-            ApplyError::PositionOutOfRange { parent, pos, len } => write!(
+            ApplyErrorKind::MalformedOp(msg) => write!(f, "malformed operation: {msg}"),
+            ApplyErrorKind::PositionOutOfRange { parent, pos, len } => write!(
                 f,
                 "position {pos} out of range under XID {parent} (child count {len})"
             ),
@@ -86,7 +132,7 @@ impl fmt::Display for ApplyError {
     }
 }
 
-impl std::error::Error for ApplyError {}
+impl std::error::Error for ApplyErrorKind {}
 
 /// Failure while reading a delta back from its XML form.
 #[derive(Debug, Clone)]
@@ -120,14 +166,16 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = ApplyError::UnknownXid { xid: Xid(9), op: "move" };
+        let e = ApplyError::at(3, ApplyErrorKind::UnknownXid { xid: Xid(9), op: "move" });
         assert!(e.to_string().contains("move"));
         assert!(e.to_string().contains('9'));
-        let e = ApplyError::StaleUpdate {
+        assert!(e.to_string().contains("op #3"), "{e}");
+        let e = ApplyError::new(ApplyErrorKind::StaleUpdate {
             xid: Xid(1),
             expected: "a".into(),
             found: "b".into(),
-        };
+        });
         assert!(e.to_string().contains("\"a\""));
+        assert!(!e.to_string().contains("op #"));
     }
 }

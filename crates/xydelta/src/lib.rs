@@ -24,6 +24,10 @@
 //!   aggregation);
 //! - [`version::VersionChain`] — versions-and-deltas storage with
 //!   reconstruction of any past version ("querying the past", §2);
+//! - [`verify::verify`] — a *static* completed-delta validator that checks
+//!   the structural invariants of §4 (XID-map well-formedness, XID
+//!   uniqueness, move pairing, sibling-position consistency) without
+//!   applying the delta;
 //! - weighted longest-increasing-subsequence machinery ([`lis`]) shared with
 //!   the diff's move detection, including the paper's fixed-window heuristic.
 
@@ -37,14 +41,16 @@ pub mod diff_by_xid;
 pub mod error;
 pub mod lis;
 pub mod ops;
+pub mod verify;
 pub mod version;
 pub mod xid;
 pub mod xiddoc;
 pub mod xml_io;
 
 pub use delta::Delta;
-pub use error::{ApplyError, DeltaParseError};
+pub use error::{ApplyError, ApplyErrorKind, DeltaParseError};
 pub use ops::Op;
+pub use verify::{verify, verify_all, VerifyError};
 pub use version::VersionChain;
 pub use xid::{Xid, XidMap};
 pub use xiddoc::XidDocument;

@@ -17,7 +17,10 @@ use std::str::FromStr;
 /// A persistent node identifier. XIDs are positive and unique within one
 /// versioned document's history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Xid(pub u64);
+pub struct Xid(
+    /// The raw numeric identifier (0 is reserved / never assigned).
+    pub u64,
+);
 
 impl Xid {
     /// The numeric value.
@@ -102,7 +105,10 @@ impl fmt::Display for XidMap {
 
 /// Error parsing a compact XID-map string.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct XidMapParseError(pub String);
+pub struct XidMapParseError(
+    /// What was wrong with the input.
+    pub String,
+);
 
 impl fmt::Display for XidMapParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

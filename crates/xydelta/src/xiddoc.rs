@@ -146,6 +146,7 @@ impl XidDocument {
         // The displacement lookup ("who holds `xid` now?") needs the reverse
         // index; materialize it so the update below keeps it in sync.
         self.reverse();
+        // INVARIANT: reverse() on the line above materializes the index.
         let by_xid = self.by_xid.get_mut().expect("reverse index materialized");
         if node.index() >= self.xid_of.len() {
             self.xid_of.resize(node.index() + 1, None);
@@ -193,6 +194,8 @@ impl XidDocument {
             .post_order(node)
             .map(|n| {
                 self.xid(n)
+                    // INVARIANT: XID assignment is total over the document
+                    // tree; a subtree of it cannot contain a gap.
                     .expect("every node in an XID-mapped subtree must carry an XID")
             })
             .collect();
@@ -238,6 +241,7 @@ impl XidDocument {
         let Some(pi_node) = pi else { return Ok(None) };
         let data = match doc.tree.kind(pi_node) {
             xytree::NodeKind::Pi { data, .. } => data.clone(),
+            // INVARIANT: pi_node was found by filtering on the Pi kind above.
             _ => unreachable!(),
         };
         let map: XidMap = data
@@ -282,7 +286,7 @@ impl XidDocument {
         }
         for n in self.doc.tree.descendants(self.doc.tree.root()) {
             if self.xid(n).is_none() {
-                return Err(format!("attached node {:?} has no XID", n));
+                return Err(format!("attached node {n:?} has no XID"));
             }
         }
         Ok(())

@@ -50,6 +50,7 @@ pub fn delta_to_document(delta: &Delta) -> Document {
 
 fn set(tree: &mut Tree, node: NodeId, name: &str, value: impl ToString) {
     tree.element_mut(node)
+        // INVARIANT: only called on nodes built by op_to_node, all elements.
         .expect("op node is an element")
         .set_attr(name, value.to_string());
 }
@@ -292,8 +293,11 @@ fn opt_pos(t: &Tree, node: NodeId, name: &str) -> Result<usize, DeltaParseError>
 }
 
 /// Extract the single stored subtree under a delete/insert op element.
-/// Whitespace-only text children are pretty-printing artifacts, not content
-/// (the ops this crate emits never carry whitespace-only text subtrees).
+/// Whitespace-only text nodes — at the op's top level and anywhere inside
+/// the subtree — are pretty-printing artifacts, not content: source
+/// documents are parsed with whitespace-only text dropped, so the ops this
+/// crate emits never store such nodes, and keeping indentation would break
+/// the subtree's alignment with its XID-map.
 fn subtree_of(t: &Tree, op_node: NodeId) -> Result<Tree, DeltaParseError> {
     let kids: Vec<NodeId> = t
         .children(op_node)
@@ -316,6 +320,13 @@ fn subtree_of(t: &Tree, op_node: NodeId) -> Result<Tree, DeltaParseError> {
     let copied = out.copy_subtree_from(t, content);
     let root = out.root();
     out.append_child(root, copied);
+    let ws: Vec<NodeId> = out
+        .descendants(root)
+        .filter(|&n| out.text(n).is_some_and(|s| s.trim().is_empty()))
+        .collect();
+    for n in ws {
+        out.detach(n);
+    }
     strip_text_separators(&mut out, root);
     Ok(out)
 }

@@ -1,7 +1,7 @@
 //! Failure injection for delta application: completed deltas must fail
 //! loudly (never corrupt silently) when applied to the wrong document state.
 
-use xydelta::{ApplyError, Delta, Op, Xid, XidDocument, XidMap};
+use xydelta::{ApplyErrorKind, Delta, Op, Xid, XidDocument, XidMap};
 use xytree::Document;
 
 fn xd(xml: &str) -> XidDocument {
@@ -30,10 +30,9 @@ fn insert_with_wrong_xid_map_length() {
         subtree: stored.tree,
         xid_map: XidMap::new(vec![Xid(100)]), // but only 1 XID
     }]);
-    assert!(matches!(
-        delta.apply_to(&mut d).unwrap_err(),
-        ApplyError::MalformedOp(_)
-    ));
+    let err = delta.apply_to(&mut d).unwrap_err();
+    assert!(matches!(err.kind, ApplyErrorKind::MalformedOp(_)));
+    assert_eq!(err.op_index, Some(0), "error names the offending op");
 }
 
 #[test]
@@ -48,8 +47,8 @@ fn insert_with_empty_subtree() {
         xid_map: XidMap::new(vec![]),
     }]);
     assert!(matches!(
-        delta.apply_to(&mut d).unwrap_err(),
-        ApplyError::MalformedOp(_)
+        delta.apply_to(&mut d).unwrap_err().kind,
+        ApplyErrorKind::MalformedOp(_)
     ));
 }
 
@@ -66,8 +65,8 @@ fn insert_position_beyond_children() {
         xid_map: XidMap::new(vec![Xid(100)]),
     }]);
     assert!(matches!(
-        delta.apply_to(&mut d).unwrap_err(),
-        ApplyError::PositionOutOfRange { pos: 5, .. }
+        delta.apply_to(&mut d).unwrap_err().kind,
+        ApplyErrorKind::PositionOutOfRange { pos: 5, .. }
     ));
 }
 
@@ -108,10 +107,9 @@ fn true_cycle_is_detected() {
         Op::Move { xid: p, from_parent: a, from_pos: 0, to_parent: q, to_pos: 0 },
         Op::Move { xid: q, from_parent: a, from_pos: 1, to_parent: p, to_pos: 0 },
     ]);
-    assert!(matches!(
-        delta.apply_to(&mut d).unwrap_err(),
-        ApplyError::UnresolvableTargets { remaining: 2 }
-    ));
+    let err = delta.apply_to(&mut d).unwrap_err();
+    assert!(matches!(err.kind, ApplyErrorKind::UnresolvableTargets { remaining: 2 }));
+    assert_eq!(err.op_index, None, "a cycle is a whole-delta failure");
 }
 
 #[test]
@@ -127,8 +125,8 @@ fn delete_of_unknown_xid() {
         xid_map: XidMap::new(vec![Xid(999)]),
     }]);
     assert!(matches!(
-        delta.apply_to(&mut d).unwrap_err(),
-        ApplyError::UnknownXid { op: "delete", .. }
+        delta.apply_to(&mut d).unwrap_err().kind,
+        ApplyErrorKind::UnknownXid { op: "delete", .. }
     ));
 }
 
@@ -141,7 +139,7 @@ fn update_on_element_rejected() {
         old: "x".into(),
         new: "y".into(),
     }]);
-    assert!(matches!(delta.apply_to(&mut d).unwrap_err(), ApplyError::NotAText(_)));
+    assert!(matches!(delta.apply_to(&mut d).unwrap_err().kind, ApplyErrorKind::NotAText(_)));
 }
 
 #[test]
@@ -163,8 +161,8 @@ fn double_application_of_a_delta_fails_cleanly() {
     delta.apply_to(&mut d).unwrap();
     let snapshot = d.doc.to_xml();
     assert!(matches!(
-        delta.apply_to(&mut d).unwrap_err(),
-        ApplyError::UnknownXid { .. }
+        delta.apply_to(&mut d).unwrap_err().kind,
+        ApplyErrorKind::UnknownXid { .. }
     ));
     assert_eq!(d.doc.to_xml(), snapshot, "failed apply must not mutate before failing");
 }
@@ -182,7 +180,7 @@ fn attr_ops_on_text_node_rejected() {
         pos: 0,
     }]);
     assert!(matches!(
-        delta.apply_to(&mut d).unwrap_err(),
-        ApplyError::NotAnElement(_)
+        delta.apply_to(&mut d).unwrap_err().kind,
+        ApplyErrorKind::NotAnElement(_)
     ));
 }

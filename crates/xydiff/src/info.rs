@@ -14,6 +14,8 @@
 //! ("when the text is large … it should have more weight than a simple
 //! word").
 
+#![doc = "xylint: hot-path"]
+
 use xydelta::{Xid, XidDocument};
 use xytree::hash::{FastHashMap, Fnv64};
 use xytree::{NodeId, NodeKind, Tree};
@@ -21,10 +23,15 @@ use xytree::{NodeId, NodeKind, Tree};
 /// Domain-separation seeds so that, e.g., a text node `"a"` and an element
 /// `<a/>` can never share a signature.
 mod seed {
+    /// Seed for the document root node.
     pub const DOCUMENT: u64 = 0xD0C;
+    /// Seed for element nodes.
     pub const ELEMENT: u64 = 0xE1E;
+    /// Seed for text nodes.
     pub const TEXT: u64 = 0x7E7;
+    /// Seed for comment nodes.
     pub const COMMENT: u64 = 0xC03;
+    /// Seed for processing instructions.
     pub const PI: u64 = 0x91;
 }
 

@@ -24,6 +24,8 @@ pub fn inherit_xids(old: &XidDocument, new_doc: Document, matching: &Matching) -
         let xid = match matching.old_of_new(n) {
             Some(o) => old
                 .xid(o)
+                // INVARIANT: the matching only relates nodes of the old
+                // document, whose XID assignment is total.
                 .expect("matched old node must carry an XID"),
             None => {
                 let x = Xid(next);

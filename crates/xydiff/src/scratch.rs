@@ -12,6 +12,8 @@
 //! scratch and with a thousand-times-reused scratch produce byte-identical
 //! deltas (pinned by the golden-equivalence suite and a property test).
 
+#![doc = "xylint: hot-path"]
+
 use crate::buld::BuldScratch;
 use crate::info::TreeInfo;
 use crate::matching::Matching;

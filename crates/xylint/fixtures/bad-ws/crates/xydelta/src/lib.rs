@@ -1,0 +1,14 @@
+//! Fixture: trips L1 exactly once (unjustified unwrap in a core crate).
+#![forbid(unsafe_code)]
+
+fn first_byte(input: &[u8]) -> u8 {
+    *input.first().unwrap()
+}
+
+fn used(input: &[u8]) -> u8 {
+    first_byte(input)
+}
+
+fn main_like() {
+    let _ = used(b"x");
+}

@@ -1,0 +1,6 @@
+//! Fixture: trips L3 exactly once (pub item without a doc comment).
+#![forbid(unsafe_code)]
+
+pub fn undocumented_entry_point() -> u32 {
+    42
+}

@@ -1,0 +1,6 @@
+//! Fixture: trips L4 exactly once (stray diagnostic macro in library code).
+#![forbid(unsafe_code)]
+
+fn evaluate(x: u32) -> u32 {
+    dbg!(x + 1)
+}

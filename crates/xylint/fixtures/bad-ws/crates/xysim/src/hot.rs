@@ -1,0 +1,8 @@
+#![doc = "xylint: hot-path"]
+//! Fixture: trips L2 exactly once (allocation in a hot-path module).
+
+fn gather(n: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.resize(n, 0);
+    out
+}

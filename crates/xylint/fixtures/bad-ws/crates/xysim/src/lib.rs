@@ -1,0 +1,4 @@
+//! Fixture crate root: clean by itself; the L2 violation lives in `hot.rs`.
+#![forbid(unsafe_code)]
+
+pub mod hot;

@@ -1,0 +1,10 @@
+#![doc = "xylint: hot-path"]
+//! Fixture hot-path module: allocations are justified.
+
+/// Produces a buffer of `n` ones.
+pub fn fill(n: usize) -> Vec<u8> {
+    // ALLOC-OK: one-time buffer construction at entry, reused by the caller.
+    let mut out = Vec::with_capacity(n.max(1));
+    out.resize(n.max(1), 1);
+    out
+}

@@ -1,0 +1,20 @@
+//! Fixture: a fully annotated core crate that passes all four rules.
+#![forbid(unsafe_code)]
+
+pub mod hot;
+
+/// Returns the first byte of a non-empty buffer.
+pub fn first_byte(input: &[u8]) -> u8 {
+    // INVARIANT: callers only pass buffers produced by `hot::fill`, which
+    // always yields at least one byte.
+    *input.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_here() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

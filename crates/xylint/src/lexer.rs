@@ -1,0 +1,432 @@
+//! A hand-written Rust lexer — just enough of the language to lint safely.
+//!
+//! In the same zero-dependency spirit as the workspace's XML parser (no
+//! `syn`, no `proc-macro2`, offline-safe), this scanner splits Rust source
+//! into tokens so the rules in [`crate::rules`] never fire inside string
+//! literals, comments, or doc text. It does not parse: there is no AST,
+//! no expression grammar — only a faithful token stream with line numbers.
+//!
+//! The tricky cases it must get right, because the lints depend on them:
+//!
+//! - nested block comments (`/* /* */ */`);
+//! - raw strings with hash fences (`r#"…"#`) and byte/raw-byte strings;
+//! - char literals versus lifetimes (`'a'` versus `'a`);
+//! - doc comments (`///`, `//!`, `/** */`, `/*! */`) kept distinct from
+//!   plain comments, since rule L3 looks for the former and the annotation
+//!   grammar lives in the latter.
+
+/// What a token is. Text is carried separately in [`Token::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `r#type`).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A non-doc line comment (`// …`), the annotation carrier.
+    LineComment,
+    /// A non-doc block comment (`/* … */`).
+    BlockComment,
+    /// An outer doc comment (`/// …` or `/** … */`).
+    OuterDoc,
+    /// An inner doc comment (`//! …` or `/*! … */`).
+    InnerDoc,
+    /// Any single punctuation byte (`.`, `!`, `::` arrives as two tokens).
+    Punct,
+}
+
+/// One token: kind, source text, and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// The exact source slice.
+    pub text: &'a str,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// True for any comment or doc-comment token.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::OuterDoc | TokKind::InnerDoc
+        )
+    }
+}
+
+/// Tokenize `src`. Unterminated literals/comments are tolerated (the rest of
+/// the file becomes one token): a linter must degrade gracefully on code that
+/// does not compile yet.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer { src: src.as_bytes(), text: src, pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'"' => {
+                    self.pos += 1;
+                    self.string_body(b'"');
+                    self.emit(TokKind::Str, start, line);
+                }
+                b'\'' => self.char_or_lifetime(start, line),
+                b'r' | b'b' if self.raw_or_byte_literal(start, line) => {}
+                _ if is_ident_start(b) => {
+                    self.pos += 1;
+                    while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                    self.emit(TokKind::Ident, start, line);
+                }
+                b'0'..=b'9' => self.number(start, line),
+                _ => {
+                    // Multi-byte UTF-8 inside code is only legal in idents
+                    // (non-ASCII identifiers); treat any such byte run as one.
+                    if b < 0x80 {
+                        self.pos += 1;
+                    } else {
+                        while self.pos < self.src.len() && self.src[self.pos] >= 0x80 {
+                            self.pos += 1;
+                        }
+                    }
+                    self.emit(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Token { kind, text: &self.text[start..self.pos], line });
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        let kind = if self.peek(2) == Some(b'/') && self.peek(3) != Some(b'/') {
+            TokKind::OuterDoc // `///` but not `////` (the latter is a rule)
+        } else if self.peek(2) == Some(b'!') {
+            TokKind::InnerDoc
+        } else {
+            TokKind::LineComment
+        };
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.emit(kind, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        let kind = if self.peek(2) == Some(b'*') && self.peek(3) != Some(b'*')
+            && self.peek(3) != Some(b'/')
+        {
+            TokKind::OuterDoc // `/**` but not `/***` or the empty `/**/`
+        } else if self.peek(2) == Some(b'!') {
+            TokKind::InnerDoc
+        } else {
+            TokKind::BlockComment
+        };
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.emit(kind, start, line);
+    }
+
+    /// Consume a quoted body up to an unescaped `close`, tracking newlines.
+    fn string_body(&mut self, close: u8) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b == close => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// `'a'` is a char, `'a` is a lifetime, `'\''` is a char.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        // A lifetime: quote, ident start, ident run, and *no* closing quote.
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut end = self.pos + 2;
+            while end < self.src.len() && is_ident_continue(self.src[end]) {
+                end += 1;
+            }
+            if self.src.get(end) != Some(&b'\'') {
+                self.pos = end;
+                self.emit(TokKind::Lifetime, start, line);
+                return;
+            }
+        }
+        self.pos += 1;
+        self.string_body(b'\'');
+        self.emit(TokKind::Char, start, line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, and raw idents
+    /// (`r#match`). Returns false when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let b0 = self.src[self.pos];
+        let mut i = self.pos + 1;
+        let mut raw = b0 == b'r';
+        if b0 == b'b' && self.src.get(i) == Some(&b'r') {
+            raw = true;
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.src.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        match self.src.get(i) {
+            Some(&b'"') if raw || hashes == 0 => {
+                // r"…", r#"…"#, br"…", or cooked b"…".
+                self.pos = i + 1;
+                if raw {
+                    self.raw_string_tail(hashes);
+                } else {
+                    self.string_body(b'"');
+                }
+                self.emit(TokKind::Str, start, line);
+                true
+            }
+            Some(&b'\'') if b0 == b'b' && !raw && hashes == 0 => {
+                self.pos = i + 1;
+                self.string_body(b'\'');
+                self.emit(TokKind::Char, start, line);
+                true
+            }
+            Some(&c) if b0 == b'r' && hashes == 1 && is_ident_start(c) => {
+                // Raw identifier r#foo.
+                self.pos = i;
+                while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Ident, start, line);
+                true
+            }
+            _ => false, // plain identifier starting with r/b
+        }
+    }
+
+    /// Consume a raw-string body: no escapes; ends at `"` followed by
+    /// `hashes` hashes (zero hashes: the first `"`).
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.src[self.pos] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.src.get(self.pos + 1 + k) != Some(&b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        self.pos += 1;
+        while self.pos < self.src.len()
+            && (is_ident_continue(self.src[self.pos]) || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        // A fraction only when `.` is followed by a digit — `0..n` and
+        // `1.max(2)` must not swallow the dot.
+        if self.src.get(self.pos) == Some(&b'.')
+            && self.src.get(self.pos + 1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                self.pos += 1;
+            }
+        }
+        self.emit(TokKind::Number, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("a.unwrap()");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "a"),
+                (TokKind::Punct, "."),
+                (TokKind::Ident, "unwrap"),
+                (TokKind::Punct, "("),
+                (TokKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_inside_string_is_a_string() {
+        let t = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s.contains("unwrap")));
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && *s == "unwrap"));
+    }
+
+    #[test]
+    fn comment_kinds_distinguished() {
+        let src = "// plain\n/// outer\n//! inner\n/* block */\n/** odoc */\n/*! idoc */";
+        let t: Vec<TokKind> = lex(src).into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            t,
+            vec![
+                TokKind::LineComment,
+                TokKind::OuterDoc,
+                TokKind::InnerDoc,
+                TokKind::BlockComment,
+                TokKind::OuterDoc,
+                TokKind::InnerDoc,
+            ]
+        );
+    }
+
+    #[test]
+    fn four_slashes_is_not_doc() {
+        assert_eq!(lex("//// rule").first().map(|t| t.kind), Some(TokKind::LineComment));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let t = kinds("/* a /* b */ c */ x");
+        assert_eq!(t.last(), Some(&(TokKind::Ident, "x")));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let t = kinds(r##"let s = r#"has "quotes" and unwrap()"#; done"##);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s.contains("quotes")));
+        assert_eq!(t.last(), Some(&(TokKind::Ident, "done")));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let t = kinds(r#"cur.expect(b'>'); let s = b"bytes";"#);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Char && *s == "b'>'"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && *s == "b\"bytes\""));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_ident() {
+        let t = kinds("let r#type = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && *s == "r#type"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let t = kinds("for i in 0..10 { let x = 1.5; let y = 2.max(3); }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Number && *s == "1.5"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && *s == "max"));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Number && *s == "0"));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(String, u32)> =
+            toks.iter().map(|t| (t.text.to_string(), t.line)).collect();
+        assert_eq!(lines, vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 4)]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = lex("let s = \"one\ntwo\";\nafter");
+        let after = toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

@@ -1,0 +1,278 @@
+//! xylint — zero-dependency static analysis over the workspace's own source.
+//!
+//! The XyDiff reproduction promises two things its test suite alone cannot
+//! check: library code on the diff/apply path never panics on hostile input
+//! (every panic site is either converted to a typed error or justified by a
+//! written invariant), and the modules declared hot (the per-document diff
+//! loop) stay allocation-free in steady state. `xylint` makes both promises
+//! machine-checkable with a hand-written Rust lexer — no `syn`, no `dylint`,
+//! no network — so it runs in the offline CI container.
+//!
+//! The rules are defined in [`rules`]; the token model in [`lexer`]. This
+//! module adds the workspace walker: which files are *library code* (crate
+//! `src/` trees minus `src/bin/` and `src/main.rs`), which crate each file
+//! belongs to, and the aggregation used by `xylint --fix-annotations` for
+//! its per-crate summary table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{FileStats, Rule, Violation};
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Per-crate aggregation for the summary table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrateStats {
+    /// Library files linted.
+    pub files: usize,
+    /// Files carrying the `xylint: hot-path` marker.
+    pub hot_path_files: usize,
+    /// `// INVARIANT:` justifications present.
+    pub invariant_annotations: usize,
+    /// `// ALLOC-OK:` justifications present.
+    pub alloc_ok_annotations: usize,
+    /// Violations found, by rule: `[L1, L2, L3, L4]`.
+    pub violations: [usize; 4],
+}
+
+impl CrateStats {
+    /// Total violations across all rules.
+    pub fn total_violations(&self) -> usize {
+        self.violations.iter().sum()
+    }
+}
+
+/// The result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by file then line.
+    pub violations: Vec<Violation>,
+    /// Per-crate aggregation, keyed by crate name (the root suite crate is
+    /// keyed as `xydiff-suite`).
+    pub per_crate: BTreeMap<String, CrateStats>,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render the per-crate summary as a GitHub-flavoured markdown table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::from(
+            "| crate | files | hot-path | INVARIANT | ALLOC-OK | L1 | L2 | L3 | L4 |\n\
+             |-------|------:|---------:|----------:|---------:|---:|---:|---:|---:|\n",
+        );
+        let mut total = CrateStats::default();
+        for (name, s) in &self.per_crate {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                name,
+                s.files,
+                s.hot_path_files,
+                s.invariant_annotations,
+                s.alloc_ok_annotations,
+                s.violations[0],
+                s.violations[1],
+                s.violations[2],
+                s.violations[3],
+            ));
+            total.files += s.files;
+            total.hot_path_files += s.hot_path_files;
+            total.invariant_annotations += s.invariant_annotations;
+            total.alloc_ok_annotations += s.alloc_ok_annotations;
+            for k in 0..4 {
+                total.violations[k] += s.violations[k];
+            }
+        }
+        out.push_str(&format!(
+            "| **total** | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            total.files,
+            total.hot_path_files,
+            total.invariant_annotations,
+            total.alloc_ok_annotations,
+            total.violations[0],
+            total.violations[1],
+            total.violations[2],
+            total.violations[3],
+        ));
+        out
+    }
+}
+
+/// Lint every library source file under `root` (a workspace directory laid
+/// out like this repository: `crates/<name>/src/**/*.rs` plus the root suite
+/// crate's `src/`).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<(String, PathBuf)> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.join("src").is_dir() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                crate_dirs.push((name, path));
+            }
+        }
+    }
+    crate_dirs.sort();
+    if root.join("src").is_dir() {
+        crate_dirs.push(("xydiff-suite".to_string(), root.to_path_buf()));
+    }
+
+    for (name, dir) in crate_dirs {
+        let stats = report.per_crate.entry(name.clone()).or_default();
+        let src = dir.join("src");
+        // A crate without a lib.rs only builds binaries; all of its modules
+        // are bin code, which every rule exempts.
+        if !src.join("lib.rs").is_file() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            // Binaries are allowed to print, unwrap on CLI errors, etc.
+            if file.file_name().is_some_and(|f| f == "main.rs")
+                || file.strip_prefix(&src).is_ok_and(|r| r.starts_with("bin"))
+            {
+                continue;
+            }
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&file)?;
+            let crate_name = if name == "xydiff-suite" { None } else { Some(name.as_str()) };
+            let (violations, fstats) = rules::lint_source(crate_name, &rel, &text);
+            stats.files += 1;
+            if fstats.hot_path {
+                stats.hot_path_files += 1;
+            }
+            stats.invariant_annotations += fstats.invariant_annotations;
+            stats.alloc_ok_annotations += fstats.alloc_ok_annotations;
+            for v in &violations {
+                stats.violations[v.rule as usize] += 1;
+            }
+            report.violations.extend(violations);
+
+            // L3's crate-level half: forbid(unsafe_code) must stay.
+            if file.file_name().is_some_and(|f| f == "lib.rs")
+                && crate_name.is_some()
+                && !rules::has_forbid_unsafe(&text)
+            {
+                stats.violations[Rule::L3 as usize] += 1;
+                report.violations.push(Violation {
+                    rule: Rule::L3,
+                    file: rel,
+                    line: 1,
+                    message: "crate root lost its #![forbid(unsafe_code)]".to_string(),
+                });
+            }
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The seeded fixture tree carries exactly one violation of each rule
+    /// L1–L4 (see `fixtures/bad-ws/`): the acceptance check from the issue.
+    #[test]
+    fn fixture_workspace_trips_each_rule_once() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad-ws");
+        let report = lint_workspace(&root).unwrap();
+        let mut by_rule = [0usize; 4];
+        for v in &report.violations {
+            by_rule[v.rule as usize] += 1;
+        }
+        assert_eq!(by_rule, [1, 1, 1, 1], "{:#?}", report.violations);
+        // Diagnostics are file:line addressed.
+        for v in &report.violations {
+            assert!(v.line >= 1);
+            assert!(v.file.ends_with(".rs"), "{}", v.file);
+        }
+    }
+
+    #[test]
+    fn clean_fixture_workspace_passes() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/clean-ws");
+        let report = lint_workspace(&root).unwrap();
+        assert!(report.is_clean(), "{:#?}", report.violations);
+        // The clean fixture exercises the annotation grammar, so the counts
+        // must surface in the summary.
+        let stats = report.per_crate.get("xydelta").unwrap();
+        assert!(stats.invariant_annotations >= 1);
+        assert!(stats.alloc_ok_annotations >= 1);
+        assert_eq!(stats.hot_path_files, 1);
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        // CARGO_MANIFEST_DIR = <ws>/crates/xylint
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let report = lint_workspace(&root).unwrap();
+        let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+        assert!(report.is_clean(), "workspace lints:\n{}", rendered.join("\n"));
+    }
+
+    #[test]
+    fn summary_table_is_markdown() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/clean-ws");
+        let report = lint_workspace(&root).unwrap();
+        let table = report.summary_table();
+        assert!(table.starts_with("| crate |"));
+        assert!(table.contains("| **total** |"));
+    }
+}

@@ -1,0 +1,119 @@
+//! `xylint` CLI: lint the workspace's library source against rules L1–L4.
+//!
+//! ```text
+//! xylint [--deny] [--fix-annotations] [--summary PATH] [--root PATH]
+//! ```
+//!
+//! - `--deny` — exit 1 when any rule fires (CI mode)
+//! - `--fix-annotations` — print the per-crate lint/annotation summary table
+//!   and write it to `LINT_summary.md` (or `--summary`)
+//! - `--root PATH` — workspace root (default: search upward from cwd)
+//!
+//! Exit codes: 0 clean (or violations found without `--deny`), 1 violations
+//! with `--deny`, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut fix_annotations = false;
+    let mut summary_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--fix-annotations" => fix_annotations = true,
+            "--summary" => match args.next() {
+                Some(p) => summary_path = Some(PathBuf::from(p)),
+                None => return usage("--summary needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("xylint: cannot read cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match xylint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("xylint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match xylint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xylint: walking {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+
+    if fix_annotations {
+        let table = report.summary_table();
+        println!("\n## xylint summary\n\n{table}");
+        let path = summary_path.unwrap_or_else(|| root.join("LINT_summary.md"));
+        let doc = format!(
+            "# xylint summary\n\nRules: L1 panic paths, L2 hot-path allocations, \
+             L3 unsafe/doc hygiene, L4 stray diagnostics.\n\n{table}"
+        );
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("xylint: writing {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if report.is_clean() {
+        println!("xylint: clean ({} crates)", report.per_crate.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("xylint: {} violation(s)", report.violations.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+const USAGE: &str = "xylint [--deny] [--fix-annotations] [--summary PATH] [--root PATH]
+
+Lints the workspace's library source against the project rules:
+  L1  no .unwrap()/.expect()/panic!/unreachable! in core-crate library code
+      without a `// INVARIANT:` justification
+  L2  no allocation constructors in `#![doc = \"xylint: hot-path\"]` modules
+      without `// ALLOC-OK:`
+  L3  every crate keeps #![forbid(unsafe_code)]; every pub item in
+      xydelta/xydiff is documented
+  L4  no todo!/dbg!/eprintln! outside bins and tests";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("xylint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,587 @@
+//! The lint rules L1–L4 and the annotation grammar.
+//!
+//! | rule | scope | requirement |
+//! |------|-------|-------------|
+//! | L1 | library code of the core crates | no `.unwrap()` / `.expect()` / `panic!` / `unreachable!` without a `// INVARIANT:` justification on the same or preceding line |
+//! | L2 | modules marked `#![doc = "xylint: hot-path"]` | no allocation constructors (`Vec::new`, `format!`, `.clone()`, …) without `// ALLOC-OK:` |
+//! | L3 | every crate / `xydelta` + `xydiff` | `#![forbid(unsafe_code)]` stays in every `lib.rs`; every plain-`pub` item carries a doc comment |
+//! | L4 | all library code | no `todo!` / `dbg!` / `eprintln!` (diagnostics belong in bins and tests) |
+//!
+//! The annotation grammar: a justification is a **plain** line comment (not
+//! a doc comment) containing the marker `INVARIANT:` (for L1) or `ALLOC-OK:`
+//! (for L2) followed by free-text reasoning, placed either at the end of the
+//! offending line or alone on the line directly above it:
+//!
+//! ```text
+//! let node = map.get(&xid).unwrap(); // INVARIANT: xid came from this map's keys
+//! // ALLOC-OK: cold path, runs once per document at parse time
+//! let label = name.to_string();
+//! ```
+//!
+//! `#[cfg(test)]` items (and everything inside them) are exempt from all
+//! rules: tests may unwrap freely.
+
+use crate::lexer::{lex, TokKind, Token};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Which lint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Unjustified panic path in core-crate library code.
+    L1,
+    /// Unjustified allocation in a hot-path module.
+    L2,
+    /// Missing `#![forbid(unsafe_code)]` or missing doc on a pub item.
+    L3,
+    /// Debug/diagnostic macro in library code.
+    L4,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One finding, addressed `file:line` for terminal navigation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Per-file annotation accounting (aggregated per crate for the summary).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileStats {
+    /// `// INVARIANT:` justifications present.
+    pub invariant_annotations: usize,
+    /// `// ALLOC-OK:` justifications present.
+    pub alloc_ok_annotations: usize,
+    /// True when the file carries the hot-path marker.
+    pub hot_path: bool,
+}
+
+/// Crates whose library code is subject to L1 (the xydiff/xydelta hot path
+/// plus everything xyserve's reliability story depends on).
+pub const L1_CRATES: &[&str] = &["xytree", "xydelta", "xydiff", "xywarehouse", "xyserve"];
+
+/// Crates whose every plain-`pub` item must carry a doc comment (L3).
+pub const DOC_CRATES: &[&str] = &["xydelta", "xydiff"];
+
+/// The module marker that opts a file into L2. Written as an inner doc
+/// attribute so it is visible in rustdoc output too.
+pub const HOT_PATH_MARKER: &str = "xylint: hot-path";
+
+const L1_MARKER: &str = "INVARIANT:";
+const L2_MARKER: &str = "ALLOC-OK:";
+
+/// Lint one library source file. `crate_name` decides which rules apply
+/// (`None` for the workspace-root suite crate: only L4 applies there).
+pub fn lint_source(crate_name: Option<&str>, rel_path: &str, src: &str) -> (Vec<Violation>, FileStats) {
+    let tokens = lex(src);
+    let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_trivia()).collect();
+    let in_test = test_spans(&tokens, &code);
+
+    // Annotation carriers: plain line/block comments, keyed by line. A
+    // justification may span several comment lines, so excusal walks upward
+    // through the contiguous comment block above the offending line.
+    let mut invariant_lines: HashSet<u32> = HashSet::new();
+    let mut alloc_ok_lines: HashSet<u32> = HashSet::new();
+    let mut comment_lines: HashSet<u32> = HashSet::new();
+    let mut stats = FileStats::default();
+    for t in &tokens {
+        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            comment_lines.insert(t.line);
+            if t.text.contains(L1_MARKER) {
+                invariant_lines.insert(t.line);
+                stats.invariant_annotations += 1;
+            }
+            if t.text.contains(L2_MARKER) {
+                alloc_ok_lines.insert(t.line);
+                stats.alloc_ok_annotations += 1;
+            }
+        }
+    }
+    stats.hot_path = has_hot_path_marker(&tokens);
+
+    let l1 = crate_name.is_some_and(|c| L1_CRATES.contains(&c));
+    let l2 = stats.hot_path;
+    let l3_docs = crate_name.is_some_and(|c| DOC_CRATES.contains(&c));
+
+    let mut out = Vec::new();
+    let excused = |lines: &HashSet<u32>, line: u32| {
+        if lines.contains(&line) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 && comment_lines.contains(&(l - 1)) {
+            l -= 1;
+            if lines.contains(&l) {
+                return true;
+            }
+        }
+        false
+    };
+
+    for (ci, &ti) in code.iter().enumerate() {
+        if in_test[ci] {
+            continue;
+        }
+        let t = &tokens[ti];
+        let next = |k: usize| code.get(ci + k).map(|&j| &tokens[j]);
+        let at = |k: usize| next(k).map(|t| t.text);
+
+        // L1: panic paths.
+        if l1 {
+            if t.is_punct(".")
+                && matches!(at(1), Some("unwrap" | "expect"))
+                && at(2) == Some("(")
+            {
+                let callee = at(1).unwrap_or_default();
+                let line = next(1).map_or(t.line, |n| n.line);
+                if !excused(&invariant_lines, line) {
+                    out.push(Violation {
+                        rule: Rule::L1,
+                        file: rel_path.to_string(),
+                        line,
+                        message: format!(
+                            ".{callee}() in library code without a `// INVARIANT:` justification"
+                        ),
+                    });
+                }
+            }
+            if t.kind == TokKind::Ident
+                && matches!(t.text, "panic" | "unreachable")
+                && next(1).is_some_and(|n| n.is_punct("!"))
+                && !excused(&invariant_lines, t.line)
+            {
+                out.push(Violation {
+                    rule: Rule::L1,
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "{}! in library code without a `// INVARIANT:` justification",
+                        t.text
+                    ),
+                });
+            }
+        }
+
+        // L2: allocation constructors in hot-path modules.
+        if l2 {
+            let hit: Option<(u32, String)> = if t.kind == TokKind::Ident
+                && matches!(t.text, "Vec" | "String" | "Box" | "HashMap" | "HashSet" | "BTreeMap")
+                && next(1).is_some_and(|n| n.is_punct(":"))
+                && next(2).is_some_and(|n| n.is_punct(":"))
+                && matches!(at(3), Some("new" | "from" | "with_capacity" | "default"))
+            {
+                let line = next(3).map_or(t.line, |n| n.line);
+                Some((line, format!("{}::{}", t.text, at(3).unwrap_or_default())))
+            } else if t.kind == TokKind::Ident
+                && matches!(t.text, "vec" | "format")
+                && next(1).is_some_and(|n| n.is_punct("!"))
+            {
+                Some((t.line, format!("{}!", t.text)))
+            } else if t.is_punct(".")
+                && matches!(at(1), Some("to_string" | "to_owned" | "to_vec" | "clone"))
+                && at(2) == Some("(")
+            {
+                let line = next(1).map_or(t.line, |n| n.line);
+                Some((line, format!(".{}()", at(1).unwrap_or_default())))
+            } else {
+                None
+            };
+            if let Some((line, what)) = hit {
+                if !excused(&alloc_ok_lines, line) {
+                    out.push(Violation {
+                        rule: Rule::L2,
+                        file: rel_path.to_string(),
+                        line,
+                        message: format!(
+                            "{what} allocates in a `{HOT_PATH_MARKER}` module without `// ALLOC-OK:`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // L3: pub items need docs.
+        if l3_docs && t.is_ident("pub") {
+            // Restricted visibility (`pub(crate)`, `pub(super)`) is not part
+            // of the public API; re-exports and module decls carry their docs
+            // elsewhere (rustdoc inlines them / the module file's `//!`).
+            let restricted = next(1).is_some_and(|n| n.is_punct("("));
+            let item_kw = if restricted {
+                // Skip to the matching `)` then read the keyword.
+                let mut k = 2;
+                let mut depth = 1;
+                while depth > 0 && next(k).is_some() {
+                    if next(k).is_some_and(|n| n.is_punct("(")) {
+                        depth += 1;
+                    } else if next(k).is_some_and(|n| n.is_punct(")")) {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+                at(k)
+            } else {
+                at(1)
+            };
+            if !restricted
+                && !matches!(item_kw, Some("use" | "mod") | None)
+                && !is_documented(&tokens, ti)
+            {
+                out.push(Violation {
+                    rule: Rule::L3,
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "pub {} without a doc comment",
+                        item_kw.unwrap_or("item")
+                    ),
+                });
+            }
+        }
+
+        // L4: diagnostics macros have no place in library code.
+        if t.kind == TokKind::Ident
+            && matches!(t.text, "todo" | "dbg" | "eprintln")
+            && next(1).is_some_and(|n| n.is_punct("!"))
+        {
+            out.push(Violation {
+                rule: Rule::L4,
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!("{}! in library code (move it to a bin or a test)", t.text),
+            });
+        }
+    }
+    (out, stats)
+}
+
+/// L3's crate-level half: does `lib.rs` still carry `#![forbid(unsafe_code)]`?
+pub fn has_forbid_unsafe(src: &str) -> bool {
+    let tokens = lex(src);
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.is_trivia()).collect();
+    code.windows(7).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+    })
+}
+
+/// Does the file opt into L2 via `#![doc = "xylint: hot-path"]`?
+fn has_hot_path_marker(tokens: &[Token<'_>]) -> bool {
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.is_trivia()).collect();
+    code.windows(6).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("doc")
+            && w[4].is_punct("=")
+            && w[5].kind == TokKind::Str
+            && w[5].text.contains(HOT_PATH_MARKER)
+    })
+}
+
+/// Walk backwards from the token at `ti` (a `pub`) over attribute groups to
+/// find an outer doc comment or a `#[doc …]` attribute.
+fn is_documented(tokens: &[Token<'_>], ti: usize) -> bool {
+    let mut i = ti;
+    loop {
+        // Step to the previous non-plain-comment token.
+        let Some(prev) = prev_significant(tokens, i) else { return false };
+        match tokens[prev].kind {
+            TokKind::OuterDoc => return true,
+            TokKind::Punct if tokens[prev].text == "]" => {
+                // Skip the attribute group `#[ … ]`; accept `#[doc(...)]`
+                // or `#[doc = …]` as documentation.
+                let mut depth = 1usize;
+                let mut j = prev;
+                let mut saw_doc = false;
+                while depth > 0 && j > 0 {
+                    j -= 1;
+                    match tokens[j].kind {
+                        TokKind::Punct if tokens[j].text == "]" => depth += 1,
+                        TokKind::Punct if tokens[j].text == "[" => depth -= 1,
+                        TokKind::Ident if tokens[j].text == "doc" => saw_doc = true,
+                        _ => {}
+                    }
+                }
+                if saw_doc {
+                    return true;
+                }
+                // j is at `[`; the `#` sits directly before it.
+                if j == 0 {
+                    return false;
+                }
+                i = j - 1; // continue above the `#`
+                if tokens[i].is_punct("#") && i > 0 {
+                    // keep walking from before the '#'
+                } else {
+                    // Unexpected shape; be conservative and keep walking.
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Index of the closest earlier token that is not a plain comment (doc
+/// comments are significant for [`is_documented`]).
+fn prev_significant(tokens: &[Token<'_>], i: usize) -> Option<usize> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].kind {
+            TokKind::LineComment | TokKind::BlockComment => continue,
+            _ => return Some(j),
+        }
+    }
+    None
+}
+
+/// For each code-token index, whether it sits inside a `#[cfg(test)]` item.
+fn test_spans(tokens: &[Token<'_>], code: &[usize]) -> Vec<bool> {
+    let mut flags = vec![false; code.len()];
+    let get = |k: usize| code.get(k).map(|&j| &tokens[j]);
+    let mut i = 0usize;
+    while i < code.len() {
+        if get(i).is_some_and(|t| t.is_punct("#"))
+            && get(i + 1).is_some_and(|t| t.is_punct("["))
+            && get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && get(i + 3).is_some_and(|t| t.is_punct("("))
+            && get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && get(i + 5).is_some_and(|t| t.is_punct(")"))
+            && get(i + 6).is_some_and(|t| t.is_punct("]"))
+        {
+            let attr_start = i;
+            let mut j = i + 7;
+            // Skip any further outer attributes on the same item.
+            while get(j).is_some_and(|t| t.is_punct("#"))
+                && get(j + 1).is_some_and(|t| t.is_punct("["))
+            {
+                let mut depth = 0usize;
+                loop {
+                    match get(j) {
+                        Some(t) if t.is_punct("[") => depth += 1,
+                        Some(t) if t.is_punct("]") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        None => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // The item itself: ends at the first `;` or the matching `}` of
+            // its first brace block, whichever comes first at depth 0.
+            let mut brace_depth = 0usize;
+            loop {
+                match get(j) {
+                    Some(t) if t.is_punct("{") => brace_depth += 1,
+                    Some(t) if t.is_punct("}") => {
+                        brace_depth = brace_depth.saturating_sub(1);
+                        if brace_depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    Some(t) if t.is_punct(";") && brace_depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    None => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            for f in flags.iter_mut().take(j.min(code.len())).skip(attr_start) {
+                *f = true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(crate_name: &str, src: &str) -> Vec<Violation> {
+        lint_source(Some(crate_name), "src/x.rs", src).0
+    }
+
+    #[test]
+    fn l1_unwrap_flagged_in_core_crate() {
+        let v = lint("xydelta", "fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::L1);
+    }
+
+    #[test]
+    fn l1_excused_by_invariant_same_line() {
+        let v = lint(
+            "xydelta",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // INVARIANT: caller checked",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l1_excused_by_invariant_preceding_line() {
+        let v = lint(
+            "xydelta",
+            "fn f(x: Option<u8>) -> u8 {\n    // INVARIANT: caller checked\n    x.unwrap()\n}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l1_not_applied_to_non_core_crate() {
+        let v = lint("xysim", "fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn l1_panic_and_unreachable_flagged() {
+        let v = lint("xydiff", "fn f() { panic!(\"boom\") }\nfn g() { unreachable!() }");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_variants() {
+        let v = lint("xydelta", "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn l1_ignores_strings_comments_and_tests() {
+        let src = r#"
+            // a comment mentioning .unwrap() is fine
+            const S: &str = "also .unwrap() here";
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!("fine in tests"); }
+            }
+        "#;
+        let v = lint("xydelta", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let v = lint("xydelta", "#[cfg(not(test))]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn l2_flags_allocs_only_in_marked_modules() {
+        let marked = "#![doc = \"xylint: hot-path\"]\nfn f() -> Vec<u8> { Vec::new() }";
+        let unmarked = "fn f() -> Vec<u8> { Vec::new() }";
+        assert_eq!(lint("xysim", marked).len(), 1);
+        assert!(lint("xysim", unmarked).is_empty());
+    }
+
+    #[test]
+    fn l2_alloc_ok_excuses() {
+        let src = "#![doc = \"xylint: hot-path\"]\n\
+                   fn f() -> Vec<u8> { Vec::new() } // ALLOC-OK: constructor, cold";
+        assert!(lint("xysim", src).is_empty());
+    }
+
+    #[test]
+    fn l2_catches_method_allocs_and_macros() {
+        let src = "#![doc = \"xylint: hot-path\"]\n\
+                   fn f(s: &str) -> String { format!(\"{}\", s.to_string()) }";
+        let v = lint("xysim", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::L2));
+    }
+
+    #[test]
+    fn l3_pub_without_doc_flagged_in_doc_crates() {
+        let v = lint("xydiff", "pub fn undocumented() {}");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::L3);
+    }
+
+    #[test]
+    fn l3_doc_comment_and_attrs_accepted() {
+        let ok = "/// Documented.\n#[inline]\npub fn documented() {}";
+        assert!(lint("xydiff", ok).is_empty());
+        let ok2 = "#[doc = \"Documented.\"]\npub fn documented() {}";
+        assert!(lint("xydiff", ok2).is_empty());
+    }
+
+    #[test]
+    fn l3_skips_restricted_visibility_and_reexports() {
+        let src = "pub(crate) fn helper() {}\npub use std::fmt;\n/// m\npub mod x;";
+        assert!(lint("xydelta", src).is_empty());
+        // Even an undocumented pub mod decl is fine: the module file's //! docs it.
+        assert!(lint("xydelta", "pub mod y;").is_empty());
+    }
+
+    #[test]
+    fn l3_not_applied_outside_doc_crates() {
+        assert!(lint("xytree", "pub fn undocumented() {}").is_empty());
+    }
+
+    #[test]
+    fn l4_diagnostics_flagged_everywhere() {
+        let v = lint("xysim", "fn f() { dbg!(1); eprintln!(\"x\"); todo!() }");
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|v| v.rule == Rule::L4));
+    }
+
+    #[test]
+    fn l4_fine_in_tests() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { dbg!(1); } }";
+        assert!(lint("xysim", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(has_forbid_unsafe("//! docs\n#![forbid(unsafe_code)]\npub fn f() {}"));
+        assert!(!has_forbid_unsafe("#![warn(missing_docs)]\npub fn f() {}"));
+    }
+
+    #[test]
+    fn stats_count_annotations() {
+        let src = "fn f() {}\n// INVARIANT: a\n// INVARIANT: b\n// ALLOC-OK: c\n";
+        let (_, stats) = lint_source(Some("xydelta"), "src/x.rs", src);
+        assert_eq!(stats.invariant_annotations, 2);
+        assert_eq!(stats.alloc_ok_annotations, 1);
+    }
+}

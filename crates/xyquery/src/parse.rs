@@ -77,9 +77,8 @@ impl<'a> P<'a> {
     }
 
     fn string_literal(&mut self) -> Result<String, QueryParseError> {
-        let quote = match self.peek() {
-            Some(q @ ('\'' | '"')) => q,
-            _ => return Err(self.err("expected a quoted string")),
+        let Some(quote @ ('\'' | '"')) = self.peek() else {
+            return Err(self.err("expected a quoted string"));
         };
         self.pos += 1;
         let rest = &self.input[self.pos..];

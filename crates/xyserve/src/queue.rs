@@ -42,8 +42,12 @@ impl<T> Queue<T> {
     /// Enqueue `item`, blocking while the queue is full. Returns the item
     /// back if the queue was closed before space opened up.
     pub fn push(&self, item: T) -> Result<(), Closed<T>> {
+        // INVARIANT: lock poisoning means a holder panicked mid-update; the
+        // queue cannot vouch for its state, so propagating the panic is correct.
         let mut s = self.state.lock().unwrap();
         while s.items.len() >= self.capacity && !s.closed {
+            // INVARIANT: lock poisoning means a holder panicked mid-update; the
+            // queue cannot vouch for its state, so propagating the panic is correct.
             s = self.not_full.wait(s).unwrap();
         }
         if s.closed {
@@ -58,6 +62,8 @@ impl<T> Queue<T> {
     /// Dequeue the oldest item, blocking while the queue is empty. Returns
     /// `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
+        // INVARIANT: lock poisoning means a holder panicked mid-update; the
+        // queue cannot vouch for its state, so propagating the panic is correct.
         let mut s = self.state.lock().unwrap();
         loop {
             if let Some(item) = s.items.pop_front() {
@@ -68,12 +74,16 @@ impl<T> Queue<T> {
             if s.closed {
                 return None;
             }
+            // INVARIANT: lock poisoning means a holder panicked mid-update; the
+            // queue cannot vouch for its state, so propagating the panic is correct.
             s = self.not_empty.wait(s).unwrap();
         }
     }
 
     /// Refuse new items and wake everyone; queued items remain poppable.
     pub fn close(&self) {
+        // INVARIANT: lock poisoning means a holder panicked mid-update; the
+        // queue cannot vouch for its state, so propagating the panic is correct.
         self.state.lock().unwrap().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -81,6 +91,8 @@ impl<T> Queue<T> {
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
+        // INVARIANT: lock poisoning means a holder panicked mid-update; the
+        // queue cannot vouch for its state, so propagating the panic is correct.
         self.state.lock().unwrap().items.len()
     }
 

@@ -190,6 +190,8 @@ impl IngestServer {
                 std::thread::Builder::new()
                     .name(format!("xyserve-worker-{i}"))
                     .spawn(move || inner.worker_loop())
+                    // INVARIANT: thread spawn fails only on OS resource exhaustion at
+                    // startup; there is no server to run without its workers.
                     .expect("spawn worker thread")
             })
             .collect();
@@ -201,6 +203,8 @@ impl IngestServer {
     /// guaranteed to apply in submission order.
     pub fn submit(&self, key: &str, xml: impl Into<String>) -> Result<(), SubmitError> {
         let seq = {
+            // INVARIANT: a poisoned lock means a worker panicked mid-update;
+            // the server cannot vouch for its state, so the panic propagates.
             let mut gates = self.inner.gates.lock().unwrap();
             let g = gates.entry(key.to_string()).or_default();
             let seq = g.next_submit;
@@ -230,11 +234,15 @@ impl IngestServer {
 
     /// Current snapshot of the dead-letter queue.
     pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        // INVARIANT: a poisoned lock means a worker panicked mid-update;
+        // the server cannot vouch for its state, so the panic propagates.
         self.inner.dead.lock().unwrap().clone()
     }
 
     /// Take every notification fired so far (the alert delivery channel).
     pub fn take_notifications(&self) -> Vec<Notification> {
+        // INVARIANT: a poisoned lock means a worker panicked mid-update;
+        // the server cannot vouch for its state, so the panic propagates.
         std::mem::take(&mut self.inner.notifications.lock().unwrap())
     }
 
@@ -277,7 +285,11 @@ impl IngestServer {
             dead_lettered: m.dead_lettered.get(),
             retries: m.retries.get(),
             alerts_fired: m.alerts_fired.get(),
+            // INVARIANT: a poisoned lock means a worker panicked mid-update;
+            // the server cannot vouch for its state, so the panic propagates.
             dead_letters: self.inner.dead.lock().unwrap().clone(),
+            // INVARIANT: a poisoned lock means a worker panicked mid-update;
+            // the server cannot vouch for its state, so the panic propagates.
             notifications: std::mem::take(&mut self.inner.notifications.lock().unwrap()),
             metrics_text: m.render(),
         }
@@ -321,6 +333,8 @@ impl Inner {
     /// Gate check: run the job now iff it is its key's next version;
     /// otherwise park it for whoever finishes the predecessor.
     fn admit(&self, job: Job) -> Option<Job> {
+        // INVARIANT: a poisoned lock means a worker panicked mid-update;
+        // the server cannot vouch for its state, so the panic propagates.
         let mut gates = self.gates.lock().unwrap();
         let g = gates.entry(job.key.clone()).or_default();
         if job.seq == g.next_apply {
@@ -334,7 +348,11 @@ impl Inner {
     /// Mark `seq` done, skip any cancelled successors, and hand back the
     /// next parked snapshot if it is now runnable.
     fn advance(&self, key: &str, seq: u64) -> Option<Job> {
+        // INVARIANT: a poisoned lock means a worker panicked mid-update;
+        // the server cannot vouch for its state, so the panic propagates.
         let mut gates = self.gates.lock().unwrap();
+        // INVARIANT: submit() creates the gate before any job for the key
+        // reaches a worker, and gates are never removed while jobs exist.
         let g = gates.get_mut(key).expect("gate exists for processed key");
         debug_assert_eq!(g.next_apply, seq, "only the gated seq can finish");
         g.next_apply = seq + 1;
@@ -353,7 +371,11 @@ impl Inner {
     fn cancel(&self, job: Job) {
         self.dead_letter(&job.key, job.seq, 0, "submitted during shutdown".to_string());
         let mut runnable = {
+            // INVARIANT: a poisoned lock means a worker panicked mid-update;
+            // the server cannot vouch for its state, so the panic propagates.
             let mut gates = self.gates.lock().unwrap();
+            // INVARIANT: submit() creates the gate before any job for the key
+            // reaches a worker, and gates are never removed while jobs exist.
             let g = gates.get_mut(&job.key).expect("gate exists for submitted key");
             if job.seq == g.next_apply {
                 g.next_apply += 1;
@@ -381,6 +403,8 @@ impl Inner {
 
     fn dead_letter(&self, key: &str, seq: u64, attempts: u32, error: String) {
         self.metrics.dead_lettered.inc();
+        // INVARIANT: a poisoned lock means a worker panicked mid-update;
+        // the server cannot vouch for its state, so the panic propagates.
         self.dead.lock().unwrap().push(DeadLetter {
             key: key.to_string(),
             seq,
@@ -426,7 +450,24 @@ impl Inner {
         }
 
         let shard = &self.shards[self.shard_of(&job.key)];
-        let out = shard.load_parsed_with_scratch(&job.key, doc, scratch);
+        let out = match shard.try_load_parsed_with_scratch(&job.key, doc, scratch) {
+            Ok(out) => out,
+            Err(e) => {
+                // A delta that fails static verification is a diff bug, not
+                // an input property: dead-letter the snapshot (the version
+                // was not stored, so the chain stays consistent) instead of
+                // taking the worker down.
+                self.dead_letter(&job.key, job.seq, attempt, format!("rejected delta: {e}"));
+                return;
+            }
+        };
+        // Double-check in debug builds: everything the diff emitted must
+        // satisfy the static delta invariants (xydelta::verify).
+        debug_assert!(
+            xydelta::verify(&out.delta).is_ok(),
+            "stored delta fails verification for key {}",
+            job.key
+        );
         if out.version > 0 {
             // The initial load of a key runs no diff; recording its zero
             // duration would skew the latency statistics.
@@ -435,6 +476,8 @@ impl Inner {
         }
         if !out.notifications.is_empty() {
             self.metrics.alerts_fired.add(out.notifications.len() as u64);
+            // INVARIANT: a poisoned lock means a worker panicked mid-update;
+            // the server cannot vouch for its state, so the panic propagates.
             self.notifications.lock().unwrap().extend(out.notifications);
         }
         self.metrics.succeeded.inc();

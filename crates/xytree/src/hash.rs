@@ -7,6 +7,8 @@
 //! short keys (labels, signatures) this workload produces. HashDoS is not a
 //! concern — the tables are private to one diff invocation.
 
+#![doc = "xylint: hot-path"]
+
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -51,6 +53,7 @@ impl Fnv64 {
         let mut state = self.state;
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // INVARIANT: chunks_exact(8) yields exactly-8-byte slices.
             let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
             state ^= w & 0xff;
             state = state.wrapping_mul(FNV_PRIME);

@@ -52,14 +52,20 @@ impl Symbol {
     /// text return the same handle for the lifetime of the process.
     pub fn intern(s: &str) -> Symbol {
         let lock = interner();
+        // INVARIANT: the interner holds no user code, so the lock can only be
+        // poisoned by an allocation failure — unrecoverable either way.
         if let Some(&id) = lock.read().expect("interner poisoned").map.get(s) {
             return Symbol(id);
         }
+        // INVARIANT: the interner holds no user code, so the lock can only be
+        // poisoned by an allocation failure — unrecoverable either way.
         let mut w = lock.write().expect("interner poisoned");
         if let Some(&id) = w.map.get(s) {
             return Symbol(id);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        // INVARIANT: 2^32 distinct labels would exhaust memory long before
+        // the table overflows; this is a capacity invariant, not input-driven.
         let id = u32::try_from(w.strings.len()).expect("intern table overflow");
         w.strings.push(leaked);
         w.map.insert(leaked, id);
@@ -70,6 +76,8 @@ impl Symbol {
     /// lookups keyed by [`Symbol`] when the query string may be novel (a
     /// never-interned label cannot possibly be a key).
     pub fn lookup(s: &str) -> Option<Symbol> {
+        // INVARIANT: the interner holds no user code, so the lock can only be
+        // poisoned by an allocation failure — unrecoverable either way.
         interner().read().expect("interner poisoned").map.get(s).map(|&id| Symbol(id))
     }
 
@@ -77,6 +85,8 @@ impl Symbol {
     /// the process.
     #[inline]
     pub fn as_str(&self) -> &'static str {
+        // INVARIANT: the interner holds no user code, so the lock can only be
+        // poisoned by an allocation failure — unrecoverable either way.
         interner().read().expect("interner poisoned").strings[self.0 as usize]
     }
 

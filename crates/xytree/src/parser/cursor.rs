@@ -53,7 +53,7 @@ impl<'a> Cursor<'a> {
     }
 
     /// Consume `expected` or return the byte actually found (0 on EOF).
-    pub fn expect(&mut self, expected: u8) -> Result<(), u8> {
+    pub fn expect_byte(&mut self, expected: u8) -> Result<(), u8> {
         match self.peek() {
             Some(b) if b == expected => {
                 self.advance(1);
@@ -189,8 +189,8 @@ mod tests {
     #[test]
     fn expect_reports_found_byte() {
         let mut c = Cursor::new("x");
-        assert_eq!(c.expect(b'y'), Err(b'x'));
-        assert_eq!(c.expect(b'x'), Ok(()));
-        assert_eq!(c.expect(b'z'), Err(0));
+        assert_eq!(c.expect_byte(b'y'), Err(b'x'));
+        assert_eq!(c.expect_byte(b'x'), Ok(()));
+        assert_eq!(c.expect_byte(b'z'), Err(0));
     }
 }

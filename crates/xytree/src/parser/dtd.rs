@@ -77,7 +77,7 @@ pub(crate) fn parse_doctype(cur: &mut Cursor<'_>) -> Result<Doctype, ParseError>
         parse_internal_subset(cur, &mut dt)?;
         cur.skip_whitespace();
     }
-    cur.expect(b'>').map_err(|_| {
+    cur.expect_byte(b'>').map_err(|_| {
         cur.error(ParseErrorKind::MalformedDoctype("expected '>' at end of DOCTYPE"))
     })?;
     Ok(dt)
@@ -95,7 +95,7 @@ fn parse_internal_subset(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), P
                 // Parameter-entity reference: skip it (unsupported).
                 cur.advance(1);
                 cur.take_name();
-                let _ = cur.expect(b';');
+                let _ = cur.expect_byte(b';');
             }
             Some(b'<') => {
                 if cur.starts_with(b"<!--") {
@@ -188,6 +188,11 @@ fn parse_attlist_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), Pars
             false
         } else {
             let ty = cur.take_name();
+            if ty.is_empty() {
+                return Err(cur.error(ParseErrorKind::MalformedDoctype(
+                    "ATTLIST attribute without a type",
+                )));
+            }
             cur.skip_whitespace();
             if ty == "NOTATION" && cur.peek() == Some(b'(') {
                 skip_parenthesized(cur)?;
@@ -208,17 +213,23 @@ fn parse_attlist_decl(cur: &mut Cursor<'_>, dt: &mut Doctype) -> Result<(), Pars
             skip_quoted(cur)?;
         }
         if is_id {
-            // XML allows at most one ID attribute per element type; first
-            // declaration wins, matching common processor behavior.
-            dt.id_attrs.entry(element).or_insert_with(|| Symbol::intern(attr));
+            // XML allows at most one ID attribute per element type (the
+            // one-ID-per-element-type validity constraint). A second
+            // declaration would silently change which attribute drives
+            // phase-1 matching, so it is rejected rather than merged.
+            if dt.id_attrs.contains_key(&element) {
+                return Err(cur.error(ParseErrorKind::MalformedDoctype(
+                    "duplicate ID attribute declaration for element",
+                )));
+            }
+            dt.id_attrs.insert(element, Symbol::intern(attr));
         }
     }
 }
 
 fn read_quoted(cur: &mut Cursor<'_>) -> Result<String, ParseError> {
-    let quote = match cur.peek() {
-        Some(q @ (b'"' | b'\'')) => q,
-        _ => return Err(cur.error(ParseErrorKind::MalformedDoctype("expected quoted literal"))),
+    let Some(quote @ (b'"' | b'\'')) = cur.peek() else {
+        return Err(cur.error(ParseErrorKind::MalformedDoctype("expected quoted literal")));
     };
     cur.advance(1);
     let v = cur
@@ -234,7 +245,7 @@ fn skip_quoted(cur: &mut Cursor<'_>) -> Result<(), ParseError> {
 }
 
 fn skip_parenthesized(cur: &mut Cursor<'_>) -> Result<(), ParseError> {
-    cur.expect(b'(')
+    cur.expect_byte(b'(')
         .map_err(|_| cur.error(ParseErrorKind::MalformedDoctype("expected '('")))?;
     let mut depth = 1usize;
     while depth > 0 {
@@ -326,12 +337,33 @@ mod tests {
     }
 
     #[test]
-    fn first_id_declaration_wins() {
-        let doc = Document::parse(
+    fn duplicate_id_declaration_rejected_with_location() {
+        let e = Document::parse(
             "<!DOCTYPE c [<!ATTLIST p a ID #IMPLIED><!ATTLIST p b ID #IMPLIED>]><c/>",
         )
-        .unwrap();
-        assert_eq!(doc.doctype.as_ref().unwrap().id_attr_of("p"), Some("a"));
+        .unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::MalformedDoctype(_)), "{e:?}");
+        assert_eq!(e.line, 1);
+        assert!(e.column > 40, "column points into the second ATTLIST: {e:?}");
+    }
+
+    #[test]
+    fn duplicate_id_in_one_attlist_rejected() {
+        let e = Document::parse(
+            "<!DOCTYPE c [<!ATTLIST p a ID #IMPLIED b ID #IMPLIED>]><c/>",
+        )
+        .unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::MalformedDoctype(_)), "{e:?}");
+    }
+
+    #[test]
+    fn attlist_attribute_without_type_rejected() {
+        let e = Document::parse(
+            "<!DOCTYPE c [<!ATTLIST p a #IMPLIED>]><c/>",
+        )
+        .unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::MalformedDoctype(_)), "{e:?}");
+        assert!(e.line >= 1 && e.column >= 1);
     }
 
     #[test]

@@ -230,7 +230,7 @@ impl<'a> Parser<'a> {
                 Some(b'/') => {
                     self.cur.advance(1);
                     self.cur
-                        .expect(b'>')
+                        .expect_byte(b'>')
                         .map_err(|found| self.err(ParseErrorKind::Unexpected {
                             context: "empty-element tag",
                             found,
@@ -283,7 +283,7 @@ impl<'a> Parser<'a> {
         let name = self.read_name("close tag name")?;
         self.cur.skip_whitespace();
         self.cur
-            .expect(b'>')
+            .expect_byte(b'>')
             .map_err(|found| self.err(ParseErrorKind::Unexpected { context: "close tag", found }))?;
         match self.stack.pop() {
             Some((_, open_name)) if open_name == name => Ok(()),
@@ -299,7 +299,7 @@ impl<'a> Parser<'a> {
         let name = Symbol::intern(self.read_name("attribute name")?);
         self.cur.skip_whitespace();
         self.cur
-            .expect(b'=')
+            .expect_byte(b'=')
             .map_err(|found| self.err(ParseErrorKind::Unexpected {
                 context: "attribute equals sign",
                 found,

@@ -40,6 +40,8 @@ impl NodeId {
     /// node id that panics on use.
     #[inline]
     pub fn from_index(index: usize) -> NodeId {
+        // INVARIANT: arena slots are u32-indexed; an index from
+        // NodeId::index always fits back.
         NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
     }
 }
@@ -375,6 +377,7 @@ impl Tree {
     pub fn insert_before(&mut self, sibling: NodeId, new: NodeId) {
         let parent = self
             .parent(sibling)
+            // INVARIANT: documented precondition — `sibling` is attached.
             .expect("insert_before target must have a parent");
         self.assert_insertable(parent, new);
         let prev = self.data(sibling).prev_sibling;
@@ -395,6 +398,7 @@ impl Tree {
             None => {
                 let parent = self
                     .parent(sibling)
+                    // INVARIANT: documented precondition — `sibling` is attached.
                     .expect("insert_after target must have a parent");
                 self.append_child(parent, new);
             }

@@ -141,6 +141,8 @@ impl crate::repository::Repository {
             let sub = dir.join(&sub_name);
             let chain = self
                 .chain_snapshot(key)
+                // INVARIANT: `keys` was listed from the same repository
+                // under the same lock scope; no chain can have vanished.
                 .expect("listed key must have a chain");
             save_chain(&chain, &sub)?;
             fs::write(sub.join("key.txt"), key)?;

@@ -34,6 +34,10 @@ pub enum RepositoryError {
     /// Delta replay failed while reconstructing a version (storage
     /// corruption — should never happen).
     Reconstruct(ApplyError),
+    /// The freshly computed delta failed static verification
+    /// ([`xydelta::verify`]); the version was NOT stored. Indicates a diff
+    /// bug or memory corruption, never a property of the input document.
+    InvalidDelta(xydelta::VerifyError),
 }
 
 impl fmt::Display for RepositoryError {
@@ -46,6 +50,9 @@ impl fmt::Display for RepositoryError {
                 "document {key:?} has {available} versions, version {version} requested"
             ),
             RepositoryError::Reconstruct(e) => write!(f, "version reconstruction failed: {e}"),
+            RepositoryError::InvalidDelta(e) => {
+                write!(f, "computed delta failed static verification: {e}")
+            }
         }
     }
 }
@@ -151,6 +158,28 @@ impl Repository {
         doc: Document,
         scratch: &mut DiffScratch,
     ) -> LoadOutcome {
+        self.try_load_parsed_with_scratch(key, doc, scratch)
+            // INVARIANT: the only fallible step is static delta verification,
+            // and every delta the BULD diff emits verifies (pinned by the
+            // diff_deltas_verify property test); a failure here is a diff bug
+            // for which no not-stored fallback exists on this infallible API.
+            .expect("BULD diff produced a delta that fails static verification")
+    }
+
+    /// [`Repository::load_parsed_with_scratch`], surfacing delta-verification
+    /// failures instead of panicking.
+    ///
+    /// Every computed delta is checked by the static validator
+    /// ([`xydelta::verify`]) before the version is stored. On failure the
+    /// repository is left unchanged — the bad delta is neither appended to
+    /// the chain nor handed to the alerter — and the caller decides what to
+    /// do with the document (xyserve routes it to the dead-letter queue).
+    pub fn try_load_parsed_with_scratch(
+        &self,
+        key: &str,
+        doc: Document,
+        scratch: &mut DiffScratch,
+    ) -> Result<LoadOutcome, RepositoryError> {
         let mut entries = self.entries.write();
         match entries.get_mut(key) {
             None => {
@@ -159,13 +188,13 @@ impl Repository {
                     key.to_string(),
                     StoredDoc { chain: VersionChain::new(initial), cache: SignatureCache::new() },
                 );
-                LoadOutcome {
+                Ok(LoadOutcome {
                     version: 0,
                     delta: Delta::new(),
                     notifications: Vec::new(),
                     diff_time: std::time::Duration::ZERO,
                     alert_time: std::time::Duration::ZERO,
-                }
+                })
             }
             Some(stored) => {
                 let chain = &mut stored.chain;
@@ -175,6 +204,7 @@ impl Repository {
                 } else {
                     diff_with_scratch(chain.latest(), &doc, &self.opts, scratch)
                 };
+                xydelta::verify(&result.delta).map_err(RepositoryError::InvalidDelta)?;
                 let diff_time = t0.elapsed();
                 let t1 = std::time::Instant::now();
                 let notifications = self.alerter.evaluate(
@@ -186,7 +216,7 @@ impl Repository {
                 let alert_time = t1.elapsed();
                 let version = chain.latest_index() + 1;
                 chain.push_version(result.new_version, result.delta.clone());
-                LoadOutcome { version, delta: result.delta, notifications, diff_time, alert_time }
+                Ok(LoadOutcome { version, delta: result.delta, notifications, diff_time, alert_time })
             }
         }
     }

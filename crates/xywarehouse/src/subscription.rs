@@ -121,6 +121,8 @@ impl Subscription {
     /// best caught at registration. Use [`Subscription::try_at_query`] for
     /// fallible registration.
     pub fn at_query(self, path: &str) -> Self {
+        // INVARIANT: documented panic — operator-supplied pattern; the
+        // fallible form is try_at_query.
         self.try_at_query(path).expect("subscription query must parse")
     }
 

@@ -22,14 +22,14 @@ use rand::{Rng, RngCore};
 use std::fmt::Debug;
 
 pub mod strategy;
-pub use strategy::{BoxedStrategy, Strategy};
+pub use strategy::{BoxedStrategy, Just, Strategy};
 
 /// Everything the test files import with `use proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
-        ProptestConfig, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, ProptestConfig, TestCaseError,
     };
 }
 
@@ -204,6 +204,19 @@ fn fxhash(s: &str) -> u64 {
         h = h.wrapping_mul(0x100000001b3);
     }
     h
+}
+
+/// `prop_assume!(cond)`: discard the current case when its inputs do not
+/// satisfy a precondition. Upstream redraws rejected cases; this stand-in
+/// simply skips them (the case still counts toward `cases`), which keeps
+/// the macro's contract — a failed assumption never fails the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
 }
 
 /// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`: fail the

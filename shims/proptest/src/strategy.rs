@@ -108,6 +108,19 @@ where
     }
 }
 
+/// A strategy that always yields a clone of one value (`Just(x)`), mostly
+/// useful as a `prop_oneof!` arm.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
 /// Equal-weight choice among `arms` (the engine behind `prop_oneof!`).
 pub fn union<T: Debug>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
     assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");

@@ -114,10 +114,24 @@ fn delta_xml_matches_goldens() {
                 &xydelta::xml_io::delta_to_xml_pretty(&r.delta),
             );
             check_golden(&format!("{name}.new.xml"), &r.new_version.doc.to_xml());
+            // Every emitted delta must satisfy the static invariants —
+            // directly, after inversion, and after an XML round-trip of the
+            // stored (pretty) golden form.
+            xydelta::verify(&r.delta).unwrap_or_else(|e| panic!("{name}: {e}"));
+            xydelta::verify(&r.delta.inverted()).unwrap_or_else(|e| panic!("{name} inverted: {e}"));
+            let reparsed =
+                xydelta::xml_io::parse_delta(&fs::read_to_string(goldens_dir().join(format!("{name}.delta.xml"))).unwrap())
+                    .unwrap_or_else(|e| panic!("{name}: reparse: {e}"));
+            xydelta::verify(&reparsed).unwrap_or_else(|e| panic!("{name} reparsed: {e}"));
             // The delta must still replay exactly.
             let mut replay = old.clone();
             r.delta.apply_to(&mut replay).unwrap();
             assert_eq!(replay.doc.to_xml(), sim.new_version.doc.to_xml());
+            // …and so must its golden XML form (pretty-printing must not
+            // change delta semantics).
+            let mut replay2 = old.clone();
+            reparsed.apply_to(&mut replay2).unwrap_or_else(|e| panic!("{name}: reparsed apply: {e}"));
+            assert_eq!(replay2.doc.to_xml(), sim.new_version.doc.to_xml());
         }
     }
 }
