@@ -10,12 +10,9 @@ use xybench::versioned_corpus;
 use xyserve::{IngestServer, ServeConfig};
 
 fn ingest_corpus(corpus: &[(String, Vec<String>)], workers: usize) {
-    let server = IngestServer::start(ServeConfig {
-        workers,
-        queue_capacity: 64,
-        shards: 8,
-        ..ServeConfig::default()
-    });
+    let server = IngestServer::start(
+        ServeConfig::new().with_workers(workers).with_queue_capacity(64).with_shards(8),
+    );
     let max_versions = corpus.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
     for round in 0..max_versions {
         for (key, versions) in corpus {

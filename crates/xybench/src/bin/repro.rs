@@ -11,13 +11,13 @@
 use std::time::Instant;
 use xybench::{fmt_bytes, fmt_dur, log_log_slope, pair_at_rate};
 use xydelta::XidDocument;
-use xydiff::{diff, diff_with_scratch, DiffOptions, DiffScratch};
+use xydiff::{diff, Differ, DiffOptions};
 use xysim::{evolve_site, site_snapshot, SiteConfig};
 use xytree::{Document, SerializeOptions};
 
 const KNOWN: &[&str] = &[
     "all", "fig4", "fig5", "fig6", "scaling", "site", "ablation", "index", "matchers", "ingest",
-    "diff",
+    "diff", "serve",
 ];
 
 fn main() {
@@ -59,6 +59,139 @@ fn main() {
     if want("diff") {
         diff_bench();
     }
+    if want("serve") {
+        serve_bench();
+    }
+}
+
+/// E13 (extension) — loopback HTTP load: concurrent clients driving the
+/// `xynet` front over real TCP, 1 client vs N, keep-alive connections.
+/// Writes `BENCH_serve.json` for the CI smoke job.
+fn serve_bench() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use xynet::{NetConfig, NetServer};
+    use xyserve::ServeConfig;
+
+    /// Read one `Content-Length`-framed response off a keep-alive stream.
+    fn read_response(stream: &mut TcpStream) -> (u16, usize) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            let n = stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "server closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let status: u16 =
+            head.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status line");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Content-Length");
+        while buf.len() < head_end + len {
+            let n = stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "server closed mid-body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        (status, len)
+    }
+
+    println!("## Serve — loopback HTTP ingest through the xynet front (xyserve behind)\n");
+    let fast = xybench::fast_mode();
+    let (docs, versions, bytes) = if fast { (8usize, 4usize, 4_000) } else { (16, 6, 12_000) };
+    let corpus = Arc::new(xybench::versioned_corpus(docs, versions, bytes, 61));
+    let snapshots: usize = corpus.iter().map(|(_, v)| v.len()).sum();
+    println!(
+        "corpus: {docs} documents x {versions} versions = {snapshots} snapshots (~{} each)\n",
+        fmt_bytes(corpus[0].1[0].len()),
+    );
+    println!("| clients | wall time | docs/sec | speedup | shed (503) | req p99 | ingest-wait p99 |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|");
+
+    let mut base_rate = None;
+    let mut json_rows: Vec<String> = Vec::new();
+    for clients in [1usize, 4] {
+        let server = NetServer::start(
+            NetConfig::new().with_http_workers(clients.max(2)),
+            ServeConfig::new().with_workers(4).with_queue_capacity(64).with_shards(8),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+
+        let t = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let corpus = Arc::clone(&corpus);
+                std::thread::spawn(move || {
+                    // One keep-alive connection per client; each client owns
+                    // a disjoint document slice so per-key order holds.
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    let mut shed = 0u64;
+                    for (key, versions) in corpus.iter().skip(c).step_by(clients) {
+                        for xml in versions {
+                            loop {
+                                let raw = format!(
+                                    "POST /ingest/{key} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{xml}",
+                                    xml.len(),
+                                );
+                                stream.write_all(raw.as_bytes()).expect("write request");
+                                let (status, _) = read_response(&mut stream);
+                                match status {
+                                    200 => break,
+                                    503 => {
+                                        shed += 1;
+                                        std::thread::sleep(std::time::Duration::from_millis(1));
+                                    }
+                                    other => panic!("{key}: unexpected status {other}"),
+                                }
+                            }
+                        }
+                    }
+                    shed
+                })
+            })
+            .collect();
+        let shed: u64 = handles.into_iter().map(|h| h.join().expect("client thread")).sum();
+        let wall = t.elapsed();
+
+        let rate = snapshots as f64 / wall.as_secs_f64();
+        let speedup = rate / *base_rate.get_or_insert(rate);
+        let http = server.http_metrics();
+        let req_p99 = http.request_time.quantile_bound_micros(0.99);
+        let wait_p99 = http.ingest_wait_time.quantile_bound_micros(0.99);
+        println!(
+            "| {clients} | {} | {rate:.0} | {speedup:.2}x | {shed} | {req_p99} µs | {wait_p99} µs |",
+            fmt_dur(wall),
+        );
+        json_rows.push(format!(
+            "    {{ \"clients\": {clients}, \"wall_secs\": {:.4}, \"docs_per_sec\": {rate:.2}, \
+             \"speedup\": {speedup:.3}, \"shed_503\": {shed}, \"request_p99_micros\": {req_p99}, \
+             \"ingest_wait_p99_micros\": {wait_p99} }}",
+            wall.as_secs_f64(),
+        ));
+
+        let report = server.shutdown();
+        assert!(report.ingest.is_balanced(), "unbalanced accounting: {report:?}");
+        assert_eq!(report.ingest.succeeded as usize, snapshots);
+        assert_eq!(report.ingest.dead_lettered, 0);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"snapshots\": {snapshots},\n  \
+         \"runs\": [\n{}\n  ],\n  \"peak_rss_bytes\": {}\n}}\n",
+        if fast { "fast" } else { "full" },
+        json_rows.join(",\n"),
+        xybench::peak_rss_bytes().unwrap_or(0),
+    );
+    let path = xybench::bench_out_path("BENCH_serve.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| eprintln!("cannot write {path:?}: {e}"));
+    println!("wrote {}\n", path.display());
 }
 
 /// E12 (extension) — diff hot-path throughput on the xysim corpus, with a
@@ -105,19 +238,20 @@ fn diff_bench() {
     }
     let bytes_per_round: usize = cases.iter().map(|c| c.bytes).sum();
 
-    // One scratch reused across the whole run, as a long-lived ingest worker
-    // would hold it. The warmup round (untimed) also warms its capacity, so
-    // the timed rounds measure the allocation-free steady state.
-    let mut scratch = DiffScratch::new();
+    // One differ (options + scratch) reused across the whole run, as a
+    // long-lived ingest worker would hold it. The warmup round (untimed)
+    // also warms its scratch capacity, so the timed rounds measure the
+    // allocation-free steady state.
+    let mut differ = Differ::new();
     for c in &cases {
-        let _ = diff_with_scratch(&c.old, &c.new, &DiffOptions::default(), &mut scratch);
+        let _ = differ.diff(&c.old, &c.new);
     }
 
     let mut phases = [0.0f64; 6]; // p1..p5, total — mean micros per diff
     let t = Instant::now();
     for _ in 0..rounds {
         for c in &cases {
-            let r = diff_with_scratch(&c.old, &c.new, &DiffOptions::default(), &mut scratch);
+            let r = differ.diff(&c.old, &c.new);
             let tm = r.timings;
             for (acc, d) in phases.iter_mut().zip([
                 tm.phase1,
@@ -212,12 +346,9 @@ fn ingest() {
     let mut last_metrics = String::new();
     let mut json_rows: Vec<String> = Vec::new();
     for workers in [1usize, 2, 4] {
-        let server = IngestServer::start(ServeConfig {
-            workers,
-            queue_capacity: 64,
-            shards: 8,
-            ..ServeConfig::default()
-        });
+        let server = IngestServer::start(
+            ServeConfig::new().with_workers(workers).with_queue_capacity(64).with_shards(8),
+        );
         let t = Instant::now();
         // Round-robin across documents, as a crawler sweep would: version i
         // of every document before version i+1 of any, so the chains of

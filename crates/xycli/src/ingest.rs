@@ -16,15 +16,15 @@ use std::process::ExitCode;
 use xyserve::{IngestServer, ServeConfig};
 
 pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
-    let mut config = ServeConfig::default();
+    let mut config = ServeConfig::new();
     let mut quiet = false;
     let mut dir = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--workers" => config.workers = flag_value(&mut it, "--workers")?,
-            "--queue" => config.queue_capacity = flag_value(&mut it, "--queue")?,
-            "--shards" => config.shards = flag_value(&mut it, "--shards")?,
+            "--workers" => config = config.with_workers(flag_value(&mut it, "--workers")?),
+            "--queue" => config = config.with_queue_capacity(flag_value(&mut it, "--queue")?),
+            "--shards" => config = config.with_shards(flag_value(&mut it, "--shards")?),
             "--quiet" => quiet = true,
             f if !f.starts_with("--") => {
                 if dir.replace(PathBuf::from(f)).is_some() {

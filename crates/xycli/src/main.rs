@@ -12,6 +12,7 @@
 //! xydiff store DIR load KEY FILE.xml     ingest a version into a warehouse
 //! xydiff store DIR get|history|changes…  query the stored history
 //! xydiff ingest [--workers N] DIR        concurrent ingestion of a corpus
+//! xydiff serve [--addr HOST:PORT] …      run the HTTP ingestion server
 //! ```
 //!
 //! Exit codes: 0 success, 1 documents differ (for `diff`) or no matches
@@ -23,6 +24,7 @@
 //! which is what makes cross-process delta chains (and `revert`) possible.
 
 mod ingest;
+mod serve;
 mod store;
 
 use std::io::Read;
@@ -56,6 +58,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "htmlize" => cmd_htmlize(rest),
         "store" => store::cmd_store(rest),
         "ingest" => ingest::cmd_ingest(rest),
+        "serve" => serve::cmd_serve(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -79,7 +82,13 @@ pub(crate) fn usage() -> String {
      xydiff store DIR keys                list stored documents\n  \
      xydiff ingest [--workers N] [--queue N] [--shards N] [--quiet] DIR\n  \
        \u{20}                              ingest a snapshot corpus concurrently\n  \
-       \u{20}                              (DIR/key/*.xml sorted = versions; metrics on stdout)"
+       \u{20}                              (DIR/key/*.xml sorted = versions; metrics on stdout)\n  \
+     xydiff serve [--addr HOST:PORT] [--workers N] [--http-workers N] [--queue N]\n  \
+       \u{20}      [--shards N] [--max-body BYTES] [--snapshot-dir DIR]\n  \
+       \u{20}      [--snapshot-interval SECS] [--quiet]\n  \
+       \u{20}                              run the HTTP ingestion server\n  \
+       \u{20}                              (POST /ingest/KEY, GET /metrics|/healthz|/doc/KEY;\n  \
+       \u{20}                              drain via POST /admin/shutdown or stdin EOF)"
         .to_string()
 }
 

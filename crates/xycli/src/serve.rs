@@ -1,0 +1,117 @@
+//! `xydiff serve` — run the HTTP ingestion server.
+//!
+//! Binds the `xynet` network front over an `xyserve` pipeline and blocks
+//! until a drain is requested: `POST /admin/shutdown`, or EOF on stdin
+//! (`Ctrl-D`, or the supervisor closing the pipe — the portable stand-in
+//! for signal handling in a `forbid(unsafe_code)` workspace). Shutdown is
+//! loss-free: every accepted snapshot resolves before the process exits,
+//! and with `--snapshot-dir` the final state is persisted and restored on
+//! the next start.
+//!
+//! Exit codes: 0 clean drain, 2 usage/startup error.
+
+use crate::usage;
+use std::process::ExitCode;
+use std::time::Duration;
+use xynet::{NetConfig, NetServer};
+use xyserve::{ServeConfig, SnapshotPolicy};
+
+pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut net = NetConfig::new().with_addr("127.0.0.1:8080");
+    let mut serve = ServeConfig::new();
+    let mut snapshot_dir = None;
+    let mut snapshot_secs = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs a value (e.g. 127.0.0.1:8080)")?;
+                net = net.with_addr(v.clone());
+            }
+            "--workers" => serve = serve.with_workers(flag_value(&mut it, "--workers")?),
+            "--http-workers" => {
+                net = net.with_http_workers(flag_value(&mut it, "--http-workers")?);
+            }
+            "--queue" => serve = serve.with_queue_capacity(flag_value(&mut it, "--queue")?),
+            "--shards" => serve = serve.with_shards(flag_value(&mut it, "--shards")?),
+            "--max-body" => net = net.with_max_body_bytes(flag_value(&mut it, "--max-body")?),
+            "--snapshot-dir" => {
+                let v = it.next().ok_or("--snapshot-dir needs a directory")?;
+                snapshot_dir = Some(v.clone());
+            }
+            "--snapshot-interval" => {
+                snapshot_secs = Some(flag_value(&mut it, "--snapshot-interval")? as u64);
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown flag {other:?} for serve\n{}", usage())),
+        }
+    }
+    if let Some(dir) = snapshot_dir {
+        let mut policy = SnapshotPolicy::new(dir);
+        if let Some(secs) = snapshot_secs {
+            policy = policy.with_interval(Duration::from_secs(secs));
+        }
+        serve = serve.with_snapshots(policy);
+    } else if snapshot_secs.is_some() {
+        return Err("--snapshot-interval needs --snapshot-dir".to_string());
+    }
+
+    let server = NetServer::start(net, serve).map_err(|e| e.to_string())?;
+    eprintln!("xydiff serve: listening on http://{}", server.local_addr());
+    eprintln!("xydiff serve: POST /admin/shutdown (or close stdin) to drain");
+
+    // Wake the waiter when stdin reaches EOF. The thread is deliberately
+    // not joined: if the drain came over HTTP instead, it stays parked in
+    // `read_line` and the process exit reaps it.
+    let stdin_watch = {
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) | Err(_) => break, // EOF or a broken pipe
+                    Ok(_) => {}
+                }
+            }
+            let _ = tx.send(());
+        });
+        rx
+    };
+
+    loop {
+        if server.wait_for_shutdown_request(Duration::from_millis(200)) {
+            break;
+        }
+        if stdin_watch.try_recv().is_ok() {
+            server.request_shutdown();
+            break;
+        }
+    }
+
+    eprintln!("xydiff serve: draining…");
+    let report = server.shutdown();
+    eprintln!(
+        "xydiff serve: served {} requests on {} connections; {} snapshots stored, {} dead-lettered",
+        report.requests,
+        report.connections,
+        report.ingest.succeeded,
+        report.ingest.dead_lettered,
+    );
+    if !report.ingest.is_balanced() {
+        return Err("shutdown accounting is unbalanced (bug)".to_string());
+    }
+    if !quiet {
+        print!("{}", report.ingest.metrics_text);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn flag_value<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<usize, String> {
+    let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse::<usize>().map_err(|_| format!("{flag} needs a positive integer, got {v:?}"))
+}

@@ -55,6 +55,7 @@
 
 pub mod buld;
 pub mod config;
+pub mod differ;
 pub mod info;
 pub mod matching;
 pub mod phase1;
@@ -65,6 +66,7 @@ pub mod scratch;
 pub mod similarity;
 
 pub use config::DiffOptions;
+pub use differ::Differ;
 pub use info::SignatureCache;
 pub use matching::Matching;
 pub use report::{DiffResult, DiffStats, PhaseTimings};
@@ -80,8 +82,10 @@ use xytree::Document;
 /// timings, and matching statistics. The new document is cloned into the
 /// result (the diff itself never mutates its inputs).
 ///
-/// Allocates fresh working memory per call; long-running callers should hold
-/// a [`DiffScratch`] and use [`diff_with_scratch`] instead.
+/// This is a thin convenience wrapper that allocates fresh working memory
+/// per call; long-running callers should hold a [`Differ`] (which owns the
+/// options, the reusable scratch, and an optional signature cache) and call
+/// [`Differ::diff`] instead.
 pub fn diff(old: &XidDocument, new: &Document, opts: &DiffOptions) -> DiffResult {
     let mut scratch = DiffScratch::new();
     diff_inner(old, new, opts, &mut scratch, None)
@@ -93,6 +97,10 @@ pub fn diff(old: &XidDocument, new: &Document, opts: &DiffOptions) -> DiffResult
 /// allocation optimisation — but a scratch reused across many diffs keeps
 /// its vectors and hash tables warm, so steady-state throughput does no
 /// per-diff structural allocation.
+#[deprecated(
+    since = "0.1.0",
+    note = "hold a `Differ` (owns options + scratch) and call `Differ::diff`"
+)]
 pub fn diff_with_scratch(
     old: &XidDocument,
     new: &Document,
@@ -102,7 +110,8 @@ pub fn diff_with_scratch(
     diff_inner(old, new, opts, scratch, None)
 }
 
-/// [`diff_with_scratch`] plus a cross-version [`SignatureCache`].
+/// [`diff`] with caller-owned working memory plus a cross-version
+/// [`SignatureCache`].
 ///
 /// When the old version is one this process diffed before (the warehouse
 /// steady state), the cache replays its subtree signatures instead of
@@ -110,6 +119,11 @@ pub fn diff_with_scratch(
 /// returning — ready for the next ingest of the same document. The delta is
 /// byte-identical with or without the cache; see the [`SignatureCache`]
 /// coherence contract.
+#[deprecated(
+    since = "0.1.0",
+    note = "hold a `Differ` and call `Differ::diff_with_cache` (per-document \
+            cache) or `Differ::with_cache(..).diff(..)` (owned cache)"
+)]
 pub fn diff_cached(
     old: &XidDocument,
     new: &Document,
@@ -120,7 +134,7 @@ pub fn diff_cached(
     diff_inner(old, new, opts, scratch, Some(cache))
 }
 
-fn diff_inner(
+pub(crate) fn diff_inner(
     old: &XidDocument,
     new: &Document,
     opts: &DiffOptions,

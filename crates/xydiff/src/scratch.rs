@@ -6,11 +6,12 @@
 //! the candidate hash tables, and the priority queue, then free them all.
 //! [`DiffScratch`] moves ownership of that memory to the caller: one scratch
 //! per worker, reused across every diff the worker runs, so steady-state
-//! ingestion performs no per-diff structural allocation at all.
+//! ingestion performs no per-diff structural allocation at all. Most callers
+//! never touch it directly — a [`crate::Differ`] owns one internally.
 //!
-//! Reuse is semantically invisible: [`crate::diff_with_scratch`] with a fresh
-//! scratch and with a thousand-times-reused scratch produce byte-identical
-//! deltas (pinned by the golden-equivalence suite and a property test).
+//! Reuse is semantically invisible: a [`crate::Differ`] with a fresh scratch
+//! and with a thousand-times-reused scratch produce byte-identical deltas
+//! (pinned by the golden-equivalence suite and a property test).
 
 #![doc = "xylint: hot-path"]
 
@@ -18,7 +19,9 @@ use crate::buld::BuldScratch;
 use crate::info::TreeInfo;
 use crate::matching::Matching;
 
-/// Reusable working memory for [`crate::diff_with_scratch`].
+/// Reusable working memory for the diff pipeline, owned by a
+/// [`crate::Differ`] (or passed explicitly through the deprecated
+/// multi-argument entry points).
 ///
 /// Holds the phase-2 analyses, the phase-1/3/4 matching vectors, and the
 /// phase-3 candidate index + priority queue. Every component is cleared and

@@ -1,0 +1,123 @@
+//! Network-layer configuration.
+
+use std::time::Duration;
+
+/// Configuration for [`crate::NetServer`]: where to listen and how the HTTP
+/// layer behaves. The ingestion pipeline behind it is configured separately
+/// via [`xyserve::ServeConfig`].
+///
+/// Construct with [`NetConfig::new`] and the `with_*` builders; the struct is
+/// `#[non_exhaustive]` so fields can be added without breaking callers.
+///
+/// ```
+/// use xynet::NetConfig;
+/// let config = NetConfig::new()
+///     .with_addr("127.0.0.1:0")
+///     .with_http_workers(2)
+///     .with_max_body_bytes(1 << 20);
+/// assert_eq!(config.addr, "127.0.0.1:0");
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct NetConfig {
+    /// Listen address, e.g. `"127.0.0.1:8080"`. Port 0 picks a free port
+    /// (the bound address is available via [`crate::NetServer::local_addr`]).
+    pub addr: String,
+    /// Threads serving HTTP connections. Each handles one connection at a
+    /// time, so this bounds concurrent clients.
+    pub http_workers: usize,
+    /// Largest accepted request body; larger `Content-Length` gets `413`.
+    pub max_body_bytes: usize,
+    /// Largest accepted request head (request line + headers); `431` beyond.
+    pub max_head_bytes: usize,
+    /// `Retry-After` value (seconds) sent with backpressure `503`s.
+    pub retry_after_secs: u64,
+    /// Socket read/write timeout; an idle keep-alive connection is closed
+    /// after this long without a request.
+    pub io_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_workers: 4,
+            max_body_bytes: 4 << 20,
+            max_head_bytes: 8 << 10,
+            retry_after_secs: 1,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration: loopback on a free port, 4 HTTP workers,
+    /// 4 MiB body limit, 8 KiB head limit.
+    pub fn new() -> NetConfig {
+        NetConfig::default()
+    }
+
+    /// Set the listen address.
+    #[must_use]
+    pub fn with_addr(mut self, addr: impl Into<String>) -> NetConfig {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Set the number of HTTP worker threads (minimum 1).
+    #[must_use]
+    pub fn with_http_workers(mut self, workers: usize) -> NetConfig {
+        self.http_workers = workers.max(1);
+        self
+    }
+
+    /// Set the request-body size limit enforced with `413`.
+    #[must_use]
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> NetConfig {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Set the request-head size limit enforced with `431`.
+    #[must_use]
+    pub fn with_max_head_bytes(mut self, bytes: usize) -> NetConfig {
+        self.max_head_bytes = bytes;
+        self
+    }
+
+    /// Set the `Retry-After` seconds sent with backpressure `503`s.
+    #[must_use]
+    pub fn with_retry_after_secs(mut self, secs: u64) -> NetConfig {
+        self.retry_after_secs = secs;
+        self
+    }
+
+    /// Set the per-socket read/write timeout.
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Duration) -> NetConfig {
+        self.io_timeout = timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose_and_clamp() {
+        let c = NetConfig::new()
+            .with_addr("0.0.0.0:9000")
+            .with_http_workers(0)
+            .with_max_body_bytes(123)
+            .with_max_head_bytes(456)
+            .with_retry_after_secs(7)
+            .with_io_timeout(Duration::from_millis(250));
+        assert_eq!(c.addr, "0.0.0.0:9000");
+        assert_eq!(c.http_workers, 1, "zero workers clamps to one");
+        assert_eq!(c.max_body_bytes, 123);
+        assert_eq!(c.max_head_bytes, 456);
+        assert_eq!(c.retry_after_secs, 7);
+        assert_eq!(c.io_timeout, Duration::from_millis(250));
+    }
+}

@@ -1,0 +1,39 @@
+//! `xynet` — the HTTP/1.1 network front for the `xyserve` ingestion
+//! pipeline.
+//!
+//! The paper's Figure 1 architecture ends at a service boundary: crawlers
+//! push snapshots in, subscribers get alerts out. `xyserve` implements the
+//! loop; this crate puts a wire protocol in front of it using nothing but
+//! `std::net` — a blocking acceptor, a bounded connection queue (the same
+//! [`xyserve::queue::Queue`] the pipeline uses for jobs), and a pool of HTTP
+//! worker threads.
+//!
+//! ```no_run
+//! use xynet::{NetConfig, NetServer};
+//! use xyserve::ServeConfig;
+//!
+//! let server = NetServer::start(
+//!     NetConfig::new().with_addr("127.0.0.1:8080"),
+//!     ServeConfig::new().with_workers(4),
+//! )
+//! .expect("bind failed");
+//! println!("listening on {}", server.local_addr());
+//! // POST /ingest/{key} bodies flow through the diff pipeline; when a
+//! // drain is requested (POST /admin/shutdown), finish loss-free:
+//! server.wait_for_shutdown_request(std::time::Duration::MAX);
+//! let report = server.shutdown();
+//! assert!(report.ingest.is_balanced());
+//! ```
+//!
+//! Design notes live in `DESIGN.md` §9 at the repository root.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use config::NetConfig;
+pub use metrics::HttpMetrics;
+pub use server::{NetServer, NetShutdownReport, NetStartError};

@@ -1,0 +1,280 @@
+//! Socket-level tests of the network front: real `TcpStream` clients
+//! speaking raw HTTP/1.1 against a [`NetServer`] on a loopback port.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xynet::{NetConfig, NetServer};
+use xyserve::ServeConfig;
+
+/// Write `raw` on a fresh connection and read the response(s) to EOF.
+fn send_raw(addr: SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write");
+    stream.shutdown(std::net::Shutdown::Write).expect("shutdown write");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    out
+}
+
+/// One request with `Connection: close`; returns (status, response text).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let body = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let text = send_raw(addr, &raw);
+    (parse_status(&text), text)
+}
+
+fn parse_status(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {response:?}"))
+}
+
+fn response_body(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+/// Read exactly one response (headers + `Content-Length` body) from an open
+/// keep-alive connection.
+fn read_one_response(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "EOF mid-response: {:?}", String::from_utf8_lossy(&buf));
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("response has a Content-Length");
+    while buf.len() < head_end + len {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "EOF mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(buf.len(), head_end + len, "over-read past one response");
+    String::from_utf8_lossy(&buf).to_string()
+}
+
+fn start(net: NetConfig, serve: ServeConfig) -> NetServer {
+    NetServer::start(net.with_io_timeout(Duration::from_secs(3)), serve).expect("start")
+}
+
+#[test]
+fn ingest_roundtrip_stores_versions_and_serves_them_back() {
+    let server = start(NetConfig::new(), ServeConfig::new().with_workers(2).with_shards(2));
+    let addr = server.local_addr();
+
+    let v0 = "<catalog><product>alpha</product></catalog>";
+    let v1 = "<catalog><product>alpha</product><product>beta</product></catalog>";
+    let (code, text) = request(addr, "POST", "/ingest/doc-a", Some(v0));
+    assert_eq!(code, 200, "{text}");
+    assert!(response_body(&text).contains("\"version\":0"), "{text}");
+    assert!(response_body(&text).contains("\"ops\":0"), "first version runs no diff: {text}");
+
+    let (code, text) = request(addr, "POST", "/ingest/doc-a", Some(v1));
+    assert_eq!(code, 200, "{text}");
+    let body = response_body(&text);
+    assert!(body.contains("\"version\":1"), "{text}");
+    assert!(!body.contains("\"ops\":0"), "an insert must produce delta ops: {text}");
+
+    // Latest, explicit versions, and misses.
+    let (code, text) = request(addr, "GET", "/doc/doc-a", None);
+    assert_eq!(code, 200);
+    assert_eq!(response_body(&text), v1, "latest version must be byte-identical");
+    let (code, text) = request(addr, "GET", "/doc/doc-a/0", None);
+    assert_eq!(code, 200);
+    assert_eq!(response_body(&text), v0);
+    assert_eq!(request(addr, "GET", "/doc/doc-a/7", None).0, 404);
+    assert_eq!(request(addr, "GET", "/doc/ghost", None).0, 404);
+
+    // A malformed snapshot dead-letters and reports as 422.
+    let (code, text) = request(addr, "POST", "/ingest/doc-a", Some("<broken"));
+    assert_eq!(code, 422, "{text}");
+    assert!(response_body(&text).contains("parse error"), "{text}");
+
+    let report = server.shutdown();
+    assert!(report.ingest.is_balanced(), "{report:?}");
+    assert_eq!(report.ingest.succeeded, 2);
+    assert_eq!(report.ingest.dead_lettered, 1);
+}
+
+#[test]
+fn typed_errors_for_bad_requests_and_bad_routes() {
+    let server = start(
+        NetConfig::new().with_max_body_bytes(64).with_max_head_bytes(512),
+        ServeConfig::new().with_workers(1),
+    );
+    let addr = server.local_addr();
+
+    assert_eq!(request(addr, "GET", "/nope", None).0, 404);
+    let (code, text) = request(addr, "GET", "/ingest/k", None);
+    assert_eq!(code, 405);
+    assert!(text.contains("Allow: POST"), "{text}");
+    assert_eq!(request(addr, "DELETE", "/metrics", None).0, 405);
+    assert_eq!(request(addr, "POST", "/ingest/", Some("<d/>")).0, 404, "empty key");
+
+    // Malformed request line.
+    assert_eq!(parse_status(&send_raw(addr, "NONSENSE\r\n\r\n")), 400);
+    // POST without Content-Length.
+    let raw = "POST /ingest/k HTTP/1.1\r\nHost: t\r\n\r\n";
+    assert_eq!(parse_status(&send_raw(addr, raw)), 411);
+    // Body over the configured 64-byte limit is refused up front.
+    let big = "x".repeat(65);
+    let (code, text) = request(addr, "POST", "/ingest/k", Some(&big));
+    assert_eq!(code, 413, "{text}");
+    // Head over the configured 512-byte limit.
+    let raw = format!("GET /healthz HTTP/1.1\r\nCookie: {}\r\n\r\n", "c".repeat(600));
+    assert_eq!(parse_status(&send_raw(addr, &raw)), 431);
+    // Unsupported HTTP version.
+    assert_eq!(parse_status(&send_raw(addr, "GET /healthz HTTP/2.0\r\n\r\n")), 501);
+
+    // Nothing reached the pipeline.
+    let report = server.shutdown();
+    assert_eq!(report.ingest.submitted, 0);
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1));
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    for i in 0..3 {
+        let body = format!("<d><v>{i}</v></d>");
+        let raw = format!(
+            "POST /ingest/ka HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        );
+        stream.write_all(raw.as_bytes()).expect("write");
+        let resp = read_one_response(&mut stream);
+        assert_eq!(parse_status(&resp), 200, "{resp}");
+        assert!(resp.contains(&format!("\"version\":{i}")), "{resp}");
+        assert!(!resp.contains("Connection: close"), "keep-alive must stay open: {resp}");
+    }
+    // Same connection can still serve other routes.
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").expect("write");
+    let resp = read_one_response(&mut stream);
+    assert_eq!(parse_status(&resp), 200);
+    drop(stream);
+
+    let report = server.shutdown();
+    assert_eq!(report.ingest.succeeded, 3);
+    assert_eq!(report.connections, 1, "one keep-alive connection served everything");
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    static HOLD: AtomicBool = AtomicBool::new(true);
+    HOLD.store(true, Ordering::SeqCst);
+
+    let server = Arc::new(start(
+        NetConfig::new().with_http_workers(4).with_retry_after_secs(7),
+        ServeConfig::new().with_workers(1).with_queue_capacity(1).with_fault_hook(Arc::new(
+            |key, _, _| {
+                // Park the single worker while HOLD is up, but only for the
+                // designated key so the release path drains instantly.
+                if key == "block" {
+                    while HOLD.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                false
+            },
+        )),
+    ));
+    let addr = server.local_addr();
+
+    // Client A occupies the only ingest worker.
+    let a = std::thread::spawn(move || request(addr, "POST", "/ingest/block", Some("<d/>")));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.ingest().metrics().parse_time.count() < 1 {
+        assert!(Instant::now() < deadline, "worker never picked up the blocking job");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Client B fills the 1-slot queue.
+    let b = std::thread::spawn(move || request(addr, "POST", "/ingest/fill", Some("<d/>")));
+    while server.ingest().metrics().enqueued.get() < 2 {
+        assert!(Instant::now() < deadline, "second job never enqueued");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The queue is provably full and the worker parked: shed deterministically.
+    let (code, text) = request(addr, "POST", "/ingest/shed", Some("<d/>"));
+    assert_eq!(code, 503, "{text}");
+    assert!(text.contains("Retry-After: 7"), "{text}");
+
+    HOLD.store(false, Ordering::SeqCst);
+    assert_eq!(a.join().unwrap().0, 200);
+    assert_eq!(b.join().unwrap().0, 200);
+
+    // The shed key burned no sequence number: retrying it starts at seq 0.
+    let (code, text) = request(addr, "POST", "/ingest/shed", Some("<d/>"));
+    assert_eq!(code, 200, "{text}");
+    assert!(response_body(&text).contains("\"seq\":0"), "{text}");
+
+    assert_eq!(server.http_metrics().status_count(503), 1);
+    let report = Arc::into_inner(server).unwrap().shutdown();
+    assert!(report.ingest.is_balanced(), "{report:?}");
+    assert_eq!(report.ingest.succeeded, 3);
+}
+
+#[test]
+fn metrics_exposition_covers_both_layers() {
+    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1));
+    let addr = server.local_addr();
+    request(addr, "POST", "/ingest/m", Some("<d/>"));
+    let (code, text) = request(addr, "GET", "/metrics", None);
+    assert_eq!(code, 200);
+    assert!(text.contains("Content-Type: text/plain; version=0.0.4"), "{text}");
+    let body = response_body(&text);
+    // Ingest families...
+    assert!(body.contains("# TYPE ingest_succeeded_total counter"), "{body}");
+    assert!(body.contains("ingest_succeeded_total 1"), "{body}");
+    // ...and HTTP families in the same document.
+    assert!(body.contains("# TYPE http_requests_total counter"), "{body}");
+    assert!(body.contains("http_requests_total{route=\"ingest\"} 1"), "{body}");
+    assert!(body.contains("# TYPE http_request_seconds histogram"), "{body}");
+    assert!(body.contains("http_responses_total{code=\"200\"} 1"), "{body}");
+    drop(server);
+}
+
+#[test]
+fn admin_shutdown_drains_and_flips_health() {
+    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1));
+    let addr = server.local_addr();
+
+    let (code, text) = request(addr, "GET", "/healthz", None);
+    assert_eq!(code, 200);
+    assert!(text.contains("\"status\":\"ok\""));
+    assert_eq!(request(addr, "POST", "/ingest/d", Some("<d/>")).0, 200);
+
+    assert!(!server.wait_for_shutdown_request(Duration::from_millis(10)));
+    let (code, text) = request(addr, "POST", "/admin/shutdown", None);
+    assert_eq!(code, 202, "{text}");
+    assert!(text.contains("Connection: close"), "drain responses end their session");
+    assert!(server.wait_for_shutdown_request(Duration::from_secs(5)));
+
+    let report = server.shutdown();
+    assert!(report.ingest.is_balanced(), "{report:?}");
+    assert_eq!(report.ingest.succeeded, 1);
+    assert!(report.requests >= 3);
+}

@@ -14,14 +14,20 @@
 //!   retry for transient failures, and a dead-letter queue for poison
 //!   documents;
 //! - [`metrics::Metrics`] — atomic counters, queue-depth gauge, and
-//!   per-phase latency histograms with a text exposition.
+//!   per-phase latency histograms with a Prometheus text exposition.
+//!
+//! `ServeConfig` is `#[non_exhaustive]` and built through `with_*` methods,
+//! so new knobs (snapshots, network limits) never break callers:
 //!
 //! ```
 //! use xyserve::{IngestServer, ServeConfig};
 //!
-//! let server = IngestServer::start(ServeConfig { workers: 2, ..Default::default() });
+//! let server = IngestServer::start(ServeConfig::new().with_workers(2));
 //! server.submit("doc.xml", "<doc><p>v0</p></doc>").unwrap();
-//! server.submit("doc.xml", "<doc><p>v1</p></doc>").unwrap();
+//! // Tracked submissions resolve to the stored version and delta size.
+//! let ticket = server.submit_tracked("doc.xml", "<doc><p>v1</p></doc>").unwrap();
+//! let done = ticket.wait().unwrap();
+//! assert_eq!(done.version, 1);
 //! let report = server.shutdown();
 //! assert!(report.is_balanced());
 //! assert_eq!(report.succeeded, 2);
@@ -37,5 +43,6 @@ pub mod server;
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use queue::Queue;
 pub use server::{
-    DeadLetter, FaultHook, IngestServer, ServeConfig, ShutdownReport, SubmitError,
+    Completed, DeadLetter, FaultHook, IngestOutcome, IngestServer, ServeConfig, ShutdownReport,
+    SnapshotPolicy, StartError, SubmitError, Ticket,
 };

@@ -1,9 +1,16 @@
-//! Lock-free operational metrics for the ingestion server.
+//! Lock-free operational metrics with a Prometheus text exposition.
 //!
 //! Atomic counters, a gauge with a high-water mark for queue depth, and
 //! power-of-two-bucket latency histograms for the per-phase timings the
-//! paper's Figure 1 loop goes through (parse, diff, store+alert). A plain
-//! [`Metrics::render`] produces the text exposition.
+//! paper's Figure 1 loop goes through (parse, diff, store+alert).
+//! [`Metrics::render`] produces the exposition `GET /metrics` serves, and
+//! the [`expo`] helpers let other layers (the HTTP front in `xynet`) append
+//! their own metric families to the same scrape in the same format.
+//!
+//! The exposition follows the Prometheus conventions: every family carries
+//! `# HELP`/`# TYPE` lines, counters end in `_total`, and histograms are
+//! exposed in *seconds* as cumulative `_bucket{le="…"}` series with `_sum`
+//! and `_count`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -43,6 +50,19 @@ impl Gauge {
         self.high_water.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Add one (for gauges tracking an active count).
+    pub fn inc(&self) {
+        let v = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Subtract one, saturating at zero.
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -54,11 +74,14 @@ impl Gauge {
     }
 }
 
-/// Bucket count: bucket `i` holds observations in `[2^i, 2^(i+1))` µs, the
-/// last bucket is unbounded. 2^31 µs ≈ 36 minutes, far beyond any diff.
+/// Bucket count: bucket 0 holds observations of at most 1 µs, bucket `i`
+/// holds `(2^(i-1), 2^i]` µs, and the last bucket is unbounded.
+/// 2^30 µs ≈ 18 minutes, far beyond any diff.
 const BUCKETS: usize = 32;
 
-/// A latency histogram over microseconds, with power-of-two buckets.
+/// A latency histogram over microseconds, with power-of-two buckets whose
+/// upper bounds are *inclusive* (so the Prometheus `le` semantics of the
+/// exposition are exact).
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
@@ -82,7 +105,11 @@ impl Histogram {
     /// Record one observation.
     pub fn observe(&self, d: Duration) {
         let us = d.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        let bucket = if us <= 1 {
+            0
+        } else {
+            ((64 - (us - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+        };
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(us, Ordering::Relaxed);
@@ -94,9 +121,14 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observations in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
     /// Mean observation in microseconds (0 when empty).
     pub fn mean_micros(&self) -> u64 {
-        self.sum_micros.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+        self.sum_micros().checked_div(self.count()).unwrap_or(0)
     }
 
     /// Largest observation in microseconds.
@@ -104,7 +136,13 @@ impl Histogram {
         self.max_micros.load(Ordering::Relaxed)
     }
 
-    /// Upper bound (µs, exclusive) of the smallest bucket that contains the
+    /// Non-cumulative bucket counts (index `i` covers `(2^(i-1), 2^i]` µs;
+    /// index 0 covers `[0, 1]` µs; the last bucket is unbounded).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Inclusive upper bound (µs) of the smallest bucket that contains the
     /// `q`-quantile — a coarse percentile good enough for dashboards.
     pub fn quantile_bound_micros(&self, q: f64) -> u64 {
         let n = self.count();
@@ -123,7 +161,77 @@ impl Histogram {
     }
 }
 
-/// The server's metric registry.
+/// Prometheus text-exposition writers, shared by every metric-bearing layer
+/// (the ingest loop here, the HTTP front in `xynet`).
+pub mod expo {
+    use super::Histogram;
+    use std::fmt::Write;
+
+    /// Append `# HELP`/`# TYPE` header lines for a metric family.
+    pub fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+        // INVARIANT: writing to a String cannot fail.
+        writeln!(out, "# HELP {name} {help}").unwrap();
+        // INVARIANT: writing to a String cannot fail.
+        writeln!(out, "# TYPE {name} {kind}").unwrap();
+    }
+
+    /// Append one counter family (`name` must already end in `_total`).
+    pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+        debug_assert!(name.ends_with("_total"), "counter {name} must end in _total");
+        header(out, name, help, "counter");
+        // INVARIANT: writing to a String cannot fail.
+        writeln!(out, "{name} {value}").unwrap();
+    }
+
+    /// Append one counter family whose series carry a label, e.g.
+    /// `http_responses_total{code="200"} 7`. Zero-valued series are kept so
+    /// scrapes always see the full label set.
+    pub fn labeled_counter(
+        out: &mut String,
+        name: &str,
+        help: &str,
+        label: &str,
+        series: &[(String, u64)],
+    ) {
+        debug_assert!(name.ends_with("_total"), "counter {name} must end in _total");
+        header(out, name, help, "counter");
+        for (value, count) in series {
+            // INVARIANT: writing to a String cannot fail.
+            writeln!(out, "{name}{{{label}=\"{value}\"}} {count}").unwrap();
+        }
+    }
+
+    /// Append one gauge family.
+    pub fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+        header(out, name, help, "gauge");
+        // INVARIANT: writing to a String cannot fail.
+        writeln!(out, "{name} {value}").unwrap();
+    }
+
+    /// Append one histogram family in seconds (`name` should end in
+    /// `_seconds`): cumulative `_bucket{le="…"}` series with exact `le`
+    /// semantics (the histogram's µs buckets have inclusive upper bounds),
+    /// then `_sum` and `_count`.
+    pub fn histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+        header(out, name, help, "histogram");
+        let counts = h.bucket_counts();
+        let mut cumulative = 0u64;
+        for (i, c) in counts.iter().enumerate().take(counts.len() - 1) {
+            cumulative += c;
+            let le = (1u64 << i) as f64 / 1e6;
+            // INVARIANT: writing to a String cannot fail.
+            writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}").unwrap();
+        }
+        // INVARIANT: writing to a String cannot fail.
+        writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count()).unwrap();
+        // INVARIANT: writing to a String cannot fail.
+        writeln!(out, "{name}_sum {}", h.sum_micros() as f64 / 1e6).unwrap();
+        // INVARIANT: writing to a String cannot fail.
+        writeln!(out, "{name}_count {}", h.count()).unwrap();
+    }
+}
+
+/// The ingest server's metric registry.
 #[derive(Debug)]
 pub struct Metrics {
     /// Snapshots accepted into the queue.
@@ -136,6 +244,10 @@ pub struct Metrics {
     pub dead_lettered: Counter,
     /// Subscription notifications fired by the alerter.
     pub alerts_fired: Counter,
+    /// Persistence snapshots written successfully.
+    pub snapshots: Counter,
+    /// Persistence snapshot attempts that failed.
+    pub snapshot_errors: Counter,
     /// Current queue depth (with high-water mark).
     pub queue_depth: Gauge,
     /// XML parse time per snapshot.
@@ -146,6 +258,8 @@ pub struct Metrics {
     pub alert_time: Histogram,
     /// End-to-end processing time per snapshot (parse through store).
     pub total_time: Histogram,
+    /// Wall time per persistence snapshot generation.
+    pub snapshot_time: Histogram,
     started: Instant,
 }
 
@@ -157,11 +271,14 @@ impl Default for Metrics {
             retries: Counter::default(),
             dead_lettered: Counter::default(),
             alerts_fired: Counter::default(),
+            snapshots: Counter::default(),
+            snapshot_errors: Counter::default(),
             queue_depth: Gauge::default(),
             parse_time: Histogram::default(),
             diff_time: Histogram::default(),
             alert_time: Histogram::default(),
             total_time: Histogram::default(),
+            snapshot_time: Histogram::default(),
             started: Instant::now(),
         }
     }
@@ -188,37 +305,105 @@ impl Metrics {
         }
     }
 
-    /// Text exposition of every counter, gauge, and histogram.
+    /// Prometheus text exposition of every counter, gauge, and histogram.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let c = |out: &mut String, name: &str, v: u64| {
-            out.push_str(&format!("{name} {v}\n"));
-        };
-        c(&mut out, "ingest_enqueued_total", self.enqueued.get());
-        c(&mut out, "ingest_succeeded_total", self.succeeded.get());
-        c(&mut out, "ingest_retries_total", self.retries.get());
-        c(&mut out, "ingest_dead_lettered_total", self.dead_lettered.get());
-        c(&mut out, "ingest_alerts_fired_total", self.alerts_fired.get());
-        c(&mut out, "ingest_queue_depth", self.queue_depth.get());
-        c(&mut out, "ingest_queue_depth_high_water", self.queue_depth.high_water());
-        out.push_str(&format!("ingest_docs_per_sec {:.1}\n", self.docs_per_sec()));
-        for (name, h) in [
-            ("parse", &self.parse_time),
-            ("diff", &self.diff_time),
-            ("alert", &self.alert_time),
-            ("total", &self.total_time),
-        ] {
-            out.push_str(&format!(
-                "ingest_{name}_micros{{stat=\"count\"}} {}\n\
-                 ingest_{name}_micros{{stat=\"mean\"}} {}\n\
-                 ingest_{name}_micros{{stat=\"p99\"}} {}\n\
-                 ingest_{name}_micros{{stat=\"max\"}} {}\n",
-                h.count(),
-                h.mean_micros(),
-                h.quantile_bound_micros(0.99),
-                h.max_micros(),
-            ));
-        }
+        expo::counter(
+            &mut out,
+            "ingest_enqueued_total",
+            "Snapshots accepted into the ingest queue.",
+            self.enqueued.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_succeeded_total",
+            "Snapshots fully processed and stored.",
+            self.succeeded.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_retries_total",
+            "Transient-failure retries performed.",
+            self.retries.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_dead_lettered_total",
+            "Snapshots moved to the dead-letter queue.",
+            self.dead_lettered.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_alerts_fired_total",
+            "Subscription notifications fired by the alerter.",
+            self.alerts_fired.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_snapshots_total",
+            "Persistence snapshot generations written.",
+            self.snapshots.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_snapshot_errors_total",
+            "Persistence snapshot attempts that failed.",
+            self.snapshot_errors.get(),
+        );
+        expo::gauge(
+            &mut out,
+            "ingest_queue_depth",
+            "Snapshots currently waiting in the ingest queue.",
+            self.queue_depth.get() as f64,
+        );
+        expo::gauge(
+            &mut out,
+            "ingest_queue_depth_high_water",
+            "Highest queue depth observed since start.",
+            self.queue_depth.high_water() as f64,
+        );
+        expo::gauge(
+            &mut out,
+            "ingest_uptime_seconds",
+            "Seconds since the metrics registry was created.",
+            self.uptime_secs(),
+        );
+        expo::gauge(
+            &mut out,
+            "ingest_docs_per_sec",
+            "Successfully processed snapshots per second of uptime.",
+            self.docs_per_sec(),
+        );
+        expo::histogram(
+            &mut out,
+            "ingest_parse_seconds",
+            "XML parse time per snapshot.",
+            &self.parse_time,
+        );
+        expo::histogram(
+            &mut out,
+            "ingest_diff_seconds",
+            "BULD diff time per snapshot.",
+            &self.diff_time,
+        );
+        expo::histogram(
+            &mut out,
+            "ingest_alert_seconds",
+            "Alerter evaluation time per snapshot.",
+            &self.alert_time,
+        );
+        expo::histogram(
+            &mut out,
+            "ingest_process_seconds",
+            "End-to-end processing time per snapshot (parse through store).",
+            &self.total_time,
+        );
+        expo::histogram(
+            &mut out,
+            "ingest_snapshot_write_seconds",
+            "Wall time per persistence snapshot generation.",
+            &self.snapshot_time,
+        );
         out
     }
 }
@@ -237,6 +422,13 @@ mod tests {
         m.queue_depth.set(2);
         assert_eq!(m.queue_depth.get(), 2);
         assert_eq!(m.queue_depth.high_water(), 7);
+        m.queue_depth.inc();
+        assert_eq!(m.queue_depth.get(), 3);
+        m.queue_depth.dec();
+        m.queue_depth.dec();
+        m.queue_depth.dec();
+        m.queue_depth.dec();
+        assert_eq!(m.queue_depth.get(), 0, "dec saturates at zero");
     }
 
     #[test]
@@ -248,27 +440,57 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.mean_micros(), 36);
         assert_eq!(h.max_micros(), 100);
-        // p50 lands in the [2,8) µs range, p99 must cover the 100 µs sample.
+        // p50 lands in the (2,4] µs bucket, p99 must cover the 100 µs sample.
         assert!(h.quantile_bound_micros(0.5) <= 8);
         assert!(h.quantile_bound_micros(0.99) >= 100);
     }
 
     #[test]
-    fn render_mentions_every_metric() {
+    fn histogram_bucket_bounds_are_inclusive() {
+        let h = Histogram::default();
+        // Exactly 2^4 µs must land in the bucket whose le is 16 µs.
+        h.observe(Duration::from_micros(16));
+        let counts = h.bucket_counts();
+        assert_eq!(counts[4], 1, "{counts:?}");
+        // 2^4 + 1 µs spills into the next bucket.
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(17));
+        let counts = h.bucket_counts();
+        assert_eq!(counts[5], 1, "{counts:?}");
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
         let m = Metrics::new();
         m.succeeded.inc();
         m.alerts_fired.add(2);
         m.total_time.observe(Duration::from_millis(1));
         let text = m.render();
         for needle in [
-            "ingest_enqueued_total",
+            "# TYPE ingest_enqueued_total counter",
+            "# HELP ingest_succeeded_total",
             "ingest_succeeded_total 1",
             "ingest_alerts_fired_total 2",
+            "# TYPE ingest_queue_depth gauge",
             "ingest_queue_depth_high_water",
-            "ingest_total_micros{stat=\"count\"} 1",
+            "# TYPE ingest_process_seconds histogram",
+            "ingest_process_seconds_bucket{le=\"+Inf\"} 1",
+            "ingest_process_seconds_sum 0.001",
+            "ingest_process_seconds_count 1",
             "ingest_docs_per_sec",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Histogram buckets are cumulative: the 1 ms observation must be
+        // counted in every bucket from le=0.001024 upward.
+        assert!(text.contains("ingest_process_seconds_bucket{le=\"0.001024\"} 1"), "{text}");
+        // Counters never expose a bare (non-_total) name.
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            let mut parts = line.split_whitespace().skip(2);
+            let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+            if kind == "counter" {
+                assert!(name.ends_with("_total"), "counter {name} must end in _total");
+            }
         }
     }
 
@@ -278,5 +500,26 @@ mod tests {
         h.observe(Duration::ZERO);
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean_micros(), 0);
+        let text = {
+            let mut s = String::new();
+            expo::histogram(&mut s, "t_seconds", "test", &h);
+            s
+        };
+        assert!(text.contains("t_seconds_bucket{le=\"0.000001\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn labeled_counter_renders_every_series() {
+        let mut out = String::new();
+        expo::labeled_counter(
+            &mut out,
+            "http_responses_total",
+            "Responses by status code.",
+            "code",
+            &[("200".to_string(), 5), ("404".to_string(), 0)],
+        );
+        assert!(out.contains("http_responses_total{code=\"200\"} 5"));
+        assert!(out.contains("http_responses_total{code=\"404\"} 0"));
+        assert!(out.contains("# TYPE http_responses_total counter"));
     }
 }

@@ -15,6 +15,16 @@ use std::sync::{Condvar, Mutex};
 #[derive(Debug)]
 pub struct Closed<T>(pub T);
 
+/// Why [`Queue::try_push`] refused an item (the item rides along).
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; the caller should shed load (this is the
+    /// signal the HTTP front turns into `503 Retry-After`).
+    Full(T),
+    /// The queue is closed (draining shutdown).
+    Closed(T),
+}
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -52,6 +62,24 @@ impl<T> Queue<T> {
         }
         if s.closed {
             return Err(Closed(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue `item` without blocking: a full queue returns
+    /// [`TryPushError::Full`] immediately instead of waiting for space.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        // INVARIANT: lock poisoning means a holder panicked mid-update; the
+        // queue cannot vouch for its state, so propagating the panic is correct.
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
         }
         s.items.push_back(item);
         drop(s);
@@ -100,6 +128,13 @@ impl<T> Queue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// True once [`Queue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        // INVARIANT: lock poisoning means a holder panicked mid-update; the
+        // queue cannot vouch for its state, so propagating the panic is correct.
+        self.state.lock().unwrap().closed
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +169,24 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert!(t.join().unwrap());
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn try_push_never_blocks() {
+        let q = Queue::new(1);
+        assert!(q.try_push(1).is_ok());
+        match q.try_push(2) {
+            Err(TryPushError::Full(item)) => assert_eq!(item, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        q.close();
+        assert!(q.is_closed());
+        match q.try_push(4) {
+            Err(TryPushError::Closed(item)) => assert_eq!(item, 4),
+            other => panic!("expected Closed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod alerter;
 pub mod persist;
 pub mod repository;
+pub mod snapshot;
 pub mod stats;
 pub mod temporal;
 pub mod subscription;
@@ -33,6 +34,7 @@ pub mod subscription;
 pub use alerter::{Alerter, Notification};
 pub use persist::{load_chain, save_chain, PersistError};
 pub use repository::{LoadOutcome, Repository, RepositoryError};
+pub use snapshot::SnapshotStore;
 pub use stats::ChangeStats;
 pub use temporal::TemporalError;
 pub use subscription::{OpFilter, Subscription};

@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use xydelta::{ApplyError, Delta, VersionChain, XidDocument};
-use xydiff::{diff_cached, diff_with_scratch, DiffOptions, DiffScratch, SignatureCache};
+use xydiff::{Differ, DiffOptions, DiffScratch, SignatureCache};
 use xytree::{Document, ParseError};
 
 /// Errors surfaced by repository operations.
@@ -143,22 +143,8 @@ impl Repository {
     /// store's write lock, so concurrent pipelines parse in parallel and
     /// hold the lock only for diff + append.
     pub fn load_parsed(&self, key: &str, doc: Document) -> LoadOutcome {
-        let mut scratch = DiffScratch::new();
-        self.load_parsed_with_scratch(key, doc, &mut scratch)
-    }
-
-    /// [`Repository::load_parsed`] with caller-owned diff working memory.
-    ///
-    /// Long-lived ingest workers hold one [`DiffScratch`] each and pass it to
-    /// every load; combined with the per-document signature cache this makes
-    /// the steady-state ingest loop free of per-diff structural allocation.
-    pub fn load_parsed_with_scratch(
-        &self,
-        key: &str,
-        doc: Document,
-        scratch: &mut DiffScratch,
-    ) -> LoadOutcome {
-        self.try_load_parsed_with_scratch(key, doc, scratch)
+        let mut differ = self.differ();
+        self.try_load_parsed_with(key, doc, &mut differ)
             // INVARIANT: the only fallible step is static delta verification,
             // and every delta the BULD diff emits verifies (pinned by the
             // diff_deltas_verify property test); a failure here is a diff bug
@@ -166,19 +152,64 @@ impl Repository {
             .expect("BULD diff produced a delta that fails static verification")
     }
 
+    /// A [`Differ`] configured with this repository's diff options — what a
+    /// long-lived ingest worker should hold and pass to every
+    /// [`Repository::try_load_parsed_with`] call.
+    pub fn differ(&self) -> Differ {
+        Differ::new().with_options(self.opts.clone())
+    }
+
+    /// [`Repository::load_parsed`] with caller-owned diff working memory.
+    #[deprecated(
+        since = "0.1.0",
+        note = "hold a `xydiff::Differ` (see `Repository::differ`) and call \
+                `try_load_parsed_with`"
+    )]
+    pub fn load_parsed_with_scratch(
+        &self,
+        key: &str,
+        doc: Document,
+        scratch: &mut DiffScratch,
+    ) -> LoadOutcome {
+        let _ = scratch;
+        self.load_parsed(key, doc)
+    }
+
     /// [`Repository::load_parsed_with_scratch`], surfacing delta-verification
     /// failures instead of panicking.
-    ///
-    /// Every computed delta is checked by the static validator
-    /// ([`xydelta::verify`]) before the version is stored. On failure the
-    /// repository is left unchanged — the bad delta is neither appended to
-    /// the chain nor handed to the alerter — and the caller decides what to
-    /// do with the document (xyserve routes it to the dead-letter queue).
+    #[deprecated(
+        since = "0.1.0",
+        note = "hold a `xydiff::Differ` (see `Repository::differ`) and call \
+                `try_load_parsed_with`"
+    )]
     pub fn try_load_parsed_with_scratch(
         &self,
         key: &str,
         doc: Document,
         scratch: &mut DiffScratch,
+    ) -> Result<LoadOutcome, RepositoryError> {
+        let _ = scratch;
+        let mut differ = self.differ();
+        self.try_load_parsed_with(key, doc, &mut differ)
+    }
+
+    /// Install an already-parsed new version of `key`, using the caller's
+    /// [`Differ`] and surfacing delta-verification failures.
+    ///
+    /// The differ contributes the diff options and the reusable scratch
+    /// (long-lived workers hold one differ each, making steady-state ingest
+    /// free of per-diff structural allocation); the repository contributes
+    /// the per-document signature cache. Every computed delta is checked by
+    /// the static validator ([`xydelta::verify`]) before the version is
+    /// stored. On failure the repository is left unchanged — the bad delta
+    /// is neither appended to the chain nor handed to the alerter — and the
+    /// caller decides what to do with the document (xyserve routes it to the
+    /// dead-letter queue).
+    pub fn try_load_parsed_with(
+        &self,
+        key: &str,
+        doc: Document,
+        differ: &mut Differ,
     ) -> Result<LoadOutcome, RepositoryError> {
         let mut entries = self.entries.write();
         match entries.get_mut(key) {
@@ -200,9 +231,9 @@ impl Repository {
                 let chain = &mut stored.chain;
                 let t0 = std::time::Instant::now();
                 let result = if self.use_signature_cache {
-                    diff_cached(chain.latest(), &doc, &self.opts, scratch, &mut stored.cache)
+                    differ.diff_with_cache(chain.latest(), &doc, &mut stored.cache)
                 } else {
-                    diff_with_scratch(chain.latest(), &doc, &self.opts, scratch)
+                    differ.diff_uncached(chain.latest(), &doc)
                 };
                 xydelta::verify(&result.delta).map_err(RepositoryError::InvalidDelta)?;
                 let diff_time = t0.elapsed();

@@ -1,0 +1,255 @@
+//! Crash-safe, generation-based snapshots of a sharded repository set.
+//!
+//! The ingest server keeps its version chains in memory (Figure 1's loop is
+//! CPU-bound on the diff); this module gives it durability without a write
+//! path in the hot loop. A snapshot writes every shard with
+//! [`Repository::save_to`] into a *temporary* directory, then publishes it
+//! with two atomic renames:
+//!
+//! ```text
+//! <root>/tmp-gen-000042/…      written in full first
+//! <root>/gen-000042/…          rename(tmp, final)
+//! <root>/CURRENT               "gen-000042" via write-temp + rename
+//! ```
+//!
+//! A crash at any point leaves either the previous generation current (the
+//! new one is a stale `tmp-…`/unreferenced directory, ignored and later
+//! overwritten) or the new generation fully published. Readers only ever
+//! follow `CURRENT`, so they never observe a half-written tree.
+//!
+//! Restore is shard-count agnostic: chains are re-routed by key through a
+//! caller-supplied function, so a server restarted with a different shard
+//! count still finds every document.
+
+use crate::persist::{load_chain, PersistError};
+use crate::repository::Repository;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The pointer file naming the current generation.
+const CURRENT: &str = "CURRENT";
+
+/// A directory of snapshot generations with an atomically updated pointer
+/// to the newest complete one. See the module docs for the layout.
+pub struct SnapshotStore {
+    root: PathBuf,
+    keep: usize,
+}
+
+impl SnapshotStore {
+    /// Open (creating if missing) a snapshot store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<SnapshotStore, PersistError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(SnapshotStore { root, keep: 2 })
+    }
+
+    /// How many published generations to retain (minimum 1, default 2 —
+    /// the current one plus its predecessor as a fallback).
+    #[must_use]
+    pub fn with_keep(mut self, keep: usize) -> SnapshotStore {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The generation number `CURRENT` points at, if any generation has
+    /// been published. An unreadable or malformed pointer reads as `None`
+    /// (the store is treated as fresh; stale directories are overwritten).
+    pub fn current_generation(&self) -> Option<u64> {
+        let text = fs::read_to_string(self.root.join(CURRENT)).ok()?;
+        text.trim().strip_prefix("gen-")?.parse().ok()
+    }
+
+    fn generation_dir(&self, generation: u64) -> PathBuf {
+        self.root.join(format!("gen-{generation:06}"))
+    }
+
+    /// Write every shard into a fresh generation and publish it. Returns
+    /// the generation number. The previous generation stays readable until
+    /// pruned (see [`SnapshotStore::with_keep`]).
+    ///
+    /// Each chain is internally consistent (it is cloned under the shard's
+    /// lock), but chains captured while ingest is running may reflect
+    /// slightly different moments — the snapshot is per-document
+    /// consistent, not a global point-in-time cut.
+    pub fn save(&self, shards: &[Repository]) -> Result<u64, PersistError> {
+        let generation = self.current_generation().map_or(0, |g| g + 1);
+        let name = format!("gen-{generation:06}");
+        let tmp = self.root.join(format!("tmp-{name}"));
+        if tmp.exists() {
+            fs::remove_dir_all(&tmp)?;
+        }
+        fs::create_dir_all(&tmp)?;
+        for (i, shard) in shards.iter().enumerate() {
+            shard.save_to(&tmp.join(format!("shard-{i:03}")))?;
+        }
+        let target = self.generation_dir(generation);
+        if target.exists() {
+            // A crash after rename but before the CURRENT flip left an
+            // unreferenced generation behind; replace it.
+            fs::remove_dir_all(&target)?;
+        }
+        fs::rename(&tmp, &target)?;
+        let pointer_tmp = self.root.join("CURRENT.tmp");
+        fs::write(&pointer_tmp, &name)?;
+        fs::rename(&pointer_tmp, self.root.join(CURRENT))?;
+        self.prune(generation)?;
+        Ok(generation)
+    }
+
+    /// Remove generations older than the retention window.
+    fn prune(&self, current: u64) -> Result<(), PersistError> {
+        let cutoff = current.saturating_sub(self.keep as u64 - 1);
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(gen) = name.strip_prefix("gen-").and_then(|s| s.parse::<u64>().ok()) else {
+                continue;
+            };
+            if gen < cutoff {
+                fs::remove_dir_all(&path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load every chain of the current generation into `shards`, routing
+    /// each key through `route` (callers pass their live shard function, so
+    /// a changed shard count re-partitions cleanly). Returns the number of
+    /// chains restored; a store with no published generation restores 0.
+    pub fn restore_into(
+        &self,
+        shards: &[Repository],
+        route: impl Fn(&str) -> usize,
+    ) -> Result<usize, PersistError> {
+        let Some(generation) = self.current_generation() else {
+            return Ok(0);
+        };
+        let dir = self.generation_dir(generation);
+        let mut shard_dirs: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-"))
+            })
+            .collect();
+        shard_dirs.sort();
+        let mut restored = 0;
+        for shard_dir in shard_dirs {
+            let manifest = fs::read_to_string(shard_dir.join("manifest.txt"))?;
+            for line in manifest.lines().filter(|l| !l.trim().is_empty()) {
+                let doc_dir = shard_dir.join(line.trim());
+                let key = fs::read_to_string(doc_dir.join("key.txt"))?.trim().to_string();
+                let chain = load_chain(&doc_dir)?;
+                let idx = route(&key).min(shards.len().saturating_sub(1));
+                shards[idx].install_chain(key, chain);
+                restored += 1;
+            }
+        }
+        Ok(restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("xywarehouse-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn shard_pair() -> Vec<Repository> {
+        let shards = vec![Repository::new(), Repository::new()];
+        shards[0].load_version("a", "<a><v>1</v></a>").unwrap();
+        shards[0].load_version("a", "<a><v>2</v></a>").unwrap();
+        shards[1].load_version("b", "<b/>").unwrap();
+        shards
+    }
+
+    #[test]
+    fn save_then_restore_reproduces_every_chain() {
+        let root = tmp_root("roundtrip");
+        let store = SnapshotStore::open(&root).unwrap();
+        assert_eq!(store.current_generation(), None);
+        let shards = shard_pair();
+        assert_eq!(store.save(&shards).unwrap(), 0);
+        assert_eq!(store.current_generation(), Some(0));
+
+        // Restore into a *different* shard count with a new routing.
+        let fresh = vec![Repository::new(), Repository::new(), Repository::new()];
+        let restored = store
+            .restore_into(&fresh, |key| usize::from(key == "b") * 2)
+            .unwrap();
+        assert_eq!(restored, 2);
+        assert_eq!(fresh[0].latest_xml("a").unwrap(), "<a><v>2</v></a>");
+        assert_eq!(fresh[0].version_xml("a", 0).unwrap(), "<a><v>1</v></a>");
+        assert_eq!(fresh[2].latest_xml("b").unwrap(), "<b/>");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn generations_advance_and_prune() {
+        let root = tmp_root("prune");
+        let store = SnapshotStore::open(&root).unwrap().with_keep(2);
+        let shards = shard_pair();
+        for expect in 0..4 {
+            assert_eq!(store.save(&shards).unwrap(), expect);
+        }
+        assert_eq!(store.current_generation(), Some(3));
+        assert!(store.generation_dir(3).exists());
+        assert!(store.generation_dir(2).exists());
+        assert!(!store.generation_dir(1).exists(), "pruned");
+        assert!(!store.generation_dir(0).exists(), "pruned");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_tmp_directory_is_ignored_and_replaced() {
+        let root = tmp_root("crash");
+        let store = SnapshotStore::open(&root).unwrap();
+        let shards = shard_pair();
+        store.save(&shards).unwrap();
+        // Simulate a crash mid-write of the next generation: a tmp dir
+        // exists but CURRENT still points at generation 0.
+        fs::create_dir_all(root.join("tmp-gen-000001").join("shard-000")).unwrap();
+        fs::write(root.join("tmp-gen-000001").join("garbage"), "x").unwrap();
+        let fresh = vec![Repository::new()];
+        assert_eq!(store.restore_into(&fresh, |_| 0).unwrap(), 2);
+        // The next save claims generation 1, clobbering the stale tmp dir.
+        assert_eq!(store.save(&shards).unwrap(), 1);
+        assert_eq!(store.current_generation(), Some(1));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_store_restores_nothing() {
+        let root = tmp_root("empty");
+        let store = SnapshotStore::open(&root).unwrap();
+        let fresh = vec![Repository::new()];
+        assert_eq!(store.restore_into(&fresh, |_| 0).unwrap(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn restored_chain_continues_ingest() {
+        let root = tmp_root("continue");
+        let store = SnapshotStore::open(&root).unwrap();
+        let shards = shard_pair();
+        store.save(&shards).unwrap();
+        let fresh = vec![Repository::new()];
+        store.restore_into(&fresh, |_| 0).unwrap();
+        let out = fresh[0].load_version("a", "<a><v>3</v></a>").unwrap();
+        assert_eq!(out.version, 2);
+        assert_eq!(out.delta.counts().updates, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

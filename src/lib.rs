@@ -13,12 +13,14 @@
 //! - [`xyindex`] — full-text index maintained incrementally from deltas
 //! - [`xyhtml`] — HTML XMLization so web pages can be diffed
 //! - [`xyserve`] — concurrent ingestion server (Figure 1 at scale)
+//! - [`xynet`] — HTTP/1.1 network front for the ingestion server
 
 pub use xybase;
 pub use xydelta;
 pub use xydiff;
 pub use xyhtml;
 pub use xyindex;
+pub use xynet;
 pub use xyquery;
 pub use xyserve;
 pub use xysim;

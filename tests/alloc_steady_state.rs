@@ -11,7 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicIsize, Ordering};
 
 use xydiff_suite::xydelta::XidDocument;
-use xydiff_suite::xydiff::{diff_with_scratch, DiffOptions, DiffScratch};
+use xydiff_suite::xydiff::Differ;
 use xydiff_suite::xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
 
 struct CountingAlloc;
@@ -62,21 +62,21 @@ fn steady_state_diffing_does_not_grow_the_heap() {
         }
     }
 
-    let mut scratch = DiffScratch::new();
-    let opts = DiffOptions::default();
+    let mut differ = Differ::new();
 
-    // Warm-up: grows the scratch to workload capacity and initialises every
-    // lazy global on this path (symbol interner, hash tables).
+    // Warm-up: grows the differ's scratch to workload capacity and
+    // initialises every lazy global on this path (symbol interner, hash
+    // tables).
     for _ in 0..5 {
         for (old, new) in &cases {
-            let _ = diff_with_scratch(old, new, &opts, &mut scratch);
+            let _ = differ.diff(old, new);
         }
     }
 
     let before = LIVE_BYTES.load(Ordering::Relaxed);
     for _ in 0..25 {
         for (old, new) in &cases {
-            let _ = diff_with_scratch(old, new, &opts, &mut scratch);
+            let _ = differ.diff(old, new);
         }
     }
     let growth = LIVE_BYTES.load(Ordering::Relaxed) - before;

@@ -47,12 +47,13 @@ fn concurrent_ingestion_matches_serial_byte_for_byte() {
         }
     }
 
-    let server = Arc::new(IngestServer::start(ServeConfig {
-        workers: 4,
-        queue_capacity: 4, // tiny on purpose: producers must hit backpressure
-        shards: 4,
-        ..ServeConfig::default()
-    }));
+    let server = Arc::new(IngestServer::start(
+        ServeConfig::new()
+            .with_workers(4)
+            // Tiny on purpose: producers must hit backpressure.
+            .with_queue_capacity(4)
+            .with_shards(4),
+    ));
 
     // Four producer threads, each owning a disjoint slice of the documents
     // (per-key submission order must come from one thread).
@@ -103,16 +104,16 @@ fn alerter_delivers_every_notification_exactly_once() {
             .at_path(["catalog", "product"])
             .only(OpFilter::Insert),
     );
-    let server = IngestServer::start(ServeConfig {
-        workers: 4,
-        queue_capacity: 8,
-        shards: 4,
-        alerter,
-        // Every snapshot fails transiently once: retries must not duplicate
-        // notifications.
-        fault_hook: Some(Arc::new(|_, _, attempt| attempt == 1)),
-        ..ServeConfig::default()
-    });
+    let server = IngestServer::start(
+        ServeConfig::new()
+            .with_workers(4)
+            .with_queue_capacity(8)
+            .with_shards(4)
+            .with_alerter(alerter)
+            // Every snapshot fails transiently once: retries must not
+            // duplicate notifications.
+            .with_fault_hook(Arc::new(|_, _, attempt| attempt == 1)),
+    );
 
     // Each version of each document appends exactly one uniquely-labeled
     // product, so version v of any document fires exactly one insert alert.
@@ -149,14 +150,14 @@ fn alerter_delivers_every_notification_exactly_once() {
 /// the shutdown accounting covers every enqueued item.
 #[test]
 fn poison_corpus_is_dead_lettered_with_full_accounting() {
-    let server = IngestServer::start(ServeConfig {
-        workers: 3,
-        queue_capacity: 8,
-        shards: 2,
-        max_retries: 1,
-        fault_hook: Some(Arc::new(|key, _, _| key == "cursed")),
-        ..ServeConfig::default()
-    });
+    let server = IngestServer::start(
+        ServeConfig::new()
+            .with_workers(3)
+            .with_queue_capacity(8)
+            .with_shards(2)
+            .with_max_retries(1)
+            .with_fault_hook(Arc::new(|key, _, _| key == "cursed")),
+    );
 
     let mut good = 0u64;
     let mut poison = 0u64;

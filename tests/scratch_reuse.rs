@@ -1,18 +1,18 @@
 //! Scratch reuse and signature-cache equivalence.
 //!
-//! `DiffScratch` and `SignatureCache` are pure allocation optimisations: the
-//! diff's observable output — delta, new version, statistics — must be
-//! byte-identical whether the working memory is fresh, reused across many
-//! unrelated diffs, or seeded from a previous version's cache. These tests
-//! quantify that over random documents and over warehouse version chains.
+//! The working memory a [`Differ`] owns (its scratch) and `SignatureCache`
+//! are pure allocation optimisations: the diff's observable output — delta,
+//! new version, statistics — must be byte-identical whether the working
+//! memory is fresh, reused across many unrelated diffs, or seeded from a
+//! previous version's cache. These tests quantify that over random documents
+//! and over warehouse version chains, and pin the deprecated multi-arg
+//! entry points to the `Differ` results.
 
 use std::cell::RefCell;
 
 use proptest::prelude::*;
 use xydiff_suite::xydelta::{xml_io, XidDocument};
-use xydiff_suite::xydiff::{
-    diff, diff_cached, diff_with_scratch, DiffOptions, DiffScratch, SignatureCache,
-};
+use xydiff_suite::xydiff::{diff, Differ, DiffOptions, SignatureCache};
 use xydiff_suite::xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
 use xydiff_suite::xytree::{Document, NodeKind, Tree};
 use xydiff_suite::xywarehouse::{Alerter, Repository};
@@ -104,24 +104,23 @@ fn build(spec: &Spec) -> Document {
 }
 
 thread_local! {
-    /// One scratch shared by every proptest case on this thread, so by the
-    /// end of a run it has been reused across 100+ diffs of unrelated
-    /// documents of wildly different sizes — the dirtiest state it can be in.
-    static SHARED: RefCell<DiffScratch> = RefCell::new(DiffScratch::new());
+    /// One differ shared by every proptest case on this thread, so by the
+    /// end of a run its scratch has been reused across 100+ diffs of
+    /// unrelated documents of wildly different sizes — the dirtiest state
+    /// it can be in.
+    static SHARED: RefCell<Differ> = RefCell::new(Differ::new());
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// A reused scratch produces exactly the result a fresh diff does.
+    /// A reused differ produces exactly the result a fresh diff does.
     #[test]
-    fn reused_scratch_matches_fresh(sa in arb_spec(), sb in arb_spec()) {
+    fn reused_differ_matches_fresh(sa in arb_spec(), sb in arb_spec()) {
         let a = XidDocument::assign_initial(build(&sa));
         let b = build(&sb);
         let fresh = diff(&a, &b, &DiffOptions::default());
-        let reused = SHARED.with(|s| {
-            diff_with_scratch(&a, &b, &DiffOptions::default(), &mut s.borrow_mut())
-        });
+        let reused = SHARED.with(|s| s.borrow_mut().diff(&a, &b));
         prop_assert_eq!(
             xml_io::delta_to_xml(&fresh.delta),
             xml_io::delta_to_xml(&reused.delta),
@@ -130,23 +129,47 @@ proptest! {
         prop_assert_eq!(fresh.stats.matched_nodes, reused.stats.matched_nodes);
     }
 
-    /// Same for `diff_cached`: a cache warmed by an unrelated earlier diff
-    /// never changes the outcome (its entries are keyed by XID, so at worst
-    /// they miss — the coherence contract is exercised by the chain tests).
+    /// Same with an external cache: a cache warmed by an unrelated earlier
+    /// diff never changes the outcome (its entries are keyed by XID, so at
+    /// worst they miss — the coherence contract is exercised by the chain
+    /// tests).
     #[test]
     fn cached_diff_matches_fresh(sa in arb_spec(), sb in arb_spec()) {
         let a = XidDocument::assign_initial(build(&sa));
         let b = build(&sb);
         let fresh = diff(&a, &b, &DiffOptions::default());
-        let mut scratch = DiffScratch::new();
+        let mut differ = Differ::new();
         let mut cache = SignatureCache::new();
         // First run refreshes the cache for `a`'s XIDs; second run replays it.
-        let warm = diff_cached(&a, &b, &DiffOptions::default(), &mut scratch, &mut cache);
+        let warm = differ.diff_with_cache(&a, &b, &mut cache);
         prop_assert_eq!(
             xml_io::delta_to_xml(&fresh.delta),
             xml_io::delta_to_xml(&warm.delta),
         );
         prop_assert_eq!(fresh.new_version.doc.to_xml(), warm.new_version.doc.to_xml());
+    }
+
+    /// The deprecated multi-arg entry points stay byte-equivalent to the
+    /// `Differ` they now wrap, until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_match_differ(sa in arb_spec(), sb in arb_spec()) {
+        use xydiff_suite::xydiff::{diff_cached, diff_with_scratch, DiffScratch};
+        let a = XidDocument::assign_initial(build(&sa));
+        let b = build(&sb);
+        let via_differ = Differ::new().diff(&a, &b);
+        let mut scratch = DiffScratch::new();
+        let old_scratch = diff_with_scratch(&a, &b, &DiffOptions::default(), &mut scratch);
+        let mut cache = SignatureCache::new();
+        let old_cached = diff_cached(&a, &b, &DiffOptions::default(), &mut scratch, &mut cache);
+        prop_assert_eq!(
+            xml_io::delta_to_xml(&via_differ.delta),
+            xml_io::delta_to_xml(&old_scratch.delta),
+        );
+        prop_assert_eq!(
+            xml_io::delta_to_xml(&via_differ.delta),
+            xml_io::delta_to_xml(&old_cached.delta),
+        );
     }
 }
 
@@ -175,14 +198,13 @@ fn version_chain(kind: DocKind, n: usize, seed: u64) -> Vec<String> {
 fn cached_chain_equals_cold_chain() {
     for (kind, seed) in [(DocKind::Catalog, 11u64), (DocKind::Feed, 23), (DocKind::Generic, 37)] {
         let chain = version_chain(kind, 5, seed);
-        let mut scratch = DiffScratch::new();
+        let mut differ = Differ::new();
         let mut cache = SignatureCache::new();
         let mut latest = XidDocument::parse_initial(&chain[0]).unwrap();
         for new_xml in &chain[1..] {
             let new_doc = Document::parse(new_xml).unwrap();
             let cold = diff(&latest, &new_doc, &DiffOptions::default());
-            let cached =
-                diff_cached(&latest, &new_doc, &DiffOptions::default(), &mut scratch, &mut cache);
+            let cached = differ.diff_with_cache(&latest, &new_doc, &mut cache);
             assert_eq!(
                 xml_io::delta_to_xml(&cold.delta),
                 xml_io::delta_to_xml(&cached.delta),
