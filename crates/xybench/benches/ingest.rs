@@ -11,7 +11,13 @@ use xyserve::{IngestServer, ServeConfig};
 
 fn ingest_corpus(corpus: &[(String, Vec<String>)], workers: usize) {
     let server = IngestServer::start(
-        ServeConfig::new().with_workers(workers).with_queue_capacity(64).with_shards(8),
+        ServeConfig::new()
+            .with_workers(workers)
+            .unwrap()
+            .with_queue_capacity(64)
+            .unwrap()
+            .with_shards(8)
+            .unwrap(),
     );
     let max_versions = corpus.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
     for round in 0..max_versions {

@@ -119,7 +119,13 @@ fn serve_bench() {
     for clients in [1usize, 4] {
         let server = NetServer::start(
             NetConfig::new().with_http_workers(clients.max(2)),
-            ServeConfig::new().with_workers(4).with_queue_capacity(64).with_shards(8),
+            ServeConfig::new()
+                .with_workers(4)
+                .unwrap()
+                .with_queue_capacity(64)
+                .unwrap()
+                .with_shards(8)
+                .unwrap(),
         )
         .expect("bind loopback");
         let addr = server.local_addr();
@@ -340,15 +346,21 @@ fn ingest() {
         corpus[0].1.len(),
         fmt_bytes(corpus[0].1[0].len()),
     );
-    println!("| workers | wall time | docs/sec | speedup | queue high-water | diff mean | diff p99 | total p99 |");
-    println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
+    println!("| workers | wall time | docs/sec | speedup | queue high-water | steals | stolen jobs | diff mean | diff p99 | total p99 |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
     let mut base_rate = None;
     let mut last_metrics = String::new();
     let mut json_rows: Vec<String> = Vec::new();
     for workers in [1usize, 2, 4] {
-        let server = IngestServer::start(
-            ServeConfig::new().with_workers(workers).with_queue_capacity(64).with_shards(8),
-        );
+        let config = ServeConfig::new()
+            .with_workers(workers)
+            .unwrap()
+            .with_queue_capacity(64)
+            .unwrap()
+            .with_shards(8)
+            .unwrap();
+        eprintln!("effective: {}", config.effective());
+        let server = IngestServer::start(config);
         let t = Instant::now();
         // Round-robin across documents, as a crawler sweep would: version i
         // of every document before version i+1 of any, so the chains of
@@ -366,8 +378,10 @@ fn ingest() {
         let m = server.metrics();
         let rate = snapshots as f64 / wall.as_secs_f64();
         let speedup = rate / *base_rate.get_or_insert(rate);
+        let steals = m.steals.get();
+        let stolen = m.stolen_jobs.get();
         println!(
-            "| {workers} | {} | {:.0} | {speedup:.2}x | {} | {} µs | {} µs | {} µs |",
+            "| {workers} | {} | {:.0} | {speedup:.2}x | {} | {steals} | {stolen} | {} µs | {} µs | {} µs |",
             fmt_dur(wall),
             rate,
             m.queue_depth.high_water(),
@@ -377,8 +391,8 @@ fn ingest() {
         );
         json_rows.push(format!(
             "    {{ \"workers\": {workers}, \"wall_secs\": {:.4}, \"docs_per_sec\": {rate:.2}, \
-             \"speedup\": {speedup:.3}, \"diff_mean_micros\": {}, \"diff_p99_micros\": {}, \
-             \"total_p99_micros\": {} }}",
+             \"speedup\": {speedup:.3}, \"steals\": {steals}, \"stolen_jobs\": {stolen}, \
+             \"diff_mean_micros\": {}, \"diff_p99_micros\": {}, \"total_p99_micros\": {} }}",
             wall.as_secs_f64(),
             m.diff_time.mean_micros(),
             m.diff_time.quantile_bound_micros(0.99),

@@ -22,9 +22,26 @@ pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--workers" => config = config.with_workers(flag_value(&mut it, "--workers")?),
-            "--queue" => config = config.with_queue_capacity(flag_value(&mut it, "--queue")?),
-            "--shards" => config = config.with_shards(flag_value(&mut it, "--shards")?),
+            "--workers" => {
+                config = config
+                    .with_workers(flag_value(&mut it, "--workers")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--queue" => {
+                config = config
+                    .with_queue_capacity(flag_value(&mut it, "--queue")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--shards" => {
+                config = config
+                    .with_shards(flag_value(&mut it, "--shards")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--steal-batch" => {
+                config = config
+                    .with_steal_batch(flag_value(&mut it, "--steal-batch")?)
+                    .map_err(|e| e.to_string())?;
+            }
             "--quiet" => quiet = true,
             f if !f.starts_with("--") => {
                 if dir.replace(PathBuf::from(f)).is_some() {
@@ -42,6 +59,9 @@ pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
         return Err(format!("{}: no .xml snapshots found", dir.display()));
     }
 
+    if !quiet {
+        eprintln!("xydiff ingest: {}", config.effective());
+    }
     let server = IngestServer::start(config);
     // Round-robin across documents: version i of every document before
     // version i+1 of any, so concurrent chains genuinely interleave.

@@ -80,11 +80,11 @@ pub(crate) fn usage() -> String {
      xydiff store DIR history KEY         list versions with delta summaries\n  \
      xydiff store DIR changes KEY FROM TO print the aggregated delta\n  \
      xydiff store DIR keys                list stored documents\n  \
-     xydiff ingest [--workers N] [--queue N] [--shards N] [--quiet] DIR\n  \
+     xydiff ingest [--workers N] [--queue N] [--shards N] [--steal-batch N] [--quiet] DIR\n  \
        \u{20}                              ingest a snapshot corpus concurrently\n  \
        \u{20}                              (DIR/key/*.xml sorted = versions; metrics on stdout)\n  \
      xydiff serve [--addr HOST:PORT] [--workers N] [--http-workers N] [--queue N]\n  \
-       \u{20}      [--shards N] [--max-body BYTES] [--snapshot-dir DIR]\n  \
+       \u{20}      [--shards N] [--steal-batch N] [--max-body BYTES] [--snapshot-dir DIR]\n  \
        \u{20}      [--snapshot-interval SECS] [--quiet]\n  \
        \u{20}                              run the HTTP ingestion server\n  \
        \u{20}                              (POST /ingest/KEY, GET /metrics|/healthz|/doc/KEY;\n  \

@@ -29,12 +29,29 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--addr needs a value (e.g. 127.0.0.1:8080)")?;
                 net = net.with_addr(v.clone());
             }
-            "--workers" => serve = serve.with_workers(flag_value(&mut it, "--workers")?),
+            "--workers" => {
+                serve = serve
+                    .with_workers(flag_value(&mut it, "--workers")?)
+                    .map_err(|e| e.to_string())?;
+            }
             "--http-workers" => {
                 net = net.with_http_workers(flag_value(&mut it, "--http-workers")?);
             }
-            "--queue" => serve = serve.with_queue_capacity(flag_value(&mut it, "--queue")?),
-            "--shards" => serve = serve.with_shards(flag_value(&mut it, "--shards")?),
+            "--queue" => {
+                serve = serve
+                    .with_queue_capacity(flag_value(&mut it, "--queue")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--shards" => {
+                serve = serve
+                    .with_shards(flag_value(&mut it, "--shards")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--steal-batch" => {
+                serve = serve
+                    .with_steal_batch(flag_value(&mut it, "--steal-batch")?)
+                    .map_err(|e| e.to_string())?;
+            }
             "--max-body" => net = net.with_max_body_bytes(flag_value(&mut it, "--max-body")?),
             "--snapshot-dir" => {
                 let v = it.next().ok_or("--snapshot-dir needs a directory")?;
@@ -57,8 +74,10 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         return Err("--snapshot-interval needs --snapshot-dir".to_string());
     }
 
+    let effective = serve.effective();
     let server = NetServer::start(net, serve).map_err(|e| e.to_string())?;
     eprintln!("xydiff serve: listening on http://{}", server.local_addr());
+    eprintln!("xydiff serve: {effective}");
     eprintln!("xydiff serve: POST /admin/shutdown (or close stdin) to drain");
 
     // Wake the waiter when stdin reaches EOF. The thread is deliberately

@@ -14,7 +14,7 @@
 //!
 //! let server = NetServer::start(
 //!     NetConfig::new().with_addr("127.0.0.1:8080"),
-//!     ServeConfig::new().with_workers(4),
+//!     ServeConfig::new().with_workers(4).expect("valid worker count"),
 //! )
 //! .expect("bind failed");
 //! println!("listening on {}", server.local_addr());

@@ -77,7 +77,10 @@ fn start(net: NetConfig, serve: ServeConfig) -> NetServer {
 
 #[test]
 fn ingest_roundtrip_stores_versions_and_serves_them_back() {
-    let server = start(NetConfig::new(), ServeConfig::new().with_workers(2).with_shards(2));
+    let server = start(
+        NetConfig::new(),
+        ServeConfig::new().with_workers(2).unwrap().with_shards(2).unwrap(),
+    );
     let addr = server.local_addr();
 
     let v0 = "<catalog><product>alpha</product></catalog>";
@@ -118,7 +121,7 @@ fn ingest_roundtrip_stores_versions_and_serves_them_back() {
 fn typed_errors_for_bad_requests_and_bad_routes() {
     let server = start(
         NetConfig::new().with_max_body_bytes(64).with_max_head_bytes(512),
-        ServeConfig::new().with_workers(1),
+        ServeConfig::new().with_workers(1).unwrap(),
     );
     let addr = server.local_addr();
 
@@ -151,7 +154,7 @@ fn typed_errors_for_bad_requests_and_bad_routes() {
 
 #[test]
 fn keep_alive_serves_sequential_requests_on_one_connection() {
-    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1));
+    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1).unwrap());
     let addr = server.local_addr();
 
     let mut stream = TcpStream::connect(addr).expect("connect");
@@ -187,7 +190,12 @@ fn full_queue_sheds_with_503_and_retry_after() {
 
     let server = Arc::new(start(
         NetConfig::new().with_http_workers(4).with_retry_after_secs(7),
-        ServeConfig::new().with_workers(1).with_queue_capacity(1).with_fault_hook(Arc::new(
+        ServeConfig::new()
+            .with_workers(1)
+            .unwrap()
+            .with_queue_capacity(1)
+            .unwrap()
+            .with_fault_hook(Arc::new(
             |key, _, _| {
                 // Park the single worker while HOLD is up, but only for the
                 // designated key so the release path drains instantly.
@@ -239,7 +247,7 @@ fn full_queue_sheds_with_503_and_retry_after() {
 
 #[test]
 fn metrics_exposition_covers_both_layers() {
-    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1));
+    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1).unwrap());
     let addr = server.local_addr();
     request(addr, "POST", "/ingest/m", Some("<d/>"));
     let (code, text) = request(addr, "GET", "/metrics", None);
@@ -259,7 +267,7 @@ fn metrics_exposition_covers_both_layers() {
 
 #[test]
 fn admin_shutdown_drains_and_flips_health() {
-    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1));
+    let server = start(NetConfig::new(), ServeConfig::new().with_workers(1).unwrap());
     let addr = server.local_addr();
 
     let (code, text) = request(addr, "GET", "/healthz", None);

@@ -7,22 +7,30 @@
 //! the single-threaded loop the other crates implement into that service
 //! shape:
 //!
-//! - [`queue::Queue`] — a bounded MPMC work queue (std `Mutex`/`Condvar`
-//!   only) whose blocking `push` is the backpressure toward the crawler;
+//! - [`scheduler::Scheduler`] — a sharded work-stealing scheduler (std
+//!   `Mutex`/`Condvar`/atomics only): one bounded deque per worker, keys
+//!   routed to a home deque, idle workers steal FIFO batches of whole
+//!   key-runs, with a single global capacity budget as the backpressure
+//!   toward the crawler;
+//! - [`queue::Queue`] — the original bounded MPMC work queue, still used
+//!   where strict FIFO over one lane is the right shape (the HTTP front's
+//!   connection queue in `xynet`);
 //! - [`IngestServer`] — a worker pool over hash-sharded
 //!   [`xywarehouse::Repository`] shards, with per-key ordering, bounded
 //!   retry for transient failures, and a dead-letter queue for poison
 //!   documents;
-//! - [`metrics::Metrics`] — atomic counters, queue-depth gauge, and
-//!   per-phase latency histograms with a Prometheus text exposition.
+//! - [`metrics::Metrics`] — atomic counters, per-deque depth gauges, steal
+//!   counters, and per-phase latency histograms with a Prometheus text
+//!   exposition.
 //!
 //! `ServeConfig` is `#[non_exhaustive]` and built through `with_*` methods,
-//! so new knobs (snapshots, network limits) never break callers:
+//! so new knobs (snapshots, network limits) never break callers; the
+//! capacity-like knobs validate and return a typed [`ConfigError`]:
 //!
 //! ```
 //! use xyserve::{IngestServer, ServeConfig};
 //!
-//! let server = IngestServer::start(ServeConfig::new().with_workers(2));
+//! let server = IngestServer::start(ServeConfig::new().with_workers(2).unwrap());
 //! server.submit("doc.xml", "<doc><p>v0</p></doc>").unwrap();
 //! // Tracked submissions resolve to the stored version and delta size.
 //! let ticket = server.submit_tracked("doc.xml", "<doc><p>v1</p></doc>").unwrap();
@@ -38,11 +46,13 @@
 
 pub mod metrics;
 pub mod queue;
+pub mod scheduler;
 pub mod server;
 
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
-pub use queue::Queue;
+pub use queue::{Closed, Queue, TryPushError};
+pub use scheduler::{SchedEvent, SchedHook, Scheduler, Steal};
 pub use server::{
-    Completed, DeadLetter, FaultHook, IngestOutcome, IngestServer, ServeConfig, ShutdownReport,
-    SnapshotPolicy, StartError, SubmitError, Ticket,
+    home_worker, Completed, ConfigError, DeadLetter, EffectiveConfig, FaultHook, IngestOutcome,
+    IngestServer, ServeConfig, ShutdownReport, SnapshotPolicy, StartError, SubmitError, Ticket,
 };

@@ -30,6 +30,13 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Sync this counter to an externally maintained monotone total (e.g. a
+    /// counter owned by the scheduler). `fetch_max` keeps the counter
+    /// monotone even when several workers observe the total concurrently.
+    pub fn observe_total(&self, total: u64) {
+        self.0.fetch_max(total, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -208,6 +215,23 @@ pub mod expo {
         writeln!(out, "{name} {value}").unwrap();
     }
 
+    /// Append one gauge family whose series carry a label, e.g.
+    /// `ingest_deque_depth{deque="0"} 3`. Zero-valued series are kept so
+    /// scrapes always see the full label set.
+    pub fn labeled_gauge(
+        out: &mut String,
+        name: &str,
+        help: &str,
+        label: &str,
+        series: &[(String, f64)],
+    ) {
+        header(out, name, help, "gauge");
+        for (value, v) in series {
+            // INVARIANT: writing to a String cannot fail.
+            writeln!(out, "{name}{{{label}=\"{value}\"}} {v}").unwrap();
+        }
+    }
+
     /// Append one histogram family in seconds (`name` should end in
     /// `_seconds`): cumulative `_bucket{le="…"}` series with exact `le`
     /// semantics (the histogram's µs buckets have inclusive upper bounds),
@@ -248,8 +272,15 @@ pub struct Metrics {
     pub snapshots: Counter,
     /// Persistence snapshot attempts that failed.
     pub snapshot_errors: Counter,
-    /// Current queue depth (with high-water mark).
+    /// Steal operations performed by idle workers.
+    pub steals: Counter,
+    /// Jobs moved by steal operations (sum of batch sizes).
+    pub stolen_jobs: Counter,
+    /// Current queue depth across all deques (with high-water mark).
     pub queue_depth: Gauge,
+    /// Per-deque depth, one gauge per worker deque (empty when the
+    /// registry is not attached to a scheduler).
+    pub deque_depth: Vec<Gauge>,
     /// XML parse time per snapshot.
     pub parse_time: Histogram,
     /// BULD diff time per snapshot (from the repository's stats hook).
@@ -273,7 +304,10 @@ impl Default for Metrics {
             alerts_fired: Counter::default(),
             snapshots: Counter::default(),
             snapshot_errors: Counter::default(),
+            steals: Counter::default(),
+            stolen_jobs: Counter::default(),
             queue_depth: Gauge::default(),
+            deque_depth: Vec::new(),
             parse_time: Histogram::default(),
             diff_time: Histogram::default(),
             alert_time: Histogram::default(),
@@ -288,6 +322,14 @@ impl Metrics {
     /// A fresh registry; the uptime clock starts now.
     pub fn new() -> Metrics {
         Metrics::default()
+    }
+
+    /// A fresh registry with one per-deque depth gauge per worker deque.
+    pub fn with_deques(n: usize) -> Metrics {
+        Metrics {
+            deque_depth: (0..n).map(|_| Gauge::default()).collect(),
+            ..Metrics::default()
+        }
     }
 
     /// Seconds since the registry was created.
@@ -350,6 +392,18 @@ impl Metrics {
             "Persistence snapshot attempts that failed.",
             self.snapshot_errors.get(),
         );
+        expo::counter(
+            &mut out,
+            "ingest_steals_total",
+            "Steal operations performed by idle workers.",
+            self.steals.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_stolen_jobs_total",
+            "Snapshots moved between worker deques by stealing.",
+            self.stolen_jobs.get(),
+        );
         expo::gauge(
             &mut out,
             "ingest_queue_depth",
@@ -362,6 +416,21 @@ impl Metrics {
             "Highest queue depth observed since start.",
             self.queue_depth.high_water() as f64,
         );
+        if !self.deque_depth.is_empty() {
+            let series: Vec<(String, f64)> = self
+                .deque_depth
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (i.to_string(), g.get() as f64))
+                .collect();
+            expo::labeled_gauge(
+                &mut out,
+                "ingest_deque_depth",
+                "Snapshots currently waiting in each worker deque.",
+                "deque",
+                &series,
+            );
+        }
         expo::gauge(
             &mut out,
             "ingest_uptime_seconds",
@@ -506,6 +575,33 @@ mod tests {
             s
         };
         assert!(text.contains("t_seconds_bucket{le=\"0.000001\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn observe_total_is_monotone() {
+        let c = Counter::default();
+        c.observe_total(5);
+        assert_eq!(c.get(), 5);
+        // A stale (smaller) total observed late never winds the counter back.
+        c.observe_total(3);
+        assert_eq!(c.get(), 5);
+        c.observe_total(9);
+        assert_eq!(c.get(), 9);
+    }
+
+    #[test]
+    fn deque_depth_gauges_render_with_labels() {
+        let m = Metrics::with_deques(2);
+        m.deque_depth[0].set(3);
+        m.steals.observe_total(4);
+        m.stolen_jobs.observe_total(11);
+        let text = m.render();
+        assert!(text.contains("ingest_deque_depth{deque=\"0\"} 3"), "{text}");
+        assert!(text.contains("ingest_deque_depth{deque=\"1\"} 0"), "{text}");
+        assert!(text.contains("ingest_steals_total 4"), "{text}");
+        assert!(text.contains("ingest_stolen_jobs_total 11"), "{text}");
+        // A registry with no deques omits the family entirely.
+        assert!(!Metrics::new().render().contains("ingest_deque_depth{"), "empty label set");
     }
 
     #[test]

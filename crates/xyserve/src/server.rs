@@ -38,7 +38,8 @@
 //! version chains.
 
 use crate::metrics::Metrics;
-use crate::queue::{Queue, TryPushError};
+use crate::queue::TryPushError;
+use crate::scheduler::{SchedHook, Scheduler};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
@@ -107,51 +108,167 @@ impl SnapshotPolicy {
     }
 }
 
+/// A rejected [`ServeConfig`] knob, reported by the fallible `with_*`
+/// builders (and re-checked by [`IngestServer::try_start`] in case a caller
+/// mutated the public fields directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `workers` was 0 — the server would accept work and never run it.
+    ZeroWorkers,
+    /// `workers` exceeded [`ServeConfig::MAX_WORKERS`].
+    TooManyWorkers {
+        /// The rejected worker count.
+        requested: usize,
+        /// The permitted maximum.
+        max: usize,
+    },
+    /// `queue_capacity` was 0 — every submit would shed.
+    ZeroQueueCapacity,
+    /// `shards` was 0 — there would be nowhere to store documents.
+    ZeroShards,
+    /// `shards` was not a power of two, so hash partitioning would be
+    /// visibly biased (and masking unavailable).
+    ShardsNotPowerOfTwo {
+        /// The rejected shard count.
+        requested: usize,
+    },
+    /// `steal_batch` was 0 — idle workers could never steal anything.
+    ZeroStealBatch,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::TooManyWorkers { requested, max } => {
+                write!(f, "workers = {requested} exceeds the maximum of {max}")
+            }
+            ConfigError::ZeroQueueCapacity => write!(f, "queue capacity must be at least 1"),
+            ConfigError::ZeroShards => write!(f, "shards must be at least 1"),
+            ConfigError::ShardsNotPowerOfTwo { requested } => {
+                write!(f, "shards = {requested} is not a power of two")
+            }
+            ConfigError::ZeroStealBatch => write!(f, "steal batch must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The values a validated [`ServeConfig`] actually runs with, including how
+/// the worker count relates to the host's parallelism. Rendered by
+/// `Display` (one line, `key=value` pairs) for operator-facing reporting —
+/// `xydiff serve` and `repro ingest` print it at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EffectiveConfig {
+    /// Worker threads (and scheduler deques) the server will run.
+    pub workers: usize,
+    /// The host's available parallelism (0 when undetectable).
+    pub available_parallelism: usize,
+    /// True when `workers` exceeds the host's available parallelism —
+    /// legal (CI runs 8 workers on 1 core to shake out interleavings) but
+    /// worth surfacing, because it adds context switching without speedup.
+    pub oversubscribed: bool,
+    /// Repository shards.
+    pub shards: usize,
+    /// Global scheduler capacity (sum of deque depths).
+    pub queue_capacity: usize,
+    /// Jobs an idle worker steals per scan (before key-run completion).
+    pub steal_batch: usize,
+    /// Transient-failure retry budget.
+    pub max_retries: u32,
+}
+
+impl std::fmt::Display for EffectiveConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workers={} available_parallelism={} oversubscribed={} shards={} \
+             queue_capacity={} steal_batch={} max_retries={}",
+            self.workers,
+            self.available_parallelism,
+            self.oversubscribed,
+            self.shards,
+            self.queue_capacity,
+            self.steal_batch,
+            self.max_retries
+        )
+    }
+}
+
 /// Configuration of an [`IngestServer`].
 ///
 /// Built with [`ServeConfig::new`] plus `with_*` methods. The struct is
 /// `#[non_exhaustive]`: construct it through the builder, not a struct
 /// literal, so new fields (as the HTTP and snapshot layers grow) do not
-/// break downstream callers.
+/// break downstream callers. The builders for the capacity-like knobs
+/// (`workers`, `queue_capacity`, `shards`, `steal_batch`) are fallible and
+/// reject degenerate values with a typed [`ConfigError`] instead of
+/// silently clamping; [`ServeConfig::effective`] reports what a validated
+/// config will actually run with.
 #[derive(Clone)]
 #[non_exhaustive]
 pub struct ServeConfig {
-    /// Number of worker threads.
+    /// Number of worker threads (one scheduler deque each).
     pub workers: usize,
-    /// Bounded queue capacity (backpressure threshold).
+    /// Global scheduler capacity — the backpressure threshold over the
+    /// *sum* of all deque depths.
     pub queue_capacity: usize,
     /// How many times a transient failure is retried before dead-lettering.
     pub max_retries: u32,
-    /// Number of repository shards (keys are hash-partitioned).
+    /// Number of repository shards (keys are hash-partitioned; must be a
+    /// power of two).
     pub shards: usize,
+    /// Jobs an idle worker steals per scan (whole key-runs may extend it).
+    pub steal_batch: usize,
     /// Diff options used by every shard.
     pub diff_options: DiffOptions,
     /// Subscriptions evaluated on every ingested delta.
     pub alerter: Alerter,
     /// Transient-failure injection for tests; `None` in production.
     pub fault_hook: Option<FaultHook>,
+    /// Scheduler decision-point observer for tests; `None` in production.
+    pub sched_hook: Option<SchedHook>,
     /// Periodic persistence; `None` keeps the server memory-only.
     pub snapshots: Option<SnapshotPolicy>,
 }
 
 impl ServeConfig {
+    /// Upper bound on the worker count — far above any sane pool, low
+    /// enough to catch a units mistake (e.g. passing a byte size).
+    pub const MAX_WORKERS: usize = 1024;
+
     /// The default configuration (same as [`ServeConfig::default`]).
     pub fn new() -> ServeConfig {
         ServeConfig::default()
     }
 
-    /// Set the worker-thread count.
-    #[must_use]
-    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+    /// Set the worker-thread count. Rejects 0 and counts above
+    /// [`ServeConfig::MAX_WORKERS`]; oversubscribing the host is allowed
+    /// (and flagged by [`ServeConfig::effective`]).
+    pub fn with_workers(mut self, workers: usize) -> Result<ServeConfig, ConfigError> {
+        if workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if workers > ServeConfig::MAX_WORKERS {
+            return Err(ConfigError::TooManyWorkers {
+                requested: workers,
+                max: ServeConfig::MAX_WORKERS,
+            });
+        }
         self.workers = workers;
-        self
+        Ok(self)
     }
 
-    /// Set the bounded queue capacity.
-    #[must_use]
-    pub fn with_queue_capacity(mut self, capacity: usize) -> ServeConfig {
+    /// Set the global scheduler capacity. Rejects 0.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Result<ServeConfig, ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
         self.queue_capacity = capacity;
-        self
+        Ok(self)
     }
 
     /// Set the transient-failure retry budget.
@@ -161,11 +278,67 @@ impl ServeConfig {
         self
     }
 
-    /// Set the repository shard count.
-    #[must_use]
-    pub fn with_shards(mut self, shards: usize) -> ServeConfig {
+    /// Set the repository shard count. Rejects 0 and non-powers-of-two.
+    pub fn with_shards(mut self, shards: usize) -> Result<ServeConfig, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if !shards.is_power_of_two() {
+            return Err(ConfigError::ShardsNotPowerOfTwo { requested: shards });
+        }
         self.shards = shards;
-        self
+        Ok(self)
+    }
+
+    /// Set how many jobs an idle worker steals per scan. Rejects 0.
+    pub fn with_steal_batch(mut self, batch: usize) -> Result<ServeConfig, ConfigError> {
+        if batch == 0 {
+            return Err(ConfigError::ZeroStealBatch);
+        }
+        self.steal_batch = batch;
+        Ok(self)
+    }
+
+    /// Check every invariant the `with_*` builders enforce — the backstop
+    /// for callers that set the public fields directly.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.workers > ServeConfig::MAX_WORKERS {
+            return Err(ConfigError::TooManyWorkers {
+                requested: self.workers,
+                max: ServeConfig::MAX_WORKERS,
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if !self.shards.is_power_of_two() {
+            return Err(ConfigError::ShardsNotPowerOfTwo { requested: self.shards });
+        }
+        if self.steal_batch == 0 {
+            return Err(ConfigError::ZeroStealBatch);
+        }
+        Ok(())
+    }
+
+    /// What this config will actually run with (host parallelism,
+    /// oversubscription flag) — for operator-facing startup reporting.
+    pub fn effective(&self) -> EffectiveConfig {
+        let available = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+        EffectiveConfig {
+            workers: self.workers,
+            available_parallelism: available,
+            oversubscribed: available > 0 && self.workers > available,
+            shards: self.shards,
+            queue_capacity: self.queue_capacity,
+            steal_batch: self.steal_batch,
+            max_retries: self.max_retries,
+        }
     }
 
     /// Set the diff options used by every shard.
@@ -189,11 +362,33 @@ impl ServeConfig {
         self
     }
 
+    /// Install a scheduler decision-point observer (tests).
+    #[must_use]
+    pub fn with_sched_hook(mut self, hook: SchedHook) -> ServeConfig {
+        self.sched_hook = Some(hook);
+        self
+    }
+
     /// Enable periodic shard snapshots under `policy`.
     #[must_use]
     pub fn with_snapshots(mut self, policy: SnapshotPolicy) -> ServeConfig {
         self.snapshots = Some(policy);
         self
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_retries", &self.max_retries)
+            .field("shards", &self.shards)
+            .field("steal_batch", &self.steal_batch)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .field("sched_hook", &self.sched_hook.is_some())
+            .field("snapshots", &self.snapshots)
+            .finish_non_exhaustive()
     }
 }
 
@@ -204,9 +399,11 @@ impl Default for ServeConfig {
             queue_capacity: 128,
             max_retries: 2,
             shards: 8,
+            steal_batch: 4,
             diff_options: DiffOptions::default(),
             alerter: Alerter::new(),
             fault_hook: None,
+            sched_hook: None,
             snapshots: None,
         }
     }
@@ -297,12 +494,15 @@ impl std::error::Error for SubmitError {}
 pub enum StartError {
     /// Opening or restoring the snapshot store failed.
     Snapshot(PersistError),
+    /// The configuration failed [`ServeConfig::validate`].
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for StartError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StartError::Snapshot(e) => write!(f, "snapshot store: {e}"),
+            StartError::Config(e) => write!(f, "invalid config: {e}"),
         }
     }
 }
@@ -368,7 +568,7 @@ struct SnapshotState {
 
 struct Inner {
     shards: Vec<Repository>,
-    queue: Queue<Job>,
+    sched: Scheduler<Job>,
     gates: Mutex<HashMap<String, Gate>>,
     metrics: Metrics,
     dead: Mutex<Vec<DeadLetter>>,
@@ -399,7 +599,10 @@ impl IngestServer {
     /// Start a server with `config`, restoring the latest published
     /// snapshot generation first when persistence is configured.
     pub fn try_start(config: ServeConfig) -> Result<IngestServer, StartError> {
-        let shard_count = config.shards.max(1);
+        // The builders already reject these, but the fields are public —
+        // re-validate so direct mutation cannot smuggle in a degenerate pool.
+        config.validate().map_err(StartError::Config)?;
+        let shard_count = config.shards;
         let shards: Vec<Repository> = (0..shard_count)
             .map(|_| {
                 Repository::with_options(config.diff_options.clone(), config.alerter.clone())
@@ -423,23 +626,30 @@ impl IngestServer {
             }
             None => None,
         };
+        let sched = {
+            let s = Scheduler::new(config.workers, config.queue_capacity, config.steal_batch);
+            match config.sched_hook.clone() {
+                Some(hook) => s.with_hook(hook),
+                None => s,
+            }
+        };
         let inner = Arc::new(Inner {
             shards,
-            queue: Queue::new(config.queue_capacity),
+            sched,
             gates: Mutex::new(HashMap::new()),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_deques(config.workers),
             dead: Mutex::new(Vec::new()),
             notifications: Mutex::new(Vec::new()),
             max_retries: config.max_retries,
             fault_hook: config.fault_hook.clone(),
             snapshot,
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..config.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("xyserve-worker-{i}"))
-                    .spawn(move || inner.worker_loop())
+                    .spawn(move || inner.worker_loop(i))
                     // INVARIANT: thread spawn fails only on OS resource exhaustion at
                     // startup; there is no server to run without its workers.
                     .expect("spawn worker thread")
@@ -474,9 +684,9 @@ impl IngestServer {
         };
         self.inner.metrics.enqueued.inc();
         let job = Job { key: key.to_string(), xml, seq, done };
-        match self.inner.queue.push(job) {
+        match self.inner.sched.push(key_hash(key), job) {
             Ok(()) => {
-                self.inner.metrics.queue_depth.set(self.inner.queue.len() as u64);
+                self.inner.sync_sched_metrics();
                 Ok(())
             }
             Err(crate::queue::Closed(job)) => {
@@ -526,12 +736,12 @@ impl IngestServer {
         let g = gates.entry(key.to_string()).or_default();
         let seq = g.next_submit;
         let job = Job { key: key.to_string(), xml: xml.into(), seq, done: Some(tx) };
-        match self.inner.queue.try_push(job) {
+        match self.inner.sched.try_push(key_hash(key), job) {
             Ok(()) => {
                 g.next_submit += 1;
                 drop(gates);
                 self.inner.metrics.enqueued.inc();
-                self.inner.metrics.queue_depth.set(self.inner.queue.len() as u64);
+                self.inner.sync_sched_metrics();
                 Ok(Ticket { rx })
             }
             Err(TryPushError::Full(_)) => Err(SubmitError::QueueFull),
@@ -593,12 +803,12 @@ impl IngestServer {
     /// already queued. Idempotent; [`IngestServer::shutdown`] completes the
     /// drain and joins the pool.
     pub fn begin_drain(&self) {
-        self.inner.queue.close();
+        self.inner.sched.close();
     }
 
     /// True once a drain (or shutdown) has started.
     pub fn is_draining(&self) -> bool {
-        self.inner.queue.is_closed()
+        self.inner.sched.is_closed()
     }
 
     /// The error of the most recent failed snapshot attempt, if the most
@@ -615,7 +825,7 @@ impl IngestServer {
     /// configured, a final snapshot is written after the drain so a restart
     /// resumes exactly the drained state.
     pub fn shutdown(mut self) -> ShutdownReport {
-        self.inner.queue.close();
+        self.inner.sched.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -658,7 +868,7 @@ impl IngestServer {
 impl Drop for IngestServer {
     fn drop(&mut self) {
         // `shutdown` drains `workers`; a bare drop still terminates cleanly.
-        self.inner.queue.close();
+        self.inner.sched.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -666,12 +876,26 @@ impl Drop for IngestServer {
     }
 }
 
+/// The hash every routing decision derives from: repository shards and
+/// scheduler home deques both partition on this one value, so a key's jobs
+/// always meet the same shard lock and the same home deque.
+fn key_hash(key: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
 /// Hash-partition `key` over `shard_count` shards. Free function so the
 /// snapshot-restore path can route before an `Inner` exists.
 fn shard_index(key: &str, shard_count: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % shard_count as u64) as usize
+    (key_hash(key) % shard_count as u64) as usize
+}
+
+/// The scheduler deque `key`'s jobs are routed to in a pool of `workers`.
+/// Exposed so tests can aim a hook (parking, yield injection) at exactly
+/// the worker that owns a key.
+pub fn home_worker(key: &str, workers: usize) -> usize {
+    (key_hash(key) % workers.max(1) as u64) as usize
 }
 
 impl Inner {
@@ -679,15 +903,26 @@ impl Inner {
         shard_index(key, self.shards.len())
     }
 
-    fn worker_loop(&self) {
+    /// Publish the scheduler's depth and steal totals into the metrics
+    /// registry (called after every push and pop, so scrapes are current).
+    fn sync_sched_metrics(&self) {
+        self.metrics.queue_depth.set(self.sched.len() as u64);
+        for (i, g) in self.metrics.deque_depth.iter().enumerate() {
+            g.set(self.sched.depth_of(i) as u64);
+        }
+        self.metrics.steals.observe_total(self.sched.steals());
+        self.metrics.stolen_jobs.observe_total(self.sched.stolen_jobs());
+    }
+
+    fn worker_loop(&self, worker: usize) {
         // One differ per worker thread, reused for every diff this worker
         // runs: it owns the options and the scratch (see xydiff::Differ),
         // so the steady-state ingest loop allocates no per-diff working
         // memory. Per-document signature caches live with the stored
         // documents; the repository threads them through diff_with_cache.
         let mut differ = self.shards[0].differ();
-        while let Some(job) = self.queue.pop() {
-            self.metrics.queue_depth.set(self.queue.len() as u64);
+        while let Some(job) = self.sched.pop(worker) {
+            self.sync_sched_metrics();
             let mut runnable = self.admit(job);
             while let Some(j) = runnable {
                 let key = j.key.clone();
@@ -941,7 +1176,13 @@ mod tests {
 
     fn tiny_server(workers: usize) -> IngestServer {
         IngestServer::start(
-            ServeConfig::new().with_workers(workers).with_queue_capacity(8).with_shards(2),
+            ServeConfig::new()
+                .with_workers(workers)
+                .unwrap()
+                .with_queue_capacity(8)
+                .unwrap()
+                .with_shards(2)
+                .unwrap(),
         )
     }
 
@@ -997,7 +1238,7 @@ mod tests {
         let tries = Arc::new(AtomicU32::new(0));
         let tries2 = Arc::clone(&tries);
         let server = IngestServer::start(
-            ServeConfig::new().with_workers(1).with_max_retries(3).with_fault_hook(
+            ServeConfig::new().with_workers(1).unwrap().with_max_retries(3).with_fault_hook(
                 // Fail the first two attempts of everything.
                 Arc::new(move |_, _, attempt| {
                     tries2.fetch_add(1, Ordering::Relaxed);
@@ -1018,6 +1259,7 @@ mod tests {
         let server = IngestServer::start(
             ServeConfig::new()
                 .with_workers(2)
+                .unwrap()
                 .with_max_retries(2)
                 .with_fault_hook(Arc::new(|key, _, _| key == "cursed")),
         );
@@ -1066,7 +1308,8 @@ mod tests {
                 .at_path(["catalog", "product"])
                 .only(OpFilter::Insert),
         );
-        let server = IngestServer::start(ServeConfig::new().with_workers(2).with_alerter(alerter));
+        let server =
+            IngestServer::start(ServeConfig::new().with_workers(2).unwrap().with_alerter(alerter));
         server.submit("cat", "<catalog><product/></catalog>").unwrap();
         server.submit("cat", "<catalog><product/><product/></catalog>").unwrap();
         let report = server.shutdown();
@@ -1098,12 +1341,17 @@ mod tests {
     fn try_submit_full_queue_sheds_without_burning_seq() {
         // No workers draining: occupy the queue completely.
         let server = IngestServer::start(
-            ServeConfig::new().with_workers(1).with_queue_capacity(2).with_fault_hook(
-                // Park the single worker on its first job forever-ish by
-                // making every attempt fail (retries burn time), keeping
-                // the queue full long enough to observe Full.
-                Arc::new(|_, _, _| false),
-            ),
+            ServeConfig::new()
+                .with_workers(1)
+                .unwrap()
+                .with_queue_capacity(2)
+                .unwrap()
+                .with_fault_hook(
+                    // Park the single worker on its first job forever-ish by
+                    // making every attempt fail (retries burn time), keeping
+                    // the queue full long enough to observe Full.
+                    Arc::new(|_, _, _| false),
+                ),
         );
         // Fill the queue faster than one worker can drain by submitting
         // from this thread only; with capacity 2 a burst can still observe
@@ -1111,11 +1359,11 @@ mod tests {
         // path plus a dedicated full-queue check below.
         drop(server);
 
-        // Deterministic Full: a queue with no pop pressure. Build the raw
-        // queue directly to avoid racing workers.
-        let q: Queue<u32> = Queue::new(1);
-        assert!(q.try_push(1).is_ok());
-        assert!(matches!(q.try_push(2), Err(TryPushError::Full(_))));
+        // Deterministic Full: a scheduler with no pop pressure. Build it
+        // directly to avoid racing workers.
+        let s: Scheduler<u32> = Scheduler::new(1, 1, 1);
+        assert!(s.try_push(0, 1).is_ok());
+        assert!(matches!(s.try_push(0, 2), Err(TryPushError::Full(_))));
 
         // And the server-level contract on the shutdown path: QueueFull
         // never burns a sequence number, ShuttingDown does (and resolves
@@ -1136,7 +1384,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let config = ServeConfig::new()
             .with_workers(2)
+            .unwrap()
             .with_shards(2)
+            .unwrap()
             .with_snapshots(SnapshotPolicy::new(&dir).with_interval(Duration::from_secs(3600)));
         let server = IngestServer::try_start(config.clone()).unwrap();
         for v in 0..3 {
@@ -1147,7 +1397,7 @@ mod tests {
         assert!(report.is_balanced(), "{report:?}");
 
         // Restart with a different shard count: chains must re-route.
-        let server = IngestServer::try_start(config.with_shards(3)).unwrap();
+        let server = IngestServer::try_start(config.with_shards(4).unwrap()).unwrap();
         assert_eq!(server.total_versions(), 4);
         let repo = server.repository_for("doc");
         assert_eq!(repo.latest_xml("doc").unwrap(), "<d><v>2</v></d>");
@@ -1166,7 +1416,7 @@ mod tests {
             .join(format!("xyserve-snap-ops-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let server = IngestServer::try_start(
-            ServeConfig::new().with_workers(2).with_snapshots(
+            ServeConfig::new().with_workers(2).unwrap().with_snapshots(
                 SnapshotPolicy::new(&dir)
                     .with_interval(Duration::from_secs(3600))
                     .with_every_ops(2),
@@ -1194,5 +1444,100 @@ mod tests {
         assert!(report.is_balanced(), "{report:?}");
         assert!(report.metrics_text.contains("ingest_snapshots_total"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        assert_eq!(ServeConfig::new().with_workers(0).unwrap_err(), ConfigError::ZeroWorkers);
+        assert_eq!(
+            ServeConfig::new().with_workers(2000).unwrap_err(),
+            ConfigError::TooManyWorkers { requested: 2000, max: ServeConfig::MAX_WORKERS },
+        );
+        assert_eq!(
+            ServeConfig::new().with_queue_capacity(0).unwrap_err(),
+            ConfigError::ZeroQueueCapacity,
+        );
+        assert_eq!(ServeConfig::new().with_shards(0).unwrap_err(), ConfigError::ZeroShards);
+        assert_eq!(
+            ServeConfig::new().with_shards(3).unwrap_err(),
+            ConfigError::ShardsNotPowerOfTwo { requested: 3 },
+        );
+        assert_eq!(
+            ServeConfig::new().with_steal_batch(0).unwrap_err(),
+            ConfigError::ZeroStealBatch,
+        );
+        // try_start re-validates against direct field mutation.
+        let mut config = ServeConfig::new();
+        config.shards = 6;
+        assert!(matches!(
+            IngestServer::try_start(config),
+            Err(StartError::Config(ConfigError::ShardsNotPowerOfTwo { requested: 6 })),
+        ));
+    }
+
+    #[test]
+    fn effective_config_reports_oversubscription() {
+        let eff = ServeConfig::new()
+            .with_workers(ServeConfig::MAX_WORKERS)
+            .unwrap()
+            .with_steal_batch(2)
+            .unwrap()
+            .effective();
+        assert_eq!(eff.workers, ServeConfig::MAX_WORKERS);
+        assert_eq!(eff.steal_batch, 2);
+        // 1024 workers oversubscribe any host that can report parallelism.
+        if eff.available_parallelism > 0 {
+            assert!(eff.oversubscribed);
+        }
+        let line = eff.to_string();
+        assert!(line.contains("workers=1024"), "{line}");
+        assert!(line.contains("steal_batch=2"), "{line}");
+        // A worker count at the host's parallelism is not oversubscribed.
+        let eff = ServeConfig::new().with_workers(1).unwrap().effective();
+        assert!(!eff.oversubscribed, "{eff}");
+    }
+
+    #[test]
+    fn parked_home_worker_gets_its_backlog_stolen() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Every job goes to one hot key, so every job homes to one deque;
+        // park that worker's own pops briefly so the other workers must
+        // steal to make progress.
+        let workers = 4;
+        let home = home_worker("hot", workers);
+        let parked = Arc::new(AtomicU64::new(0));
+        let parked2 = Arc::clone(&parked);
+        let hook: SchedHook = Arc::new(move |e| {
+            if let crate::scheduler::SchedEvent::PopOwn { worker } = e {
+                // Bounded: ~50 short naps, then the worker runs normally.
+                if worker == home && parked2.fetch_add(1, Ordering::Relaxed) < 50 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        });
+        let server = IngestServer::start(
+            ServeConfig::new()
+                .with_workers(workers)
+                .unwrap()
+                .with_queue_capacity(64)
+                .unwrap()
+                .with_shards(2)
+                .unwrap()
+                .with_steal_batch(2)
+                .unwrap()
+                .with_sched_hook(hook),
+        );
+        for v in 0..40 {
+            server.submit("hot", format!("<d><v>{v}</v></d>")).unwrap();
+        }
+        let report = server.shutdown();
+        assert!(report.is_balanced(), "{report:?}");
+        assert_eq!(report.succeeded, 40);
+        assert!(
+            report.metrics_text.contains("ingest_steals_total"),
+            "{}",
+            report.metrics_text
+        );
+        assert!(report.metrics_text.contains("ingest_deque_depth{deque=\"0\"}"));
     }
 }

@@ -50,9 +50,12 @@ fn concurrent_ingestion_matches_serial_byte_for_byte() {
     let server = Arc::new(IngestServer::start(
         ServeConfig::new()
             .with_workers(4)
+            .unwrap()
             // Tiny on purpose: producers must hit backpressure.
             .with_queue_capacity(4)
-            .with_shards(4),
+            .unwrap()
+            .with_shards(4)
+            .unwrap(),
     ));
 
     // Four producer threads, each owning a disjoint slice of the documents
@@ -107,8 +110,11 @@ fn alerter_delivers_every_notification_exactly_once() {
     let server = IngestServer::start(
         ServeConfig::new()
             .with_workers(4)
+            .unwrap()
             .with_queue_capacity(8)
+            .unwrap()
             .with_shards(4)
+            .unwrap()
             .with_alerter(alerter)
             // Every snapshot fails transiently once: retries must not
             // duplicate notifications.
@@ -153,8 +159,11 @@ fn poison_corpus_is_dead_lettered_with_full_accounting() {
     let server = IngestServer::start(
         ServeConfig::new()
             .with_workers(3)
+            .unwrap()
             .with_queue_capacity(8)
+            .unwrap()
             .with_shards(2)
+            .unwrap()
             .with_max_retries(1)
             .with_fault_hook(Arc::new(|key, _, _| key == "cursed")),
     );
@@ -196,4 +205,69 @@ fn poison_corpus_is_dead_lettered_with_full_accounting() {
             other => panic!("unexpected dead letter for {other}: {dl:?}"),
         }
     }
+}
+
+/// Poison accounting on the *steal* path: the hot key's home worker is
+/// parked, so every one of its snapshots — including the malformed one — is
+/// executed by a stealing worker. The poison must be dead-lettered exactly
+/// once and the key's later versions must still apply in order.
+#[test]
+fn poison_on_the_steal_path_is_dead_lettered_exactly_once() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+    use xydiff_suite::xyserve::{home_worker, SchedEvent};
+
+    let workers = 4;
+    let home = home_worker("hot", workers);
+    let hold = Arc::new(AtomicBool::new(true));
+    let hold2 = Arc::clone(&hold);
+    let server = IngestServer::start(
+        ServeConfig::new()
+            .with_workers(workers)
+            .unwrap()
+            .with_queue_capacity(64)
+            .unwrap()
+            .with_shards(2)
+            .unwrap()
+            .with_steal_batch(2)
+            .unwrap()
+            .with_sched_hook(Arc::new(move |e| {
+                // Park the hot key's home worker inside its own pop: while
+                // held, only thieves can run the hot key's jobs.
+                if let SchedEvent::PopOwn { worker } = e {
+                    if worker == home {
+                        while hold2.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+            })),
+    );
+
+    for v in 0..30 {
+        if v == 13 {
+            server.submit("hot", "<d><broken v13").unwrap();
+        } else {
+            server.submit("hot", format!("<d><v>{v}</v></d>")).unwrap();
+        }
+    }
+    server.wait_idle();
+    hold.store(false, Ordering::SeqCst);
+
+    assert!(
+        server.metrics().steals.get() >= 1,
+        "every hot job ran on the steal path, so steals must be non-zero"
+    );
+    // The poison version is simply missing; everything after it applied.
+    let repo = server.repository_for("hot");
+    assert_eq!(repo.version_count("hot"), 29);
+    assert_eq!(repo.latest_xml("hot").unwrap(), "<d><v>29</v></d>");
+
+    let report = server.shutdown();
+    assert!(report.is_balanced(), "{report:?}");
+    assert_eq!(report.succeeded, 29);
+    assert_eq!(report.dead_lettered, 1, "dead-lettered exactly once");
+    assert_eq!(report.dead_letters.len(), 1);
+    assert_eq!(report.dead_letters[0].seq, 13);
+    assert!(report.dead_letters[0].error.contains("parse error"), "{:?}", report.dead_letters);
 }

@@ -72,7 +72,13 @@ fn concurrent_http_clients_ingest_and_read_back_byte_identical() {
     let corpus = Arc::new(corpus(6, 4, 300, 77));
     let server = NetServer::start(
         NetConfig::new().with_io_timeout(Duration::from_secs(3)),
-        ServeConfig::new().with_workers(3).with_queue_capacity(8).with_shards(3),
+        ServeConfig::new()
+            .with_workers(3)
+            .unwrap()
+            .with_queue_capacity(8)
+            .unwrap()
+            .with_shards(4)
+            .unwrap(),
     )
     .expect("start");
     let addr = server.local_addr();
@@ -122,6 +128,96 @@ fn concurrent_http_clients_ingest_and_read_back_byte_identical() {
     assert_eq!(report.ingest.dead_lettered, 0);
 }
 
+/// The current value of a single-series metric family in an exposition.
+fn metric_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| !l.starts_with('#') && l.starts_with(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{metrics}"))
+}
+
+/// A steal-heavy workload over HTTP: workers outnumber shards, and the hot
+/// key's home worker is parked so its entire backlog is served by stealing
+/// workers. Every version must read back byte-identical and the exposition
+/// must show non-zero steal counters and the per-deque depth family.
+#[test]
+fn steal_heavy_workload_reads_back_byte_identical() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use xydiff_suite::xyserve::{home_worker, SchedEvent};
+
+    let corpus = corpus(5, 3, 200, 55);
+    let workers = 4;
+    let home = home_worker("hot", workers);
+    let hold = Arc::new(AtomicBool::new(true));
+    let hold2 = Arc::clone(&hold);
+    let server = NetServer::start(
+        NetConfig::new().with_io_timeout(Duration::from_secs(3)),
+        ServeConfig::new()
+            .with_workers(workers)
+            .unwrap()
+            .with_queue_capacity(32)
+            .unwrap()
+            // Deliberately fewer shards than workers.
+            .with_shards(2)
+            .unwrap()
+            .with_steal_batch(2)
+            .unwrap()
+            .with_sched_hook(Arc::new(move |e| {
+                if let SchedEvent::PopOwn { worker } = e {
+                    if worker == home {
+                        while hold2.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+            })),
+    )
+    .expect("start");
+    let addr = server.local_addr();
+
+    // Imbalanced on purpose: the hot key gets many versions, all homed to
+    // the parked worker's deque — each 200 below proves a successful steal.
+    let hot: Vec<String> = (0..8).map(|v| format!("<d><v>{v}</v></d>")).collect();
+    for (v, xml) in hot.iter().enumerate() {
+        let (status, body) = post_snapshot(addr, "hot", xml);
+        assert_eq!(status, 200, "hot v{v}: {body}");
+    }
+    // A spread of other keys keeps the rest of the pool busy too.
+    for (key, versions) in &corpus {
+        for xml in versions {
+            assert_eq!(post_snapshot(addr, key, xml).0, 200);
+        }
+    }
+    hold.store(false, Ordering::SeqCst);
+
+    for (v, xml) in hot.iter().enumerate() {
+        let (status, body) = request(addr, "GET", &format!("/doc/hot/{v}"), "");
+        assert_eq!(status, 200, "hot v{v}");
+        assert_eq!(&body, xml, "hot v{v} diverged over the wire");
+    }
+    for (key, versions) in &corpus {
+        for (v, xml) in versions.iter().enumerate() {
+            let (status, body) = request(addr, "GET", &format!("/doc/{key}/{v}"), "");
+            assert_eq!(status, 200, "{key} v{v}");
+            assert_eq!(&body, xml, "{key} v{v} diverged over the wire");
+        }
+    }
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metric_value(&metrics, "ingest_steals_total ") >= 1.0, "{metrics}");
+    assert!(metric_value(&metrics, "ingest_stolen_jobs_total ") >= 1.0, "{metrics}");
+    assert!(metrics.contains("ingest_deque_depth{deque=\"0\"}"), "{metrics}");
+    assert!(metrics.contains(&format!("ingest_deque_depth{{deque=\"{}\"}}", workers - 1)));
+
+    let report = server.shutdown();
+    assert!(report.ingest.is_balanced(), "{report:?}");
+    assert_eq!(report.ingest.succeeded as usize, 8 + 5 * 3);
+    assert_eq!(report.ingest.dead_lettered, 0);
+}
+
 fn tmp_root(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("xynet-e2e-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
@@ -140,7 +236,9 @@ fn restart_from_snapshot_serves_the_same_versions() {
     let serve = |shards: usize| {
         ServeConfig::new()
             .with_workers(2)
+            .unwrap()
             .with_shards(shards)
+            .unwrap()
             .with_snapshots(SnapshotPolicy::new(&dir).with_interval(Duration::from_secs(3600)))
     };
 
@@ -156,7 +254,7 @@ fn restart_from_snapshot_serves_the_same_versions() {
     assert_eq!(report.ingest.succeeded, 9);
 
     // Second instance: different shard count, same snapshot directory.
-    let second = NetServer::start(net(), serve(3)).expect("second start");
+    let second = NetServer::start(net(), serve(4)).expect("second start");
     let addr = second.local_addr();
     for (key, versions) in &corpus {
         for (v, xml) in versions.iter().enumerate() {
