@@ -17,7 +17,7 @@ use xytree::{Document, SerializeOptions};
 
 const KNOWN: &[&str] = &[
     "all", "fig4", "fig5", "fig6", "scaling", "site", "ablation", "index", "matchers", "ingest",
-    "diff", "serve",
+    "diff", "serve", "recover",
 ];
 
 fn main() {
@@ -61,6 +61,182 @@ fn main() {
     }
     if want("serve") {
         serve_bench();
+    }
+    if want("recover") {
+        recover();
+    }
+}
+
+/// E14 (extension) — WAL durability and crash recovery on a hot key: one
+/// document with thousands of versions, each delta logged the way the
+/// server's ack path logs it. Measures append+fsync throughput, recovery
+/// (scan + replay into a cold warehouse), and the cost of "querying the
+/// past" before vs after chain compaction. Writes `BENCH_recover.json`;
+/// `XYBENCH_GATE=1` fails the run if compaction leaves any version more
+/// than the configured hop bound away from an anchor.
+fn recover() {
+    use xywal::{Record, Wal, WalConfig};
+    use xywarehouse::{replay, Repository};
+
+    println!("## Recover — WAL append, crash replay, chain compaction (xywal)\n");
+    let fast = xybench::fast_mode();
+    let versions = if fast { 1_500usize } else { 10_000 };
+    let chain_max = 64usize;
+    // A hot document that stays the same size forever: every version
+    // rewrites a few item values in place, so deltas are small and a
+    // 10k-deep chain does not compound document growth the way the
+    // simulator's insert/delete mix would.
+    let key = "hot".to_string();
+    let snaps: Vec<String> = {
+        let mut items: Vec<u64> = (0..40).map(|i| i as u64).collect();
+        (0..versions)
+            .map(|v| {
+                if v > 0 {
+                    for k in 0..3 {
+                        let idx = (v * 7 + k * 13) % items.len();
+                        items[idx] = items[idx].wrapping_mul(31).wrapping_add(v as u64);
+                    }
+                }
+                let body: String = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, val)| {
+                        format!("<item id=\"i{i}\"><name>part-{i}</name><val>{val}</val></item>")
+                    })
+                    .collect();
+                format!("<catalog>{body}</catalog>")
+            })
+            .collect()
+    };
+    let key = &key;
+    println!(
+        "corpus: 1 hot document x {versions} versions (~{} each), hop bound {chain_max}\n",
+        fmt_bytes(snaps[0].len()),
+    );
+
+    let dir = std::env::temp_dir().join(format!("xydiff-bench-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create wal dir");
+
+    // Ingest + log: diff each snapshot against the chain, append the
+    // completed delta before acking — the server's write path.
+    let reference = Repository::new();
+    let (wal, _) = Wal::open(&WalConfig::new(&dir)).expect("open wal");
+    let t = Instant::now();
+    for xml in &snaps {
+        let first = reference.version_count(key) == 0;
+        let out = reference.load_version(key, xml).expect("ingest");
+        let record = if first {
+            Record::Init { key: key.clone(), xml: Document::parse(xml).expect("snapshot").to_xml() }
+        } else {
+            Record::Delta {
+                key: key.clone(),
+                version: out.version as u64,
+                delta_xml: xydelta::xml_io::delta_to_xml(&out.delta),
+            }
+        };
+        wal.append(&record).expect("append");
+    }
+    let ingest_wall = t.elapsed();
+    let stats = wal.stats();
+    drop(wal); // crash: no snapshot was taken, the log is all there is
+
+    // Recovery: re-open (scan + checksum every frame), then replay the
+    // whole log into a cold warehouse.
+    let t = Instant::now();
+    let (wal, recovery) = Wal::open(&WalConfig::new(&dir)).expect("reopen wal");
+    let scan_wall = t.elapsed();
+    drop(wal);
+    assert_eq!(recovery.records.len(), versions, "every acked record must survive");
+    let shards = vec![Repository::new()];
+    let t = Instant::now();
+    let rstats = replay::apply_records(&recovery.records, &shards, |_| 0).expect("replay");
+    let replay_wall = t.elapsed();
+    assert_eq!(rstats.total(), versions);
+    let repo = &shards[0];
+    assert_eq!(repo.version_count(key), versions);
+
+    // Querying the past before/after compaction: the same interior
+    // version, first on the raw chain (one anchor: the latest version),
+    // then with checkpoints every `chain_max` versions.
+    let probe = versions / 2 + chain_max / 2;
+    let hops_before = repo.chain_hops(key).unwrap_or(0);
+    let t = Instant::now();
+    let probe_before = repo.version_xml(key, probe).expect("probe version");
+    let reconstruct_before = t.elapsed();
+
+    let t = Instant::now();
+    let compacted = repo.compact_chains(chain_max);
+    let compact_wall = t.elapsed();
+    assert_eq!(compacted, 1, "exactly the hot chain gets compacted");
+    let hops_after = repo.chain_hops(key).unwrap_or(usize::MAX);
+    let checkpoints = repo.chain_checkpoints(key).unwrap_or(0);
+    let t = Instant::now();
+    let probe_after = repo.version_xml(key, probe).expect("probe version after");
+    let reconstruct_after = t.elapsed();
+    assert_eq!(probe_before, probe_after, "compaction must not change history");
+    assert_eq!(
+        probe_after,
+        reference.version_xml(key, probe).expect("reference probe"),
+        "replayed history must match the pre-crash reference",
+    );
+
+    let replay_rate = versions as f64 / replay_wall.as_secs_f64();
+    println!("| phase | wall | detail |");
+    println!("|---|---:|---|");
+    println!(
+        "| ingest + log | {} | {} records, {} appended, {} fsyncs |",
+        fmt_dur(ingest_wall),
+        stats.appends,
+        fmt_bytes(stats.appended_bytes as usize),
+        stats.fsyncs,
+    );
+    println!("| recovery scan | {} | checksum every frame |", fmt_dur(scan_wall));
+    println!(
+        "| replay | {} | {replay_rate:.0} versions/sec into a cold warehouse |",
+        fmt_dur(replay_wall),
+    );
+    println!(
+        "| compaction | {} | {checkpoints} checkpoints, max hops {hops_before} -> {hops_after} |",
+        fmt_dur(compact_wall),
+    );
+    println!(
+        "| query v{probe} | {} -> {} | before -> after compaction |",
+        fmt_dur(reconstruct_before),
+        fmt_dur(reconstruct_after),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"recover\",\n  \"mode\": \"{mode}\",\n  \"versions\": {versions},\n  \
+         \"chain_max\": {chain_max},\n  \"wal_bytes\": {wal_bytes},\n  \"fsyncs\": {fsyncs},\n  \
+         \"ingest_wall_secs\": {ingest:.4},\n  \"scan_wall_secs\": {scan:.4},\n  \
+         \"replay_wall_secs\": {rep:.4},\n  \"replay_versions_per_sec\": {replay_rate:.2},\n  \
+         \"compact_wall_secs\": {compact:.4},\n  \"checkpoints\": {checkpoints},\n  \
+         \"hops_before\": {hops_before},\n  \"hops_after\": {hops_after},\n  \
+         \"reconstruct_mid_before_micros\": {rb},\n  \"reconstruct_mid_after_micros\": {ra},\n  \
+         \"peak_rss_bytes\": {rss}\n}}\n",
+        mode = if fast { "fast" } else { "full" },
+        wal_bytes = stats.appended_bytes,
+        fsyncs = stats.fsyncs,
+        ingest = ingest_wall.as_secs_f64(),
+        scan = scan_wall.as_secs_f64(),
+        rep = replay_wall.as_secs_f64(),
+        compact = compact_wall.as_secs_f64(),
+        rb = reconstruct_before.as_micros(),
+        ra = reconstruct_after.as_micros(),
+        rss = xybench::peak_rss_bytes().unwrap_or(0),
+    );
+    let path = xybench::bench_out_path("BENCH_recover.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| eprintln!("cannot write {path:?}: {e}"));
+    println!("\nwrote {}\n", path.display());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if std::env::var_os("XYBENCH_GATE").is_some() {
+        println!("recover gate: max hops {hops_after} vs bound {chain_max}");
+        if hops_after > chain_max {
+            eprintln!("recover gate FAILED: compaction left a {hops_after}-hop reconstruction");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -13,12 +13,14 @@
 use crate::usage;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use xyserve::{IngestServer, ServeConfig};
+use xyserve::{IngestServer, ServeConfig, WalPolicy, WalSync};
 
 pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
     let mut config = ServeConfig::new();
     let mut quiet = false;
     let mut dir = None;
+    let mut wal_dir = None;
+    let mut wal_sync = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,6 +44,21 @@ pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
                     .with_steal_batch(flag_value(&mut it, "--steal-batch")?)
                     .map_err(|e| e.to_string())?;
             }
+            "--wal-dir" => {
+                let v = it.next().ok_or("--wal-dir needs a directory")?;
+                wal_dir = Some(v.clone());
+            }
+            "--wal-sync" => {
+                let v = it.next().ok_or("--wal-sync needs a mode (always | none)")?;
+                wal_sync = Some(
+                    WalSync::parse(v)
+                        .ok_or_else(|| format!("--wal-sync must be always or none, got {v:?}"))?,
+                );
+            }
+            "--compact-chain-max" => {
+                config =
+                    config.with_compact_chain_max(flag_value(&mut it, "--compact-chain-max")?);
+            }
             "--quiet" => quiet = true,
             f if !f.starts_with("--") => {
                 if dir.replace(PathBuf::from(f)).is_some() {
@@ -54,6 +71,15 @@ pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
     let Some(dir) = dir else {
         return Err(format!("ingest needs a corpus directory\n{}", usage()));
     };
+    if let Some(wd) = wal_dir {
+        let mut policy = WalPolicy::new(wd);
+        if let Some(sync) = wal_sync {
+            policy = policy.with_sync(sync);
+        }
+        config = config.with_wal(policy);
+    } else if wal_sync.is_some() {
+        return Err("--wal-sync needs --wal-dir".to_string());
+    }
     let corpus = scan_corpus(&dir)?;
     if corpus.is_empty() {
         return Err(format!("{}: no .xml snapshots found", dir.display()));

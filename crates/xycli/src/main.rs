@@ -13,6 +13,7 @@
 //! xydiff store DIR get|history|changes…  query the stored history
 //! xydiff ingest [--workers N] DIR        concurrent ingestion of a corpus
 //! xydiff serve [--addr HOST:PORT] …      run the HTTP ingestion server
+//! xydiff wal inspect DIR                 inspect a write-ahead delta log
 //! ```
 //!
 //! Exit codes: 0 success, 1 documents differ (for `diff`) or no matches
@@ -26,6 +27,7 @@
 mod ingest;
 mod serve;
 mod store;
+mod wal;
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -59,6 +61,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "store" => store::cmd_store(rest),
         "ingest" => ingest::cmd_ingest(rest),
         "serve" => serve::cmd_serve(rest),
+        "wal" => wal::cmd_wal(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -81,14 +84,18 @@ pub(crate) fn usage() -> String {
      xydiff store DIR changes KEY FROM TO print the aggregated delta\n  \
      xydiff store DIR keys                list stored documents\n  \
      xydiff ingest [--workers N] [--queue N] [--shards N] [--steal-batch N] [--quiet] DIR\n  \
+       \u{20}      [--wal-dir DIR] [--wal-sync always|none] [--compact-chain-max N]\n  \
        \u{20}                              ingest a snapshot corpus concurrently\n  \
        \u{20}                              (DIR/key/*.xml sorted = versions; metrics on stdout)\n  \
      xydiff serve [--addr HOST:PORT] [--workers N] [--http-workers N] [--queue N]\n  \
        \u{20}      [--shards N] [--steal-batch N] [--max-body BYTES] [--snapshot-dir DIR]\n  \
-       \u{20}      [--snapshot-interval SECS] [--quiet]\n  \
+       \u{20}      [--snapshot-interval SECS] [--wal-dir DIR] [--wal-sync always|none]\n  \
+       \u{20}      [--compact-chain-max N] [--quiet]\n  \
        \u{20}                              run the HTTP ingestion server\n  \
        \u{20}                              (POST /ingest/KEY, GET /metrics|/healthz|/doc/KEY;\n  \
-       \u{20}                              drain via POST /admin/shutdown or stdin EOF)"
+       \u{20}                              drain via POST /admin/shutdown or stdin EOF)\n  \
+     xydiff wal inspect DIR               print segments, chains and the watermark;\n  \
+       \u{20}                              verify every logged record"
         .to_string()
 }
 

@@ -14,13 +14,15 @@ use crate::usage;
 use std::process::ExitCode;
 use std::time::Duration;
 use xynet::{NetConfig, NetServer};
-use xyserve::{ServeConfig, SnapshotPolicy};
+use xyserve::{ServeConfig, SnapshotPolicy, WalPolicy, WalSync};
 
 pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut net = NetConfig::new().with_addr("127.0.0.1:8080");
     let mut serve = ServeConfig::new();
     let mut snapshot_dir = None;
     let mut snapshot_secs = None;
+    let mut wal_dir = None;
+    let mut wal_sync = None;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -60,6 +62,20 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             "--snapshot-interval" => {
                 snapshot_secs = Some(flag_value(&mut it, "--snapshot-interval")? as u64);
             }
+            "--wal-dir" => {
+                let v = it.next().ok_or("--wal-dir needs a directory")?;
+                wal_dir = Some(v.clone());
+            }
+            "--wal-sync" => {
+                let v = it.next().ok_or("--wal-sync needs a mode (always | none)")?;
+                wal_sync = Some(
+                    WalSync::parse(v)
+                        .ok_or_else(|| format!("--wal-sync must be always or none, got {v:?}"))?,
+                );
+            }
+            "--compact-chain-max" => {
+                serve = serve.with_compact_chain_max(flag_value(&mut it, "--compact-chain-max")?);
+            }
             "--quiet" => quiet = true,
             other => return Err(format!("unknown flag {other:?} for serve\n{}", usage())),
         }
@@ -72,6 +88,15 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         serve = serve.with_snapshots(policy);
     } else if snapshot_secs.is_some() {
         return Err("--snapshot-interval needs --snapshot-dir".to_string());
+    }
+    if let Some(dir) = wal_dir {
+        let mut policy = WalPolicy::new(dir);
+        if let Some(sync) = wal_sync {
+            policy = policy.with_sync(sync);
+        }
+        serve = serve.with_wal(policy);
+    } else if wal_sync.is_some() {
+        return Err("--wal-sync needs --wal-dir".to_string());
     }
 
     let effective = serve.effective();

@@ -83,7 +83,7 @@ pub struct FileStats {
 /// Crates whose library code is subject to L1 (the xydiff/xydelta hot path
 /// plus everything xyserve's reliability story depends on).
 pub const L1_CRATES: &[&str] =
-    &["xytree", "xydelta", "xydiff", "xywarehouse", "xyserve", "xynet"];
+    &["xytree", "xydelta", "xydiff", "xywarehouse", "xywal", "xyserve", "xynet"];
 
 /// Crates whose every plain-`pub` item must carry a doc comment (L3).
 pub const DOC_CRATES: &[&str] = &["xydelta", "xydiff"];

@@ -89,6 +89,10 @@ fn ingest_roundtrip_stores_versions_and_serves_them_back() {
     assert_eq!(code, 200, "{text}");
     assert!(response_body(&text).contains("\"version\":0"), "{text}");
     assert!(response_body(&text).contains("\"ops\":0"), "first version runs no diff: {text}");
+    assert!(
+        response_body(&text).contains("\"durable\":false"),
+        "no WAL configured, so the ack must say so: {text}"
+    );
 
     let (code, text) = request(addr, "POST", "/ingest/doc-a", Some(v1));
     assert_eq!(code, 200, "{text}");

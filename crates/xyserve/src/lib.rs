@@ -55,4 +55,6 @@ pub use scheduler::{SchedEvent, SchedHook, Scheduler, Steal};
 pub use server::{
     home_worker, Completed, ConfigError, DeadLetter, EffectiveConfig, FaultHook, IngestOutcome,
     IngestServer, ServeConfig, ShutdownReport, SnapshotPolicy, StartError, SubmitError, Ticket,
+    WalPolicy,
 };
+pub use xywal::WalSync;

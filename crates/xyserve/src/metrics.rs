@@ -291,6 +291,28 @@ pub struct Metrics {
     pub total_time: Histogram,
     /// Wall time per persistence snapshot generation.
     pub snapshot_time: Histogram,
+    /// Records appended to the write-ahead log.
+    pub wal_appends: Counter,
+    /// Bytes appended to the write-ahead log (frames, not payloads).
+    pub wal_appended_bytes: Counter,
+    /// Fsync calls issued by the write-ahead log.
+    pub wal_fsyncs: Counter,
+    /// Records made durable by those fsyncs (group-commit throughput).
+    pub wal_fsynced_records: Counter,
+    /// WAL append attempts that failed (the ingest was acked non-durable).
+    pub wal_append_errors: Counter,
+    /// Records applied or skipped during startup replay.
+    pub wal_replayed: Counter,
+    /// Replayed records skipped because the snapshot already covered them.
+    pub wal_replay_skipped: Counter,
+    /// Version chains folded through checkpoint compaction.
+    pub compactions: Counter,
+    /// Live WAL segment files (with high-water mark).
+    pub wal_segments: Gauge,
+    /// Largest record batch a single fsync has made durable.
+    pub wal_fsync_batch_max: Gauge,
+    /// WAL append latency (enqueue through group-commit durability).
+    pub wal_append_time: Histogram,
     started: Instant,
 }
 
@@ -313,6 +335,17 @@ impl Default for Metrics {
             alert_time: Histogram::default(),
             total_time: Histogram::default(),
             snapshot_time: Histogram::default(),
+            wal_appends: Counter::default(),
+            wal_appended_bytes: Counter::default(),
+            wal_fsyncs: Counter::default(),
+            wal_fsynced_records: Counter::default(),
+            wal_append_errors: Counter::default(),
+            wal_replayed: Counter::default(),
+            wal_replay_skipped: Counter::default(),
+            compactions: Counter::default(),
+            wal_segments: Gauge::default(),
+            wal_fsync_batch_max: Gauge::default(),
+            wal_append_time: Histogram::default(),
             started: Instant::now(),
         }
     }
@@ -472,6 +505,72 @@ impl Metrics {
             "ingest_snapshot_write_seconds",
             "Wall time per persistence snapshot generation.",
             &self.snapshot_time,
+        );
+        expo::counter(
+            &mut out,
+            "ingest_wal_appends_total",
+            "Records appended to the write-ahead log.",
+            self.wal_appends.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_wal_appended_bytes_total",
+            "Bytes appended to the write-ahead log.",
+            self.wal_appended_bytes.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_wal_fsyncs_total",
+            "Fsync calls issued by the write-ahead log.",
+            self.wal_fsyncs.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_wal_fsynced_records_total",
+            "Records made durable by WAL fsyncs (group-commit throughput).",
+            self.wal_fsynced_records.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_wal_append_errors_total",
+            "WAL append attempts that failed (ingest acked non-durable).",
+            self.wal_append_errors.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_wal_replayed_total",
+            "WAL records consumed during startup replay.",
+            self.wal_replayed.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_wal_replay_skipped_total",
+            "Replayed WAL records already covered by the restored snapshot.",
+            self.wal_replay_skipped.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_chain_compactions_total",
+            "Version chains folded through checkpoint compaction.",
+            self.compactions.get(),
+        );
+        expo::gauge(
+            &mut out,
+            "ingest_wal_segments",
+            "Live WAL segment files.",
+            self.wal_segments.get() as f64,
+        );
+        expo::gauge(
+            &mut out,
+            "ingest_wal_fsync_batch_max",
+            "Largest record batch a single fsync has made durable.",
+            self.wal_fsync_batch_max.get() as f64,
+        );
+        expo::histogram(
+            &mut out,
+            "ingest_wal_append_seconds",
+            "WAL append latency (enqueue through group-commit durability).",
+            &self.wal_append_time,
         );
         out
     }

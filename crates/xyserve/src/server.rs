@@ -47,9 +47,13 @@ use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use xydelta::xml_io;
 use xydiff::{Differ, DiffOptions};
 use xytree::Document;
-use xywarehouse::{Alerter, Notification, PersistError, Repository, SnapshotStore};
+use xywal::{Record, Wal, WalConfig, WalError, WalSync};
+use xywarehouse::{
+    Alerter, Notification, PersistError, ReplayError, Repository, SnapshotStore,
+};
 
 /// Decides whether an attempt experiences a (simulated) transient failure.
 /// Arguments: document key, per-key sequence number, 1-based attempt count.
@@ -104,6 +108,48 @@ impl SnapshotPolicy {
     #[must_use]
     pub fn with_keep(mut self, keep: usize) -> SnapshotPolicy {
         self.keep = keep.max(1);
+        self
+    }
+}
+
+/// Where and how the server write-ahead-logs every completed ingest.
+///
+/// With a policy configured, each worker appends the computed delta (or the
+/// initial document) to a [`xywal::Wal`] **before** acknowledging the
+/// ingest, so a `kill -9` after the ack loses nothing: on restart the
+/// server replays `latest snapshot + log suffix`. Built with
+/// [`WalPolicy::new`] plus `with_*` methods; `#[non_exhaustive]` so knobs
+/// can be added without breaking callers.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct WalPolicy {
+    /// Directory holding the log segments.
+    pub dir: PathBuf,
+    /// Durability mode: fsync every append (group-committed) or leave
+    /// flushing to the OS.
+    pub sync: WalSync,
+    /// Roll to a new segment once the active one reaches this size.
+    pub segment_bytes: u64,
+}
+
+impl WalPolicy {
+    /// Log into `dir` with group-committed fsync on every append and 4 MiB
+    /// segments.
+    pub fn new(dir: impl Into<PathBuf>) -> WalPolicy {
+        WalPolicy { dir: dir.into(), sync: WalSync::Always, segment_bytes: 4 << 20 }
+    }
+
+    /// Set the durability mode.
+    #[must_use]
+    pub fn with_sync(mut self, sync: WalSync) -> WalPolicy {
+        self.sync = sync;
+        self
+    }
+
+    /// Set the segment roll size.
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: u64) -> WalPolicy {
+        self.segment_bytes = bytes;
         self
     }
 }
@@ -179,6 +225,10 @@ pub struct EffectiveConfig {
     pub steal_batch: usize,
     /// Transient-failure retry budget.
     pub max_retries: u32,
+    /// Whether a write-ahead log is configured.
+    pub wal: bool,
+    /// Chain-compaction hop bound (0 = compactor disabled).
+    pub compact_chain_max: usize,
 }
 
 impl std::fmt::Display for EffectiveConfig {
@@ -186,14 +236,16 @@ impl std::fmt::Display for EffectiveConfig {
         write!(
             f,
             "workers={} available_parallelism={} oversubscribed={} shards={} \
-             queue_capacity={} steal_batch={} max_retries={}",
+             queue_capacity={} steal_batch={} max_retries={} wal={} compact_chain_max={}",
             self.workers,
             self.available_parallelism,
             self.oversubscribed,
             self.shards,
             self.queue_capacity,
             self.steal_batch,
-            self.max_retries
+            self.max_retries,
+            self.wal,
+            self.compact_chain_max
         )
     }
 }
@@ -233,6 +285,12 @@ pub struct ServeConfig {
     pub sched_hook: Option<SchedHook>,
     /// Periodic persistence; `None` keeps the server memory-only.
     pub snapshots: Option<SnapshotPolicy>,
+    /// Write-ahead logging of every completed ingest; `None` means an ack
+    /// only guarantees the version is in memory.
+    pub wal: Option<WalPolicy>,
+    /// Background chain compaction: keep every document reconstructible
+    /// within this many delta applications (0 disables the compactor).
+    pub compact_chain_max: usize,
 }
 
 impl ServeConfig {
@@ -338,6 +396,8 @@ impl ServeConfig {
             queue_capacity: self.queue_capacity,
             steal_batch: self.steal_batch,
             max_retries: self.max_retries,
+            wal: self.wal.is_some(),
+            compact_chain_max: self.compact_chain_max,
         }
     }
 
@@ -375,6 +435,23 @@ impl ServeConfig {
         self.snapshots = Some(policy);
         self
     }
+
+    /// Enable write-ahead logging under `policy`: every completed ingest is
+    /// appended (and, in [`WalSync::Always`] mode, fsynced) before the ack.
+    #[must_use]
+    pub fn with_wal(mut self, policy: WalPolicy) -> ServeConfig {
+        self.wal = Some(policy);
+        self
+    }
+
+    /// Enable the background compactor: fold delta chains through
+    /// checkpoints so any version reconstructs within `max` delta
+    /// applications (0 disables it).
+    #[must_use]
+    pub fn with_compact_chain_max(mut self, max: usize) -> ServeConfig {
+        self.compact_chain_max = max;
+        self
+    }
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -388,6 +465,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("fault_hook", &self.fault_hook.is_some())
             .field("sched_hook", &self.sched_hook.is_some())
             .field("snapshots", &self.snapshots)
+            .field("wal", &self.wal)
+            .field("compact_chain_max", &self.compact_chain_max)
             .finish_non_exhaustive()
     }
 }
@@ -405,6 +484,8 @@ impl Default for ServeConfig {
             fault_hook: None,
             sched_hook: None,
             snapshots: None,
+            wal: None,
+            compact_chain_max: 0,
         }
     }
 }
@@ -438,6 +519,11 @@ pub struct Completed {
     pub ops: usize,
     /// Alert notifications this delta fired.
     pub alerts: usize,
+    /// True when the version was written to the write-ahead log (and, in
+    /// [`WalSync::Always`] mode, fsynced) before this ack — i.e. it
+    /// survives `kill -9`. False when no WAL is configured, when the sync
+    /// mode leaves flushing to the OS, or when the append failed.
+    pub durable: bool,
 }
 
 /// A handle resolving to the outcome of one tracked submission.
@@ -496,6 +582,11 @@ pub enum StartError {
     Snapshot(PersistError),
     /// The configuration failed [`ServeConfig::validate`].
     Config(ConfigError),
+    /// Opening the write-ahead log failed (I/O error or corruption outside
+    /// the reclaimable tail).
+    Wal(WalError),
+    /// The log and the restored snapshot could not be reconciled.
+    Replay(ReplayError),
 }
 
 impl std::fmt::Display for StartError {
@@ -503,6 +594,8 @@ impl std::fmt::Display for StartError {
         match self {
             StartError::Snapshot(e) => write!(f, "snapshot store: {e}"),
             StartError::Config(e) => write!(f, "invalid config: {e}"),
+            StartError::Wal(e) => write!(f, "write-ahead log: {e}"),
+            StartError::Replay(e) => write!(f, "wal replay: {e}"),
         }
     }
 }
@@ -566,6 +659,13 @@ struct SnapshotState {
     last_error: Mutex<Option<String>>,
 }
 
+struct CompactorState {
+    /// Hop bound every chain is kept within.
+    every: usize,
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
 struct Inner {
     shards: Vec<Repository>,
     sched: Scheduler<Job>,
@@ -576,6 +676,8 @@ struct Inner {
     max_retries: u32,
     fault_hook: Option<FaultHook>,
     snapshot: Option<SnapshotState>,
+    wal: Option<Wal>,
+    compactor: Option<CompactorState>,
 }
 
 /// The concurrent ingestion server. See the module docs for the design.
@@ -583,6 +685,7 @@ pub struct IngestServer {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
     snapshotter: Option<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 impl IngestServer {
@@ -626,6 +729,30 @@ impl IngestServer {
             }
             None => None,
         };
+        let metrics = Metrics::with_deques(config.workers);
+        let wal = match &config.wal {
+            Some(policy) => {
+                let (wal, recovery) = Wal::open(
+                    &WalConfig::new(&policy.dir)
+                        .with_sync(policy.sync)
+                        .with_segment_bytes(policy.segment_bytes),
+                )
+                .map_err(StartError::Wal)?;
+                // Fold the log suffix (everything past the consumed
+                // watermark) on top of the restored snapshot. Records the
+                // snapshot already covers replay as harmless skips.
+                let replayed = xywarehouse::replay::apply_records(
+                    &recovery.records,
+                    &shards,
+                    |key| shard_index(key, shard_count),
+                )
+                .map_err(StartError::Replay)?;
+                metrics.wal_replayed.add(replayed.total() as u64);
+                metrics.wal_replay_skipped.add(replayed.skipped as u64);
+                Some(wal)
+            }
+            None => None,
+        };
         let sched = {
             let s = Scheduler::new(config.workers, config.queue_capacity, config.steal_batch);
             match config.sched_hook.clone() {
@@ -633,17 +760,27 @@ impl IngestServer {
                 None => s,
             }
         };
+        let compactor_state = (config.compact_chain_max > 0).then(|| CompactorState {
+            every: config.compact_chain_max,
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
         let inner = Arc::new(Inner {
             shards,
             sched,
             gates: Mutex::new(HashMap::new()),
-            metrics: Metrics::with_deques(config.workers),
+            metrics,
             dead: Mutex::new(Vec::new()),
             notifications: Mutex::new(Vec::new()),
             max_retries: config.max_retries,
             fault_hook: config.fault_hook.clone(),
             snapshot,
+            wal,
+            compactor: compactor_state,
         });
+        if let Some(wal) = &inner.wal {
+            inner.sync_wal_metrics(wal);
+        }
         let workers = (0..config.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -664,7 +801,16 @@ impl IngestServer {
                 // startup; persistence cannot run without its thread.
                 .expect("spawn snapshot thread")
         });
-        Ok(IngestServer { inner, workers, snapshotter })
+        let compactor = inner.compactor.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("xyserve-compactor".to_string())
+                .spawn(move || inner.compactor_loop())
+                // INVARIANT: thread spawn fails only on OS resource exhaustion at
+                // startup; compaction cannot run without its thread.
+                .expect("spawn compactor thread")
+        });
+        Ok(IngestServer { inner, workers, snapshotter, compactor })
     }
 
     fn submit_with(
@@ -811,6 +957,12 @@ impl IngestServer {
         self.inner.sched.is_closed()
     }
 
+    /// The write-ahead log, when one is configured (observability: LSNs,
+    /// watermark, segment counts).
+    pub fn wal(&self) -> Option<&Wal> {
+        self.inner.wal.as_ref()
+    }
+
     /// The error of the most recent failed snapshot attempt, if the most
     /// recent attempt failed (cleared by the next success).
     pub fn last_snapshot_error(&self) -> Option<String> {
@@ -830,9 +982,18 @@ impl IngestServer {
             let _ = h.join();
         }
         self.stop_snapshotter();
+        self.stop_compactor();
+        if let Some(wal) = &self.inner.wal {
+            // In WalSync::None mode appended records may still be in the OS
+            // cache; a clean shutdown flushes them.
+            let _ = wal.sync();
+            self.inner.sync_wal_metrics(wal);
+        }
         if let Some(st) = &self.inner.snapshot {
             // The drain is complete, so this snapshot captures every stored
-            // version — the restart-resumes-the-chains guarantee.
+            // version — the restart-resumes-the-chains guarantee. With a
+            // WAL configured it also advances the consumed watermark to the
+            // drained frontier, making old segments deletable.
             self.inner.take_snapshot(st);
         }
         let m = &self.inner.metrics;
@@ -863,6 +1024,18 @@ impl IngestServer {
             let _ = h.join();
         }
     }
+
+    fn stop_compactor(&mut self) {
+        if let Some(h) = self.compactor.take() {
+            if let Some(st) = &self.inner.compactor {
+                // INVARIANT: a poisoned lock means the compactor thread
+                // panicked mid-update; the panic propagates.
+                *st.stop.lock().unwrap() = true;
+                st.wake.notify_all();
+            }
+            let _ = h.join();
+        }
+    }
 }
 
 impl Drop for IngestServer {
@@ -873,6 +1046,10 @@ impl Drop for IngestServer {
             let _ = h.join();
         }
         self.stop_snapshotter();
+        self.stop_compactor();
+        if let Some(wal) = &self.inner.wal {
+            let _ = wal.sync();
+        }
     }
 }
 
@@ -1063,6 +1240,13 @@ impl Inner {
         }
 
         let shard = &self.shards[self.shard_of(&key)];
+        // The first version of a key is logged as the full document; its
+        // canonical serialization must be captured before the load consumes
+        // the parse. Safe against racing writers of the same key: the
+        // per-key gate admits one snapshot of a key at a time, so between
+        // this check and the load no other worker can create the chain.
+        let init_xml = (self.wal.is_some() && shard.version_count(&key) == 0)
+            .then(|| doc.to_xml());
         let out = match shard.try_load_parsed_with(&key, doc, differ) {
             Ok(out) => out,
             Err(e) => {
@@ -1093,6 +1277,35 @@ impl Inner {
             // the server cannot vouch for its state, so the panic propagates.
             self.notifications.lock().unwrap().extend(out.notifications);
         }
+        // Write-ahead: the record must be on the log (and, in Always mode,
+        // fsynced via the group commit) before the ack below, so an ack
+        // with durable=true survives kill -9. The version is already in the
+        // in-memory chain — program order per worker, which the snapshot
+        // watermark protocol relies on.
+        let mut durable = false;
+        if let Some(wal) = &self.wal {
+            let record = match init_xml {
+                Some(xml) if out.version == 0 => Record::Init { key: key.clone(), xml },
+                _ => Record::Delta {
+                    key: key.clone(),
+                    version: out.version as u64,
+                    delta_xml: xml_io::delta_to_xml(&out.delta),
+                },
+            };
+            let t_wal = Instant::now();
+            match wal.append(&record) {
+                Ok(outcome) => {
+                    self.metrics.wal_append_time.observe(t_wal.elapsed());
+                    durable = outcome.durable;
+                }
+                Err(_) => {
+                    // The version is stored in memory but not logged; ack
+                    // it non-durable rather than failing the ingest.
+                    self.metrics.wal_append_errors.inc();
+                }
+            }
+            self.sync_wal_metrics(wal);
+        }
         self.metrics.succeeded.inc();
         self.metrics.total_time.observe(started.elapsed());
         if let Some(tx) = done {
@@ -1103,6 +1316,7 @@ impl Inner {
                 version: out.version,
                 ops: out.delta.len(),
                 alerts,
+                durable,
             }));
         }
     }
@@ -1152,6 +1366,12 @@ impl Inner {
 
     fn take_snapshot(&self, st: &SnapshotState) {
         let t = Instant::now();
+        // Read the WAL frontier BEFORE cloning the shards: every record
+        // with lsn <= this value had its chain push happen-before its
+        // append (program order in process()), and the append
+        // happened-before this read — so the snapshot covers all of them
+        // and the watermark may advance to here once it is durable.
+        let wal_lsn = self.wal.as_ref().map(Wal::appended_lsn);
         match st.store.save(&self.shards) {
             Ok(_generation) => {
                 self.metrics.snapshots.inc();
@@ -1159,12 +1379,61 @@ impl Inner {
                 // INVARIANT: a poisoned lock means a holder panicked
                 // mid-update; the panic propagates.
                 *st.last_error.lock().unwrap() = None;
+                if let (Some(wal), Some(lsn)) = (&self.wal, wal_lsn) {
+                    // Consumed segments become deletable; failure here only
+                    // delays truncation (retried on the next snapshot).
+                    let _ = wal.advance_watermark(lsn);
+                    self.sync_wal_metrics(wal);
+                }
             }
             Err(e) => {
                 self.metrics.snapshot_errors.inc();
                 // INVARIANT: a poisoned lock means a holder panicked
                 // mid-update; the panic propagates.
                 *st.last_error.lock().unwrap() = Some(e.to_string());
+            }
+        }
+    }
+
+    /// Publish the WAL's internal counters into the metrics registry.
+    fn sync_wal_metrics(&self, wal: &Wal) {
+        let s = wal.stats();
+        self.metrics.wal_appends.observe_total(s.appends);
+        self.metrics.wal_appended_bytes.observe_total(s.appended_bytes);
+        self.metrics.wal_fsyncs.observe_total(s.fsyncs);
+        self.metrics.wal_fsynced_records.observe_total(s.fsynced_records);
+        self.metrics.wal_segments.set(s.segments as u64);
+        self.metrics.wal_fsync_batch_max.set(s.max_fsync_batch);
+    }
+
+    /// The background compactor: sweep every shard on a short cadence and
+    /// fold any chain whose worst-case reconstruction exceeds the
+    /// configured hop bound through checkpoints.
+    fn compactor_loop(&self) {
+        // INVARIANT: compactor_loop only runs when a CompactorState was built.
+        let st = self.compactor.as_ref().expect("compactor state exists");
+        loop {
+            {
+                // INVARIANT: a poisoned lock means a holder panicked
+                // mid-update; the panic propagates.
+                let stop = st.stop.lock().unwrap();
+                if *stop {
+                    return;
+                }
+                // INVARIANT: a poisoned lock means a holder panicked
+                // mid-update; the panic propagates.
+                let wait = st.wake.wait_timeout(stop, Duration::from_millis(250)).unwrap();
+                let (stop, _) = wait;
+                if *stop {
+                    return;
+                }
+            }
+            let mut compacted = 0;
+            for shard in &self.shards {
+                compacted += shard.compact_chains(st.every);
+            }
+            if compacted > 0 {
+                self.metrics.compactions.add(compacted as u64);
             }
         }
     }
@@ -1444,6 +1713,123 @@ mod tests {
         assert!(report.is_balanced(), "{report:?}");
         assert!(report.metrics_text.contains("ingest_snapshots_total"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_only_restart_replays_every_acked_version() {
+        let dir = std::env::temp_dir().join(format!("xyserve-wal-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig::new()
+            .with_workers(2)
+            .unwrap()
+            .with_shards(2)
+            .unwrap()
+            .with_wal(WalPolicy::new(&dir));
+        let server = IngestServer::try_start(config.clone()).unwrap();
+        for v in 0..5 {
+            let t = server.submit_tracked("doc", format!("<d><v>{v}</v></d>")).unwrap();
+            let done = t.wait().unwrap();
+            assert!(done.durable, "Always mode must ack durable");
+        }
+        server.submit("other", "<o/>").unwrap();
+        let report = server.shutdown();
+        assert!(report.is_balanced(), "{report:?}");
+        assert!(report.metrics_text.contains("ingest_wal_appends_total 6"), "{}", report.metrics_text);
+
+        // No snapshot store configured: the log alone must reconstruct
+        // everything that was acked.
+        let server = IngestServer::try_start(config).unwrap();
+        assert_eq!(server.total_versions(), 6);
+        let repo = server.repository_for("doc");
+        for v in 0..5 {
+            assert_eq!(repo.version_xml("doc", v).unwrap(), format!("<d><v>{v}</v></d>"));
+        }
+        assert_eq!(server.metrics().wal_replayed.get(), 6);
+        // Ingest continues on the replayed chains and keeps logging.
+        let t = server.submit_tracked("doc", "<d><v>5</v></d>").unwrap();
+        let done = t.wait().unwrap();
+        assert_eq!(done.version, 5);
+        assert!(done.durable);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_wal_acks_are_not_durable() {
+        let server = tiny_server(1);
+        let t = server.submit_tracked("doc", "<a/>").unwrap();
+        assert!(!t.wait().unwrap().durable);
+        drop(server);
+    }
+
+    #[test]
+    fn snapshot_advances_wal_watermark_and_truncates_segments() {
+        let base = std::env::temp_dir().join(format!("xyserve-wal-wm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let config = ServeConfig::new()
+            .with_workers(1)
+            .unwrap()
+            .with_snapshots(
+                SnapshotPolicy::new(base.join("snap")).with_interval(Duration::from_secs(3600)),
+            )
+            // Tiny segments so the log rolls during the test (clamped to 4 KiB).
+            .with_wal(WalPolicy::new(base.join("wal")).with_segment_bytes(1));
+        let server = IngestServer::try_start(config.clone()).unwrap();
+        for v in 0..20 {
+            server
+                .submit_tracked(
+                    "doc",
+                    // The pad changes every version, so each logged delta
+                    // carries ~1 KiB of old+new text and the log rolls.
+                    format!("<d><v>{v}</v><pad>{}</pad></d>", format!("{v:03}").repeat(256)),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        assert!(server.wal().unwrap().segment_count() > 1, "segments must roll");
+        let report = server.shutdown();
+        assert!(report.is_balanced(), "{report:?}");
+
+        // The final snapshot covered the whole log, so a restart replays
+        // nothing and consumed segments are gone.
+        let server = IngestServer::try_start(config).unwrap();
+        assert_eq!(server.metrics().wal_replayed.get(), 0, "watermark covers the log");
+        assert_eq!(server.total_versions(), 20);
+        let wal = server.wal().unwrap();
+        assert_eq!(wal.watermark(), 20);
+        assert_eq!(wal.segment_count(), 1, "consumed segments truncated");
+        drop(server);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn background_compactor_bounds_chain_hops() {
+        let server = IngestServer::start(
+            ServeConfig::new().with_workers(2).unwrap().with_compact_chain_max(8),
+        );
+        for v in 0..64 {
+            server.submit("doc", format!("<d><v>{v}</v></d>")).unwrap();
+        }
+        server.wait_idle();
+        let repo = server.repository_for("doc");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while repo.chain_hops("doc").unwrap() > 8 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            repo.chain_hops("doc").unwrap() <= 8,
+            "compactor must bound hops, got {:?} with {:?} checkpoints",
+            repo.chain_hops("doc"),
+            repo.chain_checkpoints("doc"),
+        );
+        // Compaction must not change what reconstruction returns.
+        for v in [0, 7, 31, 63] {
+            assert_eq!(repo.version_xml("doc", v).unwrap(), format!("<d><v>{v}</v></d>"));
+        }
+        let report = server.shutdown();
+        assert!(report.is_balanced(), "{report:?}");
+        assert!(report.metrics_text.contains("ingest_chain_compactions_total"), "{}", report.metrics_text);
     }
 
     #[test]

@@ -1,0 +1,924 @@
+//! The segmented log: append path with group commit, recovery scan with
+//! torn-tail repair, and watermark-based segment reclamation.
+//!
+//! On-disk layout of a log directory:
+//!
+//! ```text
+//! <dir>/seg-00000001.wal     sealed segment
+//! <dir>/seg-00000002.wal     active segment (append target)
+//! <dir>/WATERMARK            highest snapshot-covered LSN, via tmp+rename
+//! ```
+//!
+//! Each segment starts with a 16-byte header (`XYWALOG1` + u64 LE first
+//! LSN) followed by a run of record frames ([`crate::record`]). LSNs are
+//! assigned densely starting at 1, so a record's LSN is implicit in its
+//! position: `first_lsn + ordinal`. Consecutive segments must therefore
+//! tile the LSN space — a numbering gap is detected as corruption.
+
+use crate::record::{decode_frame, encode_frame, Record};
+use crate::{WalConfig, WalError, WalSync};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+const MAGIC: [u8; 8] = *b"XYWALOG1";
+const SEGMENT_HEADER_BYTES: usize = 16;
+const WATERMARK_FILE: &str = "WATERMARK";
+
+fn segment_name(index: u64) -> String {
+    format!("seg-{index:08}.wal")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?.strip_suffix(".wal")?.parse().ok()
+}
+
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+fn create_segment(dir: &Path, index: u64, first_lsn: u64) -> std::io::Result<File> {
+    let path = dir.join(segment_name(index));
+    let mut file = File::create(&path)?;
+    let mut header = [0u8; SEGMENT_HEADER_BYTES];
+    header[..8].copy_from_slice(&MAGIC);
+    header[8..].copy_from_slice(&first_lsn.to_le_bytes());
+    file.write_all(&header)?;
+    file.sync_data()?;
+    sync_dir(dir)?;
+    Ok(file)
+}
+
+fn read_watermark(dir: &Path) -> u64 {
+    // An absent or unreadable watermark degrades safely: replay covers more
+    // records than strictly needed (replay is idempotent), never fewer.
+    fs::read_to_string(dir.join(WATERMARK_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn persist_watermark(dir: &Path, lsn: u64) -> std::io::Result<()> {
+    let tmp = dir.join("WATERMARK.tmp");
+    let mut f = File::create(&tmp)?;
+    writeln!(f, "{lsn}")?;
+    f.sync_all()?;
+    fs::rename(&tmp, dir.join(WATERMARK_FILE))?;
+    sync_dir(dir)
+}
+
+/// One scanned segment.
+#[derive(Debug, Clone)]
+pub struct SegmentReport {
+    /// Segment file path.
+    pub path: PathBuf,
+    /// Segment index (from the file name).
+    pub index: u64,
+    /// LSN of the segment's first record (from the header).
+    pub first_lsn: u64,
+    /// Number of valid records decoded.
+    pub records: u64,
+    /// File size in bytes (before any torn-tail truncation).
+    pub bytes: u64,
+}
+
+impl SegmentReport {
+    /// LSN of the last valid record, or `None` for an empty segment.
+    pub fn last_lsn(&self) -> Option<u64> {
+        (self.records > 0).then(|| self.first_lsn + self.records - 1)
+    }
+}
+
+/// A detected torn tail: the last segment ends in a partial or damaged
+/// frame, as a crash mid-append leaves it.
+#[derive(Debug, Clone)]
+pub struct TornTail {
+    /// The segment carrying the torn tail (always the last one).
+    pub segment: PathBuf,
+    /// Length of the valid prefix; [`Wal::open`] truncates to this (and
+    /// removes the file outright when 0, i.e. the header itself is torn).
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix that will be discarded.
+    pub lost_bytes: u64,
+    /// Why decoding stopped.
+    pub reason: String,
+}
+
+/// Result of a read-only [`scan`] of a log directory.
+#[derive(Debug)]
+pub struct ScanReport {
+    /// The persisted consumed watermark (0 when none).
+    pub watermark: u64,
+    /// Every segment present, in LSN order.
+    pub segments: Vec<SegmentReport>,
+    /// Every valid record with its LSN, in LSN order (including records at
+    /// or below the watermark that share a segment with live ones).
+    pub records: Vec<(u64, Record)>,
+    /// A torn tail in the last segment, if any. `scan` only reports it;
+    /// [`Wal::open`] repairs it.
+    pub torn: Option<TornTail>,
+}
+
+/// Read a log directory without mutating it — the basis of both recovery
+/// and `xydiff wal inspect`. Fails on corruption anywhere except the
+/// tail of the last segment, which is reported as [`ScanReport::torn`].
+pub fn scan(dir: &Path) -> Result<ScanReport, WalError> {
+    let watermark = read_watermark(dir);
+    let mut named: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(index) = parse_segment_name(name) {
+            named.push((index, path));
+        }
+    }
+    named.sort();
+
+    let mut segments = Vec::new();
+    let mut records = Vec::new();
+    let mut torn = None;
+    let mut expected_first: Option<u64> = None;
+    for (pos, (index, path)) in named.iter().enumerate() {
+        let is_last = pos + 1 == named.len();
+        let bytes = fs::read(path)?;
+        if bytes.len() < SEGMENT_HEADER_BYTES || bytes[..8] != MAGIC {
+            if is_last {
+                // A crash while creating the segment left a partial header:
+                // nothing in it was ever acknowledged.
+                torn = Some(TornTail {
+                    segment: path.clone(),
+                    valid_bytes: 0,
+                    lost_bytes: bytes.len() as u64,
+                    reason: "incomplete segment header".to_string(),
+                });
+                segments.push(SegmentReport {
+                    path: path.clone(),
+                    index: *index,
+                    first_lsn: 0,
+                    records: 0,
+                    bytes: bytes.len() as u64,
+                });
+                break;
+            }
+            return Err(WalError::Corrupt {
+                segment: path.clone(),
+                offset: 0,
+                message: "bad segment header".to_string(),
+            });
+        }
+        // INVARIANT: the slice is exactly 8 bytes (length checked above).
+        let first_lsn = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        if let Some(expected) = expected_first {
+            if first_lsn != expected {
+                return Err(WalError::Corrupt {
+                    segment: path.clone(),
+                    offset: 8,
+                    message: format!(
+                        "segment LSN gap: expected first LSN {expected}, found {first_lsn}"
+                    ),
+                });
+            }
+        }
+        let mut offset = SEGMENT_HEADER_BYTES;
+        let mut count = 0u64;
+        while offset < bytes.len() {
+            match decode_frame(&bytes[offset..]) {
+                Ok((record, used)) => {
+                    records.push((first_lsn + count, record));
+                    count += 1;
+                    offset += used;
+                }
+                Err(e) if is_last => {
+                    torn = Some(TornTail {
+                        segment: path.clone(),
+                        valid_bytes: offset as u64,
+                        lost_bytes: (bytes.len() - offset) as u64,
+                        reason: e.to_string(),
+                    });
+                    break;
+                }
+                Err(e) => {
+                    return Err(WalError::Corrupt {
+                        segment: path.clone(),
+                        offset: offset as u64,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        expected_first = Some(first_lsn + count);
+        segments.push(SegmentReport {
+            path: path.clone(),
+            index: *index,
+            first_lsn,
+            records: count,
+            bytes: bytes.len() as u64,
+        });
+    }
+    Ok(ScanReport { watermark, segments, records, torn })
+}
+
+/// What [`Wal::open`] found and repaired before handing the log back.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Records that must be replayed on top of the snapshot: every valid
+    /// record with LSN above the persisted watermark, in LSN order.
+    pub records: Vec<(u64, Record)>,
+    /// The persisted consumed watermark.
+    pub watermark: u64,
+    /// Whether a torn tail was found (and truncated away).
+    pub torn: bool,
+    /// Bytes discarded by torn-tail truncation.
+    pub torn_bytes: u64,
+    /// Segments present after open-time reclamation.
+    pub segments: usize,
+    /// Fully-consumed segments deleted at open.
+    pub removed_segments: usize,
+    /// Highest LSN on disk (0 for an empty log).
+    pub last_lsn: u64,
+}
+
+#[derive(Debug)]
+struct Sealed {
+    first_lsn: u64,
+    records: u64,
+    path: PathBuf,
+}
+
+impl Sealed {
+    fn last_lsn(&self) -> Option<u64> {
+        (self.records > 0).then(|| self.first_lsn + self.records - 1)
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    file: File,
+    seg_index: u64,
+    seg_first_lsn: u64,
+    seg_bytes: u64,
+    /// LSN the next append will get (`written_lsn + 1`).
+    next_lsn: u64,
+    /// Highest LSN handed to the OS.
+    written_lsn: u64,
+    /// Highest LSN known to have reached stable storage.
+    durable_lsn: u64,
+    /// A group-commit leader is currently in `fdatasync`.
+    syncing: bool,
+    /// An append failed mid-write; the tail may be torn, so the writer
+    /// refuses to bury it under further records.
+    poisoned: bool,
+    sealed: Vec<Sealed>,
+    watermark: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    appends: AtomicU64,
+    bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    fsynced_records: AtomicU64,
+    max_fsync_batch: AtomicU64,
+    removed_segments: AtomicU64,
+}
+
+/// A point-in-time copy of the log's counters, for metrics exposition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    /// Highest LSN handed to the OS.
+    pub appended_lsn: u64,
+    /// Highest LSN known durable.
+    pub durable_lsn: u64,
+    /// Persisted consumed watermark.
+    pub watermark: u64,
+    /// Segments currently on disk (sealed + active).
+    pub segments: usize,
+    /// Records appended since open.
+    pub appends: u64,
+    /// Frame bytes appended since open.
+    pub appended_bytes: u64,
+    /// Group-commit fsyncs performed since open.
+    pub fsyncs: u64,
+    /// Records covered by those fsyncs (sum of batch sizes).
+    pub fsynced_records: u64,
+    /// Largest single fsync batch.
+    pub max_fsync_batch: u64,
+    /// Consumed segments deleted since open.
+    pub removed_segments: u64,
+}
+
+/// What one append achieved.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendOutcome {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// Whether the record is on stable storage (true under
+    /// [`WalSync::Always`], false under [`WalSync::None`]).
+    pub durable: bool,
+    /// Frame bytes written.
+    pub bytes: u64,
+}
+
+/// The writer half: a shared, thread-safe append-only log.
+///
+/// All appenders share one mutex-guarded file; writes are short, and
+/// durability waits happen outside the lock so a leader's `fdatasync`
+/// never blocks other appenders from writing the next batch.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    sync_mode: WalSync,
+    segment_bytes: u64,
+    state: Mutex<State>,
+    cv: Condvar,
+    stats: AtomicStats,
+}
+
+impl Wal {
+    /// Open (creating if missing) the log at `config.dir`: scan it, repair
+    /// any torn tail, delete fully-consumed segments, and return the writer
+    /// together with everything the caller must replay.
+    pub fn open(config: &WalConfig) -> Result<(Wal, Recovery), WalError> {
+        fs::create_dir_all(&config.dir)?;
+        let mut report = scan(&config.dir)?;
+
+        let mut torn_bytes = 0;
+        let torn = report.torn.is_some();
+        if let Some(t) = report.torn.take() {
+            torn_bytes = t.lost_bytes;
+            if t.valid_bytes == 0 {
+                fs::remove_file(&t.segment)?;
+                report.segments.pop();
+            } else {
+                let f = OpenOptions::new().write(true).open(&t.segment)?;
+                f.set_len(t.valid_bytes)?;
+                f.sync_all()?;
+                if let Some(s) = report.segments.last_mut() {
+                    s.bytes = t.valid_bytes;
+                }
+            }
+            sync_dir(&config.dir)?;
+        }
+
+        // Reclaim fully-consumed segments, keeping at least the last one as
+        // the append target.
+        let mut removed = 0;
+        while report.segments.len() > 1 {
+            if report.segments[0].last_lsn().is_some_and(|l| l > report.watermark) {
+                break;
+            }
+            fs::remove_file(&report.segments[0].path)?;
+            report.segments.remove(0);
+            removed += 1;
+        }
+        if removed > 0 {
+            sync_dir(&config.dir)?;
+        }
+
+        let last_lsn = report
+            .segments
+            .iter()
+            .filter_map(SegmentReport::last_lsn)
+            .max()
+            .unwrap_or(report.watermark);
+        let (file, seg_index, seg_first_lsn, seg_bytes) = match report.segments.last() {
+            Some(s) => {
+                let f = OpenOptions::new().append(true).open(&s.path)?;
+                // Everything retained by the scan is durable from here on.
+                f.sync_data()?;
+                (f, s.index, s.first_lsn, s.bytes)
+            }
+            None => {
+                let first = last_lsn + 1;
+                let f = create_segment(&config.dir, 1, first)?;
+                (f, 1, first, SEGMENT_HEADER_BYTES as u64)
+            }
+        };
+
+        let sealed = report.segments[..report.segments.len().saturating_sub(1)]
+            .iter()
+            .map(|s| Sealed { first_lsn: s.first_lsn, records: s.records, path: s.path.clone() })
+            .collect();
+        let segments = report.segments.len().max(1);
+        report.records.retain(|(lsn, _)| *lsn > report.watermark);
+
+        let wal = Wal {
+            dir: config.dir.clone(),
+            sync_mode: config.sync,
+            segment_bytes: config.segment_bytes.max(4 << 10),
+            state: Mutex::new(State {
+                file,
+                seg_index,
+                seg_first_lsn,
+                seg_bytes,
+                next_lsn: last_lsn + 1,
+                written_lsn: last_lsn,
+                durable_lsn: last_lsn,
+                syncing: false,
+                poisoned: false,
+                sealed,
+                watermark: report.watermark,
+            }),
+            cv: Condvar::new(),
+            stats: AtomicStats::default(),
+        };
+        let recovery = Recovery {
+            records: report.records,
+            watermark: report.watermark,
+            torn,
+            torn_bytes,
+            segments,
+            removed_segments: removed,
+            last_lsn,
+        };
+        Ok((wal, recovery))
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured durability policy.
+    pub fn sync_mode(&self) -> WalSync {
+        self.sync_mode
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A poisoned std mutex only means another appender panicked while
+        // holding it; the state itself is still consistent (every mutation
+        // is completed before the guard drops), so keep going.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait_cv<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append one record, group-committing per the configured policy, and
+    /// return its LSN and durability. Under [`WalSync::Always`] the call
+    /// returns only once the record (and every earlier one) has been
+    /// fsynced — one leader's fsync covers the whole written batch.
+    pub fn append(&self, record: &Record) -> Result<AppendOutcome, WalError> {
+        let frame = encode_frame(record);
+        let lsn;
+        {
+            let mut st = self.lock();
+            if st.poisoned {
+                return Err(WalError::Poisoned);
+            }
+            if st.seg_bytes >= self.segment_bytes {
+                if let Err(e) = self.roll(&mut st) {
+                    st.poisoned = true;
+                    self.cv.notify_all();
+                    return Err(e);
+                }
+            }
+            lsn = st.next_lsn;
+            if let Err(e) = st.file.write_all(&frame) {
+                st.poisoned = true;
+                self.cv.notify_all();
+                return Err(WalError::Io(e));
+            }
+            st.next_lsn += 1;
+            st.written_lsn = lsn;
+            st.seg_bytes += frame.len() as u64;
+        }
+        self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let durable = match self.sync_mode {
+            WalSync::None => false,
+            WalSync::Always => {
+                self.wait_durable(lsn)?;
+                true
+            }
+        };
+        Ok(AppendOutcome { lsn, durable, bytes: frame.len() as u64 })
+    }
+
+    /// Seal the active segment and start the next one. Called under the
+    /// state lock.
+    fn roll(&self, st: &mut State) -> Result<(), WalError> {
+        st.file.sync_data()?;
+        st.durable_lsn = st.durable_lsn.max(st.written_lsn);
+        let records = (st.written_lsn + 1).saturating_sub(st.seg_first_lsn);
+        st.sealed.push(Sealed {
+            first_lsn: st.seg_first_lsn,
+            records,
+            path: self.dir.join(segment_name(st.seg_index)),
+        });
+        let index = st.seg_index + 1;
+        let first = st.next_lsn;
+        st.file = create_segment(&self.dir, index, first)?;
+        st.seg_index = index;
+        st.seg_first_lsn = first;
+        st.seg_bytes = SEGMENT_HEADER_BYTES as u64;
+        Ok(())
+    }
+
+    /// Block until everything up to `lsn` is on stable storage, becoming
+    /// the group-commit leader if no fsync is in flight.
+    fn wait_durable(&self, lsn: u64) -> Result<(), WalError> {
+        let mut st = self.lock();
+        loop {
+            if st.poisoned {
+                return Err(WalError::Poisoned);
+            }
+            if st.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if st.syncing {
+                st = self.wait_cv(st);
+                continue;
+            }
+            st.syncing = true;
+            let target = st.written_lsn;
+            let already = st.durable_lsn;
+            let file = match st.file.try_clone() {
+                Ok(f) => f,
+                Err(e) => {
+                    st.syncing = false;
+                    st.poisoned = true;
+                    self.cv.notify_all();
+                    return Err(WalError::Io(e));
+                }
+            };
+            // fsync outside the lock: followers keep appending the next
+            // batch while this one flushes.
+            drop(st);
+            let result = file.sync_data();
+            st = self.lock();
+            st.syncing = false;
+            match result {
+                Ok(()) => {
+                    if st.durable_lsn < target {
+                        st.durable_lsn = target;
+                        let batch = target.saturating_sub(already);
+                        self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        self.stats.fsynced_records.fetch_add(batch, Ordering::Relaxed);
+                        self.stats.max_fsync_batch.fetch_max(batch, Ordering::Relaxed);
+                    }
+                    self.cv.notify_all();
+                }
+                Err(e) => {
+                    st.poisoned = true;
+                    self.cv.notify_all();
+                    return Err(WalError::Io(e));
+                }
+            }
+        }
+    }
+
+    /// Force everything appended so far onto stable storage (used at
+    /// shutdown, and periodically under [`WalSync::None`]).
+    pub fn sync(&self) -> Result<(), WalError> {
+        let target = self.lock().written_lsn;
+        self.wait_durable(target)
+    }
+
+    /// Record that a durably-published snapshot covers every record with
+    /// LSN ≤ `lsn`: persist the watermark and delete sealed segments whose
+    /// records are all covered. Returns how many segments were deleted.
+    /// The watermark never moves backwards and never past the written tail.
+    pub fn advance_watermark(&self, lsn: u64) -> Result<usize, WalError> {
+        let mut st = self.lock();
+        let lsn = lsn.min(st.written_lsn);
+        if lsn <= st.watermark {
+            return Ok(0);
+        }
+        persist_watermark(&self.dir, lsn)?;
+        st.watermark = lsn;
+        let mut keep = Vec::new();
+        let mut removed = 0usize;
+        for s in std::mem::take(&mut st.sealed) {
+            if s.last_lsn().is_some_and(|l| l > lsn) {
+                keep.push(s);
+                continue;
+            }
+            let _ = fs::remove_file(&s.path);
+            if s.path.exists() {
+                // Deletion failed; keep it listed and retry on the next
+                // advance rather than leaking the segment.
+                keep.push(s);
+            } else {
+                removed += 1;
+            }
+        }
+        st.sealed = keep;
+        self.stats.removed_segments.fetch_add(removed as u64, Ordering::Relaxed);
+        Ok(removed)
+    }
+
+    /// Highest LSN handed to the OS so far (what a snapshot taken *now*
+    /// is guaranteed to cover, because chains are updated before appends).
+    pub fn appended_lsn(&self) -> u64 {
+        self.lock().written_lsn
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.lock().durable_lsn
+    }
+
+    /// The persisted consumed watermark.
+    pub fn watermark(&self) -> u64 {
+        self.lock().watermark
+    }
+
+    /// Segments currently on disk (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.lock().sealed.len() + 1
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn stats(&self) -> WalStats {
+        let (appended_lsn, durable_lsn, watermark, segments) = {
+            let st = self.lock();
+            (st.written_lsn, st.durable_lsn, st.watermark, st.sealed.len() + 1)
+        };
+        WalStats {
+            appended_lsn,
+            durable_lsn,
+            watermark,
+            segments,
+            appends: self.stats.appends.load(Ordering::Relaxed),
+            appended_bytes: self.stats.bytes.load(Ordering::Relaxed),
+            fsyncs: self.stats.fsyncs.load(Ordering::Relaxed),
+            fsynced_records: self.stats.fsynced_records.load(Ordering::Relaxed),
+            max_fsync_batch: self.stats.max_fsync_batch.load(Ordering::Relaxed),
+            removed_segments: self.stats.removed_segments.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("xywal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn delta(key: &str, version: u64) -> Record {
+        Record::Delta {
+            key: key.to_string(),
+            version,
+            delta_xml: format!("<delta v=\"{version}\"/>"),
+        }
+    }
+
+    fn open(dir: &Path) -> (Wal, Recovery) {
+        Wal::open(&WalConfig::new(dir)).unwrap()
+    }
+
+    #[test]
+    fn fresh_log_appends_and_recovers_in_order() {
+        let dir = tmpdir("fresh");
+        let (wal, rec) = open(&dir);
+        assert_eq!(rec.records.len(), 0);
+        assert!(!rec.torn);
+        let a = wal.append(&Record::Init { key: "k".into(), xml: "<k/>".into() }).unwrap();
+        assert_eq!(a.lsn, 1);
+        assert!(a.durable);
+        for v in 1..=5 {
+            assert_eq!(wal.append(&delta("k", v)).unwrap().lsn, 1 + v);
+        }
+        assert_eq!(wal.appended_lsn(), 6);
+        assert_eq!(wal.durable_lsn(), 6);
+        drop(wal);
+
+        let (wal2, rec2) = open(&dir);
+        assert_eq!(rec2.records.len(), 6);
+        assert_eq!(rec2.last_lsn, 6);
+        let lsns: Vec<u64> = rec2.records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, (1..=6).collect::<Vec<_>>());
+        assert_eq!(rec2.records[0].1.key(), "k");
+        // LSNs continue where the previous writer stopped.
+        assert_eq!(wal2.append(&delta("k", 6)).unwrap().lsn, 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_usable() {
+        let dir = tmpdir("torn");
+        let (wal, _) = open(&dir);
+        for v in 1..=3 {
+            wal.append(&delta("k", v)).unwrap();
+        }
+        drop(wal);
+        // Simulate a crash mid-append: garbage after the last full record.
+        let seg = dir.join(segment_name(1));
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        drop(f);
+
+        let before = fs::metadata(&seg).unwrap().len();
+        let (wal2, rec) = open(&dir);
+        assert!(rec.torn);
+        assert_eq!(rec.torn_bytes, 3);
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(fs::metadata(&seg).unwrap().len(), before - 3);
+        // Appending after repair produces a clean, fully-decodable log.
+        wal2.append(&delta("k", 4)).unwrap();
+        drop(wal2);
+        let (_, rec3) = open(&dir);
+        assert!(!rec3.torn);
+        assert_eq!(rec3.records.len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_record_truncation_keeps_the_valid_prefix() {
+        let dir = tmpdir("midrec");
+        let (wal, _) = open(&dir);
+        for v in 1..=3 {
+            wal.append(&delta("key-with-some-length", v)).unwrap();
+        }
+        drop(wal);
+        let seg = dir.join(segment_name(1));
+        let len = fs::metadata(&seg).unwrap().len();
+        // Cut into the middle of the third record.
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+
+        let (_, rec) = open(&dir);
+        assert!(rec.torn);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.last_lsn, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_header_segment_is_removed() {
+        let dir = tmpdir("tornheader");
+        let (wal, _) = open(&dir);
+        wal.append(&delta("k", 1)).unwrap();
+        drop(wal);
+        // A crash during segment creation: a second segment with 4 header bytes.
+        fs::write(dir.join(segment_name(2)), b"XYWA").unwrap();
+        let (wal2, rec) = open(&dir);
+        assert!(rec.torn);
+        assert_eq!(rec.records.len(), 1);
+        assert!(!dir.join(segment_name(2)).exists());
+        assert_eq!(wal2.append(&delta("k", 2)).unwrap().lsn, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_a_sealed_segment_is_an_error() {
+        let dir = tmpdir("sealedcorrupt");
+        let cfg = WalConfig::new(&dir).with_segment_bytes(4 << 10);
+        let (wal, _) = Wal::open(&cfg).unwrap();
+        let big = "x".repeat(512);
+        for v in 1..=20 {
+            wal.append(&Record::Delta { key: "k".into(), version: v, delta_xml: big.clone() })
+                .unwrap();
+        }
+        assert!(wal.segment_count() > 1, "load must have rolled segments");
+        drop(wal);
+        // Flip a payload byte in the middle of the FIRST (sealed) segment.
+        let seg = dir.join(segment_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+        match Wal::open(&cfg) {
+            Err(WalError::Corrupt { segment, .. }) => {
+                assert!(segment.to_string_lossy().contains("seg-00000001"));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watermark_advance_reclaims_sealed_segments() {
+        let dir = tmpdir("watermark");
+        let cfg = WalConfig::new(&dir).with_segment_bytes(4 << 10);
+        let (wal, _) = Wal::open(&cfg).unwrap();
+        let big = "y".repeat(512);
+        for v in 1..=30 {
+            wal.append(&Record::Delta { key: "k".into(), version: v, delta_xml: big.clone() })
+                .unwrap();
+        }
+        let segments_before = wal.segment_count();
+        assert!(segments_before >= 3);
+        let covered = wal.appended_lsn();
+        let removed = wal.advance_watermark(covered).unwrap();
+        assert_eq!(removed, segments_before - 1, "all sealed segments reclaimed");
+        assert_eq!(wal.segment_count(), 1);
+        assert_eq!(wal.watermark(), covered);
+        // A second advance to the same point is a no-op.
+        assert_eq!(wal.advance_watermark(covered).unwrap(), 0);
+        drop(wal);
+
+        // The watermark survives reopen, and covered records are not replayed.
+        let (wal2, rec) = Wal::open(&cfg).unwrap();
+        assert_eq!(rec.watermark, covered);
+        assert_eq!(rec.records.len(), 0);
+        assert_eq!(wal2.append(&delta("k", 31)).unwrap().lsn, covered + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watermark_never_regresses_or_passes_the_tail() {
+        let dir = tmpdir("wmclamp");
+        let (wal, _) = open(&dir);
+        for v in 1..=4 {
+            wal.append(&delta("k", v)).unwrap();
+        }
+        assert_eq!(wal.advance_watermark(u64::MAX).unwrap(), 0);
+        assert_eq!(wal.watermark(), 4, "clamped to the written tail");
+        assert_eq!(wal.advance_watermark(2).unwrap(), 0);
+        assert_eq!(wal.watermark(), 4, "never moves backwards");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appends_group_commit() {
+        let dir = tmpdir("group");
+        let (wal, _) = open(&dir);
+        let wal = Arc::new(wal);
+        let threads = 8;
+        let per_thread = 25u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let w = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for v in 1..=per_thread {
+                        let out = w.append(&delta(&format!("k{t}"), v)).unwrap();
+                        assert!(out.durable);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = threads as u64 * per_thread;
+        assert_eq!(wal.appended_lsn(), total);
+        assert_eq!(wal.durable_lsn(), total);
+        let stats = wal.stats();
+        assert_eq!(stats.appends, total);
+        assert!(stats.fsyncs <= total);
+        assert_eq!(stats.fsynced_records, total);
+        drop(wal);
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.records.len(), total as usize);
+        // Per-key version order is preserved in LSN order.
+        for t in 0..threads {
+            let versions: Vec<u64> = rec
+                .records
+                .iter()
+                .filter(|(_, r)| r.key() == format!("k{t}"))
+                .map(|(_, r)| r.version())
+                .collect();
+            assert_eq!(versions, (1..=per_thread).collect::<Vec<_>>());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_none_reports_not_durable_but_survives_reopen() {
+        let dir = tmpdir("syncnone");
+        let cfg = WalConfig::new(&dir).with_sync(WalSync::None);
+        let (wal, _) = Wal::open(&cfg).unwrap();
+        let out = wal.append(&delta("k", 1)).unwrap();
+        assert!(!out.durable);
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_lsn(), 1);
+        drop(wal);
+        let (_, rec) = Wal::open(&cfg).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_reports_without_mutating() {
+        let dir = tmpdir("scan");
+        let (wal, _) = open(&dir);
+        for v in 1..=3 {
+            wal.append(&delta("k", v)).unwrap();
+        }
+        drop(wal);
+        let seg = dir.join(segment_name(1));
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[1, 2, 3, 4]).unwrap();
+        drop(f);
+        let len_before = fs::metadata(&seg).unwrap().len();
+        let report = scan(&dir).unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert!(report.torn.is_some());
+        assert_eq!(fs::metadata(&seg).unwrap().len(), len_before, "scan never truncates");
+        assert_eq!(report.segments.len(), 1);
+        assert_eq!(report.segments[0].records, 3);
+        assert_eq!(report.segments[0].last_lsn(), Some(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

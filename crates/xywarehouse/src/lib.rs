@@ -25,6 +25,7 @@
 
 pub mod alerter;
 pub mod persist;
+pub mod replay;
 pub mod repository;
 pub mod snapshot;
 pub mod stats;
@@ -33,6 +34,7 @@ pub mod subscription;
 
 pub use alerter::{Alerter, Notification};
 pub use persist::{load_chain, save_chain, PersistError};
+pub use replay::{ReplayError, ReplayStats};
 pub use repository::{LoadOutcome, Repository, RepositoryError};
 pub use snapshot::SnapshotStore;
 pub use stats::ChangeStats;

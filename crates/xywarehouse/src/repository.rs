@@ -335,6 +335,62 @@ impl Repository {
             .write()
             .insert(key, StoredDoc { chain, cache: SignatureCache::new() });
     }
+
+    /// Append a WAL-replayed delta to `key`'s chain (recovery support). No
+    /// diff runs — the delta was computed before the crash and the caller
+    /// has already re-verified it.
+    pub(crate) fn append_replayed_delta(
+        &self,
+        key: &str,
+        delta: Delta,
+    ) -> Result<(), RepositoryError> {
+        let mut entries = self.entries.write();
+        let stored = entries
+            .get_mut(key)
+            .ok_or_else(|| RepositoryError::UnknownDocument(key.to_string()))?;
+        stored.chain.push_delta(delta).map_err(RepositoryError::Reconstruct)
+    }
+
+    /// Compact every chain whose worst-case reconstruction cost exceeds
+    /// `every` hops, materialising checkpoints so any version is reachable
+    /// within a bounded number of delta applications. Returns the number of
+    /// chains compacted.
+    ///
+    /// Candidate keys are collected under the read lock; each chain is then
+    /// compacted under its own short write-lock acquisition so concurrent
+    /// ingest interleaves between documents instead of stalling for the
+    /// whole sweep.
+    pub fn compact_chains(&self, every: usize) -> usize {
+        let needy: Vec<String> = self
+            .entries
+            .read()
+            .iter()
+            .filter(|(_, s)| s.chain.needs_compaction(every))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut compacted = 0;
+        for key in needy {
+            let mut entries = self.entries.write();
+            if let Some(stored) = entries.get_mut(&key) {
+                if stored.chain.needs_compaction(every) && stored.chain.compact(every).is_ok() {
+                    compacted += 1;
+                }
+            }
+        }
+        compacted
+    }
+
+    /// Worst-case delta applications needed to reconstruct any version of
+    /// `key` (`None` when the key is unknown).
+    pub fn chain_hops(&self, key: &str) -> Option<usize> {
+        self.entries.read().get(key).map(|s| s.chain.max_reconstruct_hops())
+    }
+
+    /// Number of materialised checkpoints on `key`'s chain (`None` when the
+    /// key is unknown).
+    pub fn chain_checkpoints(&self, key: &str) -> Option<usize> {
+        self.entries.read().get(key).map(|s| s.chain.checkpoint_count())
+    }
 }
 
 impl Default for Repository {

@@ -17,6 +17,14 @@
 //! overwritten) or the new generation fully published. Readers only ever
 //! follow `CURRENT`, so they never observe a half-written tree.
 //!
+//! Renames alone only order *metadata*; for a generation to survive power
+//! loss the file contents and the directory entries must reach the disk
+//! before `CURRENT` flips. [`SnapshotStore::save`] therefore fsyncs every
+//! file and directory of the temporary tree bottom-up, fsyncs the root
+//! after each rename, and fsyncs `CURRENT.tmp` before publishing it —
+//! without this a snapshot that WAL truncation depends on could evaporate,
+//! silently losing acknowledged ingests.
+//!
 //! Restore is shard-count agnostic: chains are re-routed by key through a
 //! caller-supplied function, so a server restarted with a different shard
 //! count still finds every document.
@@ -69,6 +77,27 @@ impl SnapshotStore {
         self.root.join(format!("gen-{generation:06}"))
     }
 
+    /// Fsync every regular file under `dir`, then every directory bottom-up,
+    /// so the whole tree is durable before it is renamed into place.
+    fn sync_tree(dir: &Path) -> Result<(), PersistError> {
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                SnapshotStore::sync_tree(&path)?;
+            } else {
+                fs::File::open(&path)?.sync_all()?;
+            }
+        }
+        fs::File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Fsync a directory so renames inside it are durable.
+    fn sync_dir(dir: &Path) -> Result<(), PersistError> {
+        fs::File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
     /// Write every shard into a fresh generation and publish it. Returns
     /// the generation number. The previous generation stays readable until
     /// pruned (see [`SnapshotStore::with_keep`]).
@@ -88,6 +117,7 @@ impl SnapshotStore {
         for (i, shard) in shards.iter().enumerate() {
             shard.save_to(&tmp.join(format!("shard-{i:03}")))?;
         }
+        SnapshotStore::sync_tree(&tmp)?;
         let target = self.generation_dir(generation);
         if target.exists() {
             // A crash after rename but before the CURRENT flip left an
@@ -95,9 +125,16 @@ impl SnapshotStore {
             fs::remove_dir_all(&target)?;
         }
         fs::rename(&tmp, &target)?;
+        SnapshotStore::sync_dir(&self.root)?;
         let pointer_tmp = self.root.join("CURRENT.tmp");
-        fs::write(&pointer_tmp, &name)?;
+        {
+            use std::io::Write;
+            let mut f = fs::File::create(&pointer_tmp)?;
+            f.write_all(name.as_bytes())?;
+            f.sync_all()?;
+        }
         fs::rename(&pointer_tmp, self.root.join(CURRENT))?;
+        SnapshotStore::sync_dir(&self.root)?;
         self.prune(generation)?;
         Ok(generation)
     }

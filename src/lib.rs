@@ -14,6 +14,7 @@
 //! - [`xyhtml`] — HTML XMLization so web pages can be diffed
 //! - [`xyserve`] — concurrent ingestion server (Figure 1 at scale)
 //! - [`xynet`] — HTTP/1.1 network front for the ingestion server
+//! - [`xywal`] — write-ahead delta log (crash recovery + compaction)
 
 pub use xybase;
 pub use xydelta;
@@ -25,4 +26,5 @@ pub use xyquery;
 pub use xyserve;
 pub use xysim;
 pub use xytree;
+pub use xywal;
 pub use xywarehouse;
