@@ -420,22 +420,43 @@ fn diff_bench() {
     }
     let bytes_per_round: usize = cases.iter().map(|c| c.bytes).sum();
 
+    // Intra-document diff parallelism: XYBENCH_DIFF_THREADS, defaulting to
+    // the host's parallelism capped at 8 (1 ⇒ strictly serial pipeline).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let diff_threads = std::env::var("XYBENCH_DIFF_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| cores.min(8))
+        .max(1);
+
     // One differ (options + scratch) reused across the whole run, as a
-    // long-lived ingest worker would hold it. The warmup round (untimed)
-    // also warms its scratch capacity, so the timed rounds measure the
-    // allocation-free steady state.
-    let mut differ = Differ::new();
+    // long-lived ingest worker would hold it: zero-copy (borrowed) payload
+    // capture, plus the scheduler-backed runner when parallelism is on. The
+    // warmup round (untimed) also warms its scratch capacity, so the timed
+    // rounds measure the allocation-free steady state.
+    let mut differ = Differ::new().with_capture(xydelta::CaptureMode::Borrowed);
+    if diff_threads > 1 {
+        differ = differ.with_runner(std::sync::Arc::new(xyserve::DiffRunner::new(diff_threads)));
+    }
     for c in &cases {
         let _ = differ.diff(&c.old, &c.new);
     }
 
-    let mut phases = [0.0f64; 6]; // p1..p5, total — mean micros per diff
+    // The timed loop takes the consuming entry point (the ingest path), so
+    // every round's input documents are cloned up front, outside the timing.
+    let mut pool: Vec<Vec<Document>> = (0..rounds)
+        .map(|_| cases.iter().map(|c| c.new.clone()).collect())
+        .collect();
+
+    // Per-diff per-phase samples (micros): p1..p5 + total per row.
+    let mut samples: Vec<[f64; 6]> = Vec::with_capacity(rounds * cases.len());
     let t = Instant::now();
-    for _ in 0..rounds {
-        for c in &cases {
-            let r = differ.diff(&c.old, &c.new);
+    for round in pool.drain(..) {
+        for (c, new_doc) in cases.iter().zip(round) {
+            let r = differ.diff_consume(&c.old, new_doc);
             let tm = r.timings;
-            for (acc, d) in phases.iter_mut().zip([
+            let mut row = [0.0f64; 6];
+            for (slot, d) in row.iter_mut().zip([
                 tm.phase1,
                 tm.phase2,
                 tm.phase3,
@@ -443,54 +464,85 @@ fn diff_bench() {
                 tm.phase5,
                 tm.total(),
             ]) {
-                *acc += d.as_secs_f64() * 1e6;
+                *slot = d.as_secs_f64() * 1e6;
             }
+            samples.push(row);
         }
     }
     let wall = t.elapsed();
-    let diffs = (rounds * cases.len()) as f64;
+    let diffs = samples.len() as f64;
+    let mut phases = [0.0f64; 6]; // mean micros per diff
+    for row in &samples {
+        for (acc, v) in phases.iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
     for p in &mut phases {
         *p /= diffs;
     }
+    // Nearest-rank percentile over the per-diff samples of one phase.
+    let percentile = |phase: usize, q: f64| -> f64 {
+        let mut vals: Vec<f64> = samples.iter().map(|r| r[phase]).collect();
+        vals.sort_by(f64::total_cmp);
+        let rank = ((q / 100.0 * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+        vals[rank - 1]
+    };
+    let p50: Vec<f64> = (0..6).map(|i| percentile(i, 50.0)).collect();
+    let p99: Vec<f64> = (0..6).map(|i| percentile(i, 99.0)).collect();
     let docs_per_sec = diffs / wall.as_secs_f64();
     let mb_per_sec = (bytes_per_round * rounds) as f64 / 1e6 / wall.as_secs_f64();
     let peak_rss = xybench::peak_rss_bytes().unwrap_or(0);
 
-    println!("| mode | pairs | rounds | docs/sec | MB/s | mean diff | peak RSS |");
-    println!("|---|---:|---:|---:|---:|---:|---:|");
+    println!("| mode | pairs | rounds | threads | docs/sec | MB/s | mean diff | peak RSS |");
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|");
     println!(
-        "| {} | {} | {rounds} | {docs_per_sec:.0} | {mb_per_sec:.1} | {:.0} µs | {} |",
+        "| {} | {} | {rounds} | {diff_threads} | {docs_per_sec:.0} | {mb_per_sec:.1} | {:.0} µs | {} |",
         if fast { "fast" } else { "full" },
         cases.len(),
         phases[5],
         fmt_bytes(peak_rss as usize),
     );
     println!(
-        "\nmean per-phase micros: p1 {:.0} | p2 {:.0} | p3 {:.0} | p4 {:.0} | p5 {:.0}\n",
+        "\nmean per-phase micros: p1 {:.0} | p2 {:.0} | p3 {:.0} | p4 {:.0} | p5 {:.0}",
         phases[0], phases[1], phases[2], phases[3], phases[4]
     );
+    println!(
+        "p50 per-phase micros:  p1 {:.0} | p2 {:.0} | p3 {:.0} | p4 {:.0} | p5 {:.0}",
+        p50[0], p50[1], p50[2], p50[3], p50[4]
+    );
+    println!(
+        "p99 per-phase micros:  p1 {:.0} | p2 {:.0} | p3 {:.0} | p4 {:.0} | p5 {:.0}\n",
+        p99[0], p99[1], p99[2], p99[3], p99[4]
+    );
 
+    let phase_obj = |vals: &[f64]| {
+        format!(
+            "{{ \"phase1\": {:.1}, \"phase2\": {:.1}, \"phase3\": {:.1}, \
+             \"phase4\": {:.1}, \"phase5\": {:.1}, \"total\": {:.1} }}",
+            vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+        )
+    };
     let json = format!(
         "{{\n  \"bench\": \"diff\",\n  \"mode\": \"{mode}\",\n  \"pairs\": {pairs},\n  \
-         \"rounds\": {rounds},\n  \"bytes_per_round\": {bytes_per_round},\n  \
+         \"rounds\": {rounds},\n  \"diff_threads\": {diff_threads},\n  \
+         \"bytes_per_round\": {bytes_per_round},\n  \
          \"docs_per_sec\": {docs_per_sec:.2},\n  \"mb_per_sec\": {mb_per_sec:.3},\n  \
-         \"phase_micros\": {{ \"phase1\": {p1:.1}, \"phase2\": {p2:.1}, \"phase3\": {p3:.1}, \
-         \"phase4\": {p4:.1}, \"phase5\": {p5:.1}, \"total\": {pt:.1} }},\n  \
+         \"phase_micros\": {means},\n  \
+         \"phase_p50_micros\": {p50s},\n  \
+         \"phase_p99_micros\": {p99s},\n  \
          \"peak_rss_bytes\": {peak_rss}\n}}\n",
         mode = if fast { "fast" } else { "full" },
         pairs = cases.len(),
-        p1 = phases[0],
-        p2 = phases[1],
-        p3 = phases[2],
-        p4 = phases[3],
-        p5 = phases[4],
-        pt = phases[5],
+        means = phase_obj(&phases),
+        p50s = phase_obj(&p50),
+        p99s = phase_obj(&p99),
     );
     let path = xybench::bench_out_path("BENCH_diff.json");
     std::fs::write(&path, &json).unwrap_or_else(|e| eprintln!("cannot write {path:?}: {e}"));
     println!("wrote {}\n", path.display());
 
     if std::env::var_os("XYBENCH_GATE").is_some() {
+        let mut failed = false;
         match xybench::baseline_docs_per_sec("bench_baseline.json") {
             Some(base) => {
                 let floor = base / 2.0;
@@ -499,10 +551,31 @@ fn diff_bench() {
                 );
                 if docs_per_sec < floor {
                     eprintln!("perf gate FAILED: diff throughput regressed >2x");
-                    std::process::exit(1);
+                    failed = true;
                 }
             }
             None => eprintln!("perf gate: no bench_baseline.json found, skipping"),
+        }
+        // Phase-level gate: a regression hiding inside one phase (e.g. the
+        // zero-copy capture path falling back to full clones) must fail even
+        // when the total stays within the throughput floor. Phases that are
+        // noise-sized in the baseline (< 50 µs) are skipped.
+        if let Some(base_phases) = xybench::baseline_phase_micros("bench_baseline.json") {
+            for (i, (name, base)) in base_phases.iter().enumerate().take(5) {
+                if *base < 50.0 {
+                    continue;
+                }
+                let ceil = base * 2.5;
+                let cur = phases[i];
+                println!("perf gate: {name} {cur:.0} µs vs baseline {base:.0} (ceiling {ceil:.0})");
+                if cur > ceil {
+                    eprintln!("perf gate FAILED: {name} mean regressed >2.5x");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

@@ -89,6 +89,18 @@ pub fn baseline_docs_per_sec(path: &str) -> Option<f64> {
     json_number(&text, "docs_per_sec")
 }
 
+/// Per-phase mean micros (`phase1`..`phase5`, `total`) from a checked-in
+/// baseline JSON, in that order. Reads the *first* occurrence of each key,
+/// which is the `phase_micros` (mean) object — the BENCH writer emits the
+/// p50/p99 objects after it.
+pub fn baseline_phase_micros(path: &str) -> Option<Vec<(&'static str, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let keys = ["phase1", "phase2", "phase3", "phase4", "phase5", "total"];
+    let out: Vec<(&'static str, f64)> =
+        keys.iter().filter_map(|k| json_number(&text, k).map(|v| (*k, v))).collect();
+    (!out.is_empty()).then_some(out)
+}
+
 /// Find `"key": <number>` in a JSON text. Good enough for the flat BENCH
 /// files this workspace writes; not a general JSON parser.
 pub fn json_number(text: &str, key: &str) -> Option<f64> {

@@ -44,6 +44,11 @@ pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
                     .with_steal_batch(flag_value(&mut it, "--steal-batch")?)
                     .map_err(|e| e.to_string())?;
             }
+            "--diff-threads" => {
+                config = config
+                    .with_diff_threads(flag_value(&mut it, "--diff-threads")?)
+                    .map_err(|e| e.to_string())?;
+            }
             "--wal-dir" => {
                 let v = it.next().ok_or("--wal-dir needs a directory")?;
                 wal_dir = Some(v.clone());

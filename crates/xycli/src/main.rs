@@ -84,13 +84,14 @@ pub(crate) fn usage() -> String {
      xydiff store DIR changes KEY FROM TO print the aggregated delta\n  \
      xydiff store DIR keys                list stored documents\n  \
      xydiff ingest [--workers N] [--queue N] [--shards N] [--steal-batch N] [--quiet] DIR\n  \
-       \u{20}      [--wal-dir DIR] [--wal-sync always|none] [--compact-chain-max N]\n  \
+       \u{20}      [--diff-threads N] [--wal-dir DIR] [--wal-sync always|none]\n  \
+       \u{20}      [--compact-chain-max N]\n  \
        \u{20}                              ingest a snapshot corpus concurrently\n  \
        \u{20}                              (DIR/key/*.xml sorted = versions; metrics on stdout)\n  \
      xydiff serve [--addr HOST:PORT] [--workers N] [--http-workers N] [--queue N]\n  \
-       \u{20}      [--shards N] [--steal-batch N] [--max-body BYTES] [--snapshot-dir DIR]\n  \
-       \u{20}      [--snapshot-interval SECS] [--wal-dir DIR] [--wal-sync always|none]\n  \
-       \u{20}      [--compact-chain-max N] [--quiet]\n  \
+       \u{20}      [--shards N] [--steal-batch N] [--diff-threads N] [--max-body BYTES]\n  \
+       \u{20}      [--snapshot-dir DIR] [--snapshot-interval SECS] [--wal-dir DIR]\n  \
+       \u{20}      [--wal-sync always|none] [--compact-chain-max N] [--quiet]\n  \
        \u{20}                              run the HTTP ingestion server\n  \
        \u{20}                              (POST /ingest/KEY, GET /metrics|/healthz|/doc/KEY;\n  \
        \u{20}                              drain via POST /admin/shutdown or stdin EOF)\n  \

@@ -54,6 +54,11 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                     .with_steal_batch(flag_value(&mut it, "--steal-batch")?)
                     .map_err(|e| e.to_string())?;
             }
+            "--diff-threads" => {
+                serve = serve
+                    .with_diff_threads(flag_value(&mut it, "--diff-threads")?)
+                    .map_err(|e| e.to_string())?;
+            }
             "--max-body" => net = net.with_max_body_bytes(flag_value(&mut it, "--max-body")?),
             "--snapshot-dir" => {
                 let v = it.next().ok_or("--snapshot-dir needs a directory")?;

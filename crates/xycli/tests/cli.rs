@@ -248,3 +248,54 @@ fn store_workflow_end_to_end() {
     assert_eq!(bad.status.code(), Some(2));
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// `ingest --diff-threads --wal-dir` followed by `wal inspect`: the WAL
+/// the parallel zero-copy ingest pipeline writes — every delta crossed
+/// the `into_owned()` materialization boundary before logging — must
+/// parse, pass the static validator, and report a healthy log.
+#[test]
+fn ingest_with_diff_threads_writes_inspectable_wal() {
+    let dir = std::env::temp_dir().join(format!("xycli-ingest-wal-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let corpus = dir.join("corpus");
+    let wal = dir.join("wal");
+    for (key, versions) in [
+        ("alpha", ["<d><a>1</a></d>", "<d><a>2</a><b>new</b></d>", "<d><b>new</b></d>"]),
+        ("beta", ["<d><x/></d>", "<d><x/><y p=\"q\">t</y></d>", "<d><y p=\"q\">t</y><z/></d>"]),
+    ] {
+        let kd = corpus.join(key);
+        fs::create_dir_all(&kd).unwrap();
+        for (i, xml) in versions.into_iter().enumerate() {
+            fs::write(kd.join(format!("v{i}.xml")), xml).unwrap();
+        }
+    }
+
+    let wal_s = wal.to_str().unwrap();
+    let ingest = run(&[
+        "ingest",
+        "--diff-threads",
+        "4",
+        "--wal-dir",
+        wal_s,
+        "--quiet",
+        corpus.to_str().unwrap(),
+    ]);
+    assert!(
+        ingest.status.success(),
+        "ingest failed: {}{}",
+        stdout(&ingest),
+        stderr(&ingest)
+    );
+    assert!(stderr(&ingest).contains("6 stored"), "{}", stderr(&ingest));
+
+    let inspect = run(&["wal", "inspect", wal_s]);
+    let out = stdout(&inspect);
+    assert!(inspect.status.success(), "wal inspect unhealthy:\n{out}{}", stderr(&inspect));
+    assert!(out.contains("status    ok"), "{out}");
+    // 2 Init records + 4 zero-copy deltas, all payload-verified.
+    assert!(out.contains("watermark"), "{out}");
+    for key in ["alpha", "beta"] {
+        assert!(out.contains(key), "missing {key} chain in report:\n{out}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

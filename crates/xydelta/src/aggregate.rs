@@ -76,14 +76,14 @@ mod tests {
             xid: x,
             parent: a,
             pos: 0,
-            subtree: stored.tree.clone(),
+            subtree: stored.tree.clone().into(),
             xid_map: XidMap::new(vec![x]),
         }]);
         let d2 = Delta::from_ops(vec![Op::Delete {
             xid: x,
             parent: a,
             pos: 0,
-            subtree: stored.tree,
+            subtree: stored.tree.into(),
             xid_map: XidMap::new(vec![x]),
         }]);
         let agg = aggregate(&base, &d1, &d2).unwrap();

@@ -77,7 +77,9 @@ pub fn apply(delta: &Delta, doc: &mut XidDocument) -> Result<(), ApplyError> {
                     op_index: i,
                     parent: *parent,
                     pos: *pos,
-                    what: What::Graft { subtree, xid_map },
+                    // Application happens past the into_owned boundary;
+                    // `tree()` enforces that borrowed payloads never get here.
+                    what: What::Graft { subtree: subtree.tree(), xid_map },
                 });
             }
             Op::Move { xid, to_parent, to_pos, .. } => {
@@ -400,7 +402,7 @@ mod tests {
             xid: b_xid,
             parent: a_xid,
             pos: 0,
-            subtree: sub,
+            subtree: sub.into(),
             xid_map: map,
         }]);
         delta.apply_to(&mut d).unwrap();
@@ -422,7 +424,7 @@ mod tests {
             xid: b_xid,
             parent: a_xid,
             pos: 0,
-            subtree: ins_doc.tree,
+            subtree: ins_doc.tree.into(),
             xid_map: XidMap::new(xids),
         }]);
         delta.apply_to(&mut d).unwrap();
@@ -479,7 +481,7 @@ mod tests {
                 xid: box_xid,
                 parent: a,
                 pos: 0,
-                subtree: ins_doc.tree,
+                subtree: ins_doc.tree.into(),
                 xid_map: XidMap::new(vec![box_xid]),
             },
         ]);
@@ -518,7 +520,7 @@ mod tests {
                 xid: dying,
                 parent: a,
                 pos: 0,
-                subtree: sub,
+                subtree: sub.into(),
                 xid_map: XidMap::new(vec![dying]),
             },
             Op::Move { xid: keep, from_parent: dying, from_pos: 0, to_parent: safe, to_pos: 0 },
@@ -543,9 +545,9 @@ mod tests {
         let (t4, m4, x4) = mk(&mut d, "i4");
         // Final layout: i0 s1 i2 s2 i4 — ops given out of order.
         let delta = Delta::from_ops(vec![
-            Op::Insert { xid: x4, parent: a, pos: 4, subtree: t4, xid_map: m4 },
-            Op::Insert { xid: x0, parent: a, pos: 0, subtree: t0, xid_map: m0 },
-            Op::Insert { xid: x2, parent: a, pos: 2, subtree: t2, xid_map: m2 },
+            Op::Insert { xid: x4, parent: a, pos: 4, subtree: t4.into(), xid_map: m4 },
+            Op::Insert { xid: x0, parent: a, pos: 0, subtree: t0.into(), xid_map: m0 },
+            Op::Insert { xid: x2, parent: a, pos: 2, subtree: t2.into(), xid_map: m2 },
         ]);
         delta.apply_to(&mut d).unwrap();
         assert_eq!(d.doc.to_xml(), "<a><i0/><s1/><i2/><s2/><i4/></a>");

@@ -96,6 +96,23 @@ impl Delta {
         crate::xml_io::delta_to_xml(self).len()
     }
 
+    /// Materialize every borrowed payload via `src`, making the delta
+    /// self-contained. This is the explicit boundary a delta produced with
+    /// [`CaptureMode::Borrowed`](crate::diff_by_xid::CaptureMode) must cross
+    /// before it outlives the diffed documents — version-chain storage, WAL
+    /// append, XML serialization, application, inversion into stored state.
+    pub fn into_owned(self, src: &crate::ops::PayloadSource<'_>) -> Delta {
+        Delta { ops: self.ops.into_iter().map(|op| op.into_owned(src)).collect() }
+    }
+
+    /// True when any operation still borrows from the diffed documents.
+    pub fn has_borrowed_payloads(&self) -> bool {
+        self.ops.iter().any(|op| match op {
+            Op::Delete { subtree, .. } | Op::Insert { subtree, .. } => subtree.is_borrowed(),
+            _ => false,
+        })
+    }
+
     /// Sort operations into a canonical order (kind, anchor xid, positions)
     /// for deterministic serialization and comparison in tests.
     pub fn canonicalize(&mut self) {

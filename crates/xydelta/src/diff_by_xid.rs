@@ -22,11 +22,25 @@
 
 use crate::delta::Delta;
 use crate::lis::{chunked_heaviest_increasing_by, heaviest_increasing_subsequence_by};
-use crate::ops::{capture_subtree, Op};
+use crate::ops::{capture_subtree, Op, PayloadSide, SubtreePayload};
 use crate::xid::{Xid, XidMap};
 use crate::xiddoc::XidDocument;
 use xytree::hash::{fast_map_with_capacity, FastHashMap};
 use xytree::NodeId;
+
+/// How delete/insert operations capture their subtree content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CaptureMode {
+    /// Clone the captured nodes into standalone trees (the classic path;
+    /// deltas are self-contained immediately).
+    #[default]
+    Owned,
+    /// Record [`SubtreePayload::Borrowed`] references into the diffed
+    /// documents — no node is cloned at capture time. The caller owns the
+    /// [`Delta::into_owned`](crate::Delta::into_owned) boundary before the
+    /// delta outlives the source documents.
+    Borrowed,
+}
 
 /// Compute the exact delta transforming `old` into `new`, with the optimal
 /// (exact) order-preserving-subsequence computation for within-parent moves.
@@ -43,6 +57,20 @@ pub fn diff_by_xid(old: &XidDocument, new: &XidDocument) -> Delta {
 /// (§5.2: "cutting it into smaller subsequences with a maximum length
 /// (e.g. 50)"). `None` selects the exact `O(s log s)` algorithm.
 pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option<usize>) -> Delta {
+    diff_by_xid_captured(old, new, lis_window, CaptureMode::Owned)
+}
+
+/// Like [`diff_by_xid_with`], with an explicit [`CaptureMode`] for the
+/// delete/insert payloads. The emitted operations are identical between the
+/// two modes up to payload representation — serializing a borrowed delta
+/// against its [`PayloadSource`](crate::ops::PayloadSource) yields the same
+/// bytes as the owned delta.
+pub fn diff_by_xid_captured(
+    old: &XidDocument,
+    new: &XidDocument,
+    lis_window: Option<usize>,
+    capture: CaptureMode,
+) -> Delta {
     let o = &old.doc.tree;
     let n = &new.doc.tree;
     assert_eq!(
@@ -120,8 +148,13 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
         // INVARIANT: every node of a XidDocument carries an XID; assignment is
         // total at construction (assign_initial / apply) and never partial.
         let parent_xid = old.xid(parent).expect("parent without XID");
-        let (subtree, xid_map) =
-            capture_with_xids(old, node, &|d| new_of_old[d.index()].is_some());
+        let (subtree, xid_map) = capture_payload(
+            old,
+            node,
+            &|d| new_of_old[d.index()].is_some(),
+            capture,
+            PayloadSide::Old,
+        );
         ops.push(Op::Delete {
             xid,
             parent: parent_xid,
@@ -147,8 +180,13 @@ pub fn diff_by_xid_with(old: &XidDocument, new: &XidDocument, lis_window: Option
         // INVARIANT: every node of a XidDocument carries an XID; assignment is
         // total at construction (assign_initial / apply) and never partial.
         let parent_xid = new.xid(parent).expect("parent without XID");
-        let (subtree, xid_map) =
-            capture_with_xids(new, node, &|d| old_of_new[d.index()].is_some());
+        let (subtree, xid_map) = capture_payload(
+            new,
+            node,
+            &|d| old_of_new[d.index()].is_some(),
+            capture,
+            PayloadSide::New,
+        );
         ops.push(Op::Insert {
             xid,
             parent: parent_xid,
@@ -290,31 +328,52 @@ fn child_positions(tree: &xytree::Tree) -> Vec<usize> {
     pos
 }
 
-/// Capture the subtree at `node` excluding descendants for which `matched`
-/// holds (those exist in the other version and are handled by moves), and
-/// collect the postfix XID-map of exactly the captured nodes.
-fn capture_with_xids(
+/// Capture the payload for a delete/insert op at `node`, excluding
+/// descendants for which `matched` holds (those exist in the other version
+/// and are handled by moves), together with the postfix XID-map of exactly
+/// the captured nodes. `Owned` clones the nodes into a standalone tree;
+/// `Borrowed` only collects the XIDs and the maximal excluded roots.
+fn capture_payload(
     doc: &XidDocument,
     node: NodeId,
     matched: &dyn Fn(NodeId) -> bool,
-) -> (xytree::Tree, XidMap) {
-    let subtree = capture_subtree(&doc.doc.tree, node, matched);
+    capture: CaptureMode,
+    side: PayloadSide,
+) -> (SubtreePayload, XidMap) {
     let mut xids = Vec::new();
-    collect_xids_postfix(doc, node, matched, &mut xids);
-    (subtree, XidMap::new(xids))
+    let mut excluded = Vec::new();
+    collect_xids_postfix(doc, node, matched, &mut excluded, &mut xids);
+    match capture {
+        CaptureMode::Owned => {
+            let subtree = capture_subtree(&doc.doc.tree, node, matched);
+            (subtree.into(), XidMap::new(xids))
+        }
+        CaptureMode::Borrowed => {
+            excluded.sort_unstable();
+            (
+                SubtreePayload::Borrowed { side, node, excluded },
+                XidMap::new(xids),
+            )
+        }
+    }
 }
 
+/// Postfix walk below `node` collecting the XIDs of captured nodes and the
+/// maximal excluded roots (children for which `excluded` holds; their
+/// descendants are not visited).
 fn collect_xids_postfix(
     doc: &XidDocument,
     node: NodeId,
     excluded: &dyn Fn(NodeId) -> bool,
+    excluded_roots: &mut Vec<NodeId>,
     out: &mut Vec<Xid>,
 ) {
     for c in doc.doc.tree.children(node) {
         if excluded(c) {
+            excluded_roots.push(c);
             continue;
         }
-        collect_xids_postfix(doc, c, excluded, out);
+        collect_xids_postfix(doc, c, excluded, excluded_roots, out);
     }
     // INVARIANT: every node of a XidDocument carries an XID; assignment is
     // total at construction (assign_initial / apply) and never partial.
@@ -520,6 +579,7 @@ mod tests {
         match delta.ops.iter().find(|o| matches!(o, Op::Delete { .. })).unwrap() {
             Op::Delete { xid_map, subtree, .. } => {
                 assert_eq!(xid_map.len(), 2); // dying + junk
+                let subtree = subtree.tree();
                 let root = subtree.first_child(subtree.root()).unwrap();
                 let labels: Vec<_> = subtree
                     .descendants(root)
@@ -576,5 +636,47 @@ mod tests {
         let delta = check_roundtrip(&old, &new);
         let c = delta.counts();
         assert_eq!((c.deletes, c.inserts, c.moves, c.updates), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn borrowed_capture_is_byte_identical_to_owned() {
+        // Same scenario as move_out_of_deleted_subtree: deletes with excluded
+        // (moved-out) descendants are the hardest case for borrowed capture.
+        let old = XidDocument::parse_initial("<a><dying><keep/><junk/></dying><safe/></a>")
+            .unwrap();
+        let mut new = old.clone();
+        let dying = node_by_label(&new, "dying");
+        let keep = node_by_label(&new, "keep");
+        let safe = node_by_label(&new, "safe");
+        new.doc.tree.detach(keep);
+        new.doc.tree.append_child(safe, keep);
+        new.doc.tree.detach(dying);
+        for n in new.doc.tree.post_order(dying).collect::<Vec<_>>() {
+            new.clear_xid(n);
+        }
+        // And an insert so the New payload side is exercised too.
+        let p = new.doc.tree.new_element("fresh");
+        new.doc.tree.append_child(safe, p);
+        new.assign_fresh_subtree(p);
+
+        let owned = diff_by_xid(&old, &new);
+        let borrowed = diff_by_xid_captured(&old, &new, None, CaptureMode::Borrowed);
+        assert!(borrowed
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::Delete { subtree, .. } if subtree.is_borrowed())));
+        let src = crate::ops::PayloadSource { old: &old.doc.tree, new: &new.doc.tree };
+        let owned_xml = crate::xml_io::delta_to_xml(&owned);
+        assert_eq!(crate::xml_io::delta_to_xml_with(&borrowed, &src), owned_xml);
+        let materialized = borrowed.into_owned(&src);
+        assert!(materialized.ops.iter().all(|op| match op {
+            Op::Delete { subtree, .. } | Op::Insert { subtree, .. } => !subtree.is_borrowed(),
+            _ => true,
+        }));
+        assert_eq!(crate::xml_io::delta_to_xml(&materialized), owned_xml);
+        // The materialized delta behaves exactly like the owned one.
+        let mut replay = old.clone();
+        materialized.apply_to(&mut replay).unwrap();
+        assert_eq!(replay.doc.to_xml(), new.doc.to_xml());
     }
 }

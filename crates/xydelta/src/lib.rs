@@ -48,8 +48,9 @@ pub mod xiddoc;
 pub mod xml_io;
 
 pub use delta::Delta;
+pub use diff_by_xid::CaptureMode;
 pub use error::{ApplyError, ApplyErrorKind, DeltaParseError};
-pub use ops::Op;
+pub use ops::{Op, PayloadSide, PayloadSource, SubtreePayload};
 pub use verify::{verify, verify_all, VerifyError};
 pub use version::VersionChain;
 pub use xid::{Xid, XidMap};

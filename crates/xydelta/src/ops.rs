@@ -15,7 +15,114 @@
 //! move-target positions to the **new** document.
 
 use crate::xid::{Xid, XidMap};
-use xytree::{NodeKind, Tree};
+use xytree::{NodeId, NodeKind, Tree};
+
+/// Which diffed document a borrowed payload references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadSide {
+    /// The old version (delete captures point here).
+    Old,
+    /// The new version (insert captures point here).
+    New,
+}
+
+/// Resolves borrowed payloads against the pair of documents a diff ran over.
+///
+/// The referenced trees must be the exact, unmodified documents the diff was
+/// computed from; node ids in borrowed payloads index their arenas directly.
+#[derive(Debug, Clone, Copy)]
+pub struct PayloadSource<'a> {
+    /// Tree of the old version.
+    pub old: &'a Tree,
+    /// Tree of the new version.
+    pub new: &'a Tree,
+}
+
+impl<'a> PayloadSource<'a> {
+    /// The tree a borrowed payload's side refers to.
+    pub fn tree_for(&self, side: PayloadSide) -> &'a Tree {
+        match side {
+            PayloadSide::Old => self.old,
+            PayloadSide::New => self.new,
+        }
+    }
+}
+
+/// The content carried by a delete/insert operation.
+///
+/// `Owned` is the classic representation: a standalone tree whose document
+/// root has the captured node as its single child. The zero-copy diff path
+/// records `Borrowed` instead: the captured node's id in the source document
+/// plus the sorted maximal descendants excluded because they moved out
+/// (covered by move ops). A borrowed payload is an arena-borrowed slice in
+/// spirit — no nodes are cloned at capture time — and is only meaningful
+/// while the diffed documents are alive and unmodified. Deltas that outlive
+/// that scope (WAL append, XML serialization, version-chain storage) must
+/// cross the [`Delta::into_owned`](crate::Delta::into_owned) boundary first.
+#[derive(Debug, Clone)]
+pub enum SubtreePayload {
+    /// A standalone captured tree (the pre-zero-copy representation).
+    Owned(Tree),
+    /// A reference into one of the diffed documents.
+    Borrowed {
+        /// Which document the captured node lives in.
+        side: PayloadSide,
+        /// Root of the captured subtree in that document.
+        node: NodeId,
+        /// Maximal moved-out descendants, sorted ascending so serialization
+        /// and materialization can binary-search while walking.
+        excluded: Vec<NodeId>,
+    },
+}
+
+impl SubtreePayload {
+    /// True for payloads that still borrow from a source document.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, SubtreePayload::Borrowed { .. })
+    }
+
+    /// The owned captured tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a borrowed payload. Every consumer of stored, parsed,
+    /// applied or aggregated deltas operates past the `into_owned()`
+    /// boundary, so reaching this with a borrow is a caller bug, not a data
+    /// condition.
+    pub fn tree(&self) -> &Tree {
+        match self {
+            SubtreePayload::Owned(t) => t,
+            SubtreePayload::Borrowed { .. } => {
+                // INVARIANT: deltas leaving the diff cross Delta::into_owned
+                // before storage/serialization/application, so stored-delta
+                // consumers never observe a borrowed payload.
+                panic!("borrowed subtree payload used outside its source documents' scope")
+            }
+        }
+    }
+
+    /// Materialize an owned standalone tree, resolving borrows via `src`.
+    /// Owned payloads pass through untouched.
+    pub fn into_owned(self, src: &PayloadSource<'_>) -> SubtreePayload {
+        match self {
+            owned @ SubtreePayload::Owned(_) => owned,
+            SubtreePayload::Borrowed { side, node, excluded } => {
+                let from = src.tree_for(side);
+                let mut t = Tree::new();
+                let copied = t.copy_subtree_from_excluding(from, node, &excluded);
+                let root = t.root();
+                t.append_child(root, copied);
+                SubtreePayload::Owned(t)
+            }
+        }
+    }
+}
+
+impl From<Tree> for SubtreePayload {
+    fn from(tree: Tree) -> Self {
+        SubtreePayload::Owned(tree)
+    }
+}
 
 /// An elementary change operation.
 #[derive(Debug, Clone)]
@@ -28,10 +135,11 @@ pub enum Op {
         parent: Xid,
         /// 0-based position among the parent's children in the old document.
         pos: usize,
-        /// The deleted content: a standalone tree whose document root has the
-        /// deleted node as its single child. Nodes that *moved out* of the
-        /// subtree are not part of it.
-        subtree: Tree,
+        /// The deleted content: owned, a standalone tree whose document root
+        /// has the deleted node as its single child; borrowed, a slice of
+        /// the old document. Nodes that *moved out* of the subtree are not
+        /// part of it.
+        subtree: SubtreePayload,
         /// Postfix-ordered XIDs of `subtree`'s nodes.
         xid_map: XidMap,
     },
@@ -44,8 +152,9 @@ pub enum Op {
         /// 0-based final position among the parent's children in the new
         /// document.
         pos: usize,
-        /// The inserted content (same representation as `Delete::subtree`).
-        subtree: Tree,
+        /// The inserted content (same representation as `Delete::subtree`,
+        /// borrowing from the new document instead).
+        subtree: SubtreePayload,
         /// Postfix-ordered XIDs assigned to `subtree`'s nodes.
         xid_map: XidMap,
     },
@@ -173,13 +282,30 @@ impl Op {
     }
 
     /// Number of nodes carried by the operation's stored subtree (0 for ops
-    /// without one). Used in delta-size accounting.
+    /// without one). Used in delta-size accounting. For borrowed payloads the
+    /// XID-map already enumerates exactly the captured nodes.
     pub fn carried_nodes(&self) -> usize {
         match self {
-            Op::Delete { subtree, .. } | Op::Insert { subtree, .. } => {
-                subtree.subtree_size(subtree.root()).saturating_sub(1)
+            Op::Delete { subtree, xid_map, .. } | Op::Insert { subtree, xid_map, .. } => {
+                match subtree {
+                    SubtreePayload::Owned(t) => t.subtree_size(t.root()).saturating_sub(1),
+                    SubtreePayload::Borrowed { .. } => xid_map.len(),
+                }
             }
             _ => 0,
+        }
+    }
+
+    /// Materialize any borrowed payload via `src`; other ops pass through.
+    pub fn into_owned(self, src: &PayloadSource<'_>) -> Op {
+        match self {
+            Op::Delete { xid, parent, pos, subtree, xid_map } => {
+                Op::Delete { xid, parent, pos, subtree: subtree.into_owned(src), xid_map }
+            }
+            Op::Insert { xid, parent, pos, subtree, xid_map } => {
+                Op::Insert { xid, parent, pos, subtree: subtree.into_owned(src), xid_map }
+            }
+            other => other,
         }
     }
 
@@ -188,18 +314,10 @@ impl Op {
     pub fn summary(&self) -> String {
         match self {
             Op::Delete { subtree, xid, .. } => {
-                let label = subtree
-                    .first_child(subtree.root())
-                    .map(|c| subtree.kind(c).to_string())
-                    .unwrap_or_else(|| "?".into());
-                format!("delete {label} (xid {xid})")
+                format!("delete {} (xid {xid})", payload_label(subtree))
             }
             Op::Insert { subtree, xid, .. } => {
-                let label = subtree
-                    .first_child(subtree.root())
-                    .map(|c| subtree.kind(c).to_string())
-                    .unwrap_or_else(|| "?".into());
-                format!("insert {label} (xid {xid})")
+                format!("insert {} (xid {xid})", payload_label(subtree))
             }
             Op::Update { xid, old, new } => {
                 format!("update xid {xid}: {old:?} -> {new:?}")
@@ -217,6 +335,18 @@ impl Op {
                 format!("attr-update {name} on xid {element}: {old:?} -> {new:?}")
             }
         }
+    }
+}
+
+/// Root-label text for human-readable summaries; borrowed payloads cannot be
+/// resolved without their source, so they describe themselves instead.
+fn payload_label(payload: &SubtreePayload) -> String {
+    match payload {
+        SubtreePayload::Owned(t) => t
+            .first_child(t.root())
+            .map(|c| t.kind(c).to_string())
+            .unwrap_or_else(|| "?".into()),
+        SubtreePayload::Borrowed { .. } => "[borrowed subtree]".into(),
     }
 }
 
@@ -271,7 +401,7 @@ mod tests {
                 xid: Xid(1),
                 parent: Xid(2),
                 pos: 0,
-                subtree: doc.tree.clone(),
+                subtree: doc.tree.clone().into(),
                 xid_map: XidMap::new(vec![Xid(1)]),
             },
             Op::Update { xid: Xid(3), old: "a".into(), new: "b".into() },
@@ -293,7 +423,7 @@ mod tests {
             xid: Xid(1),
             parent: Xid(2),
             pos: 3,
-            subtree: doc.tree,
+            subtree: doc.tree.into(),
             xid_map: XidMap::new(vec![Xid(1)]),
         };
         match d.inverted() {
@@ -336,11 +466,51 @@ mod tests {
             xid: Xid(1),
             parent: Xid(2),
             pos: 0,
-            subtree: doc.tree,
+            subtree: doc.tree.into(),
             xid_map: XidMap::default(),
         };
         assert_eq!(op.carried_nodes(), 4); // a, b, c, t
         let up = Op::Update { xid: Xid(1), old: String::new(), new: String::new() };
         assert_eq!(up.carried_nodes(), 0);
+    }
+
+    #[test]
+    fn borrowed_payload_materializes_like_capture() {
+        let doc = Document::parse("<a><keep/><gone/><keep2/></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let gone = doc.tree.child_at(a, 1).unwrap();
+        let owned = capture_subtree(&doc.tree, a, &|n| n == gone);
+        let borrowed = SubtreePayload::Borrowed {
+            side: PayloadSide::New,
+            node: a,
+            excluded: vec![gone],
+        };
+        assert!(borrowed.is_borrowed());
+        let src = PayloadSource { old: &doc.tree, new: &doc.tree };
+        let materialized = borrowed.into_owned(&src);
+        assert!(!materialized.is_borrowed());
+        let (m, o) = (materialized.tree(), &owned);
+        let (mr, or) = (
+            m.first_child(m.root()).unwrap(),
+            o.first_child(o.root()).unwrap(),
+        );
+        assert!(m.subtree_eq(mr, o, or), "materialized tree must match capture");
+    }
+
+    #[test]
+    fn borrowed_carried_nodes_uses_xid_map() {
+        let op = Op::Delete {
+            xid: Xid(3),
+            parent: Xid(9),
+            pos: 0,
+            subtree: SubtreePayload::Borrowed {
+                side: PayloadSide::Old,
+                node: NodeId::from_index(0),
+                excluded: Vec::new(),
+            },
+            xid_map: XidMap::new(vec![Xid(1), Xid(2), Xid(3)]),
+        };
+        assert_eq!(op.carried_nodes(), 3);
+        assert!(op.summary().contains("[borrowed subtree]"));
     }
 }

@@ -45,7 +45,7 @@
 //! [`crate::ApplyError`].
 
 use crate::delta::Delta;
-use crate::ops::Op;
+use crate::ops::{Op, SubtreePayload};
 use crate::xid::Xid;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -239,27 +239,45 @@ fn verify_inner(delta: &Delta, stop_at_first: bool) -> Vec<VerifyError> {
         match op {
             Op::Insert { xid, subtree, xid_map, .. } | Op::Delete { xid, subtree, xid_map, .. } => {
                 let is_insert = matches!(op, Op::Insert { .. });
-                let root = subtree.root();
-                let Some(top) = subtree.first_child(root) else {
-                    push!(VerifyError::MalformedSubtree {
-                        op_index: i,
-                        problem: "carried subtree is empty",
-                    });
-                    continue;
-                };
-                if subtree.children(root).count() != 1 {
-                    push!(VerifyError::MalformedSubtree {
-                        op_index: i,
-                        problem: "carried subtree has more than one root node",
-                    });
-                }
-                let nodes = subtree.subtree_size(top);
-                if xid_map.len() != nodes {
-                    push!(VerifyError::XidMapLength {
-                        op_index: i,
-                        subtree_nodes: nodes,
-                        map_len: xid_map.len(),
-                    });
+                match subtree {
+                    SubtreePayload::Owned(subtree) => {
+                        let root = subtree.root();
+                        let Some(top) = subtree.first_child(root) else {
+                            push!(VerifyError::MalformedSubtree {
+                                op_index: i,
+                                problem: "carried subtree is empty",
+                            });
+                            continue;
+                        };
+                        if subtree.children(root).count() != 1 {
+                            push!(VerifyError::MalformedSubtree {
+                                op_index: i,
+                                problem: "carried subtree has more than one root node",
+                            });
+                        }
+                        let nodes = subtree.subtree_size(top);
+                        if xid_map.len() != nodes {
+                            push!(VerifyError::XidMapLength {
+                                op_index: i,
+                                subtree_nodes: nodes,
+                                map_len: xid_map.len(),
+                            });
+                        }
+                    }
+                    SubtreePayload::Borrowed { .. } => {
+                        // Tree-shape and node-count checks need the source
+                        // documents, which static verification by design does
+                        // not consult. A borrowed payload always covers at
+                        // least its captured root, so the XID-map cannot be
+                        // empty; the map checks below still apply in full.
+                        if xid_map.xids().is_empty() {
+                            push!(VerifyError::MalformedSubtree {
+                                op_index: i,
+                                problem: "borrowed payload with an empty XID-map",
+                            });
+                            continue;
+                        }
+                    }
                 }
                 match xid_map.root_xid() {
                     Some(r) if r != *xid => {
@@ -538,7 +556,7 @@ mod tests {
             xid: b,
             parent: a,
             pos: 0,
-            subtree: capture_subtree(&d.doc.tree, b_node, &|_| false),
+            subtree: capture_subtree(&d.doc.tree, b_node, &|_| false).into(),
             xid_map: d.xid_map_of(b_node),
         }
     }
@@ -622,7 +640,7 @@ mod tests {
                 xid: Xid(10),
                 parent: Xid(1),
                 pos: 0,
-                subtree: ins.doc.tree.clone(),
+                subtree: ins.doc.tree.clone().into(),
                 xid_map: XidMap::new(vec![Xid(10)]),
             },
             // Claims to move a node *out of* the subtree being inserted.
@@ -642,7 +660,7 @@ mod tests {
             xid: Xid(xid),
             parent: Xid(1),
             pos: 2,
-            subtree: ins.doc.tree.clone(),
+            subtree: ins.doc.tree.clone().into(),
             xid_map: XidMap::new(vec![Xid(xid)]),
         };
         let delta = Delta::from_ops(vec![mk(10), mk(11)]);
@@ -692,7 +710,7 @@ mod tests {
                 xid: dying,
                 parent: a,
                 pos: 0,
-                subtree: capture_subtree(&d.doc.tree, dying_node, &|n| n == keep_node),
+                subtree: capture_subtree(&d.doc.tree, dying_node, &|n| n == keep_node).into(),
                 xid_map: XidMap::new(vec![dying]),
             },
             Op::Move { xid: keep, from_parent: dying, from_pos: 0, to_parent: safe, to_pos: 0 },

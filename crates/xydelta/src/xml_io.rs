@@ -21,13 +21,22 @@
 
 use crate::delta::Delta;
 use crate::error::DeltaParseError;
-use crate::ops::Op;
+use crate::ops::{Op, PayloadSource, SubtreePayload};
 use crate::xid::{Xid, XidMap};
 use xytree::{Document, NodeId, ParseOptions, Tree};
 
-/// Serialize a delta to its compact XML form.
+/// Serialize a delta to its compact XML form. The delta must be
+/// self-contained (no borrowed payloads); use [`delta_to_xml_with`] to
+/// serialize a zero-copy delta directly against its source documents.
 pub fn delta_to_xml(delta: &Delta) -> String {
     delta_to_document(delta).to_xml()
+}
+
+/// Serialize a delta that may carry borrowed payloads, resolving them
+/// against `src` without materializing intermediate owned trees — the
+/// captured nodes are copied exactly once, straight into the delta document.
+pub fn delta_to_xml_with(delta: &Delta, src: &PayloadSource<'_>) -> String {
+    build_delta_document(delta, Some(src)).to_xml()
 }
 
 /// Serialize a delta to a pretty-printed XML form (debugging/examples).
@@ -35,14 +44,18 @@ pub fn delta_to_xml_pretty(delta: &Delta) -> String {
     delta_to_document(delta).to_xml_pretty()
 }
 
-/// Build the XML document representation of a delta.
+/// Build the XML document representation of a self-contained delta.
 pub fn delta_to_document(delta: &Delta) -> Document {
+    build_delta_document(delta, None)
+}
+
+fn build_delta_document(delta: &Delta, src: Option<&PayloadSource<'_>>) -> Document {
     let mut tree = Tree::new();
     let root = tree.new_element("delta");
     let doc_root = tree.root();
     tree.append_child(doc_root, root);
     for op in &delta.ops {
-        let node = op_to_node(op, &mut tree);
+        let node = op_to_node(op, &mut tree, src);
         tree.append_child(root, node);
     }
     Document::from_tree(tree)
@@ -64,7 +77,7 @@ fn set_attr_pos(tree: &mut Tree, node: NodeId, pos: usize) {
     }
 }
 
-fn op_to_node(op: &Op, tree: &mut Tree) -> NodeId {
+fn op_to_node(op: &Op, tree: &mut Tree, src: Option<&PayloadSource<'_>>) -> NodeId {
     match op {
         Op::Delete { xid, parent, pos, subtree, xid_map }
         | Op::Insert { xid, parent, pos, subtree, xid_map } => {
@@ -74,8 +87,25 @@ fn op_to_node(op: &Op, tree: &mut Tree) -> NodeId {
             set(tree, n, "xid-map", xid_map.to_compact_string());
             set(tree, n, "parent", parent);
             set(tree, n, "pos", pos + 1);
-            if let Some(content_root) = subtree.first_child(subtree.root()) {
-                let copied = tree.copy_subtree_from(subtree, content_root);
+            let copied = match (subtree, src) {
+                // Borrowed payload with its source at hand: copy the slice
+                // straight out of the diffed document, skipping moved-out
+                // descendants — this is the only node copy on the zero-copy
+                // serialization path.
+                (SubtreePayload::Borrowed { side, node, excluded }, Some(s)) => {
+                    Some(tree.copy_subtree_from_excluding(s.tree_for(*side), *node, excluded))
+                }
+                // Owned payload (or a borrowed one without a source, which
+                // panics in `tree()` — serialization past the into_owned
+                // boundary is a caller bug).
+                (payload, _) => {
+                    let subtree = payload.tree();
+                    subtree
+                        .first_child(subtree.root())
+                        .map(|content_root| tree.copy_subtree_from(subtree, content_root))
+                }
+            };
+            if let Some(copied) = copied {
                 tree.append_child(n, copied);
                 // Excluding moved-out descendants from a captured subtree can
                 // leave two text nodes adjacent; serialized back-to-back they
@@ -208,7 +238,7 @@ pub fn document_to_delta(doc: &Document) -> Result<Delta, DeltaParseError> {
                 let xid_map: XidMap = req_attr(t, child, "xid-map")?
                     .parse()
                     .map_err(|e| DeltaParseError::Structure(format!("{e}")))?;
-                let subtree = subtree_of(t, child)?;
+                let subtree = subtree_of(t, child)?.into();
                 if label == "delete" {
                     Op::Delete { xid, parent, pos, subtree, xid_map }
                 } else {
@@ -352,14 +382,14 @@ mod tests {
                 xid: Xid(7),
                 parent: Xid(8),
                 pos: 0,
-                subtree: stored.tree.clone(),
+                subtree: stored.tree.clone().into(),
                 xid_map: XidMap::new(vec![Xid(3), Xid(4), Xid(5), Xid(6), Xid(7)]),
             },
             Op::Insert {
                 xid: Xid(20),
                 parent: Xid(14),
                 pos: 0,
-                subtree: stored.tree,
+                subtree: stored.tree.into(),
                 xid_map: XidMap::new(vec![Xid(16), Xid(17), Xid(18), Xid(19), Xid(20)]),
             },
             Op::Move { xid: Xid(13), from_parent: Xid(14), from_pos: 0, to_parent: Xid(8), to_pos: 0 },
@@ -425,7 +455,7 @@ mod tests {
             xid: Xid(5),
             parent: Xid(1),
             pos: 0,
-            subtree: stored,
+            subtree: stored.into(),
             xid_map: XidMap::new(vec![Xid(5)]),
         }]);
         let xml = delta_to_xml(&d);
@@ -433,6 +463,7 @@ mod tests {
         let back = parse_delta(&xml).unwrap();
         match &back.ops[0] {
             Op::Insert { subtree, .. } => {
+                let subtree = subtree.tree();
                 let c = subtree.first_child(subtree.root()).unwrap();
                 assert_eq!(subtree.text(c), Some("just text"));
             }

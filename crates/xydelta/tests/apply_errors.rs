@@ -27,7 +27,7 @@ fn insert_with_wrong_xid_map_length() {
         xid: Xid(100),
         parent: a,
         pos: 0,
-        subtree: stored.tree,
+        subtree: stored.tree.into(),
         xid_map: XidMap::new(vec![Xid(100)]), // but only 1 XID
     }]);
     let err = delta.apply_to(&mut d).unwrap_err();
@@ -43,7 +43,7 @@ fn insert_with_empty_subtree() {
         xid: Xid(100),
         parent: a,
         pos: 0,
-        subtree: xytree::Tree::new(), // no content under the doc root
+        subtree: xytree::Tree::new().into(), // no content under the doc root
         xid_map: XidMap::new(vec![]),
     }]);
     assert!(matches!(
@@ -61,7 +61,7 @@ fn insert_position_beyond_children() {
         xid: Xid(100),
         parent: a,
         pos: 5, // only 1 child exists
-        subtree: stored.tree,
+        subtree: stored.tree.into(),
         xid_map: XidMap::new(vec![Xid(100)]),
     }]);
     assert!(matches!(
@@ -121,7 +121,7 @@ fn delete_of_unknown_xid() {
         xid: Xid(999),
         parent: a,
         pos: 0,
-        subtree: stored.tree,
+        subtree: stored.tree.into(),
         xid_map: XidMap::new(vec![Xid(999)]),
     }]);
     assert!(matches!(
@@ -155,7 +155,7 @@ fn double_application_of_a_delta_fails_cleanly() {
         xid: gone,
         parent: a,
         pos: 0,
-        subtree: stored,
+        subtree: stored.into(),
         xid_map: XidMap::new(vec![gone]),
     }]);
     delta.apply_to(&mut d).unwrap();

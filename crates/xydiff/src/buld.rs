@@ -25,21 +25,34 @@
 use crate::config::DiffOptions;
 use crate::info::TreeInfo;
 use crate::matching::Matching;
+use crate::par::{ParallelRunner, SerialRunner};
 use crate::propagate::match_unique_children;
 use crate::report::DiffStats;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 use xytree::hash::{fast_map_with_capacity, FastHashMap};
-use xytree::{NodeId, Tree};
+use xytree::{NodeId, NodeKind, Tree};
 
-/// Reusable phase-3 state: the old-document candidate index and the
-/// heaviest-first priority queue. Part of [`crate::DiffScratch`]; a fresh
-/// value per diff is equivalent, reuse just keeps the table and vector
-/// allocations warm.
+/// How many leading candidates per top-level seed the parallel
+/// pre-verification pass checks. The serial loop's first probe for each seed
+/// scans candidates front-to-back, so warming the head of each list converts
+/// the most likely `subtree_eq` walks into memo hits.
+const PREVERIFY_CANDIDATES: usize = 4;
+
+/// Reusable phase-3 state: the old-document candidate index, the
+/// heaviest-first priority queue, and the memo filled by the parallel
+/// pre-verification pass. Part of [`crate::DiffScratch`]; a fresh value per
+/// diff is equivalent, reuse just keeps the table and vector allocations
+/// warm.
 #[derive(Debug, Default)]
 pub struct BuldScratch {
     index: CandidateIndex,
     heap: BinaryHeap<Entry>,
+    /// `(old candidate, new node) → subtree_eq` results computed ahead of the
+    /// serial loop. `subtree_eq` is pure, so consulting the memo instead of
+    /// re-walking cannot change any accept/reject decision.
+    eq_memo: FastHashMap<(NodeId, NodeId), bool>,
 }
 
 /// Run the phase-3 matching loop, extending `matching` in place.
@@ -53,10 +66,11 @@ pub fn run(
     stats: &mut DiffStats,
 ) {
     let mut scratch = BuldScratch::default();
-    run_with(old, new, old_info, new_info, matching, opts, stats, &mut scratch);
+    run_with(old, new, old_info, new_info, matching, opts, stats, &mut scratch, &SerialRunner);
 }
 
-/// [`run`] with caller-owned scratch, reusing its allocations.
+/// [`run`] with caller-owned scratch, reusing its allocations, and a runner
+/// for the candidate pre-verification pass (serial runners skip it).
 #[allow(clippy::too_many_arguments)]
 pub fn run_with(
     old: &Tree,
@@ -67,10 +81,15 @@ pub fn run_with(
     opts: &DiffOptions,
     stats: &mut DiffStats,
     scratch: &mut BuldScratch,
+    runner: &dyn ParallelRunner,
 ) {
-    let BuldScratch { index, heap } = scratch;
+    let BuldScratch { index, heap, eq_memo } = scratch;
     index.rebuild(old, old_info, opts.max_candidates_scan);
     heap.clear();
+    eq_memo.clear();
+    if runner.threads() > 1 {
+        preverify_top_level(old, new, old_info, new_info, index, eq_memo, runner);
+    }
     let n_total = old_info.node_count + new_info.node_count;
     let w0 = new_info.total_weight;
 
@@ -100,7 +119,8 @@ pub fn run_with(
             continue;
         }
         let sig = new_info.signature(v);
-        let chosen = index.select(old, new, v, sig, matching, new_info, opts, n_total, w0);
+        let chosen =
+            index.select(old, new, v, sig, matching, old_info, new_info, eq_memo, opts, n_total, w0);
         match chosen {
             Some(c) => {
                 let matched = match_subtrees(old, new, c, v, matching);
@@ -108,6 +128,57 @@ pub fn run_with(
                 propagate_up(old, new, c, v, matching, new_info, opts, n_total, w0, stats);
             }
             None => enqueue_children(heap, &mut seq),
+        }
+    }
+}
+
+/// Parallel candidate pre-verification: for every child of the new root
+/// element (the heaviest subtrees the queue will pop first), verify the
+/// leading same-signature candidates concurrently and memoize the results,
+/// so the serial matching loop replays memo hits instead of walking
+/// subtrees. Only size-compatible pairs are queued — a size mismatch already
+/// proves inequality, so those pairs never reach `subtree_eq` on the serial
+/// path either.
+fn preverify_top_level(
+    old: &Tree,
+    new: &Tree,
+    old_info: &TreeInfo,
+    new_info: &TreeInfo,
+    index: &CandidateIndex,
+    eq_memo: &mut FastHashMap<(NodeId, NodeId), bool>,
+    runner: &dyn ParallelRunner,
+) {
+    let Some(root_elem) =
+        new.children(new.root()).find(|&n| matches!(new.kind(n), NodeKind::Element(_)))
+    else {
+        return;
+    };
+    // ALLOC-OK: pre-verification only runs with a parallel runner installed;
+    // the serial path (the steady-state no-alloc one) never reaches here.
+    let mut tasks: Vec<(NodeId, NodeId)> = Vec::new();
+    for v in new.children(root_elem) {
+        let Some(&slot) = index.by_sig.get(&new_info.signature(v)) else { continue };
+        let size = new_info.get(v).size;
+        tasks.extend(
+            index.lists[slot]
+                .nodes
+                .iter()
+                .filter(|&&c| old_info.get(c).size == size)
+                .take(PREVERIFY_CANDIDATES)
+                .map(|&c| (c, v)),
+        );
+    }
+    if tasks.len() < 2 {
+        return;
+    }
+    let slots: Vec<OnceLock<bool>> = (0..tasks.len()).map(|_| OnceLock::new()).collect();
+    runner.run(tasks.len(), &|i| {
+        let (c, v) = tasks[i];
+        let _ = slots[i].set(old.subtree_eq(c, new, v));
+    });
+    for (i, &(c, v)) in tasks.iter().enumerate() {
+        if let Some(&eq) = slots[i].get() {
+            eq_memo.insert((c, v), eq);
         }
     }
 }
@@ -216,7 +287,9 @@ impl CandidateIndex {
         v: NodeId,
         sig: u64,
         matching: &Matching,
+        old_info: &TreeInfo,
         new_info: &TreeInfo,
+        eq_memo: &FastHashMap<(NodeId, NodeId), bool>,
         opts: &DiffOptions,
         n_total: usize,
         w0: f64,
@@ -236,7 +309,21 @@ impl CandidateIndex {
         }
         let list = &self.lists[slot];
         let live = &list.nodes[list.cursor..];
-        let accepts = |c: NodeId| matching.available_old(c) && old.subtree_eq(c, new, v);
+        // Verification with two fast outs before the subtree walk: exact
+        // subtree sizes from the phase-2 analysis (equal signatures with
+        // unequal sizes are a hash collision — O(1) reject), then the memo
+        // filled by the parallel pre-verification pass. Both are pure
+        // restatements of what `subtree_eq` would conclude, so the chosen
+        // candidate is identical with or without them.
+        let v_size = new_info.get(v).size;
+        let accepts = |c: NodeId| {
+            matching.available_old(c)
+                && old_info.get(c).size == v_size
+                && match eq_memo.get(&(c, v)) {
+                    Some(&eq) => eq,
+                    None => old.subtree_eq(c, new, v),
+                }
+        };
 
         // Single candidate: "the first matchings are clear".
         if live.len() == 1 {

@@ -32,8 +32,11 @@
 
 use crate::config::DiffOptions;
 use crate::info::SignatureCache;
+use crate::par::{ParallelRunner, SerialRunner};
 use crate::report::DiffResult;
 use crate::scratch::DiffScratch;
+use std::sync::Arc;
+use xydelta::CaptureMode;
 use xydelta::XidDocument;
 use xytree::Document;
 
@@ -44,6 +47,8 @@ pub struct Differ {
     opts: DiffOptions,
     scratch: DiffScratch,
     cache: Option<SignatureCache>,
+    capture: CaptureMode,
+    runner: Option<Arc<dyn ParallelRunner>>,
 }
 
 impl Differ {
@@ -72,6 +77,41 @@ impl Differ {
         self
     }
 
+    /// Select how insert/delete payloads are captured (builder style).
+    ///
+    /// [`CaptureMode::Owned`] (the default) clones each payload subtree into
+    /// the delta — the right choice when the delta outlives the diffed
+    /// documents. [`CaptureMode::Borrowed`] records arena references
+    /// instead, deferring the copy to [`xydelta::Delta::into_owned`] (or to
+    /// [`xydelta::xml_io::delta_to_xml_with`], which serializes straight
+    /// from the sources) — the zero-copy fast path for callers like the
+    /// warehouse that hold both documents while consuming the delta.
+    #[must_use]
+    pub fn with_capture(mut self, capture: CaptureMode) -> Differ {
+        self.capture = capture;
+        self
+    }
+
+    /// Install a parallel runner hosting the data-parallel stages of phases
+    /// 2 and 3 (builder style). Without one — or with any runner reporting
+    /// one thread — the pipeline stays strictly serial and allocation-free
+    /// in the steady state. The delta is byte-identical either way.
+    #[must_use]
+    pub fn with_runner(mut self, runner: Arc<dyn ParallelRunner>) -> Differ {
+        self.runner = Some(runner);
+        self
+    }
+
+    /// The payload capture mode every diff from this differ uses.
+    pub fn capture(&self) -> CaptureMode {
+        self.capture
+    }
+
+    /// Worker parallelism of the installed runner (1 when none is set).
+    pub fn runner_threads(&self) -> usize {
+        self.runner.as_ref().map_or(1, |r| r.threads())
+    }
+
     /// The options every [`Differ::diff`] call uses.
     pub fn options(&self) -> &DiffOptions {
         &self.opts
@@ -98,7 +138,22 @@ impl Differ {
     /// calls; results are byte-identical to a fresh-memory diff (pinned by
     /// the golden-equivalence suite).
     pub fn diff(&mut self, old: &XidDocument, new: &Document) -> DiffResult {
-        crate::diff_inner(old, new, &self.opts, &mut self.scratch, self.cache.as_mut())
+        // Destructure for split borrows: the runner is shared while the
+        // scratch (and cache) are handed out mutably.
+        let Differ { opts, scratch, cache, capture, runner } = self;
+        crate::diff_core(old, new.clone(), opts, scratch, cache.as_mut(), *capture, runner_of(runner))
+    }
+
+    /// [`Differ::diff`] consuming the new document.
+    ///
+    /// Identical output, one subtree-sized copy less: the reference-taking
+    /// entry points clone `new` so phase 5 can move it into the produced
+    /// version, while this one moves the caller's document straight through.
+    /// Ingestion pipelines that parse each incoming version themselves (and
+    /// have no further use for the parse) should always take this path.
+    pub fn diff_consume(&mut self, old: &XidDocument, new: Document) -> DiffResult {
+        let Differ { opts, scratch, cache, capture, runner } = self;
+        crate::diff_core(old, new, opts, scratch, cache.as_mut(), *capture, runner_of(runner))
     }
 
     /// [`Differ::diff`] with an external per-document cache.
@@ -114,13 +169,35 @@ impl Differ {
         new: &Document,
         cache: &mut SignatureCache,
     ) -> DiffResult {
-        crate::diff_inner(old, new, &self.opts, &mut self.scratch, Some(cache))
+        let Differ { opts, scratch, capture, runner, .. } = self;
+        crate::diff_core(old, new.clone(), opts, scratch, Some(cache), *capture, runner_of(runner))
+    }
+
+    /// [`Differ::diff_consume`] with an external per-document cache — the
+    /// warehouse steady-state entry point (no clone, cached old side).
+    pub fn diff_consume_with_cache(
+        &mut self,
+        old: &XidDocument,
+        new: Document,
+        cache: &mut SignatureCache,
+    ) -> DiffResult {
+        let Differ { opts, scratch, capture, runner, .. } = self;
+        crate::diff_core(old, new, opts, scratch, Some(cache), *capture, runner_of(runner))
     }
 
     /// [`Differ::diff`] ignoring any installed cache (always hashes both
     /// sides). Exists for benchmarking and cache-coherence debugging.
     pub fn diff_uncached(&mut self, old: &XidDocument, new: &Document) -> DiffResult {
-        crate::diff_inner(old, new, &self.opts, &mut self.scratch, None)
+        let Differ { opts, scratch, capture, runner, .. } = self;
+        crate::diff_core(old, new.clone(), opts, scratch, None, *capture, runner_of(runner))
+    }
+}
+
+/// The effective runner for a call: the installed one, else serial.
+fn runner_of(runner: &Option<Arc<dyn ParallelRunner>>) -> &dyn ParallelRunner {
+    match runner {
+        Some(r) => r.as_ref(),
+        None => &SerialRunner,
     }
 }
 

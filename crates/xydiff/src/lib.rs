@@ -58,6 +58,7 @@ pub mod config;
 pub mod differ;
 pub mod info;
 pub mod matching;
+pub mod par;
 pub mod phase1;
 pub mod phase5;
 pub mod propagate;
@@ -69,10 +70,12 @@ pub use config::DiffOptions;
 pub use differ::Differ;
 pub use info::SignatureCache;
 pub use matching::Matching;
+pub use par::{ParallelRunner, SerialRunner, StdScopeRunner};
 pub use report::{DiffResult, DiffStats, PhaseTimings};
 pub use scratch::DiffScratch;
 
 use std::time::Instant;
+use xydelta::diff_by_xid::CaptureMode;
 use xydelta::XidDocument;
 use xytree::Document;
 
@@ -139,7 +142,28 @@ pub(crate) fn diff_inner(
     new: &Document,
     opts: &DiffOptions,
     scratch: &mut DiffScratch,
+    cache: Option<&mut SignatureCache>,
+) -> DiffResult {
+    diff_core(old, new.clone(), opts, scratch, cache, CaptureMode::Owned, &SerialRunner)
+}
+
+/// The whole pipeline, owning the new document.
+///
+/// This is the zero-copy core every public entry point funnels into: the
+/// reference-taking wrappers clone at the API boundary, the consuming
+/// entry points ([`Differ::diff_consume`] and friends) pass the parse result
+/// straight through, so phase 5 inherits XIDs *into* the caller's document
+/// instead of a clone of it. `capture` selects how insert/delete payloads
+/// are captured (see [`CaptureMode`]); `runner` hosts the data-parallel
+/// stages of phases 2 and 3.
+pub(crate) fn diff_core(
+    old: &XidDocument,
+    new: Document,
+    opts: &DiffOptions,
+    scratch: &mut DiffScratch,
     mut cache: Option<&mut SignatureCache>,
+    capture: CaptureMode,
+    runner: &dyn par::ParallelRunner,
 ) -> DiffResult {
     let mut stats = DiffStats::default();
     let mut timings = PhaseTimings::default();
@@ -161,14 +185,14 @@ pub(crate) fn diff_inner(
         Some(c) => info::analyze_xid_cached(old, c, old_info),
         None => info::analyze_into(old_tree, old_info),
     }
-    info::analyze_into(new_tree, new_info);
+    info::analyze_into_with(new_tree, new_info, runner);
     timings.phase2 = t.elapsed();
     let (old_info, new_info) = (&*old_info, &*new_info);
 
     // Phase 1: ID-attribute matching (+ one propagation pass).
     let t = Instant::now();
     if opts.use_id_attributes {
-        phase1::match_by_id(&old.doc, new, matching, &mut stats);
+        phase1::match_by_id(&old.doc, &new, matching, &mut stats);
         if stats.id_matches > 0 {
             propagate::propagation_pass(old_tree, new_tree, new_info, matching, &mut stats);
         }
@@ -177,7 +201,9 @@ pub(crate) fn diff_inner(
 
     // Phase 3: BULD matching loop.
     let t = Instant::now();
-    buld::run_with(old_tree, new_tree, old_info, new_info, matching, opts, &mut stats, buld);
+    buld::run_with(
+        old_tree, new_tree, old_info, new_info, matching, opts, &mut stats, buld, runner,
+    );
     timings.phase3 = t.elapsed();
 
     // Phase 4: structural propagation to fixpoint (bounded passes).
@@ -193,21 +219,24 @@ pub(crate) fn diff_inner(
     }
     timings.phase4 = t.elapsed();
 
-    // Phase 5: XID inheritance + delta construction.
+    stats.old_nodes = old_tree.subtree_size(old_tree.root());
+
+    // Phase 5: XID inheritance + delta construction. `new` moves into the
+    // produced version here — the one subtree-sized copy the old pipeline
+    // performed at this point is gone.
     let t = Instant::now();
-    let new_version = phase5::inherit_xids(old, new.clone(), matching);
+    let new_version = phase5::inherit_xids(old, new, matching);
     let lis_window = if opts.exact_lis { None } else { Some(opts.lis_window) };
-    let delta = xydelta::diff_by_xid::diff_by_xid_with(old, &new_version, lis_window);
+    let delta = xydelta::diff_by_xid::diff_by_xid_captured(old, &new_version, lis_window, capture);
     timings.phase5 = t.elapsed();
 
-    // Hand the next ingest of this document a warm cache: `new_version` is a
-    // clone of `new` (same NodeIds), so `new_info` indexes its tree directly.
+    // Hand the next ingest of this document a warm cache: `new_version`
+    // wraps the same tree (same NodeIds), so `new_info` indexes it directly.
     if let Some(c) = cache {
         c.refresh(&new_version, new_info);
     }
 
-    stats.old_nodes = old_tree.subtree_size(old_tree.root());
-    stats.new_nodes = new_tree.subtree_size(new_tree.root());
+    stats.new_nodes = new_version.doc.tree.subtree_size(new_version.doc.tree.root());
     stats.matched_nodes = matching.matched_count();
 
     DiffResult { delta, new_version, timings, stats }

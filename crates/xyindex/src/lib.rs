@@ -134,11 +134,15 @@ impl DocumentIndex {
         for op in &delta.ops {
             match op {
                 Op::Delete { subtree, xid_map, .. } => {
+                    // Indexing runs on stored (owned) deltas past the
+                    // into_owned boundary.
+                    let subtree = subtree.tree();
                     self.walk_stored(subtree, xid_map, &mut |idx, xid, _node, _label, _text| {
                         idx.remove_node(xid);
                     });
                 }
                 Op::Insert { subtree, xid_map, parent, .. } => {
+                    let subtree = subtree.tree();
                     // The stored tree's own root is a wrapper: a text node
                     // inserted directly under `parent` must take its label
                     // from the *target* element in the new version.

@@ -46,11 +46,13 @@
 
 pub mod metrics;
 pub mod queue;
+pub mod runner;
 pub mod scheduler;
 pub mod server;
 
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use queue::{Closed, Queue, TryPushError};
+pub use runner::DiffRunner;
 pub use scheduler::{SchedEvent, SchedHook, Scheduler, Steal};
 pub use server::{
     home_worker, Completed, ConfigError, DeadLetter, EffectiveConfig, FaultHook, IngestOutcome,

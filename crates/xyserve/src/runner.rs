@@ -1,0 +1,157 @@
+//! Intra-document diff parallelism hosted on the work-stealing scheduler.
+//!
+//! [`DiffRunner`] is the production implementation of
+//! [`xydiff::ParallelRunner`]: a scoped fork-join facade over the same
+//! sharded deque machinery the ingest pool runs on
+//! ([`crate::scheduler::Scheduler`]). Each `run` call builds a small
+//! scheduler holding the `n` work-item indices (one `usize` per deque slot —
+//! no boxing), closes it so the pool drains and exits, and spawns
+//! `min(threads, n)` scoped workers that pop their own deque LIFO and steal
+//! FIFO batches from stragglers. The scheduler's loss-free-drain contract
+//! guarantees every index runs exactly once and the scope join guarantees
+//! `run` returns only after all of them finished — exactly the
+//! [`xydiff::ParallelRunner`] determinism contract.
+//!
+//! Why host fork-join on the ingest scheduler instead of a plain atomic
+//! counter? Diff work items are *wildly* uneven (one top-level subtree can
+//! hold most of the document); the deques' steal-from-the-front batching is
+//! precisely the load balancer that shape needs, and reusing it keeps one
+//! scheduling policy — and one determinism test harness — for the whole
+//! server.
+//!
+//! The runner itself is cheap to construct and `Send + Sync`; ingest workers
+//! share one through the [`xydiff::Differ::with_runner`] builder when
+//! `ServeConfig::diff_threads > 1`. Oversubscription (more diff threads than
+//! cores, or diff threads on top of a full worker pool) is legal and
+//! byte-identical — the equivalence suite runs 8-way diff parallelism on
+//! 1-core CI exactly to pin that.
+
+#![doc = "xylint: hot-path"]
+
+use crate::scheduler::Scheduler;
+
+/// Fork-join executor for the diff's data-parallel stages, backed by the
+/// work-stealing scheduler. See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffRunner {
+    threads: usize,
+    steal_batch: usize,
+}
+
+impl DiffRunner {
+    /// A runner fanning out over `threads` scoped workers (minimum 1).
+    pub fn new(threads: usize) -> DiffRunner {
+        DiffRunner { threads: threads.max(1), steal_batch: 2 }
+    }
+
+    /// Override how many indices an idle worker steals per scan.
+    #[must_use]
+    pub fn with_steal_batch(mut self, batch: usize) -> DiffRunner {
+        self.steal_batch = batch.max(1);
+        self
+    }
+}
+
+impl xydiff::ParallelRunner for DiffRunner {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // ALLOC-OK: parallel fan-out is opt-in (diff_threads > 1); the
+        // serial diff path performs no per-call allocation.
+        let sched: Scheduler<usize> = Scheduler::new(workers, n, self.steal_batch);
+        for i in 0..n {
+            // Key = index: spreads items round-robin over the home deques.
+            // INVARIANT: capacity is n and the scheduler is still open, so
+            // a push can neither block past a full budget nor hit a close.
+            sched.push(i as u64, i).expect("scheduler closed before fan-out finished");
+        }
+        // Close before spawning: pop() then drains the deques and returns
+        // None, so the scoped workers exit as soon as the items are done.
+        sched.close();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let sched = &sched;
+                scope.spawn(move || {
+                    while let Some(i) = sched.pop(w) {
+                        f(i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+    use xydiff::ParallelRunner;
+
+    fn covers_all(runner: &DiffRunner, n: usize) {
+        let slots: Vec<OnceLock<usize>> = (0..n).map(|_| OnceLock::new()).collect();
+        runner.run(n, &|i| {
+            slots[i].set(i + 1).expect("each index must run exactly once");
+        });
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(s.get(), Some(&(i + 1)));
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        for threads in [1, 2, 4, 8] {
+            for n in [0, 1, 2, 3, 17, 64] {
+                covers_all(&DiffRunner::new(threads), n);
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_runner_still_joins() {
+        covers_all(&DiffRunner::new(32).with_steal_batch(1), 5);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(DiffRunner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn diff_through_scheduler_runner_is_byte_identical() {
+        use std::sync::Arc;
+        let mut old_xml = String::from("<cat>");
+        let mut new_xml = String::from("<cat>");
+        for i in 0..24 {
+            old_xml.push_str(&format!("<p id=\"{i}\"><q>text {i}</q><r/></p>"));
+            // Touch a few subtrees, move one, delete one.
+            match i % 6 {
+                0 => new_xml.push_str(&format!("<p id=\"{i}\"><q>edited {i}</q><r/></p>")),
+                1 => {}
+                _ => new_xml.push_str(&format!("<p id=\"{i}\"><q>text {i}</q><r/></p>")),
+            }
+        }
+        old_xml.push_str("</cat>");
+        new_xml.push_str("<extra>tail</extra></cat>");
+        let old = xydelta::XidDocument::parse_initial(&old_xml).unwrap();
+        let new = xytree::Document::parse(&new_xml).unwrap();
+
+        let serial = xydelta::xml_io::delta_to_xml(
+            &xydiff::Differ::new().diff(&old, &new).delta,
+        );
+        for threads in [2, 4, 8] {
+            let mut differ =
+                xydiff::Differ::new().with_runner(Arc::new(DiffRunner::new(threads)));
+            let parallel = xydelta::xml_io::delta_to_xml(&differ.diff(&old, &new).delta);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+}

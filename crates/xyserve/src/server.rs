@@ -181,6 +181,15 @@ pub enum ConfigError {
     },
     /// `steal_batch` was 0 — idle workers could never steal anything.
     ZeroStealBatch,
+    /// `diff_threads` was 0 — every diff would have nowhere to run.
+    ZeroDiffThreads,
+    /// `diff_threads` exceeded [`ServeConfig::MAX_WORKERS`].
+    TooManyDiffThreads {
+        /// The rejected intra-diff thread count.
+        requested: usize,
+        /// The permitted maximum.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -196,6 +205,10 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "shards = {requested} is not a power of two")
             }
             ConfigError::ZeroStealBatch => write!(f, "steal batch must be at least 1"),
+            ConfigError::ZeroDiffThreads => write!(f, "diff threads must be at least 1"),
+            ConfigError::TooManyDiffThreads { requested, max } => {
+                write!(f, "diff_threads = {requested} exceeds the maximum of {max}")
+            }
         }
     }
 }
@@ -223,6 +236,8 @@ pub struct EffectiveConfig {
     pub queue_capacity: usize,
     /// Jobs an idle worker steals per scan (before key-run completion).
     pub steal_batch: usize,
+    /// Intra-document diff parallelism per worker (1 = serial diffs).
+    pub diff_threads: usize,
     /// Transient-failure retry budget.
     pub max_retries: u32,
     /// Whether a write-ahead log is configured.
@@ -236,13 +251,15 @@ impl std::fmt::Display for EffectiveConfig {
         write!(
             f,
             "workers={} available_parallelism={} oversubscribed={} shards={} \
-             queue_capacity={} steal_batch={} max_retries={} wal={} compact_chain_max={}",
+             queue_capacity={} steal_batch={} diff_threads={} max_retries={} wal={} \
+             compact_chain_max={}",
             self.workers,
             self.available_parallelism,
             self.oversubscribed,
             self.shards,
             self.queue_capacity,
             self.steal_batch,
+            self.diff_threads,
             self.max_retries,
             self.wal,
             self.compact_chain_max
@@ -275,6 +292,12 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Jobs an idle worker steals per scan (whole key-runs may extend it).
     pub steal_batch: usize,
+    /// Intra-document diff parallelism: each worker's differ fans the
+    /// data-parallel diff stages (phase-2 hashing, phase-3 candidate
+    /// pre-verification) out over this many scoped threads via
+    /// [`crate::DiffRunner`]. 1 (the default) keeps diffs strictly serial
+    /// and allocation-free; deltas are byte-identical at any setting.
+    pub diff_threads: usize,
     /// Diff options used by every shard.
     pub diff_options: DiffOptions,
     /// Subscriptions evaluated on every ingested delta.
@@ -357,6 +380,23 @@ impl ServeConfig {
         Ok(self)
     }
 
+    /// Set the intra-document diff parallelism. Rejects 0 and counts above
+    /// [`ServeConfig::MAX_WORKERS`]; oversubscribing the host is allowed
+    /// (the result is byte-identical, only the wall-clock differs).
+    pub fn with_diff_threads(mut self, threads: usize) -> Result<ServeConfig, ConfigError> {
+        if threads == 0 {
+            return Err(ConfigError::ZeroDiffThreads);
+        }
+        if threads > ServeConfig::MAX_WORKERS {
+            return Err(ConfigError::TooManyDiffThreads {
+                requested: threads,
+                max: ServeConfig::MAX_WORKERS,
+            });
+        }
+        self.diff_threads = threads;
+        Ok(self)
+    }
+
     /// Check every invariant the `with_*` builders enforce — the backstop
     /// for callers that set the public fields directly.
     pub fn validate(&self) -> Result<(), ConfigError> {
@@ -381,6 +421,15 @@ impl ServeConfig {
         if self.steal_batch == 0 {
             return Err(ConfigError::ZeroStealBatch);
         }
+        if self.diff_threads == 0 {
+            return Err(ConfigError::ZeroDiffThreads);
+        }
+        if self.diff_threads > ServeConfig::MAX_WORKERS {
+            return Err(ConfigError::TooManyDiffThreads {
+                requested: self.diff_threads,
+                max: ServeConfig::MAX_WORKERS,
+            });
+        }
         Ok(())
     }
 
@@ -395,6 +444,7 @@ impl ServeConfig {
             shards: self.shards,
             queue_capacity: self.queue_capacity,
             steal_batch: self.steal_batch,
+            diff_threads: self.diff_threads,
             max_retries: self.max_retries,
             wal: self.wal.is_some(),
             compact_chain_max: self.compact_chain_max,
@@ -462,6 +512,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("max_retries", &self.max_retries)
             .field("shards", &self.shards)
             .field("steal_batch", &self.steal_batch)
+            .field("diff_threads", &self.diff_threads)
             .field("fault_hook", &self.fault_hook.is_some())
             .field("sched_hook", &self.sched_hook.is_some())
             .field("snapshots", &self.snapshots)
@@ -479,6 +530,7 @@ impl Default for ServeConfig {
             max_retries: 2,
             shards: 8,
             steal_batch: 4,
+            diff_threads: 1,
             diff_options: DiffOptions::default(),
             alerter: Alerter::new(),
             fault_hook: None,
@@ -674,6 +726,7 @@ struct Inner {
     dead: Mutex<Vec<DeadLetter>>,
     notifications: Mutex<Vec<Notification>>,
     max_retries: u32,
+    diff_threads: usize,
     fault_hook: Option<FaultHook>,
     snapshot: Option<SnapshotState>,
     wal: Option<Wal>,
@@ -773,6 +826,7 @@ impl IngestServer {
             dead: Mutex::new(Vec::new()),
             notifications: Mutex::new(Vec::new()),
             max_retries: config.max_retries,
+            diff_threads: config.diff_threads,
             fault_hook: config.fault_hook.clone(),
             snapshot,
             wal,
@@ -1091,13 +1145,28 @@ impl Inner {
         self.metrics.stolen_jobs.observe_total(self.sched.stolen_jobs());
     }
 
+    /// A worker's differ: repository options + scratch, plus the
+    /// scheduler-backed parallel runner when intra-diff parallelism is on.
+    fn make_differ(&self) -> Differ {
+        let differ = self.shards[0].differ();
+        if self.diff_threads > 1 {
+            differ.with_runner(std::sync::Arc::new(crate::runner::DiffRunner::new(
+                self.diff_threads,
+            )))
+        } else {
+            differ
+        }
+    }
+
     fn worker_loop(&self, worker: usize) {
         // One differ per worker thread, reused for every diff this worker
         // runs: it owns the options and the scratch (see xydiff::Differ),
         // so the steady-state ingest loop allocates no per-diff working
         // memory. Per-document signature caches live with the stored
         // documents; the repository threads them through diff_with_cache.
-        let mut differ = self.shards[0].differ();
+        // With diff_threads > 1 the differ additionally fans its
+        // data-parallel stages out over a scheduler-backed runner.
+        let mut differ = self.make_differ();
         while let Some(job) = self.sched.pop(worker) {
             self.sync_sched_metrics();
             let mut runnable = self.admit(job);
@@ -1173,7 +1242,7 @@ impl Inner {
             }
         };
         // Rare path (shutdown race), so a cold differ is fine.
-        let mut differ = self.shards[0].differ();
+        let mut differ = self.make_differ();
         while let Some(j) = runnable {
             let key = j.key.clone();
             let seq = j.seq;

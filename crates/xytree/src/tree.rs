@@ -458,6 +458,34 @@ impl Tree {
         new_root
     }
 
+    /// Like [`Tree::copy_subtree_from`], but skipping every subtree whose
+    /// root appears in `excluded` (sorted ascending; binary-searched per
+    /// child). This is how borrowed delta payloads materialize: the excluded
+    /// ids are the moved-out descendants covered by move operations.
+    pub fn copy_subtree_from_excluding(
+        &mut self,
+        src: &Tree,
+        src_node: NodeId,
+        excluded: &[NodeId],
+    ) -> NodeId {
+        debug_assert!(excluded.windows(2).all(|w| w[0] < w[1]), "excluded ids must be sorted");
+        let new_root = self.new_node(src.kind_for_copy(src_node));
+        let mut stack = vec![(src_node, new_root)];
+        while let Some((s, d)) = stack.pop() {
+            // Collect children first so we append in order.
+            let kids: Vec<NodeId> = src.children(s).collect();
+            for k in kids {
+                if excluded.binary_search(&k).is_ok() {
+                    continue;
+                }
+                let nk = self.new_node(src.kind_for_copy(k));
+                self.append_child(d, nk);
+                stack.push((k, nk));
+            }
+        }
+        new_root
+    }
+
     fn kind_for_copy(&self, id: NodeId) -> NodeKind {
         // A document node can only be copied as the content below it; callers
         // never pass the root, but guard anyway by turning it into an element
@@ -480,25 +508,32 @@ impl Tree {
 
     /// Structural equality of two subtrees (labels, attributes as sets, text,
     /// children order). Document nodes compare equal to each other.
+    ///
+    /// Implemented as an iterative lockstep walk over an explicit stack: the
+    /// diff's phase-3 candidate verification calls this on every accept, and
+    /// the recursive formulation paid a call frame per node (and risked
+    /// overflow on pathologically deep documents).
     pub fn subtree_eq(&self, a: NodeId, other: &Tree, b: NodeId) -> bool {
-        if !node_payload_eq(self.kind(a), other.kind(b)) {
-            return false;
-        }
-        let mut ca = self.first_child(a);
-        let mut cb = other.first_child(b);
-        loop {
-            match (ca, cb) {
-                (None, None) => return true,
-                (Some(x), Some(y)) => {
-                    if !self.subtree_eq(x, other, y) {
-                        return false;
+        let mut stack = vec![(a, b)];
+        while let Some((x, y)) = stack.pop() {
+            if !node_payload_eq(self.kind(x), other.kind(y)) {
+                return false;
+            }
+            let mut ca = self.first_child(x);
+            let mut cb = other.first_child(y);
+            loop {
+                match (ca, cb) {
+                    (None, None) => break,
+                    (Some(p), Some(q)) => {
+                        stack.push((p, q));
+                        ca = self.next_sibling(p);
+                        cb = other.next_sibling(q);
                     }
-                    ca = self.next_sibling(x);
-                    cb = other.next_sibling(y);
+                    _ => return false,
                 }
-                _ => return false,
             }
         }
+        true
     }
 
     // ------------------------------------------------------------------
@@ -771,5 +806,41 @@ mod tests {
         let b2 = t.new_element("b");
         t.append_child(a, b2);
         assert_eq!(t.child_elements(a, "b").count(), 2);
+    }
+
+    #[test]
+    fn copy_subtree_excluding_skips_listed_roots() {
+        let (t, a, b, txt, _c) = small();
+        let mut excluded = vec![b, txt];
+        excluded.sort_unstable();
+        let mut dst = Tree::new();
+        let copied = dst.copy_subtree_from_excluding(&t, a, &excluded);
+        let names: Vec<_> = dst.children(copied).filter_map(|c| dst.name(c)).collect();
+        assert_eq!(names, ["c"]);
+        // An empty exclusion list degenerates to copy_subtree_from.
+        let mut dst2 = Tree::new();
+        let full = dst2.copy_subtree_from_excluding(&t, a, &[]);
+        assert!(dst2.subtree_eq(full, &t, a));
+    }
+
+    #[test]
+    fn subtree_eq_survives_deep_trees() {
+        let build = |depth: usize, leaf: &str| {
+            let mut t = Tree::new();
+            let mut cur = t.root();
+            for _ in 0..depth {
+                let e = t.new_element("d");
+                t.append_child(cur, e);
+                cur = e;
+            }
+            let l = t.new_text(leaf);
+            t.append_child(cur, l);
+            t
+        };
+        let a = build(50_000, "same");
+        let b = build(50_000, "same");
+        assert!(a.subtree_eq(a.root(), &b, b.root()));
+        let c = build(50_000, "diff");
+        assert!(!a.subtree_eq(a.root(), &c, c.root()));
     }
 }

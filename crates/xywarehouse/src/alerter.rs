@@ -132,6 +132,9 @@ fn label_path(doc: &XidDocument, xid: Xid) -> Vec<String> {
 fn snippet_of(op: &Op) -> String {
     match op {
         Op::Insert { subtree, .. } | Op::Delete { subtree, .. } => {
+            // Alerting runs on stored (owned) deltas past the into_owned
+            // boundary.
+            let subtree = subtree.tree();
             subtree.deep_text(subtree.root())
         }
         Op::Update { new, .. } => new.clone(),

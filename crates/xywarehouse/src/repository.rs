@@ -155,8 +155,17 @@ impl Repository {
     /// A [`Differ`] configured with this repository's diff options — what a
     /// long-lived ingest worker should hold and pass to every
     /// [`Repository::try_load_parsed_with`] call.
+    ///
+    /// The differ uses borrowed (zero-copy) payload capture: insert/delete
+    /// payloads reference the diffed documents' arenas instead of cloning
+    /// each subtree, and [`Repository::try_load_parsed_with`] materializes
+    /// them (`Delta::into_owned`) in one step before the delta is verified,
+    /// alerted on, or stored — so everything past the load call observes
+    /// plain owned deltas, bit-identical to the pre-zero-copy format.
     pub fn differ(&self) -> Differ {
-        Differ::new().with_options(self.opts.clone())
+        Differ::new()
+            .with_options(self.opts.clone())
+            .with_capture(xydelta::CaptureMode::Borrowed)
     }
 
     /// [`Repository::load_parsed`] with caller-owned diff working memory.
@@ -230,24 +239,34 @@ impl Repository {
             Some(stored) => {
                 let chain = &mut stored.chain;
                 let t0 = std::time::Instant::now();
+                // The consuming entry points move `doc` into the produced
+                // version (no whole-document clone), and a borrowed-capture
+                // differ skips the per-subtree payload clones too.
                 let result = if self.use_signature_cache {
-                    differ.diff_with_cache(chain.latest(), &doc, &mut stored.cache)
+                    differ.diff_consume_with_cache(chain.latest(), doc, &mut stored.cache)
                 } else {
-                    differ.diff_uncached(chain.latest(), &doc)
+                    differ.diff_consume(chain.latest(), doc)
                 };
-                xydelta::verify(&result.delta).map_err(RepositoryError::InvalidDelta)?;
+                // Materialize any borrowed payloads while both source
+                // documents are still in scope. This is the into_owned
+                // boundary: verification, alerting, the WAL, and the chain
+                // all see owned deltas only.
+                let delta = {
+                    let src = xydelta::PayloadSource {
+                        old: &chain.latest().doc.tree,
+                        new: &result.new_version.doc.tree,
+                    };
+                    result.delta.into_owned(&src)
+                };
+                xydelta::verify(&delta).map_err(RepositoryError::InvalidDelta)?;
                 let diff_time = t0.elapsed();
                 let t1 = std::time::Instant::now();
-                let notifications = self.alerter.evaluate(
-                    key,
-                    &result.delta,
-                    chain.latest(),
-                    &result.new_version,
-                );
+                let notifications =
+                    self.alerter.evaluate(key, &delta, chain.latest(), &result.new_version);
                 let alert_time = t1.elapsed();
                 let version = chain.latest_index() + 1;
-                chain.push_version(result.new_version, result.delta.clone());
-                Ok(LoadOutcome { version, delta: result.delta, notifications, diff_time, alert_time })
+                chain.push_version(result.new_version, delta.clone());
+                Ok(LoadOutcome { version, delta, notifications, diff_time, alert_time })
             }
         }
     }

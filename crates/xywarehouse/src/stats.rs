@@ -63,7 +63,10 @@ impl ChangeStats {
             self.total_ops += 1;
             let label = match op {
                 Op::Delete { subtree, .. } | Op::Insert { subtree, .. } => {
-                    // The stored subtree's root labels the op directly.
+                    // The stored subtree's root labels the op directly
+                    // (stats run on owned deltas past the into_owned
+                    // boundary).
+                    let subtree = subtree.tree();
                     subtree
                         .first_child(subtree.root())
                         .map(|c| node_label(subtree, c))

@@ -9,10 +9,16 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::Mutex;
 
-use xydiff_suite::xydelta::XidDocument;
+use xydiff_suite::xydelta::{CaptureMode, PayloadSource, XidDocument};
 use xydiff_suite::xydiff::Differ;
 use xydiff_suite::xysim::{generate, simulate, ChangeConfig, DocGenConfig, DocKind};
+use xydiff_suite::xytree::Document;
+
+/// The harness runs `#[test]` fns on concurrent threads, but every test
+/// here reads the one global byte counter — serialize them.
+static GATE: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -43,9 +49,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_diffing_does_not_grow_the_heap() {
-    // A mixed workload: three kinds, two change rates, parsed once up front.
+/// The shared workload: three kinds, two change rates, parsed once up front.
+fn workload() -> Vec<(XidDocument, Document)> {
     let mut cases = Vec::new();
     for (i, kind) in [DocKind::Catalog, DocKind::Feed, DocKind::Generic].into_iter().enumerate() {
         for (j, rate) in [0.05f64, 0.2].into_iter().enumerate() {
@@ -61,7 +66,13 @@ fn steady_state_diffing_does_not_grow_the_heap() {
             cases.push((old, sim.new_version.doc.clone()));
         }
     }
+    cases
+}
 
+#[test]
+fn steady_state_diffing_does_not_grow_the_heap() {
+    let _gate = GATE.lock().unwrap();
+    let cases = workload();
     let mut differ = Differ::new();
 
     // Warm-up: grows the differ's scratch to workload capacity and
@@ -86,5 +97,46 @@ fn steady_state_diffing_does_not_grow_the_heap() {
         "steady-state diffing leaked {growth} net bytes over 150 diffs \
          (the scratch must reuse its capacity and every per-diff allocation \
          must die with its DiffResult)"
+    );
+}
+
+/// Same property over the zero-copy phase-5 capture path: borrowed
+/// payloads reference the source arenas instead of cloning subtrees, and
+/// materializing them at the `into_owned()` boundary is a transient whose
+/// bytes die with the owned delta. Net heap growth must still be zero.
+#[test]
+fn steady_state_zero_copy_capture_does_not_grow_the_heap() {
+    let _gate = GATE.lock().unwrap();
+    let cases = workload();
+
+    let mut differ = Differ::new().with_capture(CaptureMode::Borrowed);
+
+    let run_round = |differ: &mut Differ| {
+        for (old, new) in &cases {
+            let result = differ.diff_consume(old, new.clone());
+            let src = PayloadSource {
+                old: &old.doc.tree,
+                new: &result.new_version.doc.tree,
+            };
+            let owned = result.delta.into_owned(&src);
+            assert!(!owned.has_borrowed_payloads());
+        }
+    };
+
+    for _ in 0..5 {
+        run_round(&mut differ);
+    }
+
+    let before = LIVE_BYTES.load(Ordering::Relaxed);
+    for _ in 0..25 {
+        run_round(&mut differ);
+    }
+    let growth = LIVE_BYTES.load(Ordering::Relaxed) - before;
+
+    assert_eq!(
+        growth, 0,
+        "steady-state zero-copy capture leaked {growth} net bytes over 150 \
+         diffs (borrowed payloads, their excluded-node lists and the \
+         materialized owned delta must all die with each round)"
     );
 }

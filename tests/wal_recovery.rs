@@ -254,3 +254,123 @@ proptest! {
         let _ = fs::remove_dir_all(&dir);
     }
 }
+
+/// Run `history` through a bare `Differ` with the given capture mode,
+/// logging Init + Delta records exactly like the server's ack path, and
+/// return the raw segment bytes. With `CaptureMode::Borrowed` every delta
+/// crosses the `into_owned()` boundary before serialization — the path
+/// the warehouse uses in production since the zero-copy capture landed.
+fn log_with_capture(
+    dir: &Path,
+    history: &[(String, String)],
+    capture: xydiff_suite::xydelta::CaptureMode,
+) -> Vec<u8> {
+    use xydiff_suite::xydelta::{PayloadSource, XidDocument};
+    use xydiff_suite::xydiff::Differ;
+
+    let (wal, recovery) = Wal::open(&WalConfig::new(dir)).expect("open fresh wal");
+    assert!(recovery.records.is_empty(), "fresh wal must be empty");
+    let mut current: BTreeMap<String, (XidDocument, u64)> = BTreeMap::new();
+    let mut differ = Differ::new().with_capture(capture);
+    for (key, xml) in history {
+        match current.get_mut(key) {
+            None => {
+                let doc = Document::parse(xml).expect("history parses");
+                wal.append(&Record::Init { key: key.clone(), xml: doc.to_xml() })
+                    .expect("append init");
+                current.insert(key.clone(), (XidDocument::assign_initial(doc), 0));
+            }
+            Some((old, version)) => {
+                let new = Document::parse(xml).expect("history parses");
+                let result = differ.diff_consume(old, new);
+                let delta = {
+                    let src = PayloadSource {
+                        old: &old.doc.tree,
+                        new: &result.new_version.doc.tree,
+                    };
+                    result.delta.into_owned(&src)
+                };
+                xydiff_suite::xydelta::verify(&delta).expect("materialized delta verifies");
+                *version += 1;
+                wal.append(&Record::Delta {
+                    key: key.clone(),
+                    version: *version,
+                    delta_xml: xml_io::delta_to_xml(&delta),
+                })
+                .expect("append delta");
+                *old = result.new_version;
+            }
+        }
+    }
+    fs::read(segment_path(dir)).expect("read segment")
+}
+
+/// The durable format must not notice the zero-copy capture: a WAL
+/// segment whose deltas came from arena-borrowed payloads materialized at
+/// the `into_owned()` boundary is bit-identical to one logged from owned
+/// captures, and it replays into the full history.
+#[test]
+fn zero_copy_deltas_log_bit_identically_and_replay() {
+    let history = fixed_history();
+    let owned_dir = tmpdir("owned-capture");
+    let borrowed_dir = tmpdir("borrowed-capture");
+    let owned = log_with_capture(&owned_dir, &history, xydiff_suite::xydelta::CaptureMode::Owned);
+    let borrowed =
+        log_with_capture(&borrowed_dir, &history, xydiff_suite::xydelta::CaptureMode::Borrowed);
+    assert_eq!(
+        owned, borrowed,
+        "zero-copy capture must be invisible in the durable segment bytes"
+    );
+
+    let (_wal, recovery) = Wal::open(&WalConfig::new(&borrowed_dir)).expect("reopen");
+    assert!(!recovery.torn);
+    assert_eq!(recovery.records.len(), history.len());
+    let shards = vec![Repository::new()];
+    let stats =
+        replay::apply_records(&recovery.records, &shards, |_| 0).expect("replay zero-copy log");
+    assert_eq!(stats.total(), history.len());
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for (key, xml) in &history {
+        let v = *seen.entry(key.as_str()).and_modify(|v| *v += 1).or_insert(0);
+        assert_eq!(
+            shards[0].version_xml(key, v).expect("replayed version"),
+            canonical(xml),
+            "key {key:?} version {v}",
+        );
+    }
+    let _ = fs::remove_dir_all(&owned_dir);
+    let _ = fs::remove_dir_all(&borrowed_dir);
+}
+
+/// Backward compatibility: a segment written by the pre-zero-copy code
+/// (checked in under `tests/fixtures/wal-v1/`) still opens, passes every
+/// frame checksum, and replays into the exact `fixed_history()` state on
+/// the current code.
+#[test]
+fn v1_fixture_segment_replays_on_current_code() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/wal-v1/seg-00000001.wal");
+    let dir = tmpdir("fixture");
+    fs::copy(&fixture, dir.join(fixture.file_name().expect("fixture name")))
+        .expect("copy checked-in fixture");
+
+    let (_wal, recovery) = Wal::open(&WalConfig::new(&dir)).expect("open v1 fixture");
+    assert!(!recovery.torn, "fixture must be a clean segment");
+    let history = fixed_history();
+    assert_eq!(recovery.records.len(), history.len());
+
+    let shards = vec![Repository::new()];
+    let stats =
+        replay::apply_records(&recovery.records, &shards, |_| 0).expect("replay v1 fixture");
+    assert_eq!(stats.total(), history.len());
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for (key, xml) in &history {
+        let v = *seen.entry(key.as_str()).and_modify(|v| *v += 1).or_insert(0);
+        assert_eq!(
+            shards[0].version_xml(key, v).expect("replayed version"),
+            canonical(xml),
+            "key {key:?} version {v} must replay from the v1 segment",
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
