@@ -1,0 +1,138 @@
+//! `xydiff analyze` — static DTD/query compatibility analysis (xyschema).
+//!
+//! Three modes, combinable:
+//!
+//! - `--schema S.dtd --queries Q`: satisfiability of each query under the
+//!   schema (dead queries are findings);
+//! - `--schema OLD.dtd --against NEW.dtd --queries Q`: schema-change impact
+//!   per query (breaking classes are findings);
+//! - `--schema S.dtd --delta D.xml`: typecheck a delta against the grammar
+//!   without materializing the document (every finding counts).
+//!
+//! Exit codes: 0 clean, 1 findings under `--deny` (without `--deny`
+//! findings are reported but the exit stays 0), 2 usage/input error.
+
+use crate::{read_input, usage};
+use std::process::ExitCode;
+use xyschema::{analyze, impact, typecheck, Grammar, Verdict};
+use xytree::{parse_dtd, Doctype};
+
+pub(crate) fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let mut schema: Option<String> = None;
+    let mut against: Option<String> = None;
+    let mut queries: Option<String> = None;
+    let mut delta: Option<String> = None;
+    let mut root: Option<String> = None;
+    let mut deny = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match a.as_str() {
+            "--schema" => schema = Some(value("--schema")?),
+            "--against" => against = Some(value("--against")?),
+            "--queries" => queries = Some(value("--queries")?),
+            "--delta" => delta = Some(value("--delta")?),
+            "--root" => root = Some(value("--root")?),
+            "--deny" => deny = true,
+            other => return Err(format!("unknown flag {other:?} for analyze\n{}", usage())),
+        }
+    }
+    let Some(schema_path) = schema else {
+        return Err(format!("analyze needs --schema FILE\n{}", usage()));
+    };
+    if queries.is_none() && delta.is_none() {
+        return Err(format!("analyze needs --queries FILE and/or --delta FILE\n{}", usage()));
+    }
+    let dt = load_dtd(&schema_path, root.as_deref())?;
+    let grammar = Grammar::from_doctype(&dt).map_err(|e| format!("{schema_path}: {e}"))?;
+    let new = against
+        .as_deref()
+        .map(|p| {
+            let dt = load_dtd(p, root.as_deref())?;
+            Grammar::from_doctype(&dt).map_err(|e| format!("{p}: {e}"))
+        })
+        .transpose()?;
+
+    let mut findings = 0usize;
+    if let Some(qpath) = &queries {
+        let text = read_input(qpath)?;
+        for (lineno, line) in text.lines().enumerate() {
+            let expr = line.trim();
+            if expr.is_empty() || expr.starts_with('#') {
+                continue;
+            }
+            let loc = format!("{qpath}:{}", lineno + 1);
+            let path = match xyquery::Path::parse(expr) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("{loc}: ERROR {expr}: {e}");
+                    findings += 1;
+                    continue;
+                }
+            };
+            match &new {
+                // Impact mode: classify old → new.
+                Some(new) => match impact(&path, &grammar, new) {
+                    Ok(r) => {
+                        if r.class.is_breaking() {
+                            findings += 1;
+                        }
+                        println!("{loc}: {} {expr}: {}", r.class, r.detail);
+                        if let Some(lost) = &r.lost {
+                            println!("{loc}:   lost: /{}", lost.join("/"));
+                        }
+                        if let Some(gained) = &r.gained {
+                            println!("{loc}:   gained: /{}", gained.join("/"));
+                        }
+                    }
+                    Err(e) => println!("{loc}: undecided {expr}: {e}"),
+                },
+                // Satisfiability mode.
+                None => match analyze(&path, &grammar) {
+                    Ok(Verdict::Satisfiable(w)) => {
+                        println!("{loc}: ok {expr} (matches /{})", w.matched_path.join("/"));
+                        if let Some(note) = &w.output_note {
+                            println!("{loc}:   note: {note}");
+                        }
+                    }
+                    Ok(Verdict::Unsatisfiable(u)) => {
+                        findings += 1;
+                        println!("{loc}: DEAD {expr}: {}", u.describe());
+                    }
+                    Err(e) => println!("{loc}: undecided {expr}: {e}"),
+                },
+            }
+        }
+    }
+    if let Some(dpath) = &delta {
+        // A delta typechecks against the schema it will be applied under:
+        // the --against version when given, the base schema otherwise.
+        let g = new.as_ref().unwrap_or(&grammar);
+        let xml = read_input(dpath)?;
+        let delta = xydelta::xml_io::parse_delta(&xml).map_err(|e| format!("{dpath}: {e}"))?;
+        let issues = typecheck(&delta, g);
+        for f in &issues {
+            println!("{dpath}: {f}");
+        }
+        if issues.is_empty() {
+            println!("{dpath}: delta typechecks ({} ops)", delta.ops.len());
+        }
+        findings += issues.len();
+    }
+
+    if findings > 0 {
+        eprintln!("analyze: {findings} finding(s)");
+        if deny {
+            return Ok(ExitCode::from(1));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Load a DTD file: bare markup declarations or a full `<!DOCTYPE … [ … ]>`.
+fn load_dtd(path: &str, root: Option<&str>) -> Result<Doctype, String> {
+    let text = read_input(path)?;
+    parse_dtd(&text, root).map_err(|e| format!("{path}: {e}"))
+}

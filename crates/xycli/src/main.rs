@@ -9,6 +9,7 @@
 //! xydiff verify DELTA.xml                statically validate a delta
 //! xydiff query DOC.xml PATH              evaluate a path expression
 //! xydiff htmlize PAGE.html               XMLize an HTML page
+//! xydiff analyze --schema S.dtd …        static query/schema analysis
 //! xydiff store DIR load KEY FILE.xml     ingest a version into a warehouse
 //! xydiff store DIR get|history|changes…  query the stored history
 //! xydiff ingest [--workers N] DIR        concurrent ingestion of a corpus
@@ -24,6 +25,7 @@
 //! XID assignment; `diff`, `patch` and `revert` all accept annotated input,
 //! which is what makes cross-process delta chains (and `revert`) possible.
 
+mod analyze;
 mod ingest;
 mod serve;
 mod store;
@@ -58,6 +60,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "verify" => cmd_verify(rest),
         "query" => cmd_query(rest),
         "htmlize" => cmd_htmlize(rest),
+        "analyze" => analyze::cmd_analyze(rest),
         "store" => store::cmd_store(rest),
         "ingest" => ingest::cmd_ingest(rest),
         "serve" => serve::cmd_serve(rest),
@@ -78,6 +81,10 @@ pub(crate) fn usage() -> String {
      xydiff verify [--all] DELTA.xml      statically validate a completed delta\n  \
      xydiff query DOC.xml PATH\n  \
      xydiff htmlize PAGE.html\n  \
+     xydiff analyze --schema S.dtd [--against NEW.dtd] [--root NAME] [--deny]\n  \
+       \u{20}      [--queries FILE] [--delta DELTA.xml]\n  \
+       \u{20}                              static satisfiability / schema-change\n  \
+       \u{20}                              impact / delta typechecking (xyschema)\n  \
      xydiff store DIR load KEY FILE.xml   ingest a new version (runs the diff)\n  \
      xydiff store DIR get KEY [VERSION]   print a stored version\n  \
      xydiff store DIR history KEY         list versions with delta summaries\n  \

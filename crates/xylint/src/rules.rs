@@ -83,10 +83,10 @@ pub struct FileStats {
 /// Crates whose library code is subject to L1 (the xydiff/xydelta hot path
 /// plus everything xyserve's reliability story depends on).
 pub const L1_CRATES: &[&str] =
-    &["xytree", "xydelta", "xydiff", "xywarehouse", "xywal", "xyserve", "xynet"];
+    &["xytree", "xydelta", "xydiff", "xywarehouse", "xywal", "xyserve", "xynet", "xyschema"];
 
 /// Crates whose every plain-`pub` item must carry a doc comment (L3).
-pub const DOC_CRATES: &[&str] = &["xydelta", "xydiff"];
+pub const DOC_CRATES: &[&str] = &["xydelta", "xydiff", "xyschema"];
 
 /// The module marker that opts a file into L2. Written as an inner doc
 /// attribute so it is visible in rustdoc output too.

@@ -497,12 +497,14 @@ fn handle_doc(shared: &Shared, key: &str, version: Option<usize>) -> Response {
 
 fn completed_json(done: &Completed) -> String {
     format!(
-        "{{\"key\":\"{}\",\"seq\":{},\"version\":{},\"ops\":{},\"alerts\":{},\"durable\":{}}}",
+        "{{\"key\":\"{}\",\"seq\":{},\"version\":{},\"ops\":{},\"alerts\":{},\
+         \"schema_warnings\":{},\"durable\":{}}}",
         json_escape(&done.key),
         done.seq,
         done.version,
         done.ops,
         done.alerts,
+        done.schema_warnings,
         done.durable,
     )
 }

@@ -1,0 +1,387 @@
+//! Schema-change impact: what happens to a query when the DTD evolves.
+//!
+//! Satisfiability under each version settles the dead/alive transitions.
+//! When the query is satisfiable under both versions, the interesting
+//! question is whether its *match language* — the set of root-to-match
+//! label paths, with per-label predicate feasibility folded in — shrank or
+//! grew. Both languages are regular: each is the product of the grammar's
+//! label-path automaton (edges are realizable-children links, plus a
+//! `#text` pseudo-label under mixed content) with the query's step
+//! automaton (descendant steps get a skip-any-element self-loop). The
+//! product NFAs are tiny, so containment both ways runs an on-the-fly
+//! subset construction and yields a concrete counterexample path for every
+//! narrowing or widening.
+//!
+//! Positional predicates are ignored by the containment check (they
+//! constrain counts, not label paths); attribute and text predicates are
+//! folded in per label, which is exactly what captures the common DTD
+//! evolutions — an attribute removed from an `<!ATTLIST>`, an enumeration
+//! token dropped, a subtree that no longer admits text.
+
+use crate::grammar::Grammar;
+use crate::sat::{analyze, preds_at_label, AnalysisError, Verdict};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use xytree::Symbol;
+use xyquery::{Axis, NodeTest, Path, Step};
+
+/// How a schema change affects one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImpactClass {
+    /// Dead before, dead after.
+    StillUnsatisfiable,
+    /// Alive before, dead after — the breaking case.
+    BecameUnsatisfiable,
+    /// Dead before, alive after.
+    BecameSatisfiable,
+    /// Same match language under both versions.
+    Compatible,
+    /// The new version matches strictly fewer label paths.
+    Narrowed,
+    /// The new version matches strictly more label paths.
+    Widened,
+    /// Paths were both lost and gained.
+    Diverged,
+}
+
+impl std::fmt::Display for ImpactClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ImpactClass::StillUnsatisfiable => "still-unsatisfiable",
+            ImpactClass::BecameUnsatisfiable => "became-unsatisfiable",
+            ImpactClass::BecameSatisfiable => "became-satisfiable",
+            ImpactClass::Compatible => "compatible",
+            ImpactClass::Narrowed => "narrowed",
+            ImpactClass::Widened => "widened",
+            ImpactClass::Diverged => "diverged",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ImpactClass {
+    /// True for the classes that should fail a `--deny` gate: the query
+    /// stopped matching things it used to match.
+    pub fn is_breaking(&self) -> bool {
+        matches!(
+            self,
+            ImpactClass::BecameUnsatisfiable | ImpactClass::Narrowed | ImpactClass::Diverged
+        )
+    }
+}
+
+/// The full impact report for one query.
+#[derive(Debug, Clone)]
+pub struct QueryImpact {
+    /// The classification.
+    pub class: ImpactClass,
+    /// A label path matched under the old schema but not the new one.
+    pub lost: Option<Vec<String>>,
+    /// A label path matched under the new schema but not the old one.
+    pub gained: Option<Vec<String>>,
+    /// Human-readable summary.
+    pub detail: String,
+}
+
+/// Classify the impact of replacing `old` with `new` on `path`.
+pub fn impact(path: &Path, old: &Grammar, new: &Grammar) -> Result<QueryImpact, AnalysisError> {
+    let vo = analyze(path, old)?;
+    let vn = analyze(path, new)?;
+    match (&vo, &vn) {
+        (Verdict::Unsatisfiable(_), Verdict::Unsatisfiable(u)) => Ok(QueryImpact {
+            class: ImpactClass::StillUnsatisfiable,
+            lost: None,
+            gained: None,
+            detail: format!("unsatisfiable under both versions ({})", reasons(u)),
+        }),
+        (Verdict::Satisfiable(_), Verdict::Unsatisfiable(u)) => Ok(QueryImpact {
+            class: ImpactClass::BecameUnsatisfiable,
+            lost: None,
+            gained: None,
+            detail: format!("matched under the old schema, now dead: {}", reasons(u)),
+        }),
+        (Verdict::Unsatisfiable(u), Verdict::Satisfiable(_)) => Ok(QueryImpact {
+            class: ImpactClass::BecameSatisfiable,
+            lost: None,
+            gained: None,
+            detail: format!("was dead ({}), now satisfiable", reasons(u)),
+        }),
+        (Verdict::Satisfiable(_), Verdict::Satisfiable(_)) => {
+            let la = match_language(path, old);
+            let lb = match_language(path, new);
+            let lost = counterexample(&la, &lb);
+            let gained = counterexample(&lb, &la);
+            let (class, detail) = match (&lost, &gained) {
+                (None, None) => (
+                    ImpactClass::Compatible,
+                    "same match language under both versions".to_string(),
+                ),
+                (Some(w), None) => (
+                    ImpactClass::Narrowed,
+                    format!("no longer matches /{}", w.join("/")),
+                ),
+                (None, Some(w)) => (
+                    ImpactClass::Widened,
+                    format!("now also matches /{}", w.join("/")),
+                ),
+                (Some(l), Some(g)) => (
+                    ImpactClass::Diverged,
+                    format!("lost /{} but gained /{}", l.join("/"), g.join("/")),
+                ),
+            };
+            Ok(QueryImpact { class, lost, gained, detail })
+        }
+    }
+}
+
+fn reasons(u: &crate::sat::Unsat) -> String {
+    u.reasons
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// NFA over label symbols; the language is the set of root-to-match label
+/// paths the query can realize under the grammar.
+struct Lang {
+    trans: Vec<Vec<(Symbol, usize)>>,
+    accept: Vec<bool>,
+    start: usize,
+}
+
+/// One state of the product: where we are in the document label graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DocState {
+    Start,
+    At(Symbol),
+}
+
+fn text_sym() -> Symbol {
+    Symbol::intern("#text")
+}
+
+fn test_matches(step: &Step, c: Symbol, text: Symbol) -> bool {
+    match &step.test {
+        NodeTest::Name(n) => c != text && Symbol::lookup(n) == Some(c),
+        NodeTest::AnyElement => c != text,
+        NodeTest::Text => c == text,
+    }
+}
+
+/// Per-label static predicate feasibility gate.
+fn preds_ok(g: &Grammar, step: &Step, c: Symbol, text: Symbol) -> bool {
+    if c == text {
+        // Attribute predicates can never hold on text nodes.
+        !step.predicates.iter().any(|p| {
+            matches!(
+                p,
+                xyquery::Predicate::AttrEquals(..) | xyquery::Predicate::AttrExists(_)
+            )
+        })
+    } else {
+        preds_at_label(g, c, &step.predicates).is_ok()
+    }
+}
+
+/// Partially built product automaton.
+#[derive(Default)]
+struct LangBuild {
+    index: HashMap<(DocState, usize), usize>,
+    trans: Vec<Vec<(Symbol, usize)>>,
+    accept: Vec<bool>,
+    queue: VecDeque<(DocState, usize)>,
+}
+
+impl LangBuild {
+    fn intern(&mut self, key: (DocState, usize), k: usize) -> usize {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = self.trans.len();
+        self.index.insert(key, id);
+        self.trans.push(Vec::new());
+        self.accept.push(key.1 == k);
+        self.queue.push_back(key);
+        id
+    }
+}
+
+/// Build the match-language automaton as the grammar × query product.
+fn match_language(path: &Path, g: &Grammar) -> Lang {
+    let text = text_sym();
+    let steps = path.steps();
+    let k = steps.len();
+    let mut b = LangBuild::default();
+    let start = b.intern((DocState::Start, 0), k);
+    while let Some((ds, qi)) = b.queue.pop_front() {
+        if qi == k {
+            continue; // matches end here; no outgoing edges
+        }
+        let from = b.index[&(ds, qi)];
+        // Document successors of the current position.
+        let mut succ: Vec<Symbol> = match ds {
+            DocState::Start => {
+                if g.is_viable() {
+                    vec![g.root()]
+                } else {
+                    Vec::new()
+                }
+            }
+            DocState::At(l) => {
+                let mut v: Vec<Symbol> = g
+                    .realizable_children(l)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                if g.allows_text(l) {
+                    v.push(text);
+                }
+                v
+            }
+        };
+        succ.sort();
+        let step = &steps[qi];
+        for c in succ {
+            // Descendant steps may skip any element level.
+            if step.axis == Axis::Descendant && c != text {
+                let to = b.intern((DocState::At(c), qi), k);
+                b.trans[from].push((c, to));
+            }
+            if test_matches(step, c, text) && preds_ok(g, step, c, text) {
+                let to = b.intern((DocState::At(c), qi + 1), k);
+                b.trans[from].push((c, to));
+            }
+        }
+    }
+    Lang { trans: b.trans, accept: b.accept, start }
+}
+
+/// A word accepted by `a` but not by `b` (None: L(a) ⊆ L(b)). On-the-fly
+/// subset construction over `b`, product-walked with `a`.
+fn counterexample(a: &Lang, b: &Lang) -> Option<Vec<String>> {
+    type BSet = BTreeSet<usize>;
+    let bstart: BSet = BSet::from([b.start]);
+    let mut seen: HashMap<(usize, BSet), usize> = HashMap::new();
+    let mut parents: Vec<Option<(usize, Symbol)>> = Vec::new();
+    let mut states: Vec<(usize, BSet)> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    seen.insert((a.start, bstart.clone()), 0);
+    parents.push(None);
+    states.push((a.start, bstart));
+    queue.push_back(0);
+    while let Some(id) = queue.pop_front() {
+        let (astate, bset) = states[id].clone();
+        if a.accept[astate] && !bset.iter().any(|&s| b.accept[s]) {
+            // Reconstruct the witness word.
+            let mut word = Vec::new();
+            let mut at = id;
+            while let Some((p, sym)) = parents[at] {
+                word.push(sym.as_str().to_string());
+                at = p;
+            }
+            word.reverse();
+            return Some(word);
+        }
+        for &(sym, anext) in &a.trans[astate] {
+            let bnext: BSet = bset
+                .iter()
+                .flat_map(|&s| {
+                    b.trans[s]
+                        .iter()
+                        .filter(move |(s2, _)| *s2 == sym)
+                        .map(|&(_, t)| t)
+                })
+                .collect();
+            let key = (anext, bnext.clone());
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+                let nid = states.len();
+                e.insert(nid);
+                parents.push(Some((id, sym)));
+                states.push((anext, bnext));
+                queue.push_back(nid);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xytree::parse_dtd;
+
+    fn g(dtd: &str) -> Grammar {
+        Grammar::from_doctype(&parse_dtd(dtd, None).unwrap()).unwrap()
+    }
+
+    fn run(q: &str, old: &str, new: &str) -> QueryImpact {
+        impact(&Path::parse(q).unwrap(), &g(old), &g(new)).unwrap()
+    }
+
+    const V1: &str = "<!ELEMENT catalog (product*)>\
+         <!ELEMENT product (name, price?)>\
+         <!ELEMENT name (#PCDATA)>\
+         <!ELEMENT price (#PCDATA)>";
+
+    #[test]
+    fn identical_schemas_are_compatible() {
+        let r = run("//product/name", V1, V1);
+        assert_eq!(r.class, ImpactClass::Compatible);
+    }
+
+    #[test]
+    fn removing_an_element_kills_the_query() {
+        let v2 = "<!ELEMENT catalog (product*)>\
+             <!ELEMENT product (name)>\
+             <!ELEMENT name (#PCDATA)>";
+        let r = run("//product/price", V1, v2);
+        assert_eq!(r.class, ImpactClass::BecameUnsatisfiable);
+        assert!(r.class.is_breaking());
+    }
+
+    #[test]
+    fn adding_a_nesting_level_widens() {
+        // `name` newly also appears under `maker`.
+        let v2 = "<!ELEMENT catalog (product*)>\
+             <!ELEMENT product (name, maker?, price?)>\
+             <!ELEMENT maker (name)>\
+             <!ELEMENT name (#PCDATA)>\
+             <!ELEMENT price (#PCDATA)>";
+        let r = run("//name", V1, v2);
+        assert_eq!(r.class, ImpactClass::Widened);
+        assert_eq!(
+            r.gained.as_deref(),
+            Some(&["catalog".to_string(), "product".to_string(), "maker".to_string(), "name".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn moving_an_element_diverges() {
+        // `price` moves from under product to under catalog.
+        let v2 = "<!ELEMENT catalog (product*, price?)>\
+             <!ELEMENT product (name)>\
+             <!ELEMENT name (#PCDATA)>\
+             <!ELEMENT price (#PCDATA)>";
+        let r = run("//price", V1, v2);
+        assert_eq!(r.class, ImpactClass::Diverged);
+        assert!(r.lost.is_some() && r.gained.is_some());
+    }
+
+    #[test]
+    fn dropping_an_enum_token_narrows_nothing_pathwise_but_kills_value() {
+        // The attribute predicate is folded per label: dropping token "b"
+        // makes the tested value inadmissible, so the path edge disappears.
+        let old = "<!ELEMENT root (item*)><!ELEMENT item EMPTY>\
+             <!ATTLIST item kind (a|b) #IMPLIED>";
+        let new = "<!ELEMENT root (item*)><!ELEMENT item EMPTY>\
+             <!ATTLIST item kind (a) #IMPLIED>";
+        let r = run("//item[@kind='b']", old, new);
+        assert_eq!(r.class, ImpactClass::BecameUnsatisfiable);
+    }
+
+    #[test]
+    fn both_dead_reported() {
+        let r = run("//bogus", V1, V1);
+        assert_eq!(r.class, ImpactClass::StillUnsatisfiable);
+        assert!(!r.class.is_breaking());
+    }
+}

@@ -268,6 +268,9 @@ pub struct Metrics {
     pub dead_lettered: Counter,
     /// Subscription notifications fired by the alerter.
     pub alerts_fired: Counter,
+    /// Subscriptions statically proven unsatisfiable against an ingested
+    /// document's DTD (they can never fire; see `xyschema`).
+    pub schema_warnings: Counter,
     /// Persistence snapshots written successfully.
     pub snapshots: Counter,
     /// Persistence snapshot attempts that failed.
@@ -324,6 +327,7 @@ impl Default for Metrics {
             retries: Counter::default(),
             dead_lettered: Counter::default(),
             alerts_fired: Counter::default(),
+            schema_warnings: Counter::default(),
             snapshots: Counter::default(),
             snapshot_errors: Counter::default(),
             steals: Counter::default(),
@@ -412,6 +416,12 @@ impl Metrics {
             "ingest_alerts_fired_total",
             "Subscription notifications fired by the alerter.",
             self.alerts_fired.get(),
+        );
+        expo::counter(
+            &mut out,
+            "ingest_schema_warnings_total",
+            "Subscriptions statically proven dead against an ingested DTD.",
+            self.schema_warnings.get(),
         );
         expo::counter(
             &mut out,

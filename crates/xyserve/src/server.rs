@@ -571,6 +571,9 @@ pub struct Completed {
     pub ops: usize,
     /// Alert notifications this delta fired.
     pub alerts: usize,
+    /// Subscriptions statically proven dead against this document's DTD
+    /// (non-zero only on the first load of a key or on a DOCTYPE change).
+    pub schema_warnings: usize,
     /// True when the version was written to the write-ahead log (and, in
     /// [`WalSync::Always`] mode, fsynced) before this ack — i.e. it
     /// survives `kill -9`. False when no WAL is configured, when the sync
@@ -1339,6 +1342,10 @@ impl Inner {
             self.metrics.diff_time.observe(out.diff_time);
             self.metrics.alert_time.observe(out.alert_time);
         }
+        let schema_warnings = out.schema_warnings.len();
+        if schema_warnings > 0 {
+            self.metrics.schema_warnings.add(schema_warnings as u64);
+        }
         let alerts = out.notifications.len();
         if alerts > 0 {
             self.metrics.alerts_fired.add(alerts as u64);
@@ -1385,6 +1392,7 @@ impl Inner {
                 version: out.version,
                 ops: out.delta.len(),
                 alerts,
+                schema_warnings,
                 durable,
             }));
         }
@@ -1655,6 +1663,31 @@ mod tests {
         // Exactly one notification, delivered exactly once.
         assert_eq!(report.notifications.len(), 1);
         assert_eq!(report.notifications[0].subscription, "watch");
+    }
+
+    #[test]
+    fn dead_subscriptions_surface_in_ack_and_metrics() {
+        use xywarehouse::Subscription;
+        let mut alerter = Alerter::new();
+        alerter.subscribe(Subscription::everything("dead").at_query("//widget"));
+        let server =
+            IngestServer::start(ServeConfig::new().with_workers(1).unwrap().with_alerter(alerter));
+        let dtd = "<!DOCTYPE catalog [<!ELEMENT catalog (product*)>\
+                   <!ELEMENT product (#PCDATA)>]>";
+        let t = server
+            .submit_tracked("cat", format!("{dtd}<catalog><product>p</product></catalog>"))
+            .unwrap();
+        let done = t.wait().expect("first version stores");
+        assert_eq!(done.schema_warnings, 1, "{done:?}");
+        // Without a DOCTYPE there is nothing to audit.
+        let t = server.submit_tracked("plain", "<catalog/>").unwrap();
+        assert_eq!(t.wait().expect("stores").schema_warnings, 0);
+        let report = server.shutdown();
+        assert!(
+            report.metrics_text.contains("ingest_schema_warnings_total 1"),
+            "{}",
+            report.metrics_text
+        );
     }
 
     #[test]

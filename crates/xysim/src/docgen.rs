@@ -50,6 +50,48 @@ impl Default for DocGenConfig {
     }
 }
 
+/// The DTD every document of this family is valid against, as bare markup
+/// declarations (feed them to `xytree::parse_dtd`). The record ID attribute
+/// is declared `#IMPLIED` so documents generated with and without
+/// `id_attributes` both validate. `Generic` has random shape and no schema.
+pub fn dtd_for(kind: DocKind) -> Option<&'static str> {
+    match kind {
+        DocKind::Catalog => Some(
+            "<!ELEMENT catalog (category*)>\
+             <!ELEMENT category (title, product*)>\
+             <!ELEMENT title (#PCDATA)>\
+             <!ELEMENT product (name, price, maker, description, stock?)>\
+             <!ELEMENT name (#PCDATA)>\
+             <!ELEMENT price (#PCDATA)>\
+             <!ELEMENT maker (#PCDATA)>\
+             <!ELEMENT description (#PCDATA)>\
+             <!ELEMENT stock (#PCDATA)>\
+             <!ATTLIST product id ID #IMPLIED>",
+        ),
+        DocKind::AddressBook => Some(
+            "<!ELEMENT addressbook (person*)>\
+             <!ELEMENT person (name, email, address, phone?)>\
+             <!ELEMENT name (#PCDATA)>\
+             <!ELEMENT email (#PCDATA)>\
+             <!ELEMENT address (street, city)>\
+             <!ELEMENT street (#PCDATA)>\
+             <!ELEMENT city (#PCDATA)>\
+             <!ELEMENT phone (#PCDATA)>\
+             <!ATTLIST person id ID #IMPLIED>",
+        ),
+        DocKind::Feed => Some(
+            "<!ELEMENT feed (title, entry*)>\
+             <!ELEMENT entry (title, date, summary, link*)>\
+             <!ELEMENT title (#PCDATA)>\
+             <!ELEMENT date (#PCDATA)>\
+             <!ELEMENT summary (#PCDATA)>\
+             <!ELEMENT link EMPTY>\
+             <!ATTLIST link href CDATA #REQUIRED>",
+        ),
+        DocKind::Generic => None,
+    }
+}
+
 /// Generate a document per `cfg`.
 pub fn generate(cfg: &DocGenConfig) -> Document {
     let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -28,5 +28,5 @@ pub mod websnap;
 mod words;
 
 pub use change::{simulate, ChangeConfig, SimulatedChange};
-pub use docgen::{generate, DocGenConfig, DocKind};
+pub use docgen::{dtd_for, generate, DocGenConfig, DocKind};
 pub use websnap::{evolve_site, site_snapshot, SiteConfig};

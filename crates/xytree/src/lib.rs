@@ -50,7 +50,9 @@ pub use document::{Doctype, Document};
 pub use error::{ParseError, ParseErrorKind};
 pub use intern::Symbol;
 pub use node::{Attr, Element, NodeKind};
-pub use parser::ParseOptions;
+pub use parser::{
+    parse_dtd, AttDef, AttDefault, AttType, ContentModel, Occur, ParseOptions, Particle,
+};
 pub use serialize::SerializeOptions;
 pub use stats::DocStats;
 pub use tree::{NodeId, Tree};

@@ -19,7 +19,9 @@ mod cursor;
 mod dtd;
 mod entities;
 
-pub use dtd::Doctype;
+pub use dtd::{
+    parse_dtd, AttDef, AttDefault, AttType, ContentModel, Doctype, Occur, Particle,
+};
 
 use crate::error::{ParseError, ParseErrorKind};
 use crate::intern::Symbol;

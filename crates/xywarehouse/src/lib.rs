@@ -32,7 +32,7 @@ pub mod stats;
 pub mod temporal;
 pub mod subscription;
 
-pub use alerter::{Alerter, Notification};
+pub use alerter::{Alerter, Notification, SchemaWarning};
 pub use persist::{load_chain, save_chain, PersistError};
 pub use replay::{ReplayError, ReplayStats};
 pub use repository::{LoadOutcome, Repository, RepositoryError};

@@ -7,7 +7,7 @@
 //! possibly removed from the repository"), and hands the delta to the
 //! alerter.
 
-use crate::alerter::{Alerter, Notification};
+use crate::alerter::{Alerter, Notification, SchemaWarning};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -78,6 +78,10 @@ pub struct LoadOutcome {
     pub diff_time: std::time::Duration,
     /// Wall-clock time spent evaluating subscriptions.
     pub alert_time: std::time::Duration,
+    /// Subscriptions statically proven dead against this document's DTD
+    /// (audited on the first load and whenever the DOCTYPE changes; each is
+    /// reported once per document).
+    pub schema_warnings: Vec<SchemaWarning>,
 }
 
 /// One stored document: its version chain plus the signature cache carried
@@ -223,6 +227,10 @@ impl Repository {
         let mut entries = self.entries.write();
         match entries.get_mut(key) {
             None => {
+                let schema_warnings = doc
+                    .doctype
+                    .as_ref()
+                    .map_or_else(Vec::new, |dt| self.alerter.audit(key, dt));
                 let initial = XidDocument::assign_initial(doc);
                 entries.insert(
                     key.to_string(),
@@ -234,10 +242,19 @@ impl Repository {
                     notifications: Vec::new(),
                     diff_time: std::time::Duration::ZERO,
                     alert_time: std::time::Duration::ZERO,
+                    schema_warnings,
                 })
             }
             Some(stored) => {
                 let chain = &mut stored.chain;
+                // Re-audit only when this version ships a different DOCTYPE
+                // than the stored latest (the audit memoizes per
+                // subscription, but skipping it entirely keeps the steady
+                // state free of grammar construction).
+                let audit_doctype = (doc.doctype.is_some()
+                    && doc.doctype != chain.latest().doc.doctype)
+                    .then(|| doc.doctype.clone())
+                    .flatten();
                 let t0 = std::time::Instant::now();
                 // The consuming entry points move `doc` into the produced
                 // version (no whole-document clone), and a borrowed-capture
@@ -266,7 +283,16 @@ impl Repository {
                 let alert_time = t1.elapsed();
                 let version = chain.latest_index() + 1;
                 chain.push_version(result.new_version, delta.clone());
-                Ok(LoadOutcome { version, delta, notifications, diff_time, alert_time })
+                let schema_warnings = audit_doctype
+                    .map_or_else(Vec::new, |dt| self.alerter.audit(key, &dt));
+                Ok(LoadOutcome {
+                    version,
+                    delta,
+                    notifications,
+                    diff_time,
+                    alert_time,
+                    schema_warnings,
+                })
             }
         }
     }
@@ -542,5 +568,34 @@ mod tests {
         let out = repo.load_version("doc", "<a/>").unwrap();
         assert_eq!(out.version, 1);
         assert!(out.delta.is_empty());
+    }
+
+    #[test]
+    fn dead_subscriptions_surface_as_schema_warnings_on_ingest() {
+        let mut alerter = Alerter::new();
+        alerter.subscribe(
+            crate::subscription::Subscription::everything("dead").at_query("//widget"),
+        );
+        alerter.subscribe(
+            crate::subscription::Subscription::everything("alive").at_query("//name"),
+        );
+        let repo = Repository::with_options(DiffOptions::default(), alerter);
+        let dtd = "<!DOCTYPE catalog [<!ELEMENT catalog (product*)>\
+                   <!ELEMENT product (name)><!ELEMENT name (#PCDATA)>]>";
+        // First load with a DOCTYPE: the audit runs and flags the dead one.
+        let out = repo
+            .load_version("cat.xml", &format!("{dtd}<catalog><product><name>n</name></product></catalog>"))
+            .unwrap();
+        assert_eq!(out.schema_warnings.len(), 1, "{:?}", out.schema_warnings);
+        assert_eq!(out.schema_warnings[0].subscription, "dead");
+        assert_eq!(out.schema_warnings[0].doc_key, "cat.xml");
+        // Same DOCTYPE again: no re-audit, no warnings.
+        let out = repo
+            .load_version("cat.xml", &format!("{dtd}<catalog><product><name>m</name></product></catalog>"))
+            .unwrap();
+        assert!(out.schema_warnings.is_empty());
+        // A document without any DOCTYPE never audits.
+        let out = repo.load_version("plain.xml", "<catalog/>").unwrap();
+        assert!(out.schema_warnings.is_empty());
     }
 }

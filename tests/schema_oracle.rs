@@ -1,0 +1,139 @@
+//! Differential oracle for the static schema analyzer.
+//!
+//! The analyzer's soundness contract is checked against the real query
+//! evaluator over ~1000 generated DTD-valid documents:
+//!
+//! - every generated document must validate against its family's grammar
+//!   (`xysim::dtd_for` describes exactly what the generators emit);
+//! - a query the analyzer proves **unsatisfiable** must select zero nodes
+//!   in every document of the corpus;
+//! - a **satisfiable** verdict must come with a witness document that
+//!   parses, validates, and in which the evaluator selects at least one
+//!   node (re-checked here, independently of the analyzer's internal
+//!   self-check).
+
+use xyquery::Path;
+use xyschema::{analyze, validate, Grammar, Verdict};
+use xysim::{dtd_for, generate, DocGenConfig, DocKind};
+use xytree::{parse_dtd, Document};
+
+/// Expected verdicts per document family: `(query, expect_satisfiable)`.
+fn queries_for(kind: DocKind) -> &'static [(&'static str, bool)] {
+    match kind {
+        DocKind::Catalog => &[
+            ("/catalog/category/product/name", true),
+            ("//product/price", true),
+            ("//product/stock", true),
+            ("//product[@id='p1']", true),
+            ("//title[2]", true),
+            ("//category/title/text()", true),
+            ("//widget", false),
+            ("/catalog/product", false),
+            ("//category/name", false),
+            ("//product[@color='red']", false),
+            ("//name[@id='x']", false),
+            ("/catalog[2]", false),
+            ("/catalog/text()", false),
+        ],
+        DocKind::AddressBook => &[
+            ("//person/name", true),
+            ("//address/city", true),
+            ("/addressbook/person/phone", true),
+            ("//person[2]", true),
+            ("//city/text()", true),
+            ("//street/city", false),
+            ("//email[@domain='x']", false),
+            ("/addressbook/name", false),
+            ("/addressbook[2]", false),
+            ("//address/text()", false),
+        ],
+        DocKind::Feed => &[
+            ("//entry/title", true),
+            ("/feed/title", true),
+            ("//link[@href='http://x']", true),
+            ("//entry/summary/text()", true),
+            ("/feed/entry/date", true),
+            ("//link/text()", false),
+            ("//entry/author", false),
+            ("/feed[2]", false),
+            ("//summary[@href='x']", false),
+        ],
+        DocKind::Generic => &[],
+    }
+}
+
+fn grammar_for(kind: DocKind) -> Grammar {
+    let dtd = dtd_for(kind).expect("record families carry a DTD");
+    let dt = parse_dtd(dtd, None).expect("family DTD parses");
+    Grammar::from_doctype(&dt).expect("family DTD builds a grammar")
+}
+
+fn corpus(kind: DocKind) -> Vec<Document> {
+    let mut docs = Vec::new();
+    for seed in 0..84u64 {
+        for target_nodes in [80usize, 240] {
+            for id_attributes in [false, true] {
+                docs.push(generate(&DocGenConfig { kind, target_nodes, seed, id_attributes }));
+            }
+        }
+    }
+    docs
+}
+
+#[test]
+fn generated_documents_validate_against_their_family_grammar() {
+    for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed] {
+        let g = grammar_for(kind);
+        for (i, doc) in corpus(kind).iter().enumerate() {
+            let violations = validate(doc, &g);
+            assert!(
+                violations.is_empty(),
+                "{kind:?} doc #{i} violates its own DTD: {:?}",
+                violations.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn unsat_verdicts_mean_zero_matches_and_witnesses_are_real() {
+    for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed] {
+        let g = grammar_for(kind);
+        let docs = corpus(kind);
+        for &(expr, expect_sat) in queries_for(kind) {
+            let path = Path::parse(expr).expect(expr);
+            match analyze(&path, &g).unwrap_or_else(|e| panic!("{kind:?} {expr}: {e}")) {
+                Verdict::Satisfiable(w) => {
+                    assert!(expect_sat, "{kind:?} {expr}: expected unsat, got witness {w:?}");
+                    // Independent re-check of the witness evidence.
+                    let wdoc = Document::parse(&w.document)
+                        .unwrap_or_else(|e| panic!("{kind:?} {expr}: witness parse: {e}"));
+                    let violations = validate(&wdoc, &g);
+                    assert!(
+                        violations.is_empty(),
+                        "{kind:?} {expr}: witness invalid: {:?}",
+                        violations.first()
+                    );
+                    assert!(
+                        !path.select_doc(&wdoc).is_empty(),
+                        "{kind:?} {expr}: evaluator finds nothing in the witness"
+                    );
+                }
+                Verdict::Unsatisfiable(u) => {
+                    assert!(!expect_sat, "{kind:?} {expr}: expected sat, got {}", u.describe());
+                    // The heart of the oracle: a proof of deadness must
+                    // agree with the evaluator on every valid document.
+                    for (i, doc) in docs.iter().enumerate() {
+                        let hits = path.select_doc(doc);
+                        assert!(
+                            hits.is_empty(),
+                            "{kind:?} {expr}: proven unsat ({}) but doc #{i} has {} match(es)",
+                            u.describe(),
+                            hits.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
