@@ -16,8 +16,8 @@ use xysim::{evolve_site, site_snapshot, SiteConfig};
 use xytree::{Document, SerializeOptions};
 
 const KNOWN: &[&str] = &[
-    "all", "fig4", "fig5", "fig6", "scaling", "site", "ablation", "index", "matchers", "ingest",
-    "diff", "serve", "recover",
+    "all", "fig4", "fig5", "fig6", "scaling", "site", "ablation", "index", "matchers", "modes",
+    "ingest", "diff", "serve", "recover",
 ];
 
 fn main() {
@@ -52,6 +52,9 @@ fn main() {
     }
     if want("matchers") {
         matchers();
+    }
+    if want("modes") {
+        modes();
     }
     if want("ingest") {
         ingest();
@@ -869,12 +872,11 @@ fn matchers() {
             let t = Instant::now();
             let buld = diff(&old, &sim.new_version.doc, &DiffOptions::default());
             let buld_time = t.elapsed();
+            let mut simi_differ = Differ::new()
+                .with_options(DiffOptions { exact_lis: true, ..Default::default() })
+                .with_mode(xydiff::MatchMode::Similarity);
             let t = Instant::now();
-            let simi = xydiff::similarity::diff_similarity(
-                &old,
-                &sim.new_version.doc,
-                &xydiff::similarity::SimilarityOptions::default(),
-            );
+            let simi = simi_differ.diff(&old, &sim.new_version.doc);
             let simi_time = t.elapsed();
             println!(
                 "| {} | {:>3.0}% | {} | {} | {} | {} | {:.2} |",
@@ -889,6 +891,121 @@ fn matchers() {
         }
     }
     println!("\n(both matchers share the delta builder; the ratio isolates matching quality)\n");
+}
+
+/// E16 (extension) — cross-mode delta cost: the same simulated pairs run
+/// through every `MatchMode`, per change family (the uniform three-phase
+/// simulator, pure child-order shuffles over the `Grid` corpus, and
+/// attribute churn). Every delta is apply-checked before it is counted, so
+/// the table compares costs of *correct* deltas only. Writes
+/// `BENCH_modes.json`; `XYBENCH_GATE=1` fails the run unless the unordered
+/// matcher's mean ops-per-delta on the shuffle family is strictly below
+/// BULD's (the claim EXPERIMENTS.md records).
+fn modes() {
+    use xydiff::MatchMode;
+    use xysim::{attribute_churn, shuffle_children, AttrChurnConfig, ShuffleConfig};
+
+    println!("## Modes — BULD vs unordered vs similarity across change families\n");
+    let fast = xybench::fast_mode();
+    let pairs = if fast { 12u64 } else { 60 };
+
+    /// One document pair for (family, seed).
+    fn pair_for(family: &str, seed: u64) -> (XidDocument, xysim::SimulatedChange) {
+        match family {
+            "shuffle" => {
+                let doc = xysim::generate(&xysim::DocGenConfig {
+                    kind: xysim::DocKind::Grid,
+                    target_nodes: 800,
+                    seed,
+                    id_attributes: false,
+                });
+                let old = XidDocument::assign_initial(doc);
+                let sim = shuffle_children(
+                    &old,
+                    &ShuffleConfig { p_shuffle: 0.8, seed: seed.wrapping_mul(31).wrapping_add(7) },
+                );
+                (old, sim)
+            }
+            "attr-churn" => {
+                let old = XidDocument::assign_initial(xybench::sized_catalog(20_000, seed));
+                let sim = attribute_churn(
+                    &old,
+                    &AttrChurnConfig {
+                        seed: seed.wrapping_mul(31).wrapping_add(7),
+                        ..Default::default()
+                    },
+                );
+                (old, sim)
+            }
+            _ => pair_at_rate(20_000, 0.08, seed),
+        }
+    }
+
+    println!("| family | mode | mean ops | mean delta bytes | mean diff time |");
+    println!("|---|---|---:|---:|---:|");
+    let mut json = String::from("{\n  \"bench\": \"modes\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"pairs_per_family\": {pairs},\n",
+        if fast { "fast" } else { "full" },
+    ));
+    let mut shuffle_mean = [0f64; 2];
+    for family in ["uniform", "shuffle", "attr-churn"] {
+        for mode in MatchMode::all() {
+            let mut differ = Differ::new().with_mode(mode);
+            let (mut ops, mut bytes, mut wall) = (0usize, 0usize, std::time::Duration::ZERO);
+            for seed in 0..pairs {
+                let (old, sim) = pair_for(family, seed);
+                let t = Instant::now();
+                let r = differ.diff(&old, &sim.new_version.doc);
+                wall += t.elapsed();
+                let mut replay = old.clone();
+                r.delta.apply_to(&mut replay).expect("mode delta must apply");
+                assert_eq!(
+                    replay.doc.to_xml(),
+                    sim.new_version.doc.to_xml(),
+                    "{family}/{mode} seed {seed}: replay diverged"
+                );
+                ops += r.delta.ops.len();
+                bytes += r.delta.size_bytes();
+            }
+            let mean_ops = ops as f64 / pairs as f64;
+            println!(
+                "| {family} | {mode} | {mean_ops:.1} | {} | {} |",
+                fmt_bytes(bytes / pairs as usize),
+                fmt_dur(wall / pairs as u32),
+            );
+            let key = format!("{}_{}", family.replace('-', "_"), mode.as_str());
+            json.push_str(&format!(
+                "  \"{key}_mean_ops\": {mean_ops:.2},\n  \"{key}_mean_bytes\": {},\n",
+                bytes / pairs as usize,
+            ));
+            if family == "shuffle" && mode == MatchMode::Buld {
+                shuffle_mean[0] = mean_ops;
+            }
+            if family == "shuffle" && mode == MatchMode::Unordered {
+                shuffle_mean[1] = mean_ops;
+            }
+        }
+    }
+    json.push_str(&format!("  \"peak_rss_bytes\": {}\n}}\n", xybench::peak_rss_bytes().unwrap_or(0)));
+    let path = xybench::bench_out_path("BENCH_modes.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| eprintln!("cannot write {path:?}: {e}"));
+    println!("\nwrote {}", path.display());
+    println!(
+        "\n(shuffle family, mean ops: buld {:.1} vs unordered {:.1} — the X-Diff regime)\n",
+        shuffle_mean[0], shuffle_mean[1],
+    );
+
+    if std::env::var_os("XYBENCH_GATE").is_some() {
+        println!("modes gate: shuffle mean ops unordered {:.1} vs buld {:.1}", shuffle_mean[1], shuffle_mean[0]);
+        if shuffle_mean[1] >= shuffle_mean[0] {
+            eprintln!(
+                "modes gate FAILED: unordered ({:.1}) must emit fewer ops than BULD ({:.1}) on shuffles",
+                shuffle_mean[1], shuffle_mean[0],
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 /// E9 (extension) — diff-driven full-text index maintenance vs rebuild

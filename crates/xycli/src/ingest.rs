@@ -13,6 +13,7 @@
 use crate::usage;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xydiff::MatchMode;
 use xyserve::{IngestServer, ServeConfig, WalPolicy, WalSync};
 
 pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
@@ -48,6 +49,11 @@ pub(crate) fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
                 config = config
                     .with_diff_threads(flag_value(&mut it, "--diff-threads")?)
                     .map_err(|e| e.to_string())?;
+            }
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs a value (buld|unordered|similarity)")?;
+                config =
+                    config.with_mode(v.parse::<MatchMode>().map_err(|e| format!("--mode: {e}"))?);
             }
             "--wal-dir" => {
                 let v = it.next().ok_or("--wal-dir needs a directory")?;

@@ -34,7 +34,7 @@ mod wal;
 use std::io::Read;
 use std::process::ExitCode;
 use xydelta::{xml_io, XidDocument};
-use xydiff::{diff, DiffOptions};
+use xydiff::{diff, DiffOptions, MatchMode};
 use xytree::Document;
 
 fn main() -> ExitCode {
@@ -75,7 +75,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 pub(crate) fn usage() -> String {
     "usage:\n  \
-     xydiff diff [--pretty] [--stats] [--quiet] [--no-moves-window] OLD.xml NEW.xml\n  \
+     xydiff diff [--pretty] [--stats] [--quiet] [--no-moves-window]\n  \
+       \u{20}      [--mode buld|unordered|similarity] OLD.xml NEW.xml\n  \
      xydiff patch [--plain] DOC.xml DELTA.xml   (output carries an xidmap annotation)\n  \
      xydiff revert [--plain] DOC.xml DELTA.xml  (DOC must carry its xidmap)\n  \
      xydiff verify [--all] DELTA.xml      statically validate a completed delta\n  \
@@ -91,12 +92,13 @@ pub(crate) fn usage() -> String {
      xydiff store DIR changes KEY FROM TO print the aggregated delta\n  \
      xydiff store DIR keys                list stored documents\n  \
      xydiff ingest [--workers N] [--queue N] [--shards N] [--steal-batch N] [--quiet] DIR\n  \
-       \u{20}      [--diff-threads N] [--wal-dir DIR] [--wal-sync always|none]\n  \
-       \u{20}      [--compact-chain-max N]\n  \
+       \u{20}      [--diff-threads N] [--mode buld|unordered|similarity]\n  \
+       \u{20}      [--wal-dir DIR] [--wal-sync always|none] [--compact-chain-max N]\n  \
        \u{20}                              ingest a snapshot corpus concurrently\n  \
        \u{20}                              (DIR/key/*.xml sorted = versions; metrics on stdout)\n  \
      xydiff serve [--addr HOST:PORT] [--workers N] [--http-workers N] [--queue N]\n  \
        \u{20}      [--shards N] [--steal-batch N] [--diff-threads N] [--max-body BYTES]\n  \
+       \u{20}      [--mode buld|unordered|similarity]\n  \
        \u{20}      [--snapshot-dir DIR] [--snapshot-interval SECS] [--wal-dir DIR]\n  \
        \u{20}      [--wal-sync always|none] [--compact-chain-max N] [--quiet]\n  \
        \u{20}                              run the HTTP ingestion server\n  \
@@ -143,13 +145,19 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let mut stats = false;
     let mut quiet = false;
     let mut exact_lis = false;
+    let mut mode = MatchMode::default();
     let mut files = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--pretty" => pretty = true,
             "--stats" => stats = true,
             "--quiet" => quiet = true,
             "--no-moves-window" => exact_lis = true,
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs a value (buld|unordered|similarity)")?;
+                mode = v.parse::<MatchMode>().map_err(|e| format!("--mode: {e}"))?;
+            }
             f if !f.starts_with("--") => files.push(f),
             other => return Err(format!("unknown flag {other:?} for diff")),
         }
@@ -159,7 +167,7 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     };
     let old = parse_xid_doc(old_path)?;
     let new = parse_doc(new_path)?;
-    let opts = DiffOptions { exact_lis, ..Default::default() };
+    let opts = DiffOptions { exact_lis, mode, ..Default::default() };
     let result = diff(&old, &new, &opts);
     if stats {
         let c = result.delta.counts();

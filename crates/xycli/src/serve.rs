@@ -13,6 +13,7 @@
 use crate::usage;
 use std::process::ExitCode;
 use std::time::Duration;
+use xydiff::MatchMode;
 use xynet::{NetConfig, NetServer};
 use xyserve::{ServeConfig, SnapshotPolicy, WalPolicy, WalSync};
 
@@ -60,6 +61,11 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|e| e.to_string())?;
             }
             "--max-body" => net = net.with_max_body_bytes(flag_value(&mut it, "--max-body")?),
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs a value (buld|unordered|similarity)")?;
+                serve =
+                    serve.with_mode(v.parse::<MatchMode>().map_err(|e| format!("--mode: {e}"))?);
+            }
             "--snapshot-dir" => {
                 let v = it.next().ok_or("--snapshot-dir needs a directory")?;
                 snapshot_dir = Some(v.clone());

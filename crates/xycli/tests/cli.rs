@@ -105,6 +105,30 @@ fn quiet_and_stats_flags() {
 }
 
 #[test]
+fn mode_flag_selects_the_matcher() {
+    // A pure child permutation: the unordered matcher pairs the rows by
+    // content and patches back to the new version, same as BULD.
+    let a = tmp("mode-a.xml", "<t><r><c>one</c><k>1</k></r><r><c>two</c><k>2</k></r></t>");
+    let b = tmp("mode-b.xml", "<t><r><c>two</c><k>2</k></r><r><c>one</c><k>1</k></r></t>");
+    for mode in ["buld", "unordered", "similarity"] {
+        let d = run(&["diff", "--mode", mode, a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert_eq!(d.status.code(), Some(1), "mode {mode}: {}", stderr(&d));
+        let delta_path = tmp(&format!("mode-{mode}-delta.xml"), &stdout(&d));
+        let patched =
+            run(&["patch", "--plain", a.to_str().unwrap(), delta_path.to_str().unwrap()]);
+        assert_eq!(
+            stdout(&patched).trim(),
+            "<t><r><c>two</c><k>2</k></r><r><c>one</c><k>1</k></r></t>",
+            "mode {mode}: {}",
+            stderr(&patched)
+        );
+    }
+    let bad = run(&["diff", "--mode", "bogus", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(stderr(&bad).contains("unknown match mode"), "{}", stderr(&bad));
+}
+
+#[test]
 fn pretty_output_reparses() {
     let a = tmp("pp-a.xml", "<x><gone><g/></gone></x>");
     let b = tmp("pp-b.xml", "<x/>");

@@ -3,9 +3,19 @@
 //! Every knob corresponds to a design choice discussed in the paper, so that
 //! the ablation benchmarks (`xybench`) can measure what each one buys.
 
+use crate::mode::MatchMode;
+
 /// Configuration of [`crate::diff`].
 #[derive(Debug, Clone)]
 pub struct DiffOptions {
+    /// Which matcher runs: the ordered BULD pipeline (default), the
+    /// unordered X-Diff-style multiset matcher, or the LaDiff-inspired
+    /// similarity comparator. Every entry point — free functions,
+    /// [`Differ`](crate::Differ), warehouse, server, CLI — dispatches on
+    /// this; all modes share phase-5 delta construction. Per-mode tuning
+    /// lives in the per-mode option structs carried by the `Differ`.
+    pub mode: MatchMode,
+
     /// Phase 1: use DTD-declared ID attributes to pre-match nodes. "If ID
     /// attributes are frequently used in the documents, most of the matching
     /// decisions have been done during this phase."
@@ -51,6 +61,7 @@ pub struct DiffOptions {
 impl Default for DiffOptions {
     fn default() -> Self {
         DiffOptions {
+            mode: MatchMode::default(),
             use_id_attributes: true,
             depth_factor: 1.0,
             lis_window: 50,

@@ -32,9 +32,11 @@
 
 use crate::config::DiffOptions;
 use crate::info::SignatureCache;
+use crate::mode::{MatchMode, UnorderedOptions};
 use crate::par::{ParallelRunner, SerialRunner};
 use crate::report::DiffResult;
 use crate::scratch::DiffScratch;
+use crate::similarity::SimilarityOptions;
 use std::sync::Arc;
 use xydelta::CaptureMode;
 use xydelta::XidDocument;
@@ -42,9 +44,15 @@ use xytree::Document;
 
 /// Builder-style diff engine owning options, scratch, and an optional
 /// cross-version signature cache. See the module docs for the design.
+///
+/// The matcher is selected with [`Differ::with_mode`] (or by setting
+/// [`DiffOptions::mode`]); per-mode tuning rides along in the
+/// [`UnorderedOptions`] / [`SimilarityOptions`] the differ owns.
 #[derive(Debug, Default)]
 pub struct Differ {
     opts: DiffOptions,
+    unordered: UnorderedOptions,
+    similarity: SimilarityOptions,
     scratch: DiffScratch,
     cache: Option<SignatureCache>,
     capture: CaptureMode,
@@ -61,6 +69,33 @@ impl Differ {
     #[must_use]
     pub fn with_options(mut self, opts: DiffOptions) -> Differ {
         self.opts = opts;
+        self
+    }
+
+    /// Select the matcher every diff from this differ runs (builder style).
+    /// Shorthand for setting [`DiffOptions::mode`].
+    #[must_use]
+    pub fn with_mode(mut self, mode: MatchMode) -> Differ {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Replace the unordered-mode tuning (builder style). Only consulted
+    /// when the mode is [`MatchMode::Unordered`]. Build the options through
+    /// their fallible `with_*` builders; values are assumed valid here.
+    #[must_use]
+    pub fn with_unordered_options(mut self, opts: UnorderedOptions) -> Differ {
+        self.unordered = opts;
+        self
+    }
+
+    /// Replace the similarity-mode tuning (builder style). Only consulted
+    /// when the mode is [`MatchMode::Similarity`]. Build the options
+    /// through their fallible `with_*` builders; values are assumed valid
+    /// here.
+    #[must_use]
+    pub fn with_similarity_options(mut self, opts: SimilarityOptions) -> Differ {
+        self.similarity = opts;
         self
     }
 
@@ -107,6 +142,21 @@ impl Differ {
         self.capture
     }
 
+    /// The matcher every diff from this differ runs.
+    pub fn mode(&self) -> MatchMode {
+        self.opts.mode
+    }
+
+    /// The unordered-mode tuning this differ carries.
+    pub fn unordered_options(&self) -> &UnorderedOptions {
+        &self.unordered
+    }
+
+    /// The similarity-mode tuning this differ carries.
+    pub fn similarity_options(&self) -> &SimilarityOptions {
+        &self.similarity
+    }
+
     /// Worker parallelism of the installed runner (1 when none is set).
     pub fn runner_threads(&self) -> usize {
         self.runner.as_ref().map_or(1, |r| r.threads())
@@ -140,8 +190,18 @@ impl Differ {
     pub fn diff(&mut self, old: &XidDocument, new: &Document) -> DiffResult {
         // Destructure for split borrows: the runner is shared while the
         // scratch (and cache) are handed out mutably.
-        let Differ { opts, scratch, cache, capture, runner } = self;
-        crate::diff_core(old, new.clone(), opts, scratch, cache.as_mut(), *capture, runner_of(runner))
+        let Differ { opts, unordered, similarity, scratch, cache, capture, runner } = self;
+        crate::diff_dispatch(
+            old,
+            new.clone(),
+            opts,
+            unordered,
+            similarity,
+            scratch,
+            cache.as_mut(),
+            *capture,
+            runner_of(runner),
+        )
     }
 
     /// [`Differ::diff`] consuming the new document.
@@ -152,8 +212,18 @@ impl Differ {
     /// Ingestion pipelines that parse each incoming version themselves (and
     /// have no further use for the parse) should always take this path.
     pub fn diff_consume(&mut self, old: &XidDocument, new: Document) -> DiffResult {
-        let Differ { opts, scratch, cache, capture, runner } = self;
-        crate::diff_core(old, new, opts, scratch, cache.as_mut(), *capture, runner_of(runner))
+        let Differ { opts, unordered, similarity, scratch, cache, capture, runner } = self;
+        crate::diff_dispatch(
+            old,
+            new,
+            opts,
+            unordered,
+            similarity,
+            scratch,
+            cache.as_mut(),
+            *capture,
+            runner_of(runner),
+        )
     }
 
     /// [`Differ::diff`] with an external per-document cache.
@@ -169,8 +239,18 @@ impl Differ {
         new: &Document,
         cache: &mut SignatureCache,
     ) -> DiffResult {
-        let Differ { opts, scratch, capture, runner, .. } = self;
-        crate::diff_core(old, new.clone(), opts, scratch, Some(cache), *capture, runner_of(runner))
+        let Differ { opts, unordered, similarity, scratch, capture, runner, .. } = self;
+        crate::diff_dispatch(
+            old,
+            new.clone(),
+            opts,
+            unordered,
+            similarity,
+            scratch,
+            Some(cache),
+            *capture,
+            runner_of(runner),
+        )
     }
 
     /// [`Differ::diff_consume`] with an external per-document cache — the
@@ -181,15 +261,35 @@ impl Differ {
         new: Document,
         cache: &mut SignatureCache,
     ) -> DiffResult {
-        let Differ { opts, scratch, capture, runner, .. } = self;
-        crate::diff_core(old, new, opts, scratch, Some(cache), *capture, runner_of(runner))
+        let Differ { opts, unordered, similarity, scratch, capture, runner, .. } = self;
+        crate::diff_dispatch(
+            old,
+            new,
+            opts,
+            unordered,
+            similarity,
+            scratch,
+            Some(cache),
+            *capture,
+            runner_of(runner),
+        )
     }
 
     /// [`Differ::diff`] ignoring any installed cache (always hashes both
     /// sides). Exists for benchmarking and cache-coherence debugging.
     pub fn diff_uncached(&mut self, old: &XidDocument, new: &Document) -> DiffResult {
-        let Differ { opts, scratch, capture, runner, .. } = self;
-        crate::diff_core(old, new.clone(), opts, scratch, None, *capture, runner_of(runner))
+        let Differ { opts, unordered, similarity, scratch, capture, runner, .. } = self;
+        crate::diff_dispatch(
+            old,
+            new.clone(),
+            opts,
+            unordered,
+            similarity,
+            scratch,
+            None,
+            *capture,
+            runner_of(runner),
+        )
     }
 }
 
@@ -259,6 +359,35 @@ mod tests {
         let mut cache = SignatureCache::new();
         let cached = xydelta::xml_io::delta_to_xml(&differ.diff_with_cache(&old, &new, &mut cache).delta);
         assert_eq!(plain, cached);
+    }
+
+    #[test]
+    fn mode_selection_routes_to_each_matcher() {
+        let old = XidDocument::parse_initial("<t><a>1</a><b>2</b></t>").unwrap();
+        let new = Document::parse("<t><b>2</b><a>1</a></t>").unwrap();
+        for mode in MatchMode::all() {
+            let mut differ = Differ::new().with_mode(mode);
+            assert_eq!(differ.mode(), mode);
+            let r = differ.diff(&old, &new);
+            let mut replay = old.clone();
+            r.delta.apply_to(&mut replay).unwrap();
+            assert_eq!(replay.doc.to_xml(), new.to_xml(), "mode {mode}");
+            xydelta::verify(&r.delta).unwrap_or_else(|e| panic!("mode {mode}: {e}"));
+        }
+    }
+
+    #[test]
+    fn per_mode_options_are_carried() {
+        let differ = Differ::new()
+            .with_mode(MatchMode::Unordered)
+            .with_unordered_options(
+                UnorderedOptions::default().with_max_bucket_pairs(7).unwrap(),
+            )
+            .with_similarity_options(
+                SimilarityOptions::default().with_passes(5).unwrap(),
+            );
+        assert_eq!(differ.unordered_options().max_bucket_pairs, 7);
+        assert_eq!(differ.similarity_options().passes, 5);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod config;
 pub mod differ;
 pub mod info;
 pub mod matching;
+pub mod mode;
 pub mod par;
 pub mod phase1;
 pub mod phase5;
@@ -65,14 +66,17 @@ pub mod propagate;
 pub mod report;
 pub mod scratch;
 pub mod similarity;
+pub mod unordered;
 
 pub use config::DiffOptions;
 pub use differ::Differ;
 pub use info::SignatureCache;
 pub use matching::Matching;
+pub use mode::{ConfigError, MatchMode, ParseMatchModeError, UnorderedOptions};
 pub use par::{ParallelRunner, SerialRunner, StdScopeRunner};
 pub use report::{DiffResult, DiffStats, PhaseTimings};
 pub use scratch::DiffScratch;
+pub use similarity::SimilarityOptions;
 
 use std::time::Instant;
 use xydelta::diff_by_xid::CaptureMode;
@@ -85,66 +89,54 @@ use xytree::Document;
 /// timings, and matching statistics. The new document is cloned into the
 /// result (the diff itself never mutates its inputs).
 ///
+/// The matcher is selected by [`DiffOptions::mode`]; non-default modes run
+/// with their default per-mode options (tune them through the [`Differ`]
+/// builder's `with_unordered_options` / `with_similarity_options`).
+///
 /// This is a thin convenience wrapper that allocates fresh working memory
 /// per call; long-running callers should hold a [`Differ`] (which owns the
 /// options, the reusable scratch, and an optional signature cache) and call
 /// [`Differ::diff`] instead.
 pub fn diff(old: &XidDocument, new: &Document, opts: &DiffOptions) -> DiffResult {
     let mut scratch = DiffScratch::new();
-    diff_inner(old, new, opts, &mut scratch, None)
+    diff_dispatch(
+        old,
+        new.clone(),
+        opts,
+        &UnorderedOptions::default(),
+        &SimilarityOptions::default(),
+        &mut scratch,
+        None,
+        CaptureMode::Owned,
+        &SerialRunner,
+    )
 }
 
-/// [`diff`] with caller-owned working memory.
+/// Route a diff to the matcher selected by [`DiffOptions::mode`].
 ///
-/// Produces exactly the same result as [`diff`] — scratch reuse is purely an
-/// allocation optimisation — but a scratch reused across many diffs keeps
-/// its vectors and hash tables warm, so steady-state throughput does no
-/// per-diff structural allocation.
-#[deprecated(
-    since = "0.1.0",
-    note = "hold a `Differ` (owns options + scratch) and call `Differ::diff`"
-)]
-pub fn diff_with_scratch(
+/// The BULD arm uses the full machinery (scratch, cache, parallel runner);
+/// the unordered and similarity arms build their own matching state and
+/// ignore `scratch`, `cache`, and `runner` (an installed per-document cache
+/// is simply left untouched — stale entries miss safely if the caller later
+/// switches back to BULD). All arms honor `capture` and the phase-5 LIS
+/// settings, so every mode supports the zero-copy warehouse path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn diff_dispatch(
     old: &XidDocument,
-    new: &Document,
+    new: Document,
     opts: &DiffOptions,
-    scratch: &mut DiffScratch,
-) -> DiffResult {
-    diff_inner(old, new, opts, scratch, None)
-}
-
-/// [`diff`] with caller-owned working memory plus a cross-version
-/// [`SignatureCache`].
-///
-/// When the old version is one this process diffed before (the warehouse
-/// steady state), the cache replays its subtree signatures instead of
-/// re-hashing them, and is refreshed to describe `new_version` before
-/// returning — ready for the next ingest of the same document. The delta is
-/// byte-identical with or without the cache; see the [`SignatureCache`]
-/// coherence contract.
-#[deprecated(
-    since = "0.1.0",
-    note = "hold a `Differ` and call `Differ::diff_with_cache` (per-document \
-            cache) or `Differ::with_cache(..).diff(..)` (owned cache)"
-)]
-pub fn diff_cached(
-    old: &XidDocument,
-    new: &Document,
-    opts: &DiffOptions,
-    scratch: &mut DiffScratch,
-    cache: &mut SignatureCache,
-) -> DiffResult {
-    diff_inner(old, new, opts, scratch, Some(cache))
-}
-
-pub(crate) fn diff_inner(
-    old: &XidDocument,
-    new: &Document,
-    opts: &DiffOptions,
+    uopts: &UnorderedOptions,
+    sopts: &SimilarityOptions,
     scratch: &mut DiffScratch,
     cache: Option<&mut SignatureCache>,
+    capture: CaptureMode,
+    runner: &dyn par::ParallelRunner,
 ) -> DiffResult {
-    diff_core(old, new.clone(), opts, scratch, cache, CaptureMode::Owned, &SerialRunner)
+    match opts.mode {
+        MatchMode::Buld => diff_core(old, new, opts, scratch, cache, capture, runner),
+        MatchMode::Unordered => unordered::diff_core_unordered(old, new, opts, uopts, capture),
+        MatchMode::Similarity => similarity::diff_core_similarity(old, new, opts, sopts, capture),
+    }
 }
 
 /// The whole pipeline, owning the new document.

@@ -1,0 +1,248 @@
+//! Matcher selection: one diff pipeline, three matching philosophies.
+//!
+//! The crate grew three matchers with three incompatible entry points: the
+//! BULD pipeline behind [`crate::diff`]/[`crate::Differ`], the similarity
+//! comparator behind a free function, and (new) the unordered X-Diff-style
+//! matcher. [`MatchMode`] collapses them into one selector carried by
+//! [`DiffOptions`](crate::DiffOptions): every entry point — the free
+//! functions, the [`Differ`](crate::Differ) builder, the warehouse, the
+//! server, the CLI — dispatches on it, and every mode funnels into the same
+//! phase-5 delta construction, so all three emit valid,
+//! `xydelta::verify`-clean XyDeltas over the same change model.
+//!
+//! Per-mode tuning lives in per-mode option structs ([`UnorderedOptions`]
+//! here, [`SimilarityOptions`](crate::similarity::SimilarityOptions) in its
+//! module), following the `ServeConfig` conventions: `#[non_exhaustive]`,
+//! fallible `with_*` builders returning typed [`ConfigError`]s, and a
+//! `validate()` backstop for callers that mutate fields directly.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which matcher the diff pipeline runs.
+///
+/// All modes share phase 5 (XID inheritance + delta construction), so the
+/// produced delta is correct by construction regardless of the matching's
+/// quality — the mode only decides *which* nodes are considered "the same",
+/// i.e. how small the delta is and what it costs to compute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MatchMode {
+    /// The paper's ordered BULD algorithm (§5.2): signature matching,
+    /// heaviest-first, with up/down propagation. The production default.
+    #[default]
+    Buld,
+    /// X-Diff-style unordered matching (Wang/DeWitt/Cai): children pair by
+    /// subtree-signature **multiset** instead of position, so data-centric
+    /// documents whose element order is incidental produce small deltas
+    /// under reordering. See [`crate::unordered`].
+    Unordered,
+    /// The LaDiff-inspired similarity comparator (§3): leaves by textual
+    /// Dice similarity, internal nodes by matched-children vote. See
+    /// [`crate::similarity`].
+    Similarity,
+}
+
+impl MatchMode {
+    /// The stable lowercase name used on the CLI (`--mode`), in ack JSON,
+    /// and as the `/metrics` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MatchMode::Buld => "buld",
+            MatchMode::Unordered => "unordered",
+            MatchMode::Similarity => "similarity",
+        }
+    }
+
+    /// All modes, in display order (for metric label enumeration).
+    pub fn all() -> [MatchMode; 3] {
+        [MatchMode::Buld, MatchMode::Unordered, MatchMode::Similarity]
+    }
+}
+
+impl fmt::Display for MatchMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing a [`MatchMode`] name (CLI `--mode` values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseMatchModeError;
+
+impl fmt::Display for ParseMatchModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("unknown match mode (expected buld, unordered or similarity)")
+    }
+}
+
+impl std::error::Error for ParseMatchModeError {}
+
+impl FromStr for MatchMode {
+    type Err = ParseMatchModeError;
+
+    fn from_str(s: &str) -> Result<MatchMode, ParseMatchModeError> {
+        match s {
+            "buld" => Ok(MatchMode::Buld),
+            "unordered" => Ok(MatchMode::Unordered),
+            "similarity" => Ok(MatchMode::Similarity),
+            _ => Err(ParseMatchModeError),
+        }
+    }
+}
+
+/// A per-mode option value was rejected by a `with_*` builder (or by
+/// `validate()`); the diff never runs with out-of-range tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A similarity threshold must lie in `(0, 1]` — 0 would match
+    /// everything to the first candidate, above 1 nothing ever matches.
+    ThresholdOutOfRange {
+        /// The option field the value was destined for.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `passes` must be nonzero (zero passes would match leaves only).
+    ZeroPasses,
+    /// `max_leaf_candidates` must be nonzero (zero examines no candidate).
+    ZeroCandidates,
+    /// `max_bucket_pairs` must be nonzero (zero disables the fallback
+    /// assignment entirely, turning every changed subtree into
+    /// delete + insert).
+    ZeroBucketPairs,
+    /// `min_child_overlap` must lie in `[0, 1]` (it is a fraction of the
+    /// combined child count).
+    OverlapOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::ThresholdOutOfRange { name, value } => {
+                write!(f, "{name} must be in (0, 1], got {value}")
+            }
+            ConfigError::ZeroPasses => f.write_str("passes must be nonzero"),
+            ConfigError::ZeroCandidates => f.write_str("max_leaf_candidates must be nonzero"),
+            ConfigError::ZeroBucketPairs => f.write_str("max_bucket_pairs must be nonzero"),
+            ConfigError::OverlapOutOfRange { value } => {
+                write!(f, "min_child_overlap must be in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Tuning of the unordered (X-Diff-style) matcher.
+///
+/// Construct via `Default` + the fallible `with_*` builders; fields stay
+/// `pub` for struct-update syntax inside the workspace, with
+/// [`UnorderedOptions::validate`] as the backstop for direct mutation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct UnorderedOptions {
+    /// Cost-matrix budget for the label-bucket fallback: a bucket of `o`
+    /// old × `n` new changed subtrees runs min-cost assignment only while
+    /// `o · n` stays within this bound, and degrades to occurrence-order
+    /// pairing beyond it (the X-Diff `O(n²)` worst case, capped).
+    pub max_bucket_pairs: usize,
+    /// Minimum fraction of combined children two changed elements must
+    /// share (by subtree-signature multiset) to be paired by the fallback;
+    /// below it the pair is left unmatched (delete + insert). 0 accepts
+    /// any same-label pair.
+    pub min_child_overlap: f64,
+}
+
+impl Default for UnorderedOptions {
+    fn default() -> Self {
+        UnorderedOptions { max_bucket_pairs: 4096, min_child_overlap: 0.0 }
+    }
+}
+
+impl UnorderedOptions {
+    /// Set the bucket cost-matrix budget. Zero is rejected.
+    pub fn with_max_bucket_pairs(mut self, max: usize) -> Result<Self, ConfigError> {
+        if max == 0 {
+            return Err(ConfigError::ZeroBucketPairs);
+        }
+        self.max_bucket_pairs = max;
+        Ok(self)
+    }
+
+    /// Set the minimum child-multiset overlap fraction. Must be in `[0, 1]`.
+    pub fn with_min_child_overlap(mut self, overlap: f64) -> Result<Self, ConfigError> {
+        if !(0.0..=1.0).contains(&overlap) {
+            return Err(ConfigError::OverlapOutOfRange { value: overlap });
+        }
+        self.min_child_overlap = overlap;
+        Ok(self)
+    }
+
+    /// Validate directly-mutated fields (the builders cannot produce an
+    /// invalid value; struct-update syntax can).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_bucket_pairs == 0 {
+            return Err(ConfigError::ZeroBucketPairs);
+        }
+        if !(0.0..=1.0).contains(&self.min_child_overlap) {
+            return Err(ConfigError::OverlapOutOfRange { value: self.min_child_overlap });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in MatchMode::all() {
+            assert_eq!(mode.as_str().parse::<MatchMode>(), Ok(mode));
+            assert_eq!(mode.to_string(), mode.as_str());
+        }
+        assert!("fuzzy".parse::<MatchMode>().is_err());
+        assert!("BULD".parse::<MatchMode>().is_err(), "names are case-sensitive");
+    }
+
+    #[test]
+    fn default_mode_is_buld() {
+        assert_eq!(MatchMode::default(), MatchMode::Buld);
+    }
+
+    #[test]
+    fn unordered_builders_validate() {
+        let o = UnorderedOptions::default()
+            .with_max_bucket_pairs(16)
+            .unwrap()
+            .with_min_child_overlap(0.5)
+            .unwrap();
+        assert_eq!(o.max_bucket_pairs, 16);
+        assert!(o.validate().is_ok());
+
+        assert_eq!(
+            UnorderedOptions::default().with_max_bucket_pairs(0),
+            Err(ConfigError::ZeroBucketPairs)
+        );
+        assert_eq!(
+            UnorderedOptions::default().with_min_child_overlap(1.5),
+            Err(ConfigError::OverlapOutOfRange { value: 1.5 })
+        );
+        assert!(UnorderedOptions::default().with_min_child_overlap(f64::NAN).is_err());
+
+        let broken = UnorderedOptions { max_bucket_pairs: 0, ..Default::default() };
+        assert!(broken.validate().is_err(), "validate backstops direct mutation");
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = ConfigError::ThresholdOutOfRange { name: "leaf_threshold", value: 2.0 };
+        assert!(e.to_string().contains("leaf_threshold"));
+        assert!(ConfigError::ZeroBucketPairs.to_string().contains("max_bucket_pairs"));
+    }
+}

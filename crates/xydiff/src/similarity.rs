@@ -15,17 +15,26 @@
 //! baseline — quality and cost comparisons live in the `xybench` harness —
 //! not as the production path.
 
+use crate::config::DiffOptions;
 use crate::info::{analyze, TreeInfo};
 use crate::matching::Matching;
+use crate::mode::ConfigError;
 use crate::phase5;
 use crate::report::{DiffResult, DiffStats, PhaseTimings};
 use std::time::Instant;
+use xydelta::diff_by_xid::CaptureMode;
 use xydelta::XidDocument;
 use xytree::hash::{fast_map, FastHashMap};
 use xytree::{Document, NodeId, NodeKind, Tree};
 
 /// Tuning of the similarity matcher.
+///
+/// Construct via `Default` + the fallible `with_*` builders (thresholds
+/// must lie in `(0, 1]`, counts must be nonzero); fields stay `pub` for
+/// struct-update syntax inside the workspace, with
+/// [`SimilarityOptions::validate`] as the backstop for direct mutation.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SimilarityOptions {
     /// Minimum Dice similarity for two text leaves to match (LaDiff's `f`).
     pub leaf_threshold: f64,
@@ -49,11 +58,92 @@ impl Default for SimilarityOptions {
     }
 }
 
+/// A threshold is usable iff it lies in `(0, 1]` — at 0 everything "matches"
+/// the first candidate examined, above 1 (or NaN) nothing ever matches.
+fn check_threshold(name: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value > 0.0 && value <= 1.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::ThresholdOutOfRange { name, value })
+    }
+}
+
+impl SimilarityOptions {
+    /// Set the minimum leaf Dice similarity. Must be in `(0, 1]`.
+    pub fn with_leaf_threshold(mut self, threshold: f64) -> Result<Self, ConfigError> {
+        check_threshold("leaf_threshold", threshold)?;
+        self.leaf_threshold = threshold;
+        Ok(self)
+    }
+
+    /// Set the minimum matched-children vote ratio. Must be in `(0, 1]`.
+    pub fn with_parent_ratio(mut self, ratio: f64) -> Result<Self, ConfigError> {
+        check_threshold("parent_ratio", ratio)?;
+        self.parent_ratio = ratio;
+        Ok(self)
+    }
+
+    /// Set the per-leaf candidate budget. Zero is rejected.
+    pub fn with_max_leaf_candidates(mut self, max: usize) -> Result<Self, ConfigError> {
+        if max == 0 {
+            return Err(ConfigError::ZeroCandidates);
+        }
+        self.max_leaf_candidates = max;
+        Ok(self)
+    }
+
+    /// Set the number of bottom-up passes. Zero is rejected.
+    pub fn with_passes(mut self, passes: usize) -> Result<Self, ConfigError> {
+        if passes == 0 {
+            return Err(ConfigError::ZeroPasses);
+        }
+        self.passes = passes;
+        Ok(self)
+    }
+
+    /// Validate directly-mutated fields (the builders cannot produce an
+    /// invalid value; struct-update syntax can).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_threshold("leaf_threshold", self.leaf_threshold)?;
+        check_threshold("parent_ratio", self.parent_ratio)?;
+        if self.max_leaf_candidates == 0 {
+            return Err(ConfigError::ZeroCandidates);
+        }
+        if self.passes == 0 {
+            return Err(ConfigError::ZeroPasses);
+        }
+        Ok(())
+    }
+}
+
 /// Diff with the similarity matcher instead of BULD.
+#[deprecated(
+    since = "0.1.0",
+    note = "select the matcher through the unified surface: \
+            `Differ::new().with_mode(MatchMode::Similarity)` (or set \
+            `DiffOptions::mode` and call `diff`)"
+)]
 pub fn diff_similarity(
     old: &XidDocument,
     new: &Document,
     opts: &SimilarityOptions,
+) -> DiffResult {
+    // The historical free function never windowed the phase-5 LIS; keep its
+    // exact output by selecting the exact algorithm here.
+    let exact = DiffOptions { exact_lis: true, ..Default::default() };
+    diff_core_similarity(old, new.clone(), &exact, opts, CaptureMode::Owned)
+}
+
+/// The similarity pipeline core: leaf/internal matching, shared phase-5
+/// delta construction. Owns the new document (zero-copy like
+/// [`crate::diff_core`]); honors `capture` and the phase-5 LIS settings
+/// from `opts` so the warehouse path works in this mode too.
+pub(crate) fn diff_core_similarity(
+    old: &XidDocument,
+    new: Document,
+    dopts: &DiffOptions,
+    opts: &SimilarityOptions,
+    capture: CaptureMode,
 ) -> DiffResult {
     let mut stats = DiffStats::default();
     let mut timings = PhaseTimings::default();
@@ -91,14 +181,16 @@ pub fn diff_similarity(
     }
     timings.phase4 = t.elapsed();
 
-    // --- Shared delta construction. ---
+    stats.old_nodes = old_tree.subtree_size(old_tree.root());
+
+    // --- Shared delta construction (`new` moves into the version). ---
     let t = Instant::now();
-    let new_version = phase5::inherit_xids(old, new.clone(), &matching);
-    let delta = xydelta::diff_by_xid::diff_by_xid(old, &new_version);
+    let new_version = phase5::inherit_xids(old, new, &matching);
+    let lis_window = if dopts.exact_lis { None } else { Some(dopts.lis_window) };
+    let delta = xydelta::diff_by_xid::diff_by_xid_captured(old, &new_version, lis_window, capture);
     timings.phase5 = t.elapsed();
 
-    stats.old_nodes = old_tree.subtree_size(old_tree.root());
-    stats.new_nodes = new_tree.subtree_size(new_tree.root());
+    stats.new_nodes = new_version.doc.tree.subtree_size(new_version.doc.tree.root());
     stats.matched_nodes = matching.matched_count();
     DiffResult { delta, new_version, timings, stats }
 }
@@ -270,15 +362,56 @@ fn match_internal(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mode::MatchMode;
+    use crate::Differ;
 
     fn run(old_xml: &str, new_xml: &str) -> DiffResult {
         let old = XidDocument::parse_initial(old_xml).unwrap();
         let new = Document::parse(new_xml).unwrap();
-        let r = diff_similarity(&old, &new, &SimilarityOptions::default());
+        let mut differ = Differ::new().with_mode(MatchMode::Similarity);
+        let r = differ.diff(&old, &new);
         let mut replay = old.clone();
         r.delta.apply_to(&mut replay).expect("similarity delta applies");
         assert_eq!(replay.doc.to_xml(), new.to_xml(), "correctness holds for any matcher");
         r
+    }
+
+    #[test]
+    fn builders_validate() {
+        let o = SimilarityOptions::default()
+            .with_leaf_threshold(0.8)
+            .unwrap()
+            .with_parent_ratio(1.0)
+            .unwrap()
+            .with_max_leaf_candidates(16)
+            .unwrap()
+            .with_passes(3)
+            .unwrap();
+        assert_eq!((o.leaf_threshold, o.parent_ratio), (0.8, 1.0));
+        assert!(o.validate().is_ok());
+
+        assert!(SimilarityOptions::default().with_leaf_threshold(0.0).is_err());
+        assert!(SimilarityOptions::default().with_leaf_threshold(1.5).is_err());
+        assert!(SimilarityOptions::default().with_parent_ratio(f64::NAN).is_err());
+        assert!(SimilarityOptions::default().with_max_leaf_candidates(0).is_err());
+        assert!(SimilarityOptions::default().with_passes(0).is_err());
+        let broken = SimilarityOptions { passes: 0, ..Default::default() };
+        assert!(broken.validate().is_err(), "validate backstops direct mutation");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_function_matches_mode_dispatch() {
+        let old = XidDocument::parse_initial("<a><p>one two three</p><q>x</q></a>").unwrap();
+        let new = Document::parse("<a><q>x</q><p>one two four</p></a>").unwrap();
+        let free = diff_similarity(&old, &new, &SimilarityOptions::default());
+        let opts =
+            DiffOptions { mode: MatchMode::Similarity, exact_lis: true, ..Default::default() };
+        let routed = crate::diff(&old, &new, &opts);
+        assert_eq!(
+            xydelta::xml_io::delta_to_xml(&free.delta),
+            xydelta::xml_io::delta_to_xml(&routed.delta)
+        );
     }
 
     #[test]
@@ -343,7 +476,8 @@ mod tests {
             });
             let old = XidDocument::assign_initial(doc);
             let sim = simulate(&old, &ChangeConfig::uniform(0.1, seed));
-            let r = diff_similarity(&old, &sim.new_version.doc, &SimilarityOptions::default());
+            let mut differ = Differ::new().with_mode(MatchMode::Similarity);
+            let r = differ.diff(&old, &sim.new_version.doc);
             let mut replay = old.clone();
             r.delta.apply_to(&mut replay).unwrap();
             assert_eq!(replay.doc.to_xml(), sim.new_version.doc.to_xml(), "seed {seed}");
@@ -364,7 +498,9 @@ mod tests {
         let old = XidDocument::assign_initial(doc);
         let sim = simulate(&old, &ChangeConfig { p_delete: 0.05, p_update: 0.0, p_insert: 0.0, p_move: 0.25, seed: 2 });
         let buld = crate::diff(&old, &sim.new_version.doc, &crate::DiffOptions::default());
-        let simi = diff_similarity(&old, &sim.new_version.doc, &SimilarityOptions::default());
+        let simi = Differ::new()
+            .with_mode(MatchMode::Similarity)
+            .diff(&old, &sim.new_version.doc);
         assert!(
             buld.delta.size_bytes() <= simi.delta.size_bytes(),
             "BULD {} B should not lose to similarity {} B on move-heavy change",

@@ -498,7 +498,7 @@ fn handle_doc(shared: &Shared, key: &str, version: Option<usize>) -> Response {
 fn completed_json(done: &Completed) -> String {
     format!(
         "{{\"key\":\"{}\",\"seq\":{},\"version\":{},\"ops\":{},\"alerts\":{},\
-         \"schema_warnings\":{},\"durable\":{}}}",
+         \"schema_warnings\":{},\"durable\":{},\"mode\":\"{}\"}}",
         json_escape(&done.key),
         done.seq,
         done.version,
@@ -506,6 +506,7 @@ fn completed_json(done: &Completed) -> String {
         done.alerts,
         done.schema_warnings,
         done.durable,
+        done.mode,
     )
 }
 

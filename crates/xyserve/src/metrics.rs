@@ -14,6 +14,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use xydiff::MatchMode;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -255,6 +256,50 @@ pub mod expo {
     }
 }
 
+/// One counter per diff matcher mode, for the `ingest_mode_total` family.
+///
+/// The full label set is always rendered (zero-valued series included) so a
+/// scrape sees every mode the server could run, not just the one it did.
+#[derive(Debug, Default)]
+pub struct ModeCounters {
+    buld: Counter,
+    unordered: Counter,
+    similarity: Counter,
+}
+
+impl ModeCounters {
+    fn counter(&self, mode: MatchMode) -> Option<&Counter> {
+        match mode {
+            MatchMode::Buld => Some(&self.buld),
+            MatchMode::Unordered => Some(&self.unordered),
+            MatchMode::Similarity => Some(&self.similarity),
+            // `MatchMode` is non_exhaustive: a mode this build does not
+            // know about has no series to charge.
+            _ => None,
+        }
+    }
+
+    /// Add one successful ingest under `mode`.
+    pub fn inc(&self, mode: MatchMode) {
+        if let Some(c) = self.counter(mode) {
+            c.inc();
+        }
+    }
+
+    /// Current count for `mode` (0 for modes this build does not know).
+    pub fn get(&self, mode: MatchMode) -> u64 {
+        self.counter(mode).map_or(0, Counter::get)
+    }
+
+    /// `(label, count)` series for every known mode, in declaration order.
+    pub fn series(&self) -> Vec<(String, u64)> {
+        MatchMode::all()
+            .iter()
+            .map(|&m| (m.as_str().to_string(), self.get(m)))
+            .collect()
+    }
+}
+
 /// The ingest server's metric registry.
 #[derive(Debug)]
 pub struct Metrics {
@@ -271,6 +316,8 @@ pub struct Metrics {
     /// Subscriptions statically proven unsatisfiable against an ingested
     /// document's DTD (they can never fire; see `xyschema`).
     pub schema_warnings: Counter,
+    /// Successful ingests by diff matcher mode (`ingest_mode_total`).
+    pub ingest_mode: ModeCounters,
     /// Persistence snapshots written successfully.
     pub snapshots: Counter,
     /// Persistence snapshot attempts that failed.
@@ -328,6 +375,7 @@ impl Default for Metrics {
             dead_lettered: Counter::default(),
             alerts_fired: Counter::default(),
             schema_warnings: Counter::default(),
+            ingest_mode: ModeCounters::default(),
             snapshots: Counter::default(),
             snapshot_errors: Counter::default(),
             steals: Counter::default(),
@@ -422,6 +470,13 @@ impl Metrics {
             "ingest_schema_warnings_total",
             "Subscriptions statically proven dead against an ingested DTD.",
             self.schema_warnings.get(),
+        );
+        expo::labeled_counter(
+            &mut out,
+            "ingest_mode_total",
+            "Successful ingests by diff matcher mode.",
+            "mode",
+            &self.ingest_mode.series(),
         );
         expo::counter(
             &mut out,
@@ -711,6 +766,20 @@ mod tests {
         assert!(text.contains("ingest_stolen_jobs_total 11"), "{text}");
         // A registry with no deques omits the family entirely.
         assert!(!Metrics::new().render().contains("ingest_deque_depth{"), "empty label set");
+    }
+
+    #[test]
+    fn mode_counters_render_every_mode() {
+        let m = Metrics::new();
+        m.ingest_mode.inc(MatchMode::Unordered);
+        m.ingest_mode.inc(MatchMode::Unordered);
+        m.ingest_mode.inc(MatchMode::Buld);
+        assert_eq!(m.ingest_mode.get(MatchMode::Unordered), 2);
+        let text = m.render();
+        assert!(text.contains("ingest_mode_total{mode=\"buld\"} 1"), "{text}");
+        assert!(text.contains("ingest_mode_total{mode=\"unordered\"} 2"), "{text}");
+        // Zero-valued series stay visible so the label set is complete.
+        assert!(text.contains("ingest_mode_total{mode=\"similarity\"} 0"), "{text}");
     }
 
     #[test]

@@ -48,7 +48,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xydelta::xml_io;
-use xydiff::{Differ, DiffOptions};
+use xydiff::{Differ, DiffOptions, MatchMode};
 use xytree::Document;
 use xywal::{Record, Wal, WalConfig, WalError, WalSync};
 use xywarehouse::{
@@ -238,6 +238,8 @@ pub struct EffectiveConfig {
     pub steal_batch: usize,
     /// Intra-document diff parallelism per worker (1 = serial diffs).
     pub diff_threads: usize,
+    /// Diff matcher mode every shard runs (`buld`, `unordered`, …).
+    pub mode: MatchMode,
     /// Transient-failure retry budget.
     pub max_retries: u32,
     /// Whether a write-ahead log is configured.
@@ -251,7 +253,7 @@ impl std::fmt::Display for EffectiveConfig {
         write!(
             f,
             "workers={} available_parallelism={} oversubscribed={} shards={} \
-             queue_capacity={} steal_batch={} diff_threads={} max_retries={} wal={} \
+             queue_capacity={} steal_batch={} diff_threads={} mode={} max_retries={} wal={} \
              compact_chain_max={}",
             self.workers,
             self.available_parallelism,
@@ -260,6 +262,7 @@ impl std::fmt::Display for EffectiveConfig {
             self.queue_capacity,
             self.steal_batch,
             self.diff_threads,
+            self.mode,
             self.max_retries,
             self.wal,
             self.compact_chain_max
@@ -445,6 +448,7 @@ impl ServeConfig {
             queue_capacity: self.queue_capacity,
             steal_batch: self.steal_batch,
             diff_threads: self.diff_threads,
+            mode: self.diff_options.mode,
             max_retries: self.max_retries,
             wal: self.wal.is_some(),
             compact_chain_max: self.compact_chain_max,
@@ -455,6 +459,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_diff_options(mut self, opts: DiffOptions) -> ServeConfig {
         self.diff_options = opts;
+        self
+    }
+
+    /// Select the diff matcher mode every shard runs (shorthand for setting
+    /// [`DiffOptions::mode`] through [`ServeConfig::with_diff_options`]).
+    #[must_use]
+    pub fn with_mode(mut self, mode: MatchMode) -> ServeConfig {
+        self.diff_options.mode = mode;
         self
     }
 
@@ -513,6 +525,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("shards", &self.shards)
             .field("steal_batch", &self.steal_batch)
             .field("diff_threads", &self.diff_threads)
+            .field("mode", &self.diff_options.mode)
             .field("fault_hook", &self.fault_hook.is_some())
             .field("sched_hook", &self.sched_hook.is_some())
             .field("snapshots", &self.snapshots)
@@ -579,6 +592,8 @@ pub struct Completed {
     /// survives `kill -9`. False when no WAL is configured, when the sync
     /// mode leaves flushing to the OS, or when the append failed.
     pub durable: bool,
+    /// The diff matcher mode that produced this version's delta.
+    pub mode: MatchMode,
 }
 
 /// A handle resolving to the outcome of one tracked submission.
@@ -730,6 +745,7 @@ struct Inner {
     notifications: Mutex<Vec<Notification>>,
     max_retries: u32,
     diff_threads: usize,
+    mode: MatchMode,
     fault_hook: Option<FaultHook>,
     snapshot: Option<SnapshotState>,
     wal: Option<Wal>,
@@ -830,6 +846,7 @@ impl IngestServer {
             notifications: Mutex::new(Vec::new()),
             max_retries: config.max_retries,
             diff_threads: config.diff_threads,
+            mode: config.diff_options.mode,
             fault_hook: config.fault_hook.clone(),
             snapshot,
             wal,
@@ -1383,6 +1400,7 @@ impl Inner {
             self.sync_wal_metrics(wal);
         }
         self.metrics.succeeded.inc();
+        self.metrics.ingest_mode.inc(self.mode);
         self.metrics.total_time.observe(started.elapsed());
         if let Some(tx) = done {
             // The submitter may have stopped waiting; delivery is best-effort.
@@ -1394,6 +1412,7 @@ impl Inner {
                 alerts,
                 schema_warnings,
                 durable,
+                mode: self.mode,
             }));
         }
     }

@@ -23,6 +23,12 @@ pub enum DocKind {
     Feed,
     /// Random labels/branching — stress shape without record structure.
     Generic,
+    /// Data-centric table: same-label rows of mostly-duplicate heavy cells
+    /// plus one light distinctive key. The adversarial family for *ordered*
+    /// matchers under permutation — heavy duplicate content is matched by
+    /// position while the distinguishing key carries almost no weight —
+    /// and the natural habitat of the unordered matcher.
+    Grid,
 }
 
 /// Generator configuration.
@@ -89,6 +95,12 @@ pub fn dtd_for(kind: DocKind) -> Option<&'static str> {
              <!ATTLIST link href CDATA #REQUIRED>",
         ),
         DocKind::Generic => None,
+        DocKind::Grid => Some(
+            "<!ELEMENT grid (row*)>\
+             <!ELEMENT row (cell*, key)>\
+             <!ELEMENT cell (#PCDATA)>\
+             <!ELEMENT key (#PCDATA)>",
+        ),
     }
 }
 
@@ -100,6 +112,7 @@ pub fn generate(cfg: &DocGenConfig) -> Document {
         DocKind::AddressBook => address_book(cfg, &mut rng),
         DocKind::Feed => feed(cfg, &mut rng),
         DocKind::Generic => generic(cfg, &mut rng),
+        DocKind::Grid => grid(cfg, &mut rng),
     }
 }
 
@@ -247,9 +260,51 @@ fn generic(cfg: &DocGenConfig, rng: &mut StdRng) -> Document {
     with_dtd(root, None)
 }
 
+fn grid(cfg: &DocGenConfig, rng: &mut StdRng) -> Document {
+    // ~2 nodes per cell + 3 per row wrapper/key. Every row shares the same
+    // heavy duplicate cells; only <key> distinguishes rows, and its text is
+    // kept short so the distinctive content is as light as possible.
+    let cells = 5usize;
+    let row_nodes = 2 * cells + 3;
+    let rows = (cfg.target_nodes.saturating_sub(1) / row_nodes).max(2);
+    // One heavy payload reused verbatim in every cell of every row.
+    let payload = sentence(rng, 18, 24);
+    let mut root = ElementBuilder::new("grid");
+    for r in 0..rows {
+        let mut row = ElementBuilder::new("row");
+        for _ in 0..cells {
+            row = row.child(ElementBuilder::new("cell").text(payload.clone()));
+        }
+        row = row.child(ElementBuilder::new("key").text(format!("k{r}")));
+        root = root.child(row);
+    }
+    with_dtd(root, None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn grid_rows_share_heavy_cells() {
+        let d = generate(&DocGenConfig { kind: DocKind::Grid, target_nodes: 300, seed: 7, ..Default::default() });
+        let t = &d.tree;
+        let mut cell_texts = std::collections::HashSet::new();
+        let mut keys = std::collections::HashSet::new();
+        for n in t.descendants(t.root()) {
+            match t.name(n) {
+                Some("cell") => {
+                    cell_texts.insert(t.deep_text(n));
+                }
+                Some("key") => {
+                    assert!(keys.insert(t.deep_text(n)), "keys must be distinct");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(cell_texts.len(), 1, "all cells duplicate one heavy payload");
+        assert!(keys.len() >= 2);
+    }
 
     #[test]
     fn deterministic_per_seed() {
@@ -266,7 +321,7 @@ mod tests {
 
     #[test]
     fn node_budget_is_respected_roughly() {
-        for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed, DocKind::Generic] {
+        for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed, DocKind::Generic, DocKind::Grid] {
             for target in [100usize, 1000, 5000] {
                 let d = generate(&DocGenConfig { kind, target_nodes: target, seed: 5, ..Default::default() });
                 let n = d.node_count();
@@ -303,7 +358,7 @@ mod tests {
 
     #[test]
     fn generated_documents_reparse() {
-        for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed, DocKind::Generic] {
+        for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed, DocKind::Generic, DocKind::Grid] {
             let d = generate(&DocGenConfig { kind, target_nodes: 400, seed: 11, ..Default::default() });
             let xml = d.to_xml();
             let back = Document::parse(&xml).unwrap();

@@ -24,9 +24,11 @@
 pub mod change;
 pub mod corpus;
 pub mod docgen;
+pub mod families;
 pub mod websnap;
 mod words;
 
 pub use change::{simulate, ChangeConfig, SimulatedChange};
 pub use docgen::{dtd_for, generate, DocGenConfig, DocKind};
+pub use families::{attribute_churn, shuffle_children, AttrChurnConfig, ShuffleConfig};
 pub use websnap::{evolve_site, site_snapshot, SiteConfig};

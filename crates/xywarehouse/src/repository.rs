@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use xydelta::{ApplyError, Delta, VersionChain, XidDocument};
-use xydiff::{Differ, DiffOptions, DiffScratch, SignatureCache};
+use xydiff::{Differ, DiffOptions, SignatureCache};
 use xytree::{Document, ParseError};
 
 /// Errors surfaced by repository operations.
@@ -170,40 +170,6 @@ impl Repository {
         Differ::new()
             .with_options(self.opts.clone())
             .with_capture(xydelta::CaptureMode::Borrowed)
-    }
-
-    /// [`Repository::load_parsed`] with caller-owned diff working memory.
-    #[deprecated(
-        since = "0.1.0",
-        note = "hold a `xydiff::Differ` (see `Repository::differ`) and call \
-                `try_load_parsed_with`"
-    )]
-    pub fn load_parsed_with_scratch(
-        &self,
-        key: &str,
-        doc: Document,
-        scratch: &mut DiffScratch,
-    ) -> LoadOutcome {
-        let _ = scratch;
-        self.load_parsed(key, doc)
-    }
-
-    /// [`Repository::load_parsed_with_scratch`], surfacing delta-verification
-    /// failures instead of panicking.
-    #[deprecated(
-        since = "0.1.0",
-        note = "hold a `xydiff::Differ` (see `Repository::differ`) and call \
-                `try_load_parsed_with`"
-    )]
-    pub fn try_load_parsed_with_scratch(
-        &self,
-        key: &str,
-        doc: Document,
-        scratch: &mut DiffScratch,
-    ) -> Result<LoadOutcome, RepositoryError> {
-        let _ = scratch;
-        let mut differ = self.differ();
-        self.try_load_parsed_with(key, doc, &mut differ)
     }
 
     /// Install an already-parsed new version of `key`, using the caller's

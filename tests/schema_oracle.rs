@@ -58,6 +58,19 @@ fn queries_for(kind: DocKind) -> &'static [(&'static str, bool)] {
             ("/feed[2]", false),
             ("//summary[@href='x']", false),
         ],
+        DocKind::Grid => &[
+            ("/grid/row/key", true),
+            ("//cell", true),
+            ("//row/cell/text()", true),
+            ("//row[2]", true),
+            ("//key/text()", true),
+            ("/grid/cell", false),
+            ("//row/row", false),
+            ("//cell[@id='x']", false),
+            ("/grid/text()", false),
+            ("//key/cell", false),
+            ("/grid[2]", false),
+        ],
         DocKind::Generic => &[],
     }
 }
@@ -82,7 +95,7 @@ fn corpus(kind: DocKind) -> Vec<Document> {
 
 #[test]
 fn generated_documents_validate_against_their_family_grammar() {
-    for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed] {
+    for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed, DocKind::Grid] {
         let g = grammar_for(kind);
         for (i, doc) in corpus(kind).iter().enumerate() {
             let violations = validate(doc, &g);
@@ -97,7 +110,7 @@ fn generated_documents_validate_against_their_family_grammar() {
 
 #[test]
 fn unsat_verdicts_mean_zero_matches_and_witnesses_are_real() {
-    for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed] {
+    for kind in [DocKind::Catalog, DocKind::AddressBook, DocKind::Feed, DocKind::Grid] {
         let g = grammar_for(kind);
         let docs = corpus(kind);
         for &(expr, expect_sat) in queries_for(kind) {

@@ -149,26 +149,30 @@ proptest! {
         prop_assert_eq!(fresh.new_version.doc.to_xml(), warm.new_version.doc.to_xml());
     }
 
-    /// The deprecated multi-arg entry points stay byte-equivalent to the
-    /// `Differ` they now wrap, until they are removed.
+    /// Interleaving matchers on one differ must not let one mode's run
+    /// perturb another's: a BULD diff after an unordered and a similarity
+    /// diff (same differ, same scratch) stays byte-identical to a
+    /// fresh-memory BULD diff. (The deprecated multi-arg entry points this
+    /// block used to pin are gone; every caller holds a `Differ` now.)
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_match_differ(sa in arb_spec(), sb in arb_spec()) {
-        use xydiff_suite::xydiff::{diff_cached, diff_with_scratch, DiffScratch};
+    fn mode_interleaving_leaves_scratch_coherent(sa in arb_spec(), sb in arb_spec()) {
+        use xydiff_suite::xydiff::MatchMode;
         let a = XidDocument::assign_initial(build(&sa));
         let b = build(&sb);
-        let via_differ = Differ::new().diff(&a, &b);
-        let mut scratch = DiffScratch::new();
-        let old_scratch = diff_with_scratch(&a, &b, &DiffOptions::default(), &mut scratch);
-        let mut cache = SignatureCache::new();
-        let old_cached = diff_cached(&a, &b, &DiffOptions::default(), &mut scratch, &mut cache);
+        let fresh = diff(&a, &b, &DiffOptions::default());
+        let mut differ = Differ::new();
+        for mode in [MatchMode::Unordered, MatchMode::Similarity] {
+            differ.options_mut().mode = mode;
+            let r = differ.diff(&a, &b);
+            let mut replay = a.clone();
+            r.delta.apply_to(&mut replay).unwrap_or_else(|e| panic!("{mode}: {e}"));
+            prop_assert_eq!(replay.doc.to_xml(), b.to_xml());
+        }
+        differ.options_mut().mode = MatchMode::Buld;
+        let reused = differ.diff(&a, &b);
         prop_assert_eq!(
-            xml_io::delta_to_xml(&via_differ.delta),
-            xml_io::delta_to_xml(&old_scratch.delta),
-        );
-        prop_assert_eq!(
-            xml_io::delta_to_xml(&via_differ.delta),
-            xml_io::delta_to_xml(&old_cached.delta),
+            xml_io::delta_to_xml(&fresh.delta),
+            xml_io::delta_to_xml(&reused.delta),
         );
     }
 }
