@@ -290,14 +290,22 @@ fn serve_bench() {
         "corpus: {docs} documents x {versions} versions = {snapshots} snapshots (~{} each)\n",
         fmt_bytes(corpus[0].1[0].len()),
     );
-    println!("| clients | wall time | docs/sec | speedup | shed (503) | req p99 | ingest-wait p99 |");
-    println!("|---:|---:|---:|---:|---:|---:|---:|");
+    println!("| clients | idle conns | wall time | docs/sec | speedup | shed (503) | req p99 | ingest-wait p99 |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
 
+    // The idle column is the reactor's whole point: the same single loop
+    // thread carries hundreds of parked keep-alive connections while the
+    // active clients ingest at full rate.
+    let idle_pool = if fast { 256usize } else { 1000 };
     let mut base_rate = None;
     let mut json_rows: Vec<String> = Vec::new();
-    for clients in [1usize, 4] {
+    for (clients, idle_conns) in [(1usize, 0usize), (4, 0), (4, idle_pool)] {
         let server = NetServer::start(
-            NetConfig::new().with_http_workers(clients.max(2)),
+            NetConfig::new()
+                .with_http_workers(clients.max(2))
+                .with_max_connections(idle_pool + 64)
+                .with_shed_connections(idle_pool + 64)
+                .with_idle_timeout(std::time::Duration::from_secs(300)),
             ServeConfig::new()
                 .with_workers(4)
                 .unwrap()
@@ -308,6 +316,20 @@ fn serve_bench() {
         )
         .expect("bind loopback");
         let addr = server.local_addr();
+
+        // Park the idle pool first: each completes one request so it is
+        // registered with the reactor, then just holds its socket open.
+        let idle: Vec<TcpStream> = (0..idle_conns)
+            .map(|_| {
+                let mut stream = TcpStream::connect(addr).expect("connect idle");
+                stream
+                    .write_all(b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")
+                    .expect("idle request");
+                let (status, _) = read_response(&mut stream);
+                assert_eq!(status, 200, "idle connection setup failed");
+                stream
+            })
+            .collect();
 
         let t = Instant::now();
         let handles: Vec<_> = (0..clients)
@@ -351,16 +373,18 @@ fn serve_bench() {
         let req_p99 = http.request_time.quantile_bound_micros(0.99);
         let wait_p99 = http.ingest_wait_time.quantile_bound_micros(0.99);
         println!(
-            "| {clients} | {} | {rate:.0} | {speedup:.2}x | {shed} | {req_p99} µs | {wait_p99} µs |",
+            "| {clients} | {idle_conns} | {} | {rate:.0} | {speedup:.2}x | {shed} | {req_p99} µs | {wait_p99} µs |",
             fmt_dur(wall),
         );
         json_rows.push(format!(
-            "    {{ \"clients\": {clients}, \"wall_secs\": {:.4}, \"docs_per_sec\": {rate:.2}, \
+            "    {{ \"clients\": {clients}, \"idle_conns\": {idle_conns}, \"wall_secs\": {:.4}, \
+             \"docs_per_sec\": {rate:.2}, \
              \"speedup\": {speedup:.3}, \"shed_503\": {shed}, \"request_p99_micros\": {req_p99}, \
              \"ingest_wait_p99_micros\": {wait_p99} }}",
             wall.as_secs_f64(),
         ));
 
+        drop(idle);
         let report = server.shutdown();
         assert!(report.ingest.is_balanced(), "unbalanced accounting: {report:?}");
         assert_eq!(report.ingest.succeeded as usize, snapshots);

@@ -98,6 +98,8 @@ pub(crate) fn usage() -> String {
        \u{20}                              (DIR/key/*.xml sorted = versions; metrics on stdout)\n  \
      xydiff serve [--addr HOST:PORT] [--workers N] [--http-workers N] [--queue N]\n  \
        \u{20}      [--shards N] [--steal-batch N] [--diff-threads N] [--max-body BYTES]\n  \
+       \u{20}      [--idle-timeout SECS] [--max-conns N] [--shed-conns N]\n  \
+       \u{20}      [--read-budget BYTES] [--write-budget BYTES]\n  \
        \u{20}      [--mode buld|unordered|similarity]\n  \
        \u{20}      [--snapshot-dir DIR] [--snapshot-interval SECS] [--wal-dir DIR]\n  \
        \u{20}      [--wal-sync always|none] [--compact-chain-max N] [--quiet]\n  \

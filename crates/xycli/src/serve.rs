@@ -61,6 +61,22 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|e| e.to_string())?;
             }
             "--max-body" => net = net.with_max_body_bytes(flag_value(&mut it, "--max-body")?),
+            "--idle-timeout" => {
+                let secs = flag_value(&mut it, "--idle-timeout")? as u64;
+                net = net.with_idle_timeout(Duration::from_secs(secs));
+            }
+            "--max-conns" => {
+                net = net.with_max_connections(flag_value(&mut it, "--max-conns")?);
+            }
+            "--shed-conns" => {
+                net = net.with_shed_connections(flag_value(&mut it, "--shed-conns")?);
+            }
+            "--read-budget" => {
+                net = net.with_read_budget(flag_value(&mut it, "--read-budget")?);
+            }
+            "--write-budget" => {
+                net = net.with_write_budget(flag_value(&mut it, "--write-budget")?);
+            }
             "--mode" => {
                 let v = it.next().ok_or("--mode needs a value (buld|unordered|similarity)")?;
                 serve =
@@ -112,7 +128,11 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
 
     let effective = serve.effective();
     let server = NetServer::start(net, serve).map_err(|e| e.to_string())?;
-    eprintln!("xydiff serve: listening on http://{}", server.local_addr());
+    eprintln!(
+        "xydiff serve: listening on http://{} ({} reactor)",
+        server.local_addr(),
+        server.backend(),
+    );
     eprintln!("xydiff serve: {effective}");
     eprintln!("xydiff serve: POST /admin/shutdown (or close stdin) to drain");
 

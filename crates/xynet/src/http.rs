@@ -195,11 +195,14 @@ pub fn body_length(head: &Head, limits: &Limits) -> Result<usize, HttpError> {
 }
 
 /// Byte offset one past the `\r\n\r\n` head terminator, if present.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+/// Shared with the reactor's push-parser state machine.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 
-fn parse_head(bytes: &[u8]) -> Result<Head, HttpError> {
+/// Parse a complete request head (everything up to and including the blank
+/// line). Shared with the reactor's push-parser state machine.
+pub(crate) fn parse_head(bytes: &[u8]) -> Result<Head, HttpError> {
     let text = std::str::from_utf8(bytes)
         .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
     let mut lines = text.split("\r\n");

@@ -1,0 +1,236 @@
+//! The pre-reactor blocking front, kept for exactly one release as the
+//! reference implementation for the differential protocol test
+//! (`crates/xynet/tests/reactor_differential.rs`): the same request corpus
+//! must produce byte-identical responses from this thread-per-connection
+//! path and from the event loop. Scheduled for deletion once the reactor
+//! has soaked a release — do not grow new features here.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use xyserve::queue::Queue;
+use xyserve::{IngestServer, ServeConfig, SubmitError};
+
+use crate::config::NetConfig;
+use crate::http::{self, body_length, Conn, HttpError, Limits};
+use crate::router::{self, Response, Routed};
+use crate::server::{NetShutdownReport, NetStartError, Shared};
+
+/// The blocking thread-per-connection server. Hidden from the public API:
+/// only the differential test should construct one.
+#[doc(hidden)]
+pub struct LegacyServer {
+    shared: Option<Arc<Shared>>,
+    conns: Arc<Queue<TcpStream>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl LegacyServer {
+    /// Bind, start the ingest pipeline, and serve with blocking workers.
+    pub fn start(net: NetConfig, serve: ServeConfig) -> Result<LegacyServer, NetStartError> {
+        let ingest = IngestServer::try_start(serve).map_err(NetStartError::Ingest)?;
+        let listener = TcpListener::bind(&net.addr).map_err(NetStartError::Bind)?;
+        let local_addr = listener.local_addr().map_err(NetStartError::Bind)?;
+
+        let http_workers = net.http_workers;
+        let conns = Arc::new(Queue::new(http_workers.saturating_mul(4).max(16)));
+        let shared = Arc::new(Shared::new(ingest, net, local_addr, "blocking"));
+
+        let workers = (0..http_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let conns = Arc::clone(&conns);
+                std::thread::Builder::new()
+                    .name(format!("xynet-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = conns.pop() {
+                            shared.http.active_connections.inc();
+                            serve_connection(&shared, stream);
+                            shared.http.active_connections.dec();
+                        }
+                    })
+                    // INVARIANT: spawn only fails on OS thread exhaustion;
+                    // a server that cannot start its workers cannot run.
+                    .expect("spawning an HTTP worker thread cannot fail")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("xynet-accept".to_string())
+                .spawn(move || loop {
+                    let Ok((stream, _)) = listener.accept() else {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    };
+                    if shared.draining.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    shared.http.connections.inc();
+                    if conns.push(stream).is_err() {
+                        break;
+                    }
+                })
+                // INVARIANT: spawn only fails on OS thread exhaustion;
+                // a server that cannot start its acceptor cannot run.
+                .expect("spawning the acceptor thread cannot fail")
+        };
+
+        Ok(LegacyServer { shared: Some(shared), conns, acceptor: Some(acceptor), workers })
+    }
+
+    fn shared(&self) -> &Shared {
+        // INVARIANT: `shared` is only vacated by `shutdown`, which consumes
+        // the handle — no method can run after it.
+        self.shared.as_ref().expect("LegacyServer used after shutdown")
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared().local_addr
+    }
+
+    /// Drain loss-free and return the combined accounting.
+    pub fn shutdown(mut self) -> NetShutdownReport {
+        let shared = self.shared();
+        shared.begin_shutdown();
+        // The blocking acceptor has no poller to notify: unblock its
+        // `accept()` with a throwaway loopback connection (the historical
+        // wake-up the reactor replaced with an eventfd).
+        drop(TcpStream::connect(shared.local_addr));
+        self.conns.close();
+        if let Some(acceptor) = self.acceptor.take() {
+            // INVARIANT: a panicking acceptor is a server bug; propagate.
+            acceptor.join().expect("acceptor thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            // INVARIANT: a panicking HTTP worker is a server bug; propagate.
+            w.join().expect("HTTP worker thread panicked");
+        }
+        // INVARIANT: `shared` is only vacated here, and `self` is consumed.
+        let shared = self.shared.take().expect("LegacyServer used after shutdown");
+        let connections = shared.http.connections.get();
+        let requests = shared.http.requests_total();
+        let shared = Arc::into_inner(shared)
+            // INVARIANT: every thread holding a clone has been joined above.
+            .expect("all worker threads joined, so no Arc clones remain");
+        NetShutdownReport { ingest: shared.ingest.shutdown(), connections, requests }
+    }
+}
+
+impl Drop for LegacyServer {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared.as_ref() else {
+            return; // shutdown() already ran
+        };
+        shared.begin_shutdown();
+        drop(TcpStream::connect(shared.local_addr));
+        self.conns.close();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serve one connection to completion: requests are read and answered in
+/// sequence until EOF, an unrecoverable parse error, a timeout, or a drain.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let timeout = Some(shared.config.io_timeout);
+    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let limits = Limits {
+        max_head_bytes: shared.config.max_head_bytes,
+        max_body_bytes: shared.config.max_body_bytes,
+    };
+    let mut conn = Conn::new(stream);
+
+    loop {
+        let head = match conn.read_head(&limits) {
+            Ok(Some(head)) => head,
+            Ok(None) => return,
+            Err(HttpError::Io(_)) => return, // timeout or reset: nothing to say
+            Err(e) => {
+                shared.http.rejected.inc();
+                let mut resp = Response::error(e.status(), &e.to_string());
+                resp.close = true;
+                shared.http.observe_status(resp.code);
+                let _ = write_out(conn.inner_mut(), &resp);
+                return;
+            }
+        };
+        let started = Instant::now();
+
+        // Read the declared body up front — even for routes that ignore it —
+        // so keep-alive connections stay in sync with request framing.
+        let body = match body_length(&head, &limits) {
+            Ok(len) => {
+                if head.expects_continue
+                    && len > 0
+                    && http::write_continue(conn.inner_mut()).is_err()
+                {
+                    return;
+                }
+                match conn.read_body(len) {
+                    Ok(body) => body,
+                    Err(_) => return,
+                }
+            }
+            Err(e) => {
+                shared.http.rejected.inc();
+                let mut resp = Response::error(e.status(), &e.to_string());
+                resp.close = true;
+                shared.http.observe_status(resp.code);
+                let _ = write_out(conn.inner_mut(), &resp);
+                return;
+            }
+        };
+
+        let keep_alive = head.keep_alive;
+        let mut resp = match router::route(shared, &head, body) {
+            Routed::Done(resp) => resp,
+            Routed::Ingest { key, xml } => handle_ingest(shared, &key, xml),
+        };
+        // While draining, answer the request in hand but end the session.
+        if shared.draining.load(Ordering::SeqCst) || !keep_alive {
+            resp.close = true;
+        }
+        shared.http.observe_status(resp.code);
+        shared.http.request_time.observe(started.elapsed());
+        if write_out(conn.inner_mut(), &resp).is_err() || resp.close {
+            return;
+        }
+    }
+}
+
+fn write_out(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    http::write_response(w, resp.code, resp.content_type, &resp.body, &resp.extra, !resp.close)
+}
+
+/// `POST /ingest/{key}`: submit and block on the ticket (the behaviour the
+/// reactor reimplements with a completion callback).
+fn handle_ingest(shared: &Shared, key: &str, xml: String) -> Response {
+    let ticket = match shared.ingest.try_submit_tracked(key, xml) {
+        Ok(ticket) => ticket,
+        Err(SubmitError::QueueFull) => return router::queue_full_response(shared),
+        Err(SubmitError::ShuttingDown) => return router::draining_response(),
+    };
+    let waited = Instant::now();
+    let outcome = ticket.wait();
+    shared.http.ingest_wait_time.observe(waited.elapsed());
+    router::outcome_response(&outcome)
+}

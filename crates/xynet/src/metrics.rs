@@ -22,6 +22,13 @@ pub struct HttpMetrics {
     pub connections: Counter,
     /// Connections currently being served.
     pub active_connections: Gauge,
+    /// Connections evicted by the reactor's idle/slow-loris deadline.
+    pub evicted: Counter,
+    /// Connections shed at accept with `503` (above `shed_connections`).
+    pub shed: Counter,
+    /// 1 while the listener is paused at the `max_connections` high-water
+    /// mark, 0 otherwise.
+    pub accept_paused: Gauge,
     /// Requests that failed before a route was resolved (parse errors).
     pub rejected: Counter,
     /// Requests per route, indexed like [`ROUTES`].
@@ -31,8 +38,12 @@ pub struct HttpMetrics {
     /// Wall-clock request latency: first head byte to response written,
     /// including the wait for the ingest outcome.
     pub request_time: Histogram,
-    /// Time `POST /ingest` spent blocked on its [`xyserve::Ticket`].
+    /// Time `POST /ingest` spent waiting for its pipeline outcome (ticket
+    /// wait on the blocking front, completion-callback wait on the reactor).
     pub ingest_wait_time: Histogram,
+    /// Time each readiness-loop iteration spent processing (poll wait
+    /// excluded): the reactor's saturation signal.
+    pub loop_time: Histogram,
 }
 
 impl HttpMetrics {
@@ -87,6 +98,24 @@ impl HttpMetrics {
         );
         expo::counter(
             out,
+            "http_evicted_connections_total",
+            "Connections evicted by the idle/slow-loris deadline.",
+            self.evicted.get(),
+        );
+        expo::counter(
+            out,
+            "http_shed_connections_total",
+            "Connections shed at accept with 503 (connection-count backpressure).",
+            self.shed.get(),
+        );
+        expo::gauge(
+            out,
+            "http_accept_paused",
+            "1 while the listener is paused at the connection high-water mark.",
+            self.accept_paused.get() as f64,
+        );
+        expo::counter(
+            out,
             "http_rejected_requests_total",
             "Requests rejected before routing (malformed or over limits).",
             self.rejected.get(),
@@ -128,6 +157,12 @@ impl HttpMetrics {
             "Time POST /ingest spent waiting for the pipeline outcome.",
             &self.ingest_wait_time,
         );
+        expo::histogram(
+            out,
+            "http_loop_iteration_seconds",
+            "Readiness-loop iteration processing time (poll wait excluded).",
+            &self.loop_time,
+        );
     }
 }
 
@@ -147,12 +182,20 @@ mod tests {
         m.observe_status(599);
         m.request_time.observe(Duration::from_micros(750));
         m.ingest_wait_time.observe(Duration::from_micros(20));
+        m.evicted.inc();
+        m.shed.inc();
+        m.accept_paused.set(1);
+        m.loop_time.observe(Duration::from_micros(5));
 
         let mut out = String::new();
         m.render_into(&mut out);
         assert!(out.contains("# TYPE http_connections_total counter"), "{out}");
         assert!(out.contains("http_connections_total 1"));
         assert!(out.contains("http_active_connections 1"));
+        assert!(out.contains("http_evicted_connections_total 1"));
+        assert!(out.contains("http_shed_connections_total 1"));
+        assert!(out.contains("http_accept_paused 1"));
+        assert!(out.contains("http_loop_iteration_seconds_count 1"));
         assert!(out.contains("http_requests_total{route=\"ingest\"} 1"));
         assert!(out.contains("http_requests_total{route=\"other\"} 1"));
         assert!(out.contains("http_responses_total{code=\"200\"} 1"));

@@ -1,10 +1,10 @@
-//! The network front: a thread-per-connection HTTP/1.1 server over an
+//! The network front: an event-driven HTTP/1.1 server over an
 //! [`IngestServer`].
 //!
-//! One acceptor thread feeds accepted connections into the same bounded
-//! [`Queue`] the ingest pipeline uses for jobs; a pool of HTTP workers pops
-//! connections and serves them to completion (keep-alive included). The
-//! routes:
+//! One reactor thread multiplexes every connection over nonblocking
+//! sockets (see [`crate::reactor`]); requests are parsed incrementally by
+//! per-connection state machines and only complete, ready-to-diff
+//! snapshots are handed to the xyserve scheduler. The routes:
 //!
 //! | route                   | behaviour                                        |
 //! |-------------------------|--------------------------------------------------|
@@ -14,31 +14,33 @@
 //! | `GET /healthz`          | `200` while serving, `503` while draining        |
 //! | `POST /admin/shutdown`  | begin a loss-free drain, `202`                   |
 //!
-//! Backpressure is explicit: a full ingest queue turns into `503` with a
-//! `Retry-After` header via [`IngestServer::try_submit_tracked`], which
-//! sheds the request without burning a per-key sequence number. Shutdown is
-//! loss-free — every accepted snapshot resolves before the pipeline stops.
+//! Backpressure is layered: a full ingest queue turns into `503` +
+//! `Retry-After` via [`IngestServer::try_submit_with`] (shedding without
+//! burning a per-key sequence number), too many open connections shed new
+//! arrivals with the same `503`, and at `max_connections` the listener
+//! itself pauses. Shutdown is loss-free — every accepted snapshot resolves
+//! before the pipeline stops, and the drain is signalled to the reactor
+//! through the poller's eventfd/self-pipe wake-up (no loopback connects).
 
-use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use xyserve::queue::Queue;
-use xyserve::{
-    Completed, DeadLetter, IngestServer, ServeConfig, ShutdownReport, StartError, SubmitError,
-};
+use xyserve::{IngestServer, ServeConfig, ShutdownReport, StartError};
 
 use crate::config::NetConfig;
-use crate::http::{self, body_length, Conn, Head, HttpError, Limits};
+use crate::driver::Waker;
 use crate::metrics::HttpMetrics;
+use crate::reactor::{FrontHandle, Reactor};
+use crate::sysdrv::SysDriver;
 
 /// Error starting a [`NetServer`].
 #[derive(Debug)]
 pub enum NetStartError {
-    /// Binding the listen socket failed.
+    /// Binding the listen socket (or creating the poller) failed.
     Bind(io::Error),
     /// Starting the ingest pipeline failed (snapshot restore).
     Ingest(StartError),
@@ -66,159 +68,67 @@ pub struct NetShutdownReport {
     pub requests: u64,
 }
 
-/// State shared by the acceptor, the HTTP workers, and the handle.
-struct Shared {
-    ingest: IngestServer,
-    http: HttpMetrics,
-    config: NetConfig,
-    local_addr: SocketAddr,
+/// State shared by the reactor, the control handles, and (for one more
+/// release) the legacy blocking front.
+pub(crate) struct Shared {
+    pub(crate) ingest: IngestServer,
+    pub(crate) http: HttpMetrics,
+    pub(crate) config: NetConfig,
+    pub(crate) local_addr: SocketAddr,
+    /// Driver backend name, for banners: `"epoll"`, `"poll"`, `"sim"`,
+    /// `"blocking"`.
+    pub(crate) backend: &'static str,
     /// Set once a drain begins; new snapshots are refused from then on.
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Signals [`NetServer::wait_for_shutdown_request`].
-    shutdown_flag: Mutex<bool>,
-    shutdown_cv: Condvar,
+    pub(crate) shutdown_flag: Mutex<bool>,
+    pub(crate) shutdown_cv: Condvar,
+    /// Wakes the reactor's poll when a drain is requested from another
+    /// thread (`None` for the legacy front, which has no poller).
+    pub(crate) waker: Mutex<Option<Waker>>,
 }
 
 impl Shared {
+    pub(crate) fn new(
+        ingest: IngestServer,
+        config: NetConfig,
+        local_addr: SocketAddr,
+        backend: &'static str,
+    ) -> Shared {
+        Shared {
+            ingest,
+            http: HttpMetrics::new(),
+            config,
+            local_addr,
+            backend,
+            draining: AtomicBool::new(false),
+            shutdown_flag: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            waker: Mutex::new(None),
+        }
+    }
+
     /// Idempotently begin a loss-free drain: refuse new snapshots, wake the
-    /// acceptor, and signal anyone blocked in `wait_for_shutdown_request`.
-    fn begin_shutdown(&self) {
+    /// reactor's poll, and signal anyone blocked in
+    /// `wait_for_shutdown_request`.
+    pub(crate) fn begin_shutdown(&self) {
         if self.draining.swap(true, Ordering::SeqCst) {
             return;
         }
         self.ingest.begin_drain();
-        // Unblock the acceptor's `accept()` with a throwaway connection; it
-        // re-checks the draining flag before queuing anything.
-        drop(TcpStream::connect(self.local_addr));
+        // INVARIANT: a poisoned lock means a panicking holder; propagate.
+        if let Some(waker) = self.waker.lock().unwrap().as_ref() {
+            waker();
+        }
         // INVARIANT: a poisoned lock means a panicking holder; propagate.
         *self.shutdown_flag.lock().unwrap() = true;
         self.shutdown_cv.notify_all();
     }
-}
 
-/// The HTTP front over an [`IngestServer`]. Dropping the handle without
-/// calling [`NetServer::shutdown`] drains the same way.
-pub struct NetServer {
-    /// `Some` until [`NetServer::shutdown`] consumes it.
-    shared: Option<Arc<Shared>>,
-    conns: Arc<Queue<TcpStream>>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl NetServer {
-    /// Bind `net.addr`, start the ingest pipeline from `serve`, and begin
-    /// accepting connections.
-    pub fn start(net: NetConfig, serve: ServeConfig) -> Result<NetServer, NetStartError> {
-        let ingest = IngestServer::try_start(serve).map_err(NetStartError::Ingest)?;
-        let listener = TcpListener::bind(&net.addr).map_err(NetStartError::Bind)?;
-        let local_addr = listener.local_addr().map_err(NetStartError::Bind)?;
-
-        let http_workers = net.http_workers;
-        let conns = Arc::new(Queue::new(http_workers.saturating_mul(4).max(16)));
-        let shared = Arc::new(Shared {
-            ingest,
-            http: HttpMetrics::new(),
-            config: net,
-            local_addr,
-            draining: AtomicBool::new(false),
-            shutdown_flag: Mutex::new(false),
-            shutdown_cv: Condvar::new(),
-        });
-
-        let workers = (0..http_workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let conns = Arc::clone(&conns);
-                std::thread::Builder::new()
-                    .name(format!("xynet-http-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = conns.pop() {
-                            handle_connection(&shared, stream);
-                        }
-                    })
-                    // INVARIANT: spawn only fails on OS thread exhaustion;
-                    // a server that cannot start its workers cannot run.
-                    .expect("spawning an HTTP worker thread cannot fail")
-            })
-            .collect();
-
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new()
-                .name("xynet-accept".to_string())
-                .spawn(move || loop {
-                    // Transient accept errors (e.g. the peer resetting
-                    // while queued in the backlog) are not fatal, but
-                    // must not spin hot if the listener is truly broken.
-                    let Ok((stream, _)) = listener.accept() else {
-                        if shared.draining.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        std::thread::sleep(Duration::from_millis(10));
-                        continue;
-                    };
-                    if shared.draining.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    shared.http.connections.inc();
-                    if conns.push(stream).is_err() {
-                        break;
-                    }
-                })
-                // INVARIANT: spawn only fails on OS thread exhaustion;
-                // a server that cannot start its acceptor cannot run.
-                .expect("spawning the acceptor thread cannot fail")
-        };
-
-        Ok(NetServer { shared: Some(shared), conns, acceptor: Some(acceptor), workers })
-    }
-
-    fn shared(&self) -> &Shared {
-        // INVARIANT: `shared` is only vacated by `shutdown`, which consumes
-        // the handle — no method can run after it.
-        self.shared.as_ref().expect("NetServer used after shutdown")
-    }
-
-    /// The bound listen address (resolves port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.shared().local_addr
-    }
-
-    /// The ingest pipeline behind the front.
-    pub fn ingest(&self) -> &IngestServer {
-        &self.shared().ingest
-    }
-
-    /// The HTTP-layer metric registry.
-    pub fn http_metrics(&self) -> &HttpMetrics {
-        &self.shared().http
-    }
-
-    /// The full Prometheus exposition: ingest families then HTTP families
-    /// (exactly what `GET /metrics` serves).
-    pub fn metrics_text(&self) -> String {
-        let shared = self.shared();
-        let mut out = shared.ingest.metrics().render();
-        shared.http.render_into(&mut out);
-        out
-    }
-
-    /// Begin a loss-free drain without consuming the handle (the same thing
-    /// `POST /admin/shutdown` does). Follow with [`NetServer::shutdown`].
-    pub fn request_shutdown(&self) {
-        self.shared().begin_shutdown();
-    }
-
-    /// Block until a drain has been requested — by [`NetServer::request_shutdown`]
-    /// or by `POST /admin/shutdown` — or until `timeout` elapses. Returns
-    /// true when the drain was requested.
-    pub fn wait_for_shutdown_request(&self, timeout: Duration) -> bool {
-        let shared = self.shared();
+    pub(crate) fn wait_for_shutdown_request(&self, timeout: Duration) -> bool {
         // INVARIANT: a poisoned lock means a panicking holder; propagate.
-        let flag = shared.shutdown_flag.lock().unwrap();
-        let (flag, _) = shared
+        let flag = self.shutdown_flag.lock().unwrap();
+        let (flag, _) = self
             .shutdown_cv
             .wait_timeout_while(flag, timeout, |requested| !*requested)
             // INVARIANT: a poisoned lock means a panicking holder; propagate.
@@ -226,315 +136,114 @@ impl NetServer {
         *flag
     }
 
+    /// Drop the poller wake-up (after the reactor exits, so the poller's
+    /// descriptors can close).
+    pub(crate) fn take_waker(&self) {
+        // INVARIANT: a poisoned lock means a panicking holder; propagate.
+        self.waker.lock().unwrap().take();
+    }
+}
+
+/// The HTTP front over an [`IngestServer`]: binds a nonblocking listener
+/// and runs a [`Reactor`] on a single `xynet-reactor` thread. Dropping the
+/// handle without calling [`NetServer::shutdown`] drains the same way.
+pub struct NetServer {
+    /// `Some` until [`NetServer::shutdown`] consumes it.
+    handle: Option<FrontHandle>,
+    reactor: Option<JoinHandle<Reactor<SysDriver>>>,
+}
+
+impl NetServer {
+    /// Bind `net.addr`, start the ingest pipeline from `serve`, and begin
+    /// accepting connections on the reactor thread.
+    pub fn start(net: NetConfig, serve: ServeConfig) -> Result<NetServer, NetStartError> {
+        let driver = SysDriver::bind(&net.addr).map_err(NetStartError::Bind)?;
+        let mut reactor = Reactor::new(driver, net, serve)?;
+        let handle = reactor.handle();
+        let thread = std::thread::Builder::new()
+            .name("xynet-reactor".to_string())
+            .spawn(move || {
+                reactor.run();
+                reactor
+            })
+            // INVARIANT: spawn only fails on OS thread exhaustion; a server
+            // that cannot start its reactor cannot run.
+            .expect("spawning the reactor thread cannot fail");
+        Ok(NetServer { handle: Some(handle), reactor: Some(thread) })
+    }
+
+    fn handle(&self) -> &FrontHandle {
+        // INVARIANT: `handle` is only vacated by `shutdown`, which consumes
+        // the handle — no method can run after it.
+        self.handle.as_ref().expect("NetServer used after shutdown")
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.handle().local_addr()
+    }
+
+    /// The active readiness backend: `"epoll"` or `"poll"`.
+    pub fn backend(&self) -> &'static str {
+        self.handle().backend()
+    }
+
+    /// The ingest pipeline behind the front.
+    pub fn ingest(&self) -> &IngestServer {
+        self.handle().ingest()
+    }
+
+    /// The HTTP-layer metric registry.
+    pub fn http_metrics(&self) -> &HttpMetrics {
+        self.handle().http_metrics()
+    }
+
+    /// The full Prometheus exposition: ingest families then HTTP families
+    /// (exactly what `GET /metrics` serves).
+    pub fn metrics_text(&self) -> String {
+        self.handle().metrics_text()
+    }
+
+    /// Begin a loss-free drain without consuming the handle (the same thing
+    /// `POST /admin/shutdown` does). Follow with [`NetServer::shutdown`].
+    pub fn request_shutdown(&self) {
+        self.handle().request_shutdown();
+    }
+
+    /// Block until a drain has been requested — by
+    /// [`NetServer::request_shutdown`] or by `POST /admin/shutdown` — or
+    /// until `timeout` elapses. Returns true when the drain was requested.
+    pub fn wait_for_shutdown_request(&self, timeout: Duration) -> bool {
+        self.handle().wait_for_shutdown_request(timeout)
+    }
+
     /// Stop accepting, serve out every connection already accepted, drain
     /// the ingest pipeline loss-free, and return the combined accounting.
     pub fn shutdown(mut self) -> NetShutdownReport {
-        self.shared().begin_shutdown();
-        self.conns.close();
-        if let Some(acceptor) = self.acceptor.take() {
-            // INVARIANT: a panicking acceptor is a server bug; propagate.
-            acceptor.join().expect("acceptor thread panicked");
-        }
-        for w in self.workers.drain(..) {
-            // INVARIANT: a panicking HTTP worker is a server bug; propagate.
-            w.join().expect("HTTP worker thread panicked");
-        }
-        // INVARIANT: `shared` is only vacated here, and `self` is consumed.
-        let shared = self.shared.take().expect("NetServer used after shutdown");
-        let connections = shared.http.connections.get();
-        let requests = shared.http.requests_total();
-        let shared = Arc::into_inner(shared)
-            // INVARIANT: every thread holding a clone has been joined above.
-            .expect("all worker threads joined, so no Arc clones remain");
-        NetShutdownReport { ingest: shared.ingest.shutdown(), connections, requests }
+        self.handle().request_shutdown();
+        // Release this side's FrontHandle before consuming the reactor, so
+        // its accounting sees the last Arc.
+        self.handle = None;
+        // INVARIANT: `reactor` is only vacated here, and `self` is consumed.
+        let thread = self.reactor.take().expect("NetServer used after shutdown");
+        // INVARIANT: a panicking reactor is a server bug; propagate.
+        let reactor = thread.join().expect("reactor thread panicked");
+        reactor.into_report()
     }
 }
 
 impl Drop for NetServer {
     fn drop(&mut self) {
-        let Some(shared) = self.shared.as_ref() else {
+        let Some(handle) = self.handle.take() else {
             return; // shutdown() already ran
         };
-        shared.begin_shutdown();
-        self.conns.close();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        // The ingest pipeline's own Drop drains it once `shared` is released.
-    }
-}
-
-/// A fully materialised response, built by the router and written by the
-/// connection loop.
-struct Response {
-    code: u16,
-    content_type: &'static str,
-    body: Vec<u8>,
-    extra: Vec<(&'static str, String)>,
-    /// Close the connection after writing (overrides keep-alive).
-    close: bool,
-}
-
-impl Response {
-    fn json(code: u16, body: String) -> Response {
-        Response {
-            code,
-            content_type: "application/json",
-            body: body.into_bytes(),
-            extra: Vec::new(),
-            close: false,
-        }
-    }
-
-    fn error(code: u16, message: &str) -> Response {
-        Response::json(code, format!("{{\"error\":\"{}\"}}", json_escape(message)))
-    }
-}
-
-/// Serve one connection to completion: requests are read and answered in
-/// sequence until EOF, an unrecoverable parse error, a timeout, or a drain.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    shared.http.active_connections.inc();
-    serve_connection(shared, stream);
-    shared.http.active_connections.dec();
-}
-
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let timeout = Some(shared.config.io_timeout);
-    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-    let limits = Limits {
-        max_head_bytes: shared.config.max_head_bytes,
-        max_body_bytes: shared.config.max_body_bytes,
-    };
-    let mut conn = Conn::new(stream);
-
-    loop {
-        let head = match conn.read_head(&limits) {
-            Ok(Some(head)) => head,
-            Ok(None) => return,
-            Err(HttpError::Io(_)) => return, // timeout or reset: nothing to say
-            Err(e) => {
-                shared.http.rejected.inc();
-                let mut resp = Response::error(e.status(), &e.to_string());
-                resp.close = true;
-                shared.http.observe_status(resp.code);
-                let _ = write_out(conn.inner_mut(), &resp);
-                return;
-            }
-        };
-        let started = Instant::now();
-
-        // Read the declared body up front — even for routes that ignore it —
-        // so keep-alive connections stay in sync with request framing.
-        let body = match body_length(&head, &limits) {
-            Ok(len) => {
-                if head.expects_continue
-                    && len > 0
-                    && http::write_continue(conn.inner_mut()).is_err()
-                {
-                    return;
-                }
-                match conn.read_body(len) {
-                    Ok(body) => body,
-                    Err(_) => return,
-                }
-            }
-            Err(e) => {
-                shared.http.rejected.inc();
-                let mut resp = Response::error(e.status(), &e.to_string());
-                resp.close = true;
-                shared.http.observe_status(resp.code);
-                let _ = write_out(conn.inner_mut(), &resp);
-                return;
-            }
-        };
-
-        let mut resp = route(shared, &head, body);
-        // While draining, answer the request in hand but end the session.
-        if shared.draining.load(Ordering::SeqCst) || !head.keep_alive {
-            resp.close = true;
-        }
-        shared.http.observe_status(resp.code);
-        shared.http.request_time.observe(started.elapsed());
-        if write_out(conn.inner_mut(), &resp).is_err() || resp.close {
-            return;
-        }
-    }
-}
-
-fn write_out(w: &mut impl Write, resp: &Response) -> io::Result<()> {
-    http::write_response(w, resp.code, resp.content_type, &resp.body, &resp.extra, !resp.close)
-}
-
-/// Dispatch one request to its handler.
-fn route(shared: &Shared, head: &Head, body: Vec<u8>) -> Response {
-    let path = head.route_path().to_string();
-    let segments: Vec<&str> = path.strip_prefix('/').unwrap_or(&path).split('/').collect();
-    let method = head.method.as_str();
-
-    match (method, segments.as_slice()) {
-        ("POST", ["ingest", key]) if !key.is_empty() => {
-            shared.http.observe_route("ingest");
-            handle_ingest(shared, key, body)
-        }
-        (_, ["ingest", key]) if !key.is_empty() => {
-            shared.http.observe_route("ingest");
-            method_not_allowed("POST")
-        }
-        ("GET", ["metrics"]) => {
-            shared.http.observe_route("metrics");
-            let mut text = shared.ingest.metrics().render();
-            shared.http.render_into(&mut text);
-            Response {
-                code: 200,
-                content_type: "text/plain; version=0.0.4",
-                body: text.into_bytes(),
-                extra: Vec::new(),
-                close: false,
+        handle.request_shutdown();
+        drop(handle);
+        if let Some(thread) = self.reactor.take() {
+            if let Ok(reactor) = thread.join() {
+                // Runs the ingest pipeline's own drain via its Drop.
+                drop(reactor.into_report());
             }
         }
-        (_, ["metrics"]) => method_not_allowed_on(shared, "metrics"),
-        ("GET", ["healthz"]) => {
-            shared.http.observe_route("healthz");
-            if shared.draining.load(Ordering::SeqCst) {
-                Response::json(503, "{\"status\":\"draining\"}".to_string())
-            } else {
-                Response::json(200, "{\"status\":\"ok\"}".to_string())
-            }
-        }
-        (_, ["healthz"]) => method_not_allowed_on(shared, "healthz"),
-        ("GET", ["doc", key]) if !key.is_empty() => {
-            shared.http.observe_route("doc");
-            handle_doc(shared, key, None)
-        }
-        ("GET", ["doc", key, version]) if !key.is_empty() => {
-            shared.http.observe_route("doc");
-            match version.parse::<usize>() {
-                Ok(v) => handle_doc(shared, key, Some(v)),
-                Err(_) => Response::error(400, "version must be a non-negative integer"),
-            }
-        }
-        (_, ["doc", ..]) => method_not_allowed_on(shared, "doc"),
-        ("POST", ["admin", "shutdown"]) => {
-            shared.http.observe_route("admin");
-            shared.begin_shutdown();
-            let mut resp = Response::json(202, "{\"status\":\"draining\"}".to_string());
-            resp.close = true;
-            resp
-        }
-        (_, ["admin", "shutdown"]) => method_not_allowed_on(shared, "admin"),
-        _ => {
-            shared.http.observe_route("other");
-            Response::error(404, "no such route")
-        }
     }
-}
-
-fn method_not_allowed(allow: &str) -> Response {
-    let mut resp = Response::error(405, "method not allowed");
-    resp.extra.push(("Allow", allow.to_string()));
-    resp
-}
-
-fn method_not_allowed_on(shared: &Shared, route: &str) -> Response {
-    shared.http.observe_route(route);
-    method_not_allowed(if route == "admin" { "POST" } else { "GET" })
-}
-
-/// `POST /ingest/{key}`: submit the body as the next snapshot of `key` and
-/// wait for its outcome.
-fn handle_ingest(shared: &Shared, key: &str, body: Vec<u8>) -> Response {
-    let Ok(xml) = String::from_utf8(body) else {
-        return Response::error(400, "request body must be UTF-8 XML");
-    };
-    let ticket = match shared.ingest.try_submit_tracked(key, xml) {
-        Ok(ticket) => ticket,
-        Err(SubmitError::QueueFull) => {
-            let mut resp = Response::error(503, "ingest queue is full, retry shortly");
-            resp.extra.push(("Retry-After", shared.config.retry_after_secs.to_string()));
-            return resp;
-        }
-        Err(SubmitError::ShuttingDown) => {
-            let mut resp = Response::error(503, "server is draining");
-            resp.close = true;
-            return resp;
-        }
-    };
-    let waited = Instant::now();
-    let outcome = ticket.wait();
-    shared.http.ingest_wait_time.observe(waited.elapsed());
-    match outcome {
-        Ok(done) => Response::json(200, completed_json(&done)),
-        Err(letter) => Response::json(422, dead_letter_json(&letter)),
-    }
-}
-
-/// `GET /doc/{key}[/{version}]`: reconstruct a stored version's XML.
-fn handle_doc(shared: &Shared, key: &str, version: Option<usize>) -> Response {
-    let repo = shared.ingest.repository_for(key);
-    let count = repo.version_count(key);
-    if count == 0 {
-        return Response::error(404, "no such document");
-    }
-    let v = version.unwrap_or(count - 1);
-    match repo.version_xml(key, v) {
-        Ok(xml) => Response {
-            code: 200,
-            content_type: "application/xml",
-            body: xml.into_bytes(),
-            extra: vec![("X-Version", v.to_string())],
-            close: false,
-        },
-        Err(_) => Response::error(404, "no such version"),
-    }
-}
-
-fn completed_json(done: &Completed) -> String {
-    format!(
-        "{{\"key\":\"{}\",\"seq\":{},\"version\":{},\"ops\":{},\"alerts\":{},\
-         \"schema_warnings\":{},\"durable\":{},\"mode\":\"{}\"}}",
-        json_escape(&done.key),
-        done.seq,
-        done.version,
-        done.ops,
-        done.alerts,
-        done.schema_warnings,
-        done.durable,
-        done.mode,
-    )
-}
-
-fn dead_letter_json(letter: &DeadLetter) -> String {
-    format!(
-        "{{\"error\":\"{}\",\"key\":\"{}\",\"seq\":{},\"attempts\":{}}}",
-        json_escape(&letter.error),
-        json_escape(&letter.key),
-        letter.seq,
-        letter.attempts,
-    )
-}
-
-/// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }

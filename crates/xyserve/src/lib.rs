@@ -55,8 +55,8 @@ pub use queue::{Closed, Queue, TryPushError};
 pub use runner::DiffRunner;
 pub use scheduler::{SchedEvent, SchedHook, Scheduler, Steal};
 pub use server::{
-    home_worker, Completed, ConfigError, DeadLetter, EffectiveConfig, FaultHook, IngestOutcome,
-    IngestServer, ServeConfig, ShutdownReport, SnapshotPolicy, StartError, SubmitError, Ticket,
-    WalPolicy,
+    home_worker, Completed, CompletionFn, ConfigError, DeadLetter, EffectiveConfig, FaultHook,
+    IngestOutcome, IngestServer, ServeConfig, ShutdownReport, SnapshotPolicy, StartError,
+    SubmitError, Ticket, WalPolicy,
 };
 pub use xywal::WalSync;

@@ -701,12 +701,39 @@ impl ShutdownReport {
     }
 }
 
+/// A completion callback: invoked exactly once with the submission's
+/// outcome, from whichever worker (or canceller) resolves it. Used by the
+/// `xynet` reactor, whose event loop cannot block on a [`Ticket`]: the
+/// callback records the outcome and wakes the readiness loop instead.
+pub type CompletionFn = Box<dyn FnOnce(IngestOutcome) + Send + 'static>;
+
+/// How one submission's outcome is delivered back to its submitter.
+enum Done {
+    /// Tracked via a [`Ticket`] channel (the blocking API).
+    Channel(mpsc::Sender<IngestOutcome>),
+    /// Delivered by invoking a callback (the non-blocking reactor API).
+    Callback(CompletionFn),
+}
+
+impl Done {
+    /// Deliver the outcome. Channel delivery is best-effort (the submitter
+    /// may have stopped waiting); callback delivery always runs.
+    fn deliver(self, outcome: IngestOutcome) {
+        match self {
+            Done::Channel(tx) => {
+                let _ = tx.send(outcome);
+            }
+            Done::Callback(f) => f(outcome),
+        }
+    }
+}
+
 struct Job {
     key: String,
     xml: String,
     seq: u64,
-    /// Outcome channel for tracked submissions; `None` for fire-and-forget.
-    done: Option<mpsc::Sender<IngestOutcome>>,
+    /// Outcome delivery for tracked submissions; `None` for fire-and-forget.
+    done: Option<Done>,
 }
 
 #[derive(Default)]
@@ -887,12 +914,7 @@ impl IngestServer {
         Ok(IngestServer { inner, workers, snapshotter, compactor })
     }
 
-    fn submit_with(
-        &self,
-        key: &str,
-        xml: String,
-        done: Option<mpsc::Sender<IngestOutcome>>,
-    ) -> Result<(), SubmitError> {
+    fn submit_with(&self, key: &str, xml: String, done: Option<Done>) -> Result<(), SubmitError> {
         let seq = {
             // INVARIANT: a poisoned lock means a worker panicked mid-update;
             // the server cannot vouch for its state, so the panic propagates.
@@ -933,7 +955,7 @@ impl IngestServer {
         xml: impl Into<String>,
     ) -> Result<Ticket, SubmitError> {
         let (tx, rx) = mpsc::channel();
-        self.submit_with(key, xml.into(), Some(tx))?;
+        self.submit_with(key, xml.into(), Some(Done::Channel(tx)))?;
         Ok(Ticket { rx })
     }
 
@@ -955,7 +977,7 @@ impl IngestServer {
         let mut gates = self.inner.gates.lock().unwrap();
         let g = gates.entry(key.to_string()).or_default();
         let seq = g.next_submit;
-        let job = Job { key: key.to_string(), xml: xml.into(), seq, done: Some(tx) };
+        let job = Job { key: key.to_string(), xml: xml.into(), seq, done: Some(Done::Channel(tx)) };
         match self.inner.sched.try_push(key_hash(key), job) {
             Ok(()) => {
                 g.next_submit += 1;
@@ -969,6 +991,55 @@ impl IngestServer {
                 g.next_submit += 1;
                 drop(gates);
                 self.inner.metrics.enqueued.inc();
+                self.inner.cancel(job);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Non-blocking submit delivering the outcome through a callback
+    /// instead of a [`Ticket`]: the event-driven network front cannot park
+    /// a thread per in-flight request, so workers invoke `done` (exactly
+    /// once) when the snapshot resolves and the reactor wakes its loop
+    /// from inside the callback.
+    ///
+    /// On `Err` the callback has **not** been invoked and never will be —
+    /// the caller still owns the failure response. Backpressure semantics
+    /// match [`IngestServer::try_submit_tracked`]: a full queue returns
+    /// [`SubmitError::QueueFull`] without burning a sequence number.
+    pub fn try_submit_with(
+        &self,
+        key: &str,
+        xml: impl Into<String>,
+        done: CompletionFn,
+    ) -> Result<(), SubmitError> {
+        // Same locking argument as try_submit_tracked: the gate lock spans
+        // reservation and the non-blocking push so Full releases the
+        // sequence number atomically with respect to same-key submitters.
+        // INVARIANT: a poisoned lock means a worker panicked mid-update;
+        // the server cannot vouch for its state, so the panic propagates.
+        let mut gates = self.inner.gates.lock().unwrap();
+        let g = gates.entry(key.to_string()).or_default();
+        let seq = g.next_submit;
+        let job =
+            Job { key: key.to_string(), xml: xml.into(), seq, done: Some(Done::Callback(done)) };
+        match self.inner.sched.try_push(key_hash(key), job) {
+            Ok(()) => {
+                g.next_submit += 1;
+                drop(gates);
+                self.inner.metrics.enqueued.inc();
+                self.inner.sync_sched_metrics();
+                Ok(())
+            }
+            Err(TryPushError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TryPushError::Closed(mut job)) => {
+                g.next_submit += 1;
+                drop(gates);
+                self.inner.metrics.enqueued.inc();
+                // Strip the callback before cancelling: the Err return
+                // already owns the shutting-down response, and a dead-letter
+                // delivery on top of it would answer the request twice.
+                job.done = None;
                 self.inner.cancel(job);
                 Err(SubmitError::ShuttingDown)
             }
@@ -1271,19 +1342,11 @@ impl Inner {
         }
     }
 
-    fn dead_letter(
-        &self,
-        key: &str,
-        seq: u64,
-        attempts: u32,
-        error: String,
-        done: Option<mpsc::Sender<IngestOutcome>>,
-    ) {
+    fn dead_letter(&self, key: &str, seq: u64, attempts: u32, error: String, done: Option<Done>) {
         self.metrics.dead_lettered.inc();
         let letter = DeadLetter { key: key.to_string(), seq, attempts, error };
-        if let Some(tx) = done {
-            // The submitter may have stopped waiting; delivery is best-effort.
-            let _ = tx.send(Err(letter.clone()));
+        if let Some(done) = done {
+            done.deliver(Err(letter.clone()));
         }
         // INVARIANT: a poisoned lock means a worker panicked mid-update;
         // the server cannot vouch for its state, so the panic propagates.
@@ -1402,9 +1465,8 @@ impl Inner {
         self.metrics.succeeded.inc();
         self.metrics.ingest_mode.inc(self.mode);
         self.metrics.total_time.observe(started.elapsed());
-        if let Some(tx) = done {
-            // The submitter may have stopped waiting; delivery is best-effort.
-            let _ = tx.send(Ok(Completed {
+        if let Some(done) = done {
+            done.deliver(Ok(Completed {
                 key,
                 seq,
                 version: out.version,
